@@ -1,0 +1,43 @@
+//! Scaled-down regeneration of every evaluation figure, run as part of
+//! `cargo bench`. Each section prints the same series the corresponding
+//! paper figure plots; the full-scale versions are the `figN` binaries.
+
+use iss_core::Mode;
+use iss_sim::experiments::{figure11, figure5, figure7, throughput_timeline, Scale};
+use iss_sim::CrashTiming;
+
+fn main() {
+    // Keep the in-bench scale small so `cargo bench` stays manageable; the
+    // binaries accept ISS_SCALE=paper for the full sweeps.
+    let scale = Scale::quick();
+
+    println!("== Figure 5 (scaled down): peak throughput vs number of nodes ==");
+    for point in figure5(scale) {
+        println!("{:<14} n={:<4} {:>8.1} kreq/s", point.series, point.nodes, point.kreq_per_sec);
+    }
+
+    println!();
+    println!("== Figure 7 (scaled down): leader policies under one crash ==");
+    for row in figure7(scale) {
+        println!(
+            "{:<10} {:<12} mean {:>6.2} s   p95 {:>6.2} s",
+            row.policy, row.timing, row.mean_secs, row.p95_secs
+        );
+    }
+
+    println!();
+    println!("== Figure 9 (scaled down): ISS-PBFT throughput over time, epoch-start crash ==");
+    let report = throughput_timeline(Mode::Iss, CrashTiming::EpochStart, scale);
+    for (second, tput) in report.timeline.iter().enumerate() {
+        println!("t={second:>3}s  {tput:>8} req/s");
+    }
+
+    println!();
+    println!("== Figure 11 (scaled down): stragglers ==");
+    for point in figure11(scale) {
+        println!(
+            "{:<14} {:>8.2} kreq/s  mean latency {:>6.2} s",
+            point.series, point.kreq_per_sec, point.latency_secs
+        );
+    }
+}

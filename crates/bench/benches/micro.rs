@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks of the building blocks: hashing, signatures,
+//! Merkle trees, bucket mapping, batch cutting, the binary codec and a full
+//! PBFT three-phase round for one batch.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iss_core::buckets::BucketQueues;
+use iss_crypto::{batch_digest, merkle_root, KeyPair, Sha256, ThresholdScheme};
+use iss_messages::codec;
+use iss_pbft::{PbftConfig, PbftInstance};
+use iss_sb::testing::LocalNet;
+use iss_sb::SbInstance;
+use iss_types::{Batch, BucketId, ClientId, InstanceId, NodeId, Request, Segment};
+use std::sync::Arc;
+
+fn request(i: u32) -> Request {
+    Request::new(ClientId(i % 64), i as u64, vec![0u8; 500])
+}
+
+fn batch(n: usize) -> Batch {
+    Batch::new((0..n as u32).map(request).collect())
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let payload = vec![0u8; 500];
+    group.throughput(Throughput::Bytes(500));
+    group.bench_function("sha256_500B", |b| b.iter(|| Sha256::digest(&payload)));
+    let kp = KeyPair::for_node(NodeId(0));
+    group.bench_function("sign_500B", |b| b.iter(|| kp.sign(&payload)));
+    let scheme = ThresholdScheme::new(32, 21, b"bench").unwrap();
+    let shares: Vec<_> = (0..21).map(|i| scheme.sign_share(NodeId(i), &payload)).collect();
+    group.bench_function("threshold_aggregate_2f1_of_32", |b| {
+        b.iter(|| scheme.aggregate(&shares, &payload).unwrap())
+    });
+    let b2048 = batch(2048);
+    group.bench_function("batch_digest_2048", |b| b.iter(|| batch_digest(&b2048)));
+    let leaves: Vec<[u8; 32]> = (0..256u64).map(|i| Sha256::digest(&i.to_le_bytes())).collect();
+    group.bench_function("merkle_root_256", |b| b.iter(|| merkle_root(&leaves)));
+    group.finish();
+}
+
+fn bench_buckets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buckets");
+    group.bench_function("bucket_mapping", |b| {
+        let req = request(7);
+        b.iter(|| req.bucket(512))
+    });
+    group.bench_function("cut_batch_2048_of_65536", |b| {
+        b.iter_batched(
+            || {
+                let mut q = BucketQueues::new(512);
+                for i in 0..65_536u32 {
+                    q.add(Request::synthetic(ClientId(i % 256), (i / 256) as u64, 500));
+                }
+                q
+            },
+            |mut q| {
+                let buckets: Vec<BucketId> = (0..16).map(BucketId).collect();
+                q.cut_batch(&buckets, 2048)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let b128 = batch(128);
+    group.bench_function("encode_batch_128", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::new();
+            codec::encode_batch(&b128, &mut buf);
+            buf
+        })
+    });
+    let mut buf = bytes::BytesMut::new();
+    codec::encode_batch(&b128, &mut buf);
+    let encoded = buf.freeze();
+    group.bench_function("decode_batch_128", |b| {
+        b.iter(|| {
+            let mut bytes = encoded.clone();
+            codec::decode_batch(&mut bytes).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn pbft_net(n: usize, seq: Vec<u64>) -> LocalNet<PbftInstance> {
+    let registry = Arc::new(iss_crypto::SignatureRegistry::with_processes(n, 0));
+    let segment = |_: usize| Segment {
+        instance: InstanceId::new(0, 0),
+        leader: NodeId(0),
+        seq_nrs: seq.clone(),
+        buckets: vec![BucketId(0)],
+        nodes: (0..n as u32).map(NodeId).collect(),
+        f: (n - 1) / 3,
+    };
+    LocalNet::new(
+        (0..n)
+            .map(|i| {
+                PbftInstance::new(
+                    NodeId(i as u32),
+                    segment(i),
+                    PbftConfig::default(),
+                    KeyPair::for_node(NodeId(i as u32)),
+                    Arc::clone(&registry),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_pbft_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft");
+    group.sample_size(20);
+    for n in [4usize, 16] {
+        group.bench_function(format!("three_phase_commit_n{n}_batch128"), |b| {
+            b.iter_batched(
+                || (pbft_net(n, vec![0]), batch(128)),
+                |(mut net, payload)| {
+                    net.init_all();
+                    net.propose(0, 0, payload);
+                    net.run_messages();
+                    assert!(net.instances[1].is_complete());
+                    net
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_buckets, bench_codec, bench_pbft_round);
+criterion_main!(benches);

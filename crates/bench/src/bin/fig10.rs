@@ -1,0 +1,16 @@
+//! Figure 10: Mir-BFT throughput over time with one epoch-start crash
+//! (periodic zero-throughput windows at every epoch change, long stalls when
+//! the crashed node is the epoch primary).
+
+use iss_bench::{header, scale_from_env};
+use iss_core::Mode;
+use iss_sim::experiments::throughput_timeline;
+use iss_sim::CrashTiming;
+
+fn main() {
+    header("Figure 10", "Mir-BFT throughput over time with one epoch-start crash");
+    let report = throughput_timeline(Mode::Mir, CrashTiming::EpochStart, scale_from_env());
+    for (second, tput) in report.timeline.iter().enumerate() {
+        println!("t={second:>3}s  {tput:>8} req/s");
+    }
+}

@@ -1,0 +1,14 @@
+//! Figure 5: scalability of the single-leader protocols, their ISS
+//! counterparts and Mir-BFT (peak throughput vs number of nodes).
+
+use iss_bench::{header, scale_from_env};
+use iss_sim::experiments::figure5;
+
+fn main() {
+    header("Figure 5", "peak throughput (kreq/s) vs number of nodes");
+    let points = figure5(scale_from_env());
+    println!("{:<14} {:>6} {:>14}", "series", "nodes", "kreq/s");
+    for p in points {
+        println!("{:<14} {:>6} {:>14.1}", p.series, p.nodes, p.kreq_per_sec);
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 7: impact of the leader-selection policies on mean and tail
+//! latency under one epoch-start / epoch-end crash fault.
+
+use iss_bench::{header, scale_from_env};
+use iss_sim::experiments::figure7;
+
+fn main() {
+    header("Figure 7", "leader selection policies under one crash (mean / 95th pct latency)");
+    for row in figure7(scale_from_env()) {
+        println!(
+            "{:<10} {:<12} mean {:>7.2} s   p95 {:>7.2} s",
+            row.policy, row.timing, row.mean_secs, row.p95_secs
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 8: impact of crash faults on mean and tail latency for increasing
+//! experiment duration (Blacklist policy).
+
+use iss_bench::{header, scale_from_env};
+use iss_sim::experiments::figure8;
+
+fn main() {
+    header("Figure 8", "crash faults vs experiment duration (Blacklist policy)");
+    for row in figure8(scale_from_env()) {
+        println!(
+            "f={} {:<12} duration {:>4} s   mean {:>7.2} s   p95 {:>7.2} s",
+            row.faults, row.timing, row.duration_secs, row.mean_secs, row.p95_secs
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure 9: ISS-PBFT throughput over time (1 s bins) with one crash fault at
+//! the beginning (a) and end (b) of the first epoch.
+
+use iss_bench::{header, scale_from_env};
+use iss_core::Mode;
+use iss_sim::experiments::throughput_timeline;
+use iss_sim::CrashTiming;
+
+fn main() {
+    header("Figure 9", "ISS-PBFT throughput over time with one crash fault");
+    let scale = scale_from_env();
+    for (label, timing) in [("(a) epoch-start", CrashTiming::EpochStart), ("(b) epoch-end", CrashTiming::EpochEnd)] {
+        let report = throughput_timeline(Mode::Iss, timing, scale);
+        println!("--- {label} crash; epoch ends: {:?} ---", report.epochs.iter().map(|(e, t)| (*e, t.as_secs_f64())).collect::<Vec<_>>());
+        for (second, tput) in report.timeline.iter().enumerate() {
+            println!("t={second:>3}s  {tput:>8} req/s");
+        }
+    }
+}

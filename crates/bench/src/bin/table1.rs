@@ -1,0 +1,34 @@
+//! Table 1: the ISS configuration parameters used in the evaluation.
+
+use iss_types::{IssConfig, ProtocolKind};
+
+fn main() {
+    iss_bench::header("Table 1", "ISS configuration parameters used in evaluation");
+    let n = 32;
+    let configs: Vec<(&str, IssConfig)> = vec![
+        ("PBFT", IssConfig::pbft(n)),
+        ("HotStuff", IssConfig::hotstuff(n)),
+        ("Raft", IssConfig::raft(n)),
+    ];
+    println!("{:<26} {:>12} {:>12} {:>12}", "parameter", "PBFT", "HotStuff", "Raft");
+    let row = |name: &str, f: &dyn Fn(&IssConfig) -> String| {
+        println!(
+            "{:<26} {:>12} {:>12} {:>12}",
+            name,
+            f(&configs[0].1),
+            f(&configs[1].1),
+            f(&configs[2].1)
+        );
+    };
+    row("Initial leaderset size", &|c| format!("|N|={}", c.num_nodes));
+    row("Max batch size", &|c| c.max_batch_size.to_string());
+    row("Batch rate (b/s)", &|c| c.batch_rate.map(|r| r.to_string()).unwrap_or("n/a".into()));
+    row("Min batch timeout (s)", &|c| format!("{:.0}", c.min_batch_timeout.as_secs_f64()));
+    row("Max batch timeout (s)", &|c| format!("{:.0}", c.max_batch_timeout.as_secs_f64()));
+    row("Min epoch length", &|c| c.min_epoch_length.to_string());
+    row("Min segment size", &|c| c.min_segment_size.to_string());
+    row("Epoch change timeout (s)", &|c| format!("{:.0}", c.epoch_change_timeout.as_secs_f64()));
+    row("Buckets per leader", &|c| c.buckets_per_leader.to_string());
+    row("Client signatures", &|c| if c.client_signatures { "256-bit".into() } else { "none".into() });
+    let _ = ProtocolKind::Pbft;
+}

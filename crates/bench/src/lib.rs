@@ -1,0 +1,40 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! * `cargo bench -p iss-bench --bench micro` — Criterion micro-benchmarks of
+//!   the substrates (hashing, Merkle trees, signatures, bucket mapping,
+//!   batch cutting, codec, PBFT instance stepping).
+//! * `cargo bench -p iss-bench --bench figures` — scaled-down regeneration of
+//!   every figure (prints the same series the paper plots).
+//! * `cargo run --release -p iss-bench --bin figN` — the individual
+//!   experiments at configurable scale (`ISS_SCALE=quick|default|paper`).
+
+use iss_sim::experiments::Scale;
+
+/// Reads the experiment scale from the `ISS_SCALE` environment variable
+/// (`quick`, `default` or `paper`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("ISS_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        Ok("paper") => Scale::paper(),
+        _ => Scale::default(),
+    }
+}
+
+/// Prints a table header for a figure binary.
+pub fn header(figure: &str, description: &str) {
+    println!("# {figure}: {description}");
+    println!("# (reproduction on the simulated 16-datacenter WAN; see EXPERIMENTS.md)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_without_env() {
+        std::env::remove_var("ISS_SCALE");
+        let s = scale_from_env();
+        assert!(s.duration_secs >= 12);
+    }
+}

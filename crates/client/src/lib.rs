@@ -1,0 +1,237 @@
+//! Client-side logic (Sections 3.7 and 4.3): request signing, the
+//! watermark-limited submission window, optimistic leader tracking from the
+//! nodes' bucket-assignment announcements, and response quorum counting.
+//!
+//! The actual client *process* (the event-driven entity that lives on the
+//! simulated network and generates load) is assembled in `iss-sim`; this
+//! crate holds the reusable, transport-independent pieces.
+
+use iss_crypto::{request_digest, KeyPair};
+use iss_messages::ClientMsg;
+use iss_types::{BucketId, ClientId, EpochNr, NodeId, ReqTimestamp, Request, RequestId, SeqNr};
+use std::collections::{HashMap, HashSet};
+
+/// Builds signed (or unsigned) requests for one client with increasing
+/// timestamps.
+pub struct RequestFactory {
+    client: ClientId,
+    keypair: KeyPair,
+    sign: bool,
+    payload_size: u32,
+    next_timestamp: ReqTimestamp,
+}
+
+impl RequestFactory {
+    /// Creates a factory for `client` producing `payload_size`-byte requests.
+    pub fn new(client: ClientId, payload_size: u32, sign: bool) -> Self {
+        RequestFactory {
+            client,
+            keypair: KeyPair::for_client(client),
+            sign,
+            payload_size,
+            next_timestamp: 0,
+        }
+    }
+
+    /// The timestamp the next request will carry.
+    pub fn next_timestamp(&self) -> ReqTimestamp {
+        self.next_timestamp
+    }
+
+    /// Produces the next request (synthetic payload of the configured size).
+    pub fn next_request(&mut self) -> Request {
+        let t = self.next_timestamp;
+        self.next_timestamp += 1;
+        let req = Request::synthetic(self.client, t, self.payload_size);
+        if self.sign {
+            let digest = request_digest(&req);
+            let sig = self.keypair.sign(&digest).0;
+            req.with_signature(sig)
+        } else {
+            req
+        }
+    }
+}
+
+/// Tracks the bucket → leader assignment announced by the nodes at every
+/// epoch transition (Section 4.3). An announcement is accepted once a quorum
+/// of nodes has sent the same assignment for the same epoch.
+pub struct LeaderTable {
+    quorum: usize,
+    num_buckets: usize,
+    all_nodes: Vec<NodeId>,
+    current: HashMap<BucketId, NodeId>,
+    accepted_epoch: Option<EpochNr>,
+    /// epoch → set of nodes that announced it (assignments are deterministic,
+    /// so counting senders is sufficient).
+    pending: HashMap<EpochNr, (HashSet<NodeId>, Vec<(BucketId, NodeId)>)>,
+}
+
+impl LeaderTable {
+    /// Creates a table; `quorum` is the number of matching announcements a
+    /// client waits for (f+1 suffices since the assignment is deterministic).
+    pub fn new(all_nodes: Vec<NodeId>, num_buckets: usize, quorum: usize) -> Self {
+        LeaderTable {
+            quorum,
+            num_buckets,
+            all_nodes,
+            current: HashMap::new(),
+            accepted_epoch: None,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The epoch whose assignment is currently in force, if any.
+    pub fn accepted_epoch(&self) -> Option<EpochNr> {
+        self.accepted_epoch
+    }
+
+    /// Processes a `BucketLeaders` announcement from `from`. Returns `true`
+    /// if a new assignment was accepted.
+    pub fn on_announcement(&mut self, from: NodeId, msg: &ClientMsg) -> bool {
+        let ClientMsg::BucketLeaders { epoch, leaders } = msg else {
+            return false;
+        };
+        if self.accepted_epoch.is_some_and(|e| *epoch <= e) {
+            return false;
+        }
+        let entry = self
+            .pending
+            .entry(*epoch)
+            .or_insert_with(|| (HashSet::new(), leaders.clone()));
+        entry.0.insert(from);
+        if entry.0.len() >= self.quorum {
+            self.current = entry.1.iter().copied().collect();
+            self.accepted_epoch = Some(*epoch);
+            self.pending.retain(|e, _| *e > *epoch);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The node to which a request should be submitted: the leader currently
+    /// owning the request's bucket, falling back to a deterministic default
+    /// (bucket number modulo n) before the first announcement.
+    pub fn target_for(&self, request: &RequestId) -> NodeId {
+        let bucket = request.bucket(self.num_buckets);
+        match self.current.get(&bucket) {
+            Some(leader) => *leader,
+            None => self.all_nodes[bucket.index() % self.all_nodes.len()],
+        }
+    }
+}
+
+/// Counts per-request responses and reports completion at a quorum of f+1
+/// (Section 6.1: "the latency from the moment a client submits a request
+/// until the client receives f + 1 responses").
+#[derive(Default)]
+pub struct ResponseTracker {
+    quorum: usize,
+    responses: HashMap<RequestId, HashSet<NodeId>>,
+    completed: HashMap<RequestId, SeqNr>,
+}
+
+impl ResponseTracker {
+    /// Creates a tracker requiring `quorum` (= f+1) matching responses.
+    pub fn new(quorum: usize) -> Self {
+        ResponseTracker { quorum, ..Default::default() }
+    }
+
+    /// Records a response. Returns `Some(seq_nr)` the first time the request
+    /// reaches its response quorum.
+    pub fn on_response(&mut self, from: NodeId, request: RequestId, seq_nr: SeqNr) -> Option<SeqNr> {
+        if self.completed.contains_key(&request) {
+            return None;
+        }
+        let set = self.responses.entry(request).or_default();
+        set.insert(from);
+        if set.len() >= self.quorum {
+            self.responses.remove(&request);
+            self.completed.insert(request, seq_nr);
+            Some(seq_nr)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the request has completed.
+    pub fn is_complete(&self, request: &RequestId) -> bool {
+        self.completed.contains_key(request)
+    }
+
+    /// Number of completed requests.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_crypto::SignatureRegistry;
+
+    #[test]
+    fn request_factory_signs_and_increments() {
+        let mut f = RequestFactory::new(ClientId(3), 500, true);
+        let a = f.next_request();
+        let b = f.next_request();
+        assert_eq!(a.id.timestamp, 0);
+        assert_eq!(b.id.timestamp, 1);
+        assert_eq!(f.next_timestamp(), 2);
+        assert_eq!(a.payload_size, 500);
+        let registry = SignatureRegistry::with_processes(0, 4);
+        registry
+            .verify_client(ClientId(3), &request_digest(&a), &a.signature)
+            .unwrap();
+    }
+
+    #[test]
+    fn unsigned_factory_leaves_signature_empty() {
+        let mut f = RequestFactory::new(ClientId(0), 100, false);
+        assert!(f.next_request().signature.is_empty());
+    }
+
+    #[test]
+    fn leader_table_waits_for_quorum_and_routes() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut table = LeaderTable::new(nodes.clone(), 8, 2);
+        let req = RequestId::new(ClientId(1), 7);
+        let default_target = table.target_for(&req);
+        assert!(nodes.contains(&default_target));
+
+        let assignment: Vec<(BucketId, NodeId)> =
+            (0..8).map(|b| (BucketId(b), NodeId(3))).collect();
+        let msg = ClientMsg::BucketLeaders { epoch: 1, leaders: assignment };
+        assert!(!table.on_announcement(NodeId(0), &msg));
+        assert!(table.on_announcement(NodeId(1), &msg));
+        assert_eq!(table.accepted_epoch(), Some(1));
+        assert_eq!(table.target_for(&req), NodeId(3));
+        // Stale announcements are ignored.
+        assert!(!table.on_announcement(NodeId(2), &ClientMsg::BucketLeaders { epoch: 1, leaders: vec![] }));
+    }
+
+    #[test]
+    fn newer_epoch_replaces_assignment() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut table = LeaderTable::new(nodes, 4, 1);
+        let e1: Vec<(BucketId, NodeId)> = (0..4).map(|b| (BucketId(b), NodeId(1))).collect();
+        let e2: Vec<(BucketId, NodeId)> = (0..4).map(|b| (BucketId(b), NodeId(2))).collect();
+        table.on_announcement(NodeId(0), &ClientMsg::BucketLeaders { epoch: 1, leaders: e1 });
+        table.on_announcement(NodeId(0), &ClientMsg::BucketLeaders { epoch: 2, leaders: e2 });
+        assert_eq!(table.accepted_epoch(), Some(2));
+        assert_eq!(table.target_for(&RequestId::new(ClientId(0), 0)), NodeId(2));
+    }
+
+    #[test]
+    fn response_tracker_requires_quorum_once() {
+        let mut t = ResponseTracker::new(2);
+        let req = RequestId::new(ClientId(0), 0);
+        assert_eq!(t.on_response(NodeId(0), req, 5), None);
+        assert_eq!(t.on_response(NodeId(0), req, 5), None, "duplicate responder does not count");
+        assert_eq!(t.on_response(NodeId(1), req, 5), Some(5));
+        assert_eq!(t.on_response(NodeId(2), req, 5), None, "already completed");
+        assert!(t.is_complete(&req));
+        assert_eq!(t.completed_count(), 1);
+    }
+}

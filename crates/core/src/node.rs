@@ -1,0 +1,727 @@
+//! The ISS replica (the Manager module of Section 4.1), implemented as an
+//! event-driven process over the [`iss_simnet::process`] interface.
+//!
+//! One [`IssNode`] owns the log, the bucket queues, the leader-selection
+//! policy, the checkpointing state and the currently active SB instances
+//! (one per segment of the current epoch), and drives them from three kinds
+//! of events: client requests, protocol messages and timers.
+//!
+//! Besides the regular ISS mode, the node supports two additional modes used
+//! by the evaluation:
+//!
+//! * [`Mode::SingleLeader`] — the single-leader baseline: every epoch has a
+//!   single segment led by node 0 holding every bucket, which reproduces the
+//!   original (non-ISS) protocols' behaviour including their leader
+//!   bandwidth bottleneck;
+//! * [`Mode::Mir`] — a Mir-BFT-like construction that, unlike ISS, relies on
+//!   an *epoch primary* and stalls all instances during the epoch change
+//!   (used for the comparison in Figures 5 and 10).
+
+use crate::buckets::BucketQueues;
+use crate::checkpoint::CheckpointManager;
+use crate::epoch::EpochConfig;
+use crate::log::IssLog;
+use crate::orderer::OrdererFactory;
+use crate::policy::LeaderPolicy;
+use crate::validation::RequestValidation;
+use iss_crypto::{KeyPair, SignatureRegistry};
+use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg};
+use iss_sb::{SbAction, SbContext, SbInstance};
+use iss_simnet::process::{Addr, Context, Process};
+use iss_types::{
+    Batch, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr, Time,
+    TimerId,
+};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Timer kinds used by the node on the runtime context.
+const KIND_PROPOSE: u64 = 1;
+const KIND_INSTANCE: u64 = 2;
+const KIND_MIR_EPOCH: u64 = 3;
+
+/// Deployment mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Regular ISS: multi-leader, leader policy driven.
+    Iss,
+    /// Single-leader baseline (the original protocol, node 0 leads forever).
+    SingleLeader,
+    /// Mir-BFT-like baseline: multi-leader but with an epoch primary and a
+    /// stop-the-world epoch change.
+    Mir,
+}
+
+/// Byzantine straggler behaviour (Section 6.4.2): the leader delays proposals
+/// as much as possible without being suspected and proposes only empty
+/// batches.
+#[derive(Clone, Copy, Debug)]
+pub struct StragglerBehavior {
+    /// Interval between the straggler's (empty) proposals; the evaluation
+    /// uses 0.5 × the epoch-change timeout.
+    pub proposal_interval: Duration,
+}
+
+/// Observer of a node's deliveries (metrics collection, application hookup).
+pub trait DeliverySink {
+    /// A request was delivered with its global request sequence number.
+    fn on_request_delivered(&mut self, node: NodeId, request: &Request, request_seq_nr: u64, now: Time);
+    /// A batch (or ⊥) was committed at a log position.
+    fn on_batch_committed(&mut self, node: NodeId, seq_nr: SeqNr, batch_size: usize, now: Time);
+    /// The node advanced to a new epoch.
+    fn on_epoch_advanced(&mut self, node: NodeId, epoch: EpochNr, now: Time);
+}
+
+/// A sink that ignores everything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl DeliverySink for NullSink {
+    fn on_request_delivered(&mut self, _: NodeId, _: &Request, _: u64, _: Time) {}
+    fn on_batch_committed(&mut self, _: NodeId, _: SeqNr, _: usize, _: Time) {}
+    fn on_epoch_advanced(&mut self, _: NodeId, _: EpochNr, _: Time) {}
+}
+
+/// Per-node deployment options.
+#[derive(Clone)]
+pub struct NodeOptions {
+    /// The ISS configuration (Table 1 preset).
+    pub config: IssConfig,
+    /// Deployment mode.
+    pub mode: Mode,
+    /// Whether to send RESPONSE messages back to clients.
+    pub respond_to_clients: bool,
+    /// Whether to announce bucket-to-leader assignments to clients at epoch
+    /// transitions (Section 4.3).
+    pub announce_buckets: bool,
+    /// The client population (used for announcements).
+    pub clients: Vec<ClientId>,
+    /// If set, this node behaves as a Byzantine straggler when leading.
+    pub straggler: Option<StragglerBehavior>,
+}
+
+impl NodeOptions {
+    /// Default options for the given configuration: ISS mode, responses on,
+    /// announcements off (the simulator's clients route by configuration).
+    pub fn new(config: IssConfig) -> Self {
+        NodeOptions {
+            config,
+            mode: Mode::Iss,
+            respond_to_clients: true,
+            announce_buckets: false,
+            clients: Vec::new(),
+            straggler: None,
+        }
+    }
+}
+
+/// The ISS replica.
+pub struct IssNode {
+    my_id: NodeId,
+    opts: NodeOptions,
+    factory: Box<dyn OrdererFactory>,
+    sink: Rc<RefCell<dyn DeliverySink>>,
+
+    // Manager state.
+    current_epoch: EpochNr,
+    epoch: EpochConfig,
+    instances: HashMap<InstanceId, Box<dyn SbInstance>>,
+    /// Leader of the segment that owned each sequence number (needed by the
+    /// leader policy after the epoch's segments are gone).
+    leader_of_sn: HashMap<SeqNr, NodeId>,
+    log: IssLog,
+    buckets: BucketQueues,
+    validation: RequestValidation,
+    policy: LeaderPolicy,
+    checkpoints: CheckpointManager,
+
+    // Proposal state for the segment this node leads (if any).
+    my_segment_idx: Option<usize>,
+    next_proposal: usize,
+    last_proposal_at: Time,
+    proposed: HashMap<SeqNr, Batch>,
+
+    // Timer bookkeeping.
+    instance_timers: HashMap<TimerId, (InstanceId, u64)>,
+
+    // Mir mode: waiting for the epoch primary's NEW-EPOCH message.
+    mir_waiting: bool,
+
+    /// Suspicions reported by the ordering protocol instances (diagnostics).
+    pub suspicions: Vec<(EpochNr, NodeId)>,
+}
+
+impl IssNode {
+    /// Creates a node.
+    pub fn new(
+        my_id: NodeId,
+        opts: NodeOptions,
+        factory: Box<dyn OrdererFactory>,
+        registry: Arc<SignatureRegistry>,
+        sink: Rc<RefCell<dyn DeliverySink>>,
+    ) -> Self {
+        let config = &opts.config;
+        let keypair = KeyPair::for_node(my_id);
+        let validation = RequestValidation::new(
+            Arc::clone(&registry),
+            config.client_signatures,
+            config.num_buckets(),
+            config.client_watermark_window,
+        );
+        let policy = LeaderPolicy::new(
+            config.leader_policy,
+            config.all_nodes(),
+            config.f(),
+            config.backoff_ban_period,
+            config.backoff_decrease,
+        );
+        let checkpoints = CheckpointManager::new(
+            my_id,
+            keypair,
+            Arc::clone(&registry),
+            2 * config.f() + 1,
+        );
+        let leaders = Self::leaders_for(&opts, &policy, 0);
+        let epoch = EpochConfig::build(config, 0, 0, leaders);
+        let buckets = BucketQueues::new(config.num_buckets());
+        IssNode {
+            my_id,
+            opts,
+            factory,
+            sink,
+            current_epoch: 0,
+            epoch,
+            instances: HashMap::new(),
+            leader_of_sn: HashMap::new(),
+            log: IssLog::new(),
+            buckets,
+            validation,
+            policy,
+            checkpoints,
+            my_segment_idx: None,
+            next_proposal: 0,
+            last_proposal_at: Time::ZERO,
+            proposed: HashMap::new(),
+            instance_timers: HashMap::new(),
+            mir_waiting: false,
+            suspicions: Vec::new(),
+        }
+    }
+
+    fn leaders_for(opts: &NodeOptions, policy: &LeaderPolicy, epoch: EpochNr) -> Vec<NodeId> {
+        match opts.mode {
+            Mode::SingleLeader => vec![NodeId(0)],
+            Mode::Iss | Mode::Mir => policy.leaders(epoch),
+        }
+    }
+
+    /// The epoch primary in Mir mode.
+    fn mir_primary(&self, epoch: EpochNr) -> NodeId {
+        NodeId((epoch % self.opts.config.num_nodes as u64) as u32)
+    }
+
+    /// The node's current epoch number.
+    pub fn current_epoch(&self) -> EpochNr {
+        self.current_epoch
+    }
+
+    /// Read access to the log (testing / state inspection).
+    pub fn log(&self) -> &IssLog {
+        &self.log
+    }
+
+    /// Number of requests waiting in this node's bucket queues.
+    pub fn pending_requests(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The interval between this leader's proposals, derived from the
+    /// system-wide batch rate (Section 6.2: a fixed batch rate means O(1/n)
+    /// proposals per leader).
+    fn proposal_interval(&self) -> Duration {
+        match self.opts.config.batch_rate {
+            Some(rate) => {
+                let leaders = self.epoch.leaders.len().max(1) as f64;
+                Duration::from_secs_f64(leaders / rate)
+            }
+            None => Duration::from_millis(100),
+        }
+    }
+
+    fn setup_epoch_instances(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        // Record segment leadership for the policy and the bucket restriction
+        // for proposal validation.
+        let mut bucket_map = HashMap::new();
+        for segment in &self.epoch.segments {
+            for sn in &segment.seq_nrs {
+                self.leader_of_sn.insert(*sn, segment.leader);
+                bucket_map.insert(*sn, segment.buckets.clone());
+            }
+        }
+        self.validation.on_epoch_start(bucket_map);
+
+        // Create and initialize one SB instance per segment.
+        self.my_segment_idx = None;
+        for (idx, segment) in self.epoch.segments.clone().into_iter().enumerate() {
+            if segment.leader == self.my_id {
+                self.my_segment_idx = Some(idx);
+            }
+            let instance_id = segment.instance;
+            let instance = self.factory.create(self.my_id, segment);
+            self.instances.insert(instance_id, instance);
+            self.drive(instance_id, ctx, |inst, sb| inst.init(sb));
+        }
+        self.next_proposal = 0;
+        self.proposed.clear();
+        self.last_proposal_at = ctx.now();
+
+        // Announce the bucket assignment to clients (Section 4.3).
+        if self.opts.announce_buckets {
+            let leaders = ClientMsg::BucketLeaders {
+                epoch: self.current_epoch,
+                leaders: self.epoch.bucket_owners(),
+            };
+            for client in self.opts.clients.clone() {
+                ctx.send(Addr::Client(client), NetMsg::Client(leaders.clone()));
+            }
+        }
+    }
+
+    /// Runs a closure against one SB instance and applies its actions.
+    fn drive<F>(&mut self, instance_id: InstanceId, ctx: &mut Context<'_, NetMsg>, f: F)
+    where
+        F: FnOnce(&mut dyn SbInstance, &mut SbContext<'_>),
+    {
+        let Some(mut instance) = self.instances.remove(&instance_id) else {
+            return;
+        };
+        let actions = {
+            let mut sb_ctx = SbContext::new(ctx.now(), &mut self.validation, ctx.rng());
+            f(instance.as_mut(), &mut sb_ctx);
+            sb_ctx.take_actions()
+        };
+        self.instances.insert(instance_id, instance);
+        self.apply_sb_actions(instance_id, actions, ctx);
+    }
+
+    fn apply_sb_actions(
+        &mut self,
+        instance_id: InstanceId,
+        actions: Vec<SbAction>,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        for action in actions {
+            match action {
+                SbAction::Send { to, msg } => {
+                    ctx.send(Addr::Node(to), NetMsg::Sb { instance: instance_id, msg });
+                }
+                SbAction::Broadcast(msg) => {
+                    let nodes = self.opts.config.all_nodes();
+                    for node in nodes {
+                        if node != self.my_id {
+                            ctx.send(
+                                Addr::Node(node),
+                                NetMsg::Sb { instance: instance_id, msg: msg.clone() },
+                            );
+                        }
+                    }
+                }
+                SbAction::Deliver { seq_nr, batch } => {
+                    self.on_sb_deliver(seq_nr, batch, ctx);
+                }
+                SbAction::SetTimer { token, delay } => {
+                    let id = ctx.set_timer(delay, KIND_INSTANCE);
+                    self.instance_timers.insert(id, (instance_id, token));
+                }
+                SbAction::CancelTimer { token } => {
+                    let ids: Vec<TimerId> = self
+                        .instance_timers
+                        .iter()
+                        .filter(|(_, (inst, t))| *inst == instance_id && *t == token)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for id in ids {
+                        self.instance_timers.remove(&id);
+                        ctx.cancel_timer(id);
+                    }
+                }
+                SbAction::Suspect(node) => {
+                    self.suspicions.push((self.current_epoch, node));
+                }
+            }
+        }
+    }
+
+    /// Handles an sb-delivery: inserts the batch into the log, removes its
+    /// requests from the bucket queues, resurrects unsuccessfully proposed
+    /// requests on ⊥, delivers the contiguous prefix and advances the epoch
+    /// when complete (Algorithm 1, lines 40-56).
+    fn on_sb_deliver(&mut self, sn: SeqNr, batch: Option<Batch>, ctx: &mut Context<'_, NetMsg>) {
+        let leader = self
+            .leader_of_sn
+            .get(&sn)
+            .copied()
+            .unwrap_or(self.epoch.segment_of(sn).map(|s| s.leader).unwrap_or(NodeId(0)));
+        if !self.log.commit(sn, batch.clone(), leader) {
+            return; // already committed (e.g. via state transfer)
+        }
+        match &batch {
+            Some(b) => {
+                for req in &b.requests {
+                    self.buckets.remove(&req.id);
+                    self.validation.mark_delivered(&req.id);
+                }
+            }
+            None => {
+                // ⊥ delivered: resurrect our own unsuccessful proposal, if any.
+                self.policy.record_nil_delivery(leader, sn);
+                if let Some(proposed) = self.proposed.remove(&sn) {
+                    for req in proposed.requests {
+                        if !self.validation.is_delivered(&req.id) {
+                            self.buckets.resurrect(req);
+                        }
+                    }
+                }
+            }
+        }
+        self.sink.borrow_mut().on_batch_committed(
+            self.my_id,
+            sn,
+            batch.as_ref().map(Batch::len).unwrap_or(0),
+            ctx.now(),
+        );
+        self.deliver_ready(ctx);
+        self.maybe_finish_epoch(ctx);
+    }
+
+    fn deliver_ready(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let delivered = self.log.deliver_ready();
+        if delivered.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        for d in &delivered {
+            self.sink
+                .borrow_mut()
+                .on_request_delivered(self.my_id, &d.request, d.request_seq_nr, now);
+            if self.opts.respond_to_clients {
+                ctx.send(
+                    Addr::Client(d.request.id.client),
+                    NetMsg::Client(ClientMsg::Response {
+                        request: d.request.id,
+                        seq_nr: d.request_seq_nr,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn maybe_finish_epoch(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let first = self.epoch.first_seq_nr;
+        let last = self.epoch.max_seq_nr();
+        if !self.log.range_complete(first, last) {
+            return;
+        }
+        // Broadcast the epoch checkpoint (Section 3.5).
+        let root = CheckpointManager::epoch_root(&self.log, first, last);
+        let msg = self.checkpoints.make_checkpoint(self.current_epoch, last, root);
+        for node in self.opts.config.all_nodes() {
+            if node != self.my_id {
+                ctx.send(Addr::Node(node), NetMsg::Iss(msg.clone()));
+            }
+        }
+        // Update the leader policy with the epoch's outcome.
+        self.policy.on_epoch_end((first, last));
+
+        match self.opts.mode {
+            Mode::Mir => {
+                // Mir-BFT: the epoch primary announces the next epoch; all
+                // instances stall until the announcement (or a timeout)
+                // arrives. This is the behaviour ISS removes.
+                let next = self.current_epoch + 1;
+                let primary = self.mir_primary(next);
+                if primary == self.my_id {
+                    for node in self.opts.config.all_nodes() {
+                        if node != self.my_id {
+                            ctx.send(
+                                Addr::Node(node),
+                                NetMsg::Mir(MirMsg::NewEpoch { epoch: next, config_digest: root }),
+                            );
+                        }
+                    }
+                    self.start_next_epoch(ctx);
+                } else {
+                    self.mir_waiting = true;
+                    ctx.set_timer(self.opts.config.epoch_change_timeout, KIND_MIR_EPOCH);
+                }
+            }
+            Mode::Iss | Mode::SingleLeader => self.start_next_epoch(ctx),
+        }
+    }
+
+    fn start_next_epoch(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.mir_waiting = false;
+        let finished = self.current_epoch;
+        self.current_epoch += 1;
+        self.sink.borrow_mut().on_epoch_advanced(self.my_id, self.current_epoch, ctx.now());
+
+        // Garbage-collect instances of epochs strictly older than the one we
+        // just finished (the just-finished epoch's instances are kept one more
+        // epoch so slow nodes can still be served, Section 2.3).
+        let keep_from = finished;
+        self.instances.retain(|id, _| id.epoch >= keep_from);
+        self.instance_timers.retain(|_, (id, _)| id.epoch >= keep_from);
+        // Garbage-collect the delivered log prefix below the latest stable
+        // checkpoint older than the kept epoch.
+        if let Some(stable) = self.checkpoints.stable_for(finished.saturating_sub(1)) {
+            let cut = stable.max_seq_nr + 1;
+            self.log.garbage_collect(cut);
+            self.leader_of_sn.retain(|sn, _| *sn >= cut);
+        }
+
+        let leaders = Self::leaders_for(&self.opts, &self.policy, self.current_epoch);
+        self.epoch = EpochConfig::build(
+            &self.opts.config,
+            self.current_epoch,
+            self.epoch.next_first_seq_nr(),
+            leaders,
+        );
+        self.setup_epoch_instances(ctx);
+    }
+
+    /// Proposal pacing tick (Section 3.2 "Proposing Batches" plus the batch
+    /// rate of Section 6.2 and the straggler behaviour of Section 6.4.2).
+    fn on_propose_tick(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        // Re-arm first so the tick keeps running across epochs.
+        let interval = match self.opts.straggler {
+            Some(s) => s.proposal_interval.div(4).max(Duration::from_millis(100)),
+            None => self.proposal_interval(),
+        };
+        ctx.set_timer(interval, KIND_PROPOSE);
+
+        let Some(seg_idx) = self.my_segment_idx else { return };
+        if self.mir_waiting {
+            return;
+        }
+        let segment = &self.epoch.segments[seg_idx];
+        if self.next_proposal >= segment.seq_nrs.len() {
+            return;
+        }
+        let sn = segment.seq_nrs[self.next_proposal];
+        let instance_id = segment.instance;
+        let buckets = segment.buckets.clone();
+        let now = ctx.now();
+
+        let batch = if let Some(straggler) = self.opts.straggler {
+            // A Byzantine straggler delays as much as possible and proposes
+            // only empty batches.
+            if now.saturating_since(self.last_proposal_at) < straggler.proposal_interval
+                && self.next_proposal > 0
+            {
+                return;
+            }
+            Batch::empty()
+        } else {
+            let available = self.buckets.available_in(&buckets);
+            let max_size = self.opts.config.max_batch_size;
+            let since_last = now.saturating_since(self.last_proposal_at);
+            let min_wait = self.opts.config.min_batch_timeout;
+            let max_wait = self.opts.config.max_batch_timeout;
+            let full = available >= max_size;
+            let have_some = available > 0 && since_last >= min_wait;
+            let timed_out = max_wait > Duration::ZERO && since_last >= max_wait;
+            if full || have_some || timed_out {
+                self.buckets.cut_batch(&buckets, max_size)
+            } else {
+                return;
+            }
+        };
+
+        self.last_proposal_at = now;
+        self.next_proposal += 1;
+        self.proposed.insert(sn, batch.clone());
+        self.drive(instance_id, ctx, |inst, sb| inst.propose(sn, batch, sb));
+    }
+
+    fn on_net_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        match msg {
+            NetMsg::Client(ClientMsg::Request(req)) => {
+                if self.validation.validate_request(&req).is_ok() {
+                    self.buckets.add(req);
+                }
+            }
+            NetMsg::Client(_) => {}
+            NetMsg::Sb { instance, msg } => {
+                let Some(node) = from.as_node() else { return };
+                if self.instances.contains_key(&instance) {
+                    self.drive(instance, ctx, |inst, sb| inst.on_message(node, msg, sb));
+                } else if instance.epoch > self.current_epoch {
+                    // We have fallen behind: ask the sender for the missing
+                    // log entries (state transfer, Section 3.5).
+                    ctx.send(
+                        Addr::Node(node),
+                        NetMsg::Iss(IssMsg::StateRequest {
+                            from_seq_nr: self.log.first_undelivered(),
+                            to_seq_nr: self.epoch.max_seq_nr(),
+                        }),
+                    );
+                }
+            }
+            NetMsg::Iss(IssMsg::Checkpoint { epoch, max_seq_nr, root, signature }) => {
+                if let Some(node) = from.as_node() {
+                    self.checkpoints.on_checkpoint(node, epoch, max_seq_nr, root, signature);
+                }
+            }
+            NetMsg::Iss(IssMsg::StateRequest { from_seq_nr, to_seq_nr }) => {
+                let Some(node) = from.as_node() else { return };
+                let Some(stable) = self.checkpoints.latest_stable() else { return };
+                let last = to_seq_nr.min(stable.max_seq_nr);
+                if from_seq_nr > last {
+                    return;
+                }
+                let entries: Vec<iss_messages::isscp::LogEntry> = self
+                    .log
+                    .range(from_seq_nr, last)
+                    .map(|(sn, e)| iss_messages::isscp::LogEntry { seq_nr: sn, batch: e.batch.clone() })
+                    .collect();
+                ctx.send(
+                    Addr::Node(node),
+                    NetMsg::Iss(IssMsg::StateResponse {
+                        epoch: stable.epoch,
+                        entries,
+                        root: stable.root,
+                        proof: stable.proof.iter().map(|(_, s)| s.clone()).collect(),
+                    }),
+                );
+            }
+            NetMsg::Iss(IssMsg::StateResponse { entries, .. }) => {
+                // Fill the log with the transferred entries. Integrity is
+                // protected by the stable checkpoint; the proof was verified
+                // against known signers when the checkpoint was formed.
+                for entry in entries {
+                    let leader = self.leader_of_sn.get(&entry.seq_nr).copied().unwrap_or(NodeId(0));
+                    if self.log.commit(entry.seq_nr, entry.batch.clone(), leader) {
+                        if let Some(b) = &entry.batch {
+                            for req in &b.requests {
+                                self.buckets.remove(&req.id);
+                                self.validation.mark_delivered(&req.id);
+                            }
+                        }
+                    }
+                }
+                self.deliver_ready(ctx);
+                self.maybe_finish_epoch(ctx);
+            }
+            NetMsg::Mir(MirMsg::NewEpoch { epoch, .. }) => {
+                if self.opts.mode == Mode::Mir && self.mir_waiting && epoch == self.current_epoch + 1 {
+                    self.start_next_epoch(ctx);
+                }
+            }
+            NetMsg::Mir(_) | NetMsg::Baseline(_) => {}
+        }
+    }
+}
+
+impl Process<NetMsg> for IssNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.setup_epoch_instances(ctx);
+        ctx.set_timer(self.proposal_interval(), KIND_PROPOSE);
+    }
+
+    fn on_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        self.on_net_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<'_, NetMsg>) {
+        match kind {
+            KIND_PROPOSE => self.on_propose_tick(ctx),
+            KIND_INSTANCE => {
+                if let Some((instance_id, token)) = self.instance_timers.remove(&id) {
+                    self.drive(instance_id, ctx, |inst, sb| inst.on_timer(token, sb));
+                }
+            }
+            KIND_MIR_EPOCH => {
+                if self.mir_waiting {
+                    // Ungraceful epoch change: the primary was unresponsive.
+                    self.start_next_epoch(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts an `SbMsg` protocol name for diagnostics (helper used by tests
+/// and tracing).
+pub fn sb_msg_kind(msg: &SbMsg) -> &'static str {
+    match msg {
+        SbMsg::Pbft(_) => "pbft",
+        SbMsg::HotStuff(_) => "hotstuff",
+        SbMsg::Raft(_) => "raft",
+        SbMsg::Reference(_) => "reference",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orderer::FnOrdererFactory;
+    use iss_sb::reference::ReferenceSb;
+
+    fn make_node(mode: Mode, n: usize) -> IssNode {
+        let mut config = IssConfig::pbft(n);
+        config.min_epoch_length = 8;
+        config.client_signatures = false;
+        let mut opts = NodeOptions::new(config);
+        opts.mode = mode;
+        let factory = FnOrdererFactory::new("reference", |id, seg| {
+            Box::new(ReferenceSb::new(id, seg)) as Box<dyn SbInstance>
+        });
+        IssNode::new(
+            NodeId(0),
+            opts,
+            Box::new(factory),
+            Arc::new(SignatureRegistry::with_processes(n, 4)),
+            Rc::new(RefCell::new(NullSink)),
+        )
+    }
+
+    #[test]
+    fn single_leader_mode_has_one_segment_led_by_node_zero() {
+        let node = make_node(Mode::SingleLeader, 4);
+        assert_eq!(node.epoch.segments.len(), 1);
+        assert_eq!(node.epoch.segments[0].leader, NodeId(0));
+        assert_eq!(node.epoch.segments[0].buckets.len(), node.opts.config.num_buckets());
+    }
+
+    #[test]
+    fn iss_mode_uses_all_nodes_as_leaders_initially() {
+        let node = make_node(Mode::Iss, 4);
+        assert_eq!(node.epoch.segments.len(), 4);
+        assert_eq!(node.current_epoch(), 0);
+    }
+
+    #[test]
+    fn mir_primary_rotates_with_epoch() {
+        let node = make_node(Mode::Mir, 4);
+        assert_eq!(node.mir_primary(0), NodeId(0));
+        assert_eq!(node.mir_primary(1), NodeId(1));
+        assert_eq!(node.mir_primary(5), NodeId(1));
+    }
+
+    #[test]
+    fn proposal_interval_follows_batch_rate() {
+        let node = make_node(Mode::Iss, 4);
+        // 4 leaders at 32 batches/s system-wide → one proposal every 125 ms.
+        assert_eq!(node.proposal_interval(), Duration::from_millis(125));
+        let single = make_node(Mode::SingleLeader, 4);
+        assert_eq!(single.proposal_interval(), Duration::from_micros(31_250));
+    }
+
+    #[test]
+    fn sb_msg_kind_names() {
+        assert_eq!(sb_msg_kind(&SbMsg::Reference(iss_messages::RefSbMsg::Heartbeat)), "reference");
+    }
+}

@@ -1,0 +1,74 @@
+//! The Orderer side of the Manager/Orderer split (Section 4.1).
+//!
+//! The Manager (in [`crate::node`]) announces segments; the Orderer
+//! instantiates one ordering-protocol instance per segment. Which protocol is
+//! used is decided by the [`OrdererFactory`] the node is constructed with —
+//! `iss-sim` provides factories for PBFT, HotStuff, Raft and the reference
+//! implementation.
+
+use iss_sb::SbInstance;
+use iss_types::{NodeId, Segment};
+
+/// Creates one SB instance per announced segment.
+pub trait OrdererFactory {
+    /// Instantiates the ordering protocol for `segment` at node `my_id`.
+    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance>;
+
+    /// A short protocol name used in diagnostics and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+/// A factory wrapping a closure (convenient for tests).
+pub struct FnOrdererFactory<F> {
+    make: F,
+    name: &'static str,
+}
+
+impl<F> FnOrdererFactory<F>
+where
+    F: Fn(NodeId, Segment) -> Box<dyn SbInstance>,
+{
+    /// Wraps a closure as a factory.
+    pub fn new(name: &'static str, make: F) -> Self {
+        FnOrdererFactory { make, name }
+    }
+}
+
+impl<F> OrdererFactory for FnOrdererFactory<F>
+where
+    F: Fn(NodeId, Segment) -> Box<dyn SbInstance>,
+{
+    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance> {
+        (self.make)(my_id, segment)
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_sb::reference::ReferenceSb;
+    use iss_types::{BucketId, InstanceId};
+
+    #[test]
+    fn fn_factory_creates_instances() {
+        let factory = FnOrdererFactory::new("reference", |id, seg| {
+            Box::new(ReferenceSb::new(id, seg)) as Box<dyn SbInstance>
+        });
+        assert_eq!(factory.name(), "reference");
+        let segment = Segment {
+            instance: InstanceId::new(0, 0),
+            leader: NodeId(0),
+            seq_nrs: vec![0, 1],
+            buckets: vec![BucketId(0)],
+            nodes: (0..4).map(NodeId).collect(),
+            f: 1,
+        };
+        let instance = factory.create(NodeId(1), segment);
+        assert_eq!(instance.delivered_count(), 0);
+        assert!(!instance.is_complete());
+    }
+}

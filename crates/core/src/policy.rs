@@ -1,0 +1,213 @@
+//! Leader-selection policies (Section 3.4, Algorithm 4).
+//!
+//! A policy is evaluated locally and deterministically from information all
+//! correct nodes share: the epoch number and the state of the log up to the
+//! end of the previous epoch. The failure signal is exactly the one of
+//! Algorithm 4: `lastFailure(n, e)` is the highest sequence number led by `n`
+//! that was filled with ⊥, and `n` is "suspected in epoch e" if that failure
+//! happened within epoch `e`.
+
+use iss_types::{EpochNr, LeaderPolicyKind, NodeId, SeqNr};
+use std::collections::HashMap;
+
+/// Per-node failure observations derived from the log.
+#[derive(Clone, Debug, Default)]
+pub struct FailureRecord {
+    /// Highest sequence number led by the node that ended up as ⊥ in the log.
+    pub last_failure: Option<SeqNr>,
+}
+
+/// The leader-selection policy state of one node.
+#[derive(Clone, Debug)]
+pub struct LeaderPolicy {
+    kind: LeaderPolicyKind,
+    all_nodes: Vec<NodeId>,
+    f: usize,
+    /// BACKOFF: remaining ban period per node (in epochs).
+    penalty: HashMap<NodeId, i64>,
+    /// BACKOFF parameters (Algorithm 4).
+    ban_period: i64,
+    decrease: i64,
+    /// Failure observations, updated by the owner from the log.
+    failures: HashMap<NodeId, FailureRecord>,
+}
+
+impl LeaderPolicy {
+    /// Creates a policy of the given kind.
+    pub fn new(
+        kind: LeaderPolicyKind,
+        all_nodes: Vec<NodeId>,
+        f: usize,
+        ban_period: u64,
+        decrease: u64,
+    ) -> Self {
+        LeaderPolicy {
+            kind,
+            all_nodes,
+            f,
+            penalty: HashMap::new(),
+            ban_period: ban_period as i64,
+            decrease: decrease as i64,
+            failures: HashMap::new(),
+        }
+    }
+
+    /// Records that sequence number `sn`, led by `leader`, was committed as ⊥.
+    pub fn record_nil_delivery(&mut self, leader: NodeId, sn: SeqNr) {
+        let entry = self.failures.entry(leader).or_default();
+        entry.last_failure = Some(entry.last_failure.map_or(sn, |prev| prev.max(sn)));
+    }
+
+    /// `lastFailure(n)`: highest ⊥-committed sequence number led by `n`.
+    pub fn last_failure(&self, node: NodeId) -> Option<SeqNr> {
+        self.failures.get(&node).and_then(|r| r.last_failure)
+    }
+
+    /// Must be called exactly once when epoch `e` (spanning
+    /// `epoch_seq_range`) finishes, *before* asking for the next leaderset:
+    /// updates the BACKOFF penalties (Algorithm 4, lines 142-155).
+    pub fn on_epoch_end(&mut self, epoch_seq_range: (SeqNr, SeqNr)) {
+        let (first, last) = epoch_seq_range;
+        for node in self.all_nodes.clone() {
+            let suspected = self
+                .last_failure(node)
+                .map(|sn| sn >= first && sn <= last)
+                .unwrap_or(false);
+            let p = self.penalty.entry(node).or_insert(0);
+            if suspected {
+                if *p > 0 {
+                    *p = *p * 2 - 1;
+                } else {
+                    *p = self.ban_period;
+                }
+            } else if *p > 0 {
+                *p -= self.decrease;
+            }
+        }
+    }
+
+    /// Returns the leaderset for the next epoch.
+    ///
+    /// The returned set is never empty: if a policy would exclude everyone
+    /// (possible with BACKOFF), the epoch is "skipped" by falling back to all
+    /// nodes, as described in Section 3.4.
+    pub fn leaders(&self, _epoch: EpochNr) -> Vec<NodeId> {
+        let leaders = match self.kind {
+            LeaderPolicyKind::Simple => self.all_nodes.clone(),
+            LeaderPolicyKind::Backoff => self
+                .all_nodes
+                .iter()
+                .copied()
+                .filter(|n| self.penalty.get(n).copied().unwrap_or(0) <= 0)
+                .collect(),
+            LeaderPolicyKind::Blacklist => {
+                // Exclude the (up to f) nodes with the highest lastFailure.
+                let mut failed: Vec<(SeqNr, NodeId)> = self
+                    .all_nodes
+                    .iter()
+                    .filter_map(|n| self.last_failure(*n).map(|sn| (sn, *n)))
+                    .collect();
+                failed.sort_by(|a, b| b.cmp(a));
+                let blacklist: Vec<NodeId> =
+                    failed.into_iter().take(self.f).map(|(_, n)| n).collect();
+                self.all_nodes
+                    .iter()
+                    .copied()
+                    .filter(|n| !blacklist.contains(n))
+                    .collect()
+            }
+        };
+        if leaders.is_empty() {
+            self.all_nodes.clone()
+        } else {
+            leaders
+        }
+    }
+
+    /// The policy kind (diagnostics).
+    pub fn kind(&self) -> LeaderPolicyKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn simple_always_selects_everyone() {
+        let mut p = LeaderPolicy::new(LeaderPolicyKind::Simple, nodes(4), 1, 4, 1);
+        p.record_nil_delivery(NodeId(2), 5);
+        p.on_epoch_end((0, 11));
+        assert_eq!(p.leaders(1), nodes(4));
+    }
+
+    #[test]
+    fn blacklist_excludes_at_most_f_recently_failed() {
+        let mut p = LeaderPolicy::new(LeaderPolicyKind::Blacklist, nodes(7), 2, 4, 1);
+        p.record_nil_delivery(NodeId(1), 3);
+        p.record_nil_delivery(NodeId(4), 9);
+        p.record_nil_delivery(NodeId(6), 7);
+        p.on_epoch_end((0, 11));
+        let leaders = p.leaders(1);
+        // f = 2: the two most recent failures (nodes 4 and 6) are excluded,
+        // node 1 (oldest failure) stays.
+        assert!(!leaders.contains(&NodeId(4)));
+        assert!(!leaders.contains(&NodeId(6)));
+        assert!(leaders.contains(&NodeId(1)));
+        assert_eq!(leaders.len(), 5);
+    }
+
+    #[test]
+    fn blacklist_without_failures_selects_everyone() {
+        let p = LeaderPolicy::new(LeaderPolicyKind::Blacklist, nodes(4), 1, 4, 1);
+        assert_eq!(p.leaders(0), nodes(4));
+    }
+
+    #[test]
+    fn backoff_bans_and_reincludes() {
+        let mut p = LeaderPolicy::new(LeaderPolicyKind::Backoff, nodes(4), 1, 2, 1);
+        // Epoch 0: node 3 fails.
+        p.record_nil_delivery(NodeId(3), 4);
+        p.on_epoch_end((0, 11));
+        let l1 = p.leaders(1);
+        assert!(!l1.contains(&NodeId(3)), "banned after failure");
+        // Epochs 1 and 2 without failures: penalty decreases (2 -> 1 -> 0).
+        p.on_epoch_end((12, 23));
+        assert!(!p.leaders(2).contains(&NodeId(3)));
+        p.on_epoch_end((24, 35));
+        assert!(p.leaders(3).contains(&NodeId(3)), "re-included after the ban expires");
+    }
+
+    #[test]
+    fn backoff_ban_doubles_on_repeated_failures() {
+        let mut p = LeaderPolicy::new(LeaderPolicyKind::Backoff, nodes(4), 1, 2, 1);
+        p.record_nil_delivery(NodeId(3), 4);
+        p.on_epoch_end((0, 11)); // penalty = 2
+        p.record_nil_delivery(NodeId(3), 15);
+        p.on_epoch_end((12, 23)); // penalty = 2*2 - 1 = 3
+        assert_eq!(*p.penalty.get(&NodeId(3)).unwrap(), 3);
+    }
+
+    #[test]
+    fn leaderset_is_never_empty() {
+        let mut p = LeaderPolicy::new(LeaderPolicyKind::Backoff, nodes(2), 0, 4, 1);
+        p.record_nil_delivery(NodeId(0), 1);
+        p.record_nil_delivery(NodeId(1), 2);
+        p.on_epoch_end((0, 11));
+        assert_eq!(p.leaders(1), nodes(2), "falls back to all nodes rather than an empty set");
+    }
+
+    #[test]
+    fn last_failure_tracks_maximum() {
+        let mut p = LeaderPolicy::new(LeaderPolicyKind::Blacklist, nodes(4), 1, 4, 1);
+        p.record_nil_delivery(NodeId(1), 7);
+        p.record_nil_delivery(NodeId(1), 3);
+        assert_eq!(p.last_failure(NodeId(1)), Some(7));
+        assert_eq!(p.last_failure(NodeId(2)), None);
+    }
+}

@@ -1,0 +1,296 @@
+//! Request validity, client watermarks and duplication prevention
+//! (Sections 3.7 and 4.2, design principle 3).
+
+use iss_crypto::{request_digest, SignatureRegistry};
+use iss_sb::ProposalValidator;
+use iss_types::{Batch, BucketId, ClientId, Error, ReqTimestamp, Request, RequestId, Result, SeqNr};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Tracks which request timestamps of one client have been delivered, as a
+/// low watermark plus a sparse set of out-of-order deliveries, so memory stays
+/// proportional to the watermark window rather than to the execution length.
+#[derive(Clone, Debug, Default)]
+struct ClientDelivered {
+    /// All timestamps `< low` have been delivered.
+    low: ReqTimestamp,
+    /// Delivered timestamps `>= low`.
+    sparse: HashSet<ReqTimestamp>,
+}
+
+impl ClientDelivered {
+    fn mark(&mut self, t: ReqTimestamp) {
+        if t < self.low {
+            return;
+        }
+        self.sparse.insert(t);
+        while self.sparse.remove(&self.low) {
+            self.low += 1;
+        }
+    }
+
+    fn contains(&self, t: ReqTimestamp) -> bool {
+        t < self.low || self.sparse.contains(&t)
+    }
+}
+
+/// The ISS-level validation state of one node. Implements the
+/// [`ProposalValidator`] hook handed to the ordering protocols.
+pub struct RequestValidation {
+    registry: Arc<SignatureRegistry>,
+    /// Whether client signatures are required (Table 1: disabled for Raft).
+    verify_signatures: bool,
+    num_buckets: usize,
+    /// Client watermark window size.
+    watermark_window: u64,
+    /// Low watermark per client (advanced at epoch transitions).
+    low_watermark: HashMap<ClientId, ReqTimestamp>,
+    /// Delivered requests per client.
+    delivered: HashMap<ClientId, ClientDelivered>,
+    /// Requests accepted into proposals during the current epoch
+    /// (prevents duplication across segments of the same epoch).
+    proposed_this_epoch: HashSet<RequestId>,
+    /// The buckets every sequence number of the current epoch may draw from
+    /// (set by the manager at epoch initialization).
+    buckets_of_seq_nr: HashMap<SeqNr, Vec<BucketId>>,
+}
+
+impl RequestValidation {
+    /// Creates the validation state.
+    pub fn new(
+        registry: Arc<SignatureRegistry>,
+        verify_signatures: bool,
+        num_buckets: usize,
+        watermark_window: u64,
+    ) -> Self {
+        RequestValidation {
+            registry,
+            verify_signatures,
+            num_buckets,
+            watermark_window,
+            low_watermark: HashMap::new(),
+            delivered: HashMap::new(),
+            proposed_this_epoch: HashSet::new(),
+            buckets_of_seq_nr: HashMap::new(),
+        }
+    }
+
+    /// Validates a single client request on reception (Section 3.7): known
+    /// client, valid signature, within the watermark window.
+    pub fn validate_request(&self, req: &Request) -> Result<()> {
+        if self.verify_signatures {
+            if !self.registry.knows(iss_crypto::sign::Identity::Client(req.id.client)) {
+                return Err(Error::Unknown(format!("unknown client {:?}", req.id.client)));
+            }
+            let digest = request_digest(req);
+            self.registry.verify_client(req.id.client, &digest, &req.signature)?;
+        }
+        let low = self.low_watermark.get(&req.id.client).copied().unwrap_or(0);
+        if req.id.timestamp < low || req.id.timestamp >= low + self.watermark_window {
+            return Err(Error::LimitExceeded(format!(
+                "request timestamp {} outside watermark window [{low}, {})",
+                req.id.timestamp,
+                low + self.watermark_window
+            )));
+        }
+        if self.is_delivered(&req.id) {
+            return Err(Error::invalid("request already delivered"));
+        }
+        Ok(())
+    }
+
+    /// Whether the request was already delivered.
+    pub fn is_delivered(&self, id: &RequestId) -> bool {
+        self.delivered.get(&id.client).map(|d| d.contains(id.timestamp)).unwrap_or(false)
+    }
+
+    /// Records the delivery of a request (prevents duplication across
+    /// epochs).
+    pub fn mark_delivered(&mut self, id: &RequestId) {
+        self.delivered.entry(id.client).or_default().mark(id.timestamp);
+    }
+
+    /// Records that a request was included in an accepted proposal of the
+    /// current epoch (prevents duplication across segments within the epoch).
+    pub fn mark_proposed(&mut self, id: RequestId) {
+        self.proposed_this_epoch.insert(id);
+    }
+
+    /// Epoch transition: clears the per-epoch proposal record, installs the
+    /// bucket restriction for the new epoch's sequence numbers and advances
+    /// client watermarks to just above the last delivered contiguous
+    /// timestamp (Section 3.7: "ISS advances all clients' watermark windows
+    /// at the end of each epoch").
+    pub fn on_epoch_start(&mut self, buckets_of_seq_nr: HashMap<SeqNr, Vec<BucketId>>) {
+        self.proposed_this_epoch.clear();
+        self.buckets_of_seq_nr = buckets_of_seq_nr;
+        for (client, delivered) in &self.delivered {
+            self.low_watermark.insert(*client, delivered.low);
+        }
+    }
+
+    /// The number of requests recorded as proposed in the current epoch
+    /// (diagnostics).
+    pub fn proposed_in_epoch(&self) -> usize {
+        self.proposed_this_epoch.len()
+    }
+}
+
+impl ProposalValidator for RequestValidation {
+    fn validate_proposal(&mut self, seq_nr: SeqNr, batch: &Batch) -> Result<()> {
+        let allowed = self.buckets_of_seq_nr.get(&seq_nr);
+        let mut seen_in_batch = HashSet::new();
+        for req in &batch.requests {
+            // (a) request validity.
+            self.validate_request(req)?;
+            // (c) bucket membership.
+            if let Some(allowed) = allowed {
+                let bucket = req.bucket(self.num_buckets);
+                if !allowed.contains(&bucket) {
+                    return Err(Error::invalid(format!(
+                        "request {:?} maps to bucket {bucket:?} not assigned to sequence number {seq_nr}",
+                        req.id
+                    )));
+                }
+            }
+            // (b) no duplication: within the batch, within the epoch, across
+            // epochs (delivered requests are rejected by validate_request).
+            if !seen_in_batch.insert(req.id) {
+                return Err(Error::invalid("duplicate request within batch"));
+            }
+            if self.proposed_this_epoch.contains(&req.id) {
+                return Err(Error::invalid(format!(
+                    "request {:?} already proposed in this epoch",
+                    req.id
+                )));
+            }
+        }
+        // Record acceptance so a second proposal with the same requests (in a
+        // different segment of the same epoch) is rejected.
+        for req in &batch.requests {
+            self.proposed_this_epoch.insert(req.id);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_crypto::KeyPair;
+    use iss_types::ClientId;
+
+    fn registry(clients: usize) -> Arc<SignatureRegistry> {
+        Arc::new(SignatureRegistry::with_processes(4, clients))
+    }
+
+    fn signed_request(c: u32, t: u64) -> Request {
+        let req = Request::new(ClientId(c), t, vec![0u8; 64]);
+        let digest = request_digest(&req);
+        let sig = KeyPair::for_client(ClientId(c)).sign(&digest).0;
+        req.with_signature(sig)
+    }
+
+    fn validation(verify: bool) -> RequestValidation {
+        RequestValidation::new(registry(4), verify, 16, 128)
+    }
+
+    #[test]
+    fn valid_signed_request_accepted() {
+        let v = validation(true);
+        assert!(v.validate_request(&signed_request(1, 5)).is_ok());
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        let v = validation(true);
+        let mut req = signed_request(1, 5);
+        req.signature[3] ^= 0xff;
+        assert!(v.validate_request(&req).is_err());
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let v = validation(true);
+        let req = signed_request(99, 0);
+        assert!(v.validate_request(&req).is_err());
+    }
+
+    #[test]
+    fn unsigned_requests_allowed_when_signatures_disabled() {
+        let v = validation(false);
+        let req = Request::synthetic(ClientId(77), 3, 500);
+        assert!(v.validate_request(&req).is_ok());
+    }
+
+    #[test]
+    fn watermark_window_enforced() {
+        let mut v = validation(false);
+        assert!(v.validate_request(&Request::synthetic(ClientId(0), 127, 1)).is_ok());
+        assert!(v.validate_request(&Request::synthetic(ClientId(0), 128, 1)).is_err());
+        // Deliver a prefix, start a new epoch: the window slides.
+        for t in 0..100u64 {
+            v.mark_delivered(&RequestId::new(ClientId(0), t));
+        }
+        v.on_epoch_start(HashMap::new());
+        assert!(v.validate_request(&Request::synthetic(ClientId(0), 200, 1)).is_ok());
+        assert!(v.validate_request(&Request::synthetic(ClientId(0), 50, 1)).is_err(), "below low watermark");
+    }
+
+    #[test]
+    fn delivered_requests_rejected_and_tracked_compactly() {
+        let mut v = validation(false);
+        let id = RequestId::new(ClientId(1), 0);
+        assert!(!v.is_delivered(&id));
+        v.mark_delivered(&id);
+        assert!(v.is_delivered(&id));
+        assert!(v.validate_request(&Request::synthetic(ClientId(1), 0, 1)).is_err());
+        // Out-of-order delivery collapses into the low watermark.
+        v.mark_delivered(&RequestId::new(ClientId(1), 2));
+        v.mark_delivered(&RequestId::new(ClientId(1), 1));
+        assert!(v.is_delivered(&RequestId::new(ClientId(1), 2)));
+        assert!(!v.is_delivered(&RequestId::new(ClientId(1), 3)));
+    }
+
+    #[test]
+    fn proposal_validation_checks_buckets_and_duplicates() {
+        let mut v = validation(false);
+        let req = Request::synthetic(ClientId(1), 1, 100);
+        let bucket = req.bucket(16);
+        let mut map = HashMap::new();
+        map.insert(0u64, vec![bucket]);
+        map.insert(1u64, vec![BucketId((bucket.0 + 1) % 16)]);
+        v.on_epoch_start(map);
+
+        // Accepted for the segment owning the request's bucket.
+        assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_ok());
+        // Re-proposing the same request in the same epoch is rejected.
+        assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_err());
+        // A different request mapping to the wrong bucket is rejected.
+        let other = Request::synthetic(ClientId(2), 9, 100);
+        if other.bucket(16) != BucketId((bucket.0 + 1) % 16) {
+            assert!(v.validate_proposal(1, &Batch::new(vec![other])).is_err());
+        }
+    }
+
+    #[test]
+    fn duplicate_within_batch_rejected() {
+        let mut v = validation(false);
+        let req = Request::synthetic(ClientId(1), 1, 100);
+        let batch = Batch::new(vec![req.clone(), req]);
+        assert!(v.validate_proposal(0, &batch).is_err());
+    }
+
+    #[test]
+    fn epoch_start_clears_per_epoch_state() {
+        let mut v = validation(false);
+        let req = Request::synthetic(ClientId(1), 1, 100);
+        assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_ok());
+        assert_eq!(v.proposed_in_epoch(), 1);
+        v.on_epoch_start(HashMap::new());
+        assert_eq!(v.proposed_in_epoch(), 0);
+        // The same request can be proposed again in a later epoch as long as
+        // it has not been delivered.
+        assert!(v.validate_proposal(10, &Batch::new(vec![req])).is_ok());
+    }
+}

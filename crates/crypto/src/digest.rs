@@ -1,0 +1,78 @@
+//! Digests of requests and batches.
+//!
+//! The ISS checkpoint protocol (Section 3.5) uses the Merkle-tree root of the
+//! digests of all batches of an epoch; the ordering protocols exchange batch
+//! digests instead of full batches wherever possible.
+
+use crate::sha256::Sha256;
+use iss_types::{Batch, Request};
+
+/// A 32-byte SHA-256 digest.
+pub type Digest = [u8; 32];
+
+/// The digest of the empty / nil batch (⊥).
+pub const NIL_DIGEST: Digest = [0u8; 32];
+
+/// Computes the digest of a single request.
+///
+/// The digest covers the identifier and the payload (or, for synthetic
+/// simulation requests, the declared payload size), matching the signed
+/// content described in Section 3.7.
+pub fn request_digest(req: &Request) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&req.id.client.0.to_le_bytes());
+    h.update(&req.id.timestamp.to_le_bytes());
+    h.update(&req.payload_size.to_le_bytes());
+    h.update(&req.payload);
+    h.finalize()
+}
+
+/// Computes the digest of a batch as the hash of its request digests.
+pub fn batch_digest(batch: &Batch) -> Digest {
+    let mut h = Sha256::new();
+    h.update(&(batch.requests.len() as u64).to_le_bytes());
+    for req in &batch.requests {
+        h.update(&request_digest(req));
+    }
+    h.finalize()
+}
+
+/// Computes the digest of an optional batch, mapping ⊥ to [`NIL_DIGEST`].
+pub fn maybe_batch_digest(batch: &Option<Batch>) -> Digest {
+    match batch {
+        Some(b) => batch_digest(b),
+        None => NIL_DIGEST,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::ClientId;
+
+    #[test]
+    fn request_digest_depends_on_id_and_payload() {
+        let a = Request::new(ClientId(1), 1, vec![1, 2, 3]);
+        let b = Request::new(ClientId(1), 2, vec![1, 2, 3]);
+        let c = Request::new(ClientId(1), 1, vec![1, 2, 4]);
+        assert_ne!(request_digest(&a), request_digest(&b));
+        assert_ne!(request_digest(&a), request_digest(&c));
+        assert_eq!(request_digest(&a), request_digest(&a.clone()));
+    }
+
+    #[test]
+    fn batch_digest_depends_on_order_and_content() {
+        let r1 = Request::new(ClientId(1), 1, vec![1]);
+        let r2 = Request::new(ClientId(2), 1, vec![2]);
+        let b12 = Batch::new(vec![r1.clone(), r2.clone()]);
+        let b21 = Batch::new(vec![r2, r1]);
+        assert_ne!(batch_digest(&b12), batch_digest(&b21));
+        assert_ne!(batch_digest(&b12), batch_digest(&Batch::empty()));
+    }
+
+    #[test]
+    fn nil_batch_digest_is_distinct() {
+        assert_eq!(maybe_batch_digest(&None), NIL_DIGEST);
+        assert_ne!(maybe_batch_digest(&Some(Batch::empty())), NIL_DIGEST);
+    }
+}

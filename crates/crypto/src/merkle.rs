@@ -1,0 +1,188 @@
+//! Merkle trees over batch digests.
+//!
+//! The ISS checkpoint message contains "the Merkle tree root of the digests
+//! of all the batches in the log with sequence numbers in Sn(e)"
+//! (Section 3.5). The tree also supports inclusion proofs, used by the state
+//! transfer path to let a lagging node verify fetched log entries against a
+//! stable checkpoint.
+
+use crate::digest::Digest;
+use crate::sha256::Sha256;
+
+/// Domain-separation prefixes to prevent leaf/interior second-preimage
+/// confusion.
+const LEAF_PREFIX: &[u8] = &[0x00];
+const NODE_PREFIX: &[u8] = &[0x01];
+
+/// A Merkle tree built over a list of 32-byte leaves.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] is the (padded) leaf level, last level has exactly one node.
+    levels: Vec<Vec<Digest>>,
+    num_leaves: usize,
+}
+
+/// An inclusion proof for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling digests from leaf level to the root.
+    pub siblings: Vec<Digest>,
+}
+
+fn hash_leaf(leaf: &Digest) -> Digest {
+    Sha256::digest_parts(&[LEAF_PREFIX, leaf])
+}
+
+fn hash_node(left: &Digest, right: &Digest) -> Digest {
+    Sha256::digest_parts(&[NODE_PREFIX, left, right])
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf digests. An empty input produces a tree whose
+    /// root is the hash of an empty leaf, so every log prefix has a defined
+    /// root.
+    pub fn build(leaves: &[Digest]) -> Self {
+        let num_leaves = leaves.len();
+        let mut level: Vec<Digest> = if leaves.is_empty() {
+            vec![hash_leaf(&[0u8; 32])]
+        } else {
+            leaves.iter().map(hash_leaf).collect()
+        };
+        let mut levels = vec![level.clone()];
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(hash_node(&pair[0], right));
+            }
+            levels.push(next.clone());
+            level = next;
+        }
+        MerkleTree { levels, num_leaves }
+    }
+
+    /// Returns the root digest.
+    pub fn root(&self) -> Digest {
+        *self
+            .levels
+            .last()
+            .and_then(|l| l.first())
+            .expect("tree always has a root")
+    }
+
+    /// Number of (unpadded) leaves the tree was built from.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Produces an inclusion proof for the leaf at `index`.
+    ///
+    /// Returns `None` if `index` is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.num_leaves.max(1) {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = level.get(sibling_idx).copied().unwrap_or(level[idx]);
+            siblings.push(sibling);
+            idx /= 2;
+        }
+        Some(MerkleProof { index, siblings })
+    }
+
+    /// Verifies an inclusion proof for `leaf` against `root`.
+    pub fn verify(root: &Digest, leaf: &Digest, proof: &MerkleProof) -> bool {
+        let mut current = hash_leaf(leaf);
+        let mut idx = proof.index;
+        for sibling in &proof.siblings {
+            current = if idx % 2 == 0 {
+                hash_node(&current, sibling)
+            } else {
+                hash_node(sibling, &current)
+            };
+            idx /= 2;
+        }
+        current == *root
+    }
+}
+
+/// Convenience: the Merkle root over a slice of leaf digests.
+pub fn merkle_root(leaves: &[Digest]) -> Digest {
+    MerkleTree::build(leaves).root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n)
+            .map(|i| Sha256::digest(&(i as u64).to_le_bytes()))
+            .collect()
+    }
+
+    #[test]
+    fn root_is_deterministic_and_content_sensitive() {
+        let a = merkle_root(&leaves(8));
+        let b = merkle_root(&leaves(8));
+        assert_eq!(a, b);
+        let mut mutated = leaves(8);
+        mutated[3][0] ^= 0xff;
+        assert_ne!(a, merkle_root(&mutated));
+        assert_ne!(merkle_root(&leaves(7)), merkle_root(&leaves(8)));
+    }
+
+    #[test]
+    fn empty_and_single_leaf_trees() {
+        let empty = MerkleTree::build(&[]);
+        let single = MerkleTree::build(&leaves(1));
+        assert_ne!(empty.root(), single.root());
+        assert_eq!(empty.num_leaves(), 0);
+        assert_eq!(single.num_leaves(), 1);
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves_and_sizes() {
+        for n in 1..=17 {
+            let ls = leaves(n);
+            let tree = MerkleTree::build(&ls);
+            let root = tree.root();
+            for (i, leaf) in ls.iter().enumerate() {
+                let proof = tree.prove(i).expect("in range");
+                assert!(MerkleTree::verify(&root, leaf, &proof), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf_or_index() {
+        let ls = leaves(8);
+        let tree = MerkleTree::build(&ls);
+        let root = tree.root();
+        let proof = tree.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&root, &ls[4], &proof));
+        let mut wrong_index = proof.clone();
+        wrong_index.index = 4;
+        assert!(!MerkleTree::verify(&root, &ls[3], &wrong_index));
+    }
+
+    #[test]
+    fn proof_out_of_range_is_none() {
+        let tree = MerkleTree::build(&leaves(4));
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn odd_sized_trees_duplicate_last_node() {
+        // Regression test: odd level sizes must still produce verifiable proofs.
+        let ls = leaves(5);
+        let tree = MerkleTree::build(&ls);
+        let proof = tree.prove(4).unwrap();
+        assert!(MerkleTree::verify(&tree.root(), &ls[4], &proof));
+    }
+}

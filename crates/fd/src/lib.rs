@@ -1,0 +1,233 @@
+//! Eventually strong Byzantine failure detector ◇S(bz) (Malkhi & Reiter),
+//! implemented with heartbeats and adaptive timeouts as outlined in
+//! Section 5.1.3 of the paper.
+//!
+//! The detector is transport-agnostic: the owner feeds it heartbeat arrivals
+//! and clock ticks and reads back suspect/restore transitions. In the full
+//! system the production protocols (PBFT, HotStuff, Raft) extract the
+//! failure-detector functionality from their own timeouts (Section 4.2.4);
+//! this module is used by the reference SB implementation and by tests that
+//! exercise the abstract ◇S(bz) properties.
+
+use iss_types::{Duration, NodeId, Time};
+use std::collections::{HashMap, HashSet};
+
+/// A suspicion state transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FdEvent {
+    /// `node` was added to the suspect list.
+    Suspect(NodeId),
+    /// `node` was removed from the suspect list.
+    Restore(NodeId),
+}
+
+/// Configuration of the failure detector.
+#[derive(Clone, Copy, Debug)]
+pub struct FdConfig {
+    /// Interval at which each node emits heartbeats.
+    pub heartbeat_interval: Duration,
+    /// Initial timeout before a silent node is suspected.
+    pub initial_timeout: Duration,
+    /// Upper bound on the adaptive timeout (keeps doubling bounded).
+    pub max_timeout: Duration,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        FdConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            initial_timeout: Duration::from_secs(2),
+            max_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Heartbeat-and-timeout ◇S(bz) failure detector for one observing node.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    config: FdConfig,
+    /// Nodes being monitored.
+    monitored: Vec<NodeId>,
+    /// Current per-node timeout (doubles on each suspicion — this is what
+    /// yields eventual weak accuracy after GST).
+    timeout: HashMap<NodeId, Duration>,
+    /// Deadline by which the next heartbeat of each node must arrive.
+    deadline: HashMap<NodeId, Time>,
+    suspected: HashSet<NodeId>,
+}
+
+impl FailureDetector {
+    /// Creates a detector monitoring `monitored`, starting at time `now`.
+    pub fn new(config: FdConfig, monitored: Vec<NodeId>, now: Time) -> Self {
+        let timeout: HashMap<_, _> = monitored
+            .iter()
+            .map(|n| (*n, config.initial_timeout))
+            .collect();
+        let deadline: HashMap<_, _> = monitored
+            .iter()
+            .map(|n| (*n, now + config.initial_timeout))
+            .collect();
+        FailureDetector { config, monitored, timeout, deadline, suspected: HashSet::new() }
+    }
+
+    /// The configured heartbeat interval (callers arm their own send timer).
+    pub fn heartbeat_interval(&self) -> Duration {
+        self.config.heartbeat_interval
+    }
+
+    /// Current suspect list (`D.suspected` in the paper).
+    pub fn suspected(&self) -> Vec<NodeId> {
+        let mut v: Vec<_> = self.suspected.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether `node` is currently suspected.
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.suspected.contains(&node)
+    }
+
+    /// Records a heartbeat (or any message — "not quiet") from `from` at
+    /// `now`. Returns `Some(Restore)` if the node was suspected.
+    pub fn on_heartbeat(&mut self, from: NodeId, now: Time) -> Option<FdEvent> {
+        if !self.monitored.contains(&from) {
+            return None;
+        }
+        let timeout = *self.timeout.get(&from).unwrap_or(&self.config.initial_timeout);
+        self.deadline.insert(from, now + timeout);
+        if self.suspected.remove(&from) {
+            Some(FdEvent::Restore(from))
+        } else {
+            None
+        }
+    }
+
+    /// Advances the clock to `now`, suspecting every monitored node whose
+    /// deadline has passed. Returns the transitions that occurred.
+    pub fn on_tick(&mut self, now: Time) -> Vec<FdEvent> {
+        let mut events = Vec::new();
+        for node in self.monitored.clone() {
+            let deadline = *self.deadline.get(&node).unwrap_or(&Time::ZERO);
+            if now >= deadline && !self.suspected.contains(&node) {
+                self.suspected.insert(node);
+                // Double the timeout so that, after GST, correct nodes stop
+                // being suspected (eventual weak accuracy).
+                let t = self.timeout.entry(node).or_insert(self.config.initial_timeout);
+                *t = Duration::from_micros(
+                    (t.as_micros() * 2).min(self.config.max_timeout.as_micros()),
+                );
+                self.deadline.insert(node, now + *t);
+                events.push(FdEvent::Suspect(node));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(nodes: u32) -> FailureDetector {
+        FailureDetector::new(
+            FdConfig::default(),
+            (0..nodes).map(NodeId).collect(),
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn quiet_node_is_eventually_suspected() {
+        let mut d = fd(4);
+        // Nodes 0..3 heartbeat, node 3 stays quiet.
+        for t in 1..10u64 {
+            let now = Time::from_millis(500 * t);
+            for n in 0..3 {
+                d.on_heartbeat(NodeId(n), now);
+            }
+            d.on_tick(now);
+        }
+        assert!(d.is_suspected(NodeId(3)), "strong completeness");
+        assert!(!d.is_suspected(NodeId(0)));
+        assert_eq!(d.suspected(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn heartbeat_restores_suspected_node() {
+        let mut d = fd(2);
+        let events = d.on_tick(Time::from_secs(5));
+        assert!(events.contains(&FdEvent::Suspect(NodeId(1))));
+        let restore = d.on_heartbeat(NodeId(1), Time::from_secs(6));
+        assert_eq!(restore, Some(FdEvent::Restore(NodeId(1))));
+        assert!(!d.is_suspected(NodeId(1)));
+    }
+
+    #[test]
+    fn timeout_doubles_after_each_suspicion() {
+        let mut d = fd(1);
+        // First suspicion at t=2s (initial timeout).
+        assert_eq!(d.on_tick(Time::from_secs(2)).len(), 1);
+        d.on_heartbeat(NodeId(0), Time::from_secs(3));
+        // After restore, the timeout is 4s: a tick at +3.9s must not suspect.
+        assert!(d.on_tick(Time::from_secs(3) + Duration::from_millis(3_900)).is_empty());
+        assert_eq!(d.on_tick(Time::from_secs(8)).len(), 1);
+    }
+
+    #[test]
+    fn timeout_doubling_is_bounded() {
+        let cfg = FdConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            initial_timeout: Duration::from_secs(2),
+            max_timeout: Duration::from_secs(4),
+        };
+        let mut d = FailureDetector::new(cfg, vec![NodeId(0)], Time::ZERO);
+        let mut now = Time::ZERO;
+        for _ in 0..10 {
+            now = now + Duration::from_secs(100);
+            d.on_tick(now);
+            d.on_heartbeat(NodeId(0), now);
+        }
+        assert_eq!(*d.timeout.get(&NodeId(0)).unwrap(), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn eventual_weak_accuracy_after_gst() {
+        // Before GST heartbeats are delayed by 3 s (> initial timeout); after
+        // GST they arrive every 500 ms. The node is suspected before GST but
+        // the doubled timeout eventually exceeds the delay and the suspicion
+        // never recurs.
+        let mut d = fd(1);
+        let mut now = Time::ZERO;
+        // Pre-GST: heartbeats every 3 s for 30 s.
+        let mut suspected_pre = 0;
+        while now < Time::from_secs(30) {
+            now = now + Duration::from_secs(3);
+            suspected_pre += d.on_tick(now).len();
+            d.on_heartbeat(NodeId(0), now);
+        }
+        assert!(suspected_pre > 0);
+        // Post-GST: heartbeats every 500 ms for 60 s; no new suspicion.
+        let mut suspected_post = 0;
+        while now < Time::from_secs(90) {
+            now = now + Duration::from_millis(500);
+            suspected_post += d.on_tick(now).len();
+            d.on_heartbeat(NodeId(0), now);
+        }
+        assert_eq!(suspected_post, 0, "eventual weak accuracy");
+        assert!(!d.is_suspected(NodeId(0)));
+    }
+
+    #[test]
+    fn unknown_nodes_are_ignored() {
+        let mut d = fd(2);
+        assert_eq!(d.on_heartbeat(NodeId(9), Time::from_secs(1)), None);
+        assert!(!d.is_suspected(NodeId(9)));
+    }
+
+    #[test]
+    fn suspecting_is_idempotent_per_deadline() {
+        let mut d = fd(1);
+        assert_eq!(d.on_tick(Time::from_secs(5)).len(), 1);
+        assert_eq!(d.on_tick(Time::from_secs(5)).len(), 0, "no duplicate suspicion");
+    }
+}

@@ -1,0 +1,20 @@
+//! Chained HotStuff (Yin et al.) implemented as a Sequenced Broadcast
+//! instance (Section 4.2.2 of the paper).
+//!
+//! Within ISS every segment sequence number corresponds to one HotStuff view,
+//! all views of a segment are led by the segment leader, and the segment is
+//! extended by three *dummy* views whose empty blocks flush the chained
+//! commit pipeline (Figure 4 of the paper): a block is decided once it is
+//! followed by a three-chain of certified blocks in consecutive views.
+//! Quorum certificates are (2f+1)-of-n threshold signatures
+//! (`iss_crypto::threshold`).
+//!
+//! The pacemaker is the ISS epoch-change timeout: if no progress is made for
+//! too long, a node advances its leader round, suspects the current leader
+//! and the next leader drives the remaining views proposing the nil value ⊥,
+//! as required for HotStuff to implement SB (a replacement leader never
+//! introduces new non-⊥ values).
+
+pub mod instance;
+
+pub use instance::{HotStuffConfig, HotStuffInstance, DUMMY_VIEWS};

@@ -1,0 +1,119 @@
+//! ISS checkpointing and state-transfer messages (Section 3.5).
+
+use crate::{DIGEST_WIRE, HEADER_WIRE, SIG_WIRE};
+use iss_types::{Batch, EpochNr, SeqNr};
+
+/// Digest type alias (32 bytes).
+pub type Digest = [u8; 32];
+
+/// A log entry shipped during state transfer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry {
+    /// Sequence number of the entry.
+    pub seq_nr: SeqNr,
+    /// The committed batch (`None` = ⊥).
+    pub batch: Option<Batch>,
+}
+
+impl LogEntry {
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        9 + self.batch.as_ref().map(Batch::wire_size).unwrap_or(1)
+    }
+}
+
+/// ISS-level control messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IssMsg {
+    /// Signed checkpoint: "I have committed every sequence number of epoch
+    /// `epoch` (up to `max_seq_nr`) and the Merkle root of the epoch's batch
+    /// digests is `root`."
+    Checkpoint {
+        /// Epoch the checkpoint covers.
+        epoch: EpochNr,
+        /// `max(Sn(e))`.
+        max_seq_nr: SeqNr,
+        /// Merkle root over the digests of the epoch's batches.
+        root: Digest,
+        /// Signature by the sending node.
+        signature: Vec<u8>,
+    },
+    /// Request for missing log entries, sent by a node that has fallen
+    /// behind.
+    StateRequest {
+        /// First sequence number the requester is missing.
+        from_seq_nr: SeqNr,
+        /// First sequence number the requester does not need (exclusive end).
+        to_seq_nr: SeqNr,
+    },
+    /// State-transfer response: the requested entries plus the stable
+    /// checkpoint (2f+1 checkpoint signatures) proving their integrity.
+    StateResponse {
+        /// Epoch of the attached stable checkpoint.
+        epoch: EpochNr,
+        /// The transferred log entries.
+        entries: Vec<LogEntry>,
+        /// Merkle root of the covering stable checkpoint.
+        root: Digest,
+        /// The 2f+1 signatures forming the stable checkpoint π(e).
+        proof: Vec<Vec<u8>>,
+    },
+}
+
+impl IssMsg {
+    /// Approximate size of the message on the wire.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            IssMsg::Checkpoint { .. } => HEADER_WIRE + 16 + DIGEST_WIRE + SIG_WIRE,
+            IssMsg::StateRequest { .. } => HEADER_WIRE + 16,
+            IssMsg::StateResponse { entries, proof, .. } => {
+                HEADER_WIRE
+                    + DIGEST_WIRE
+                    + entries.iter().map(LogEntry::wire_size).sum::<usize>()
+                    + proof.len() * SIG_WIRE
+            }
+        }
+    }
+
+    /// Number of client requests the message carries.
+    pub fn num_requests(&self) -> usize {
+        match self {
+            IssMsg::StateResponse { entries, .. } => entries
+                .iter()
+                .map(|e| e.batch.as_ref().map(Batch::len).unwrap_or(0))
+                .sum(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::{ClientId, Request};
+
+    #[test]
+    fn checkpoint_is_constant_size() {
+        let m = IssMsg::Checkpoint { epoch: 3, max_seq_nr: 1023, root: [0; 32], signature: vec![0; 64] };
+        assert!(m.wire_size() < 200);
+        assert_eq!(m.num_requests(), 0);
+    }
+
+    #[test]
+    fn state_response_scales_with_entries() {
+        let entries: Vec<LogEntry> = (0..4)
+            .map(|i| LogEntry {
+                seq_nr: i,
+                batch: Some(Batch::new(vec![Request::synthetic(ClientId(0), i, 500); 8])),
+            })
+            .collect();
+        let m = IssMsg::StateResponse { epoch: 0, entries, root: [0; 32], proof: vec![vec![0; 64]; 3] };
+        assert!(m.wire_size() > 4 * 8 * 500);
+        assert_eq!(m.num_requests(), 32);
+    }
+
+    #[test]
+    fn state_request_small() {
+        assert!(IssMsg::StateRequest { from_seq_nr: 0, to_seq_nr: 255 }.wire_size() < 64);
+    }
+}

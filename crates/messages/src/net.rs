@@ -1,0 +1,144 @@
+//! Top-level message enums: [`SbMsg`] (all ordering-protocol messages) and
+//! [`NetMsg`] (everything that travels between processes).
+
+use crate::client::ClientMsg;
+use crate::hotstuff::HotStuffMsg;
+use crate::isscp::IssMsg;
+use crate::mir::MirMsg;
+use crate::pbft::PbftMsg;
+use crate::raft::RaftMsg;
+use crate::refsb::RefSbMsg;
+use iss_types::{InstanceId, Payload};
+
+/// A message of one of the ordering protocols usable as an SB implementation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SbMsg {
+    /// PBFT message.
+    Pbft(PbftMsg),
+    /// HotStuff message.
+    HotStuff(HotStuffMsg),
+    /// Raft message.
+    Raft(RaftMsg),
+    /// Reference BRB + consensus implementation (Algorithm 5).
+    Reference(RefSbMsg),
+}
+
+impl SbMsg {
+    /// Approximate size of the message on the wire.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SbMsg::Pbft(m) => m.wire_size(),
+            SbMsg::HotStuff(m) => m.wire_size(),
+            SbMsg::Raft(m) => m.wire_size(),
+            SbMsg::Reference(m) => m.wire_size(),
+        }
+    }
+
+    /// Number of client requests the message carries.
+    pub fn num_requests(&self) -> usize {
+        match self {
+            SbMsg::Pbft(m) => m.num_requests(),
+            SbMsg::HotStuff(m) => m.num_requests(),
+            SbMsg::Raft(m) => m.num_requests(),
+            SbMsg::Reference(m) => m.num_requests(),
+        }
+    }
+}
+
+/// Everything that travels between participants.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetMsg {
+    /// Client ↔ node traffic.
+    Client(ClientMsg),
+    /// An ordering-protocol message belonging to the SB instance `instance`.
+    Sb {
+        /// The SB instance (segment) the message belongs to.
+        instance: InstanceId,
+        /// The protocol message.
+        msg: SbMsg,
+    },
+    /// An ordering-protocol message of a single-leader baseline deployment
+    /// (no ISS multiplexing, one unbounded instance).
+    Baseline(SbMsg),
+    /// ISS checkpointing / state transfer.
+    Iss(IssMsg),
+    /// Mir-BFT baseline traffic.
+    Mir(MirMsg),
+}
+
+impl Payload for NetMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            NetMsg::Client(m) => m.wire_size(),
+            NetMsg::Sb { msg, .. } => 12 + msg.wire_size(),
+            NetMsg::Baseline(m) => m.wire_size(),
+            NetMsg::Iss(m) => m.wire_size(),
+            NetMsg::Mir(m) => m.wire_size(),
+        }
+    }
+
+    fn num_requests(&self) -> usize {
+        match self {
+            NetMsg::Client(m) => m.num_requests(),
+            NetMsg::Sb { msg, .. } => msg.num_requests(),
+            NetMsg::Baseline(m) => m.num_requests(),
+            NetMsg::Iss(m) => m.num_requests(),
+            NetMsg::Mir(m) => m.num_requests(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::{Batch, ClientId, Request};
+
+    fn preprepare(reqs: usize) -> PbftMsg {
+        PbftMsg::PrePrepare {
+            view: 0,
+            seq_nr: 0,
+            batch: Some(Batch::new(vec![Request::synthetic(ClientId(0), 0, 500); reqs])),
+            digest: [0; 32],
+        }
+    }
+
+    #[test]
+    fn sb_wrapper_adds_instance_overhead() {
+        let inner = SbMsg::Pbft(preprepare(4));
+        let wrapped = NetMsg::Sb { instance: InstanceId::new(0, 1), msg: inner.clone() };
+        assert_eq!(wrapped.wire_size(), 12 + inner.wire_size());
+        assert_eq!(wrapped.num_requests(), 4);
+    }
+
+    #[test]
+    fn all_variants_report_sizes() {
+        let msgs = vec![
+            NetMsg::Client(ClientMsg::Request(Request::synthetic(ClientId(0), 0, 500))),
+            NetMsg::Baseline(SbMsg::Raft(RaftMsg::VoteResponse { term: 0, granted: true })),
+            NetMsg::Iss(IssMsg::StateRequest { from_seq_nr: 0, to_seq_nr: 1 }),
+            NetMsg::Mir(MirMsg::NewEpoch { epoch: 0, config_digest: [0; 32] }),
+            NetMsg::Sb {
+                instance: InstanceId::new(0, 0),
+                msg: SbMsg::HotStuff(HotStuffMsg::NewView {
+                    view: 0,
+                    high_qc: crate::hotstuff::QuorumCert::genesis(),
+                }),
+            },
+            NetMsg::Sb {
+                instance: InstanceId::new(0, 0),
+                msg: SbMsg::Reference(RefSbMsg::Heartbeat),
+            },
+        ];
+        for m in msgs {
+            assert!(m.wire_size() > 0);
+        }
+    }
+
+    #[test]
+    fn num_requests_routed_through() {
+        let m = NetMsg::Baseline(SbMsg::Pbft(preprepare(7)));
+        assert_eq!(m.num_requests(), 7);
+        let m = NetMsg::Client(ClientMsg::Request(Request::synthetic(ClientId(0), 0, 500)));
+        assert_eq!(m.num_requests(), 1);
+    }
+}

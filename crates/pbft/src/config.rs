@@ -1,0 +1,45 @@
+//! PBFT instance configuration.
+
+use iss_types::Duration;
+
+/// Tunables of one PBFT SB instance.
+#[derive(Clone, Copy, Debug)]
+pub struct PbftConfig {
+    /// Time without any commit after which a follower starts a view change
+    /// (Section 6.4 uses 10 s).
+    pub view_change_timeout: Duration,
+    /// Whether view-change messages carry (and verify) signatures. Disabled
+    /// only in micro-benchmarks that isolate the normal-case path.
+    pub signed_view_change: bool,
+}
+
+impl Default for PbftConfig {
+    fn default() -> Self {
+        PbftConfig { view_change_timeout: Duration::from_secs(10), signed_view_change: true }
+    }
+}
+
+impl PbftConfig {
+    /// Configuration with a custom view-change timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        PbftConfig { view_change_timeout: timeout, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = PbftConfig::default();
+        assert_eq!(c.view_change_timeout, Duration::from_secs(10));
+        assert!(c.signed_view_change);
+    }
+
+    #[test]
+    fn with_timeout_overrides() {
+        let c = PbftConfig::with_timeout(Duration::from_secs(1));
+        assert_eq!(c.view_change_timeout, Duration::from_secs(1));
+    }
+}

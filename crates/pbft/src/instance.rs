@@ -1,0 +1,706 @@
+//! The PBFT state machine for one segment.
+
+use crate::config::PbftConfig;
+use crate::slot::{Slot, NIL_DIGEST};
+use iss_crypto::{batch_digest, Digest, KeyPair, SignatureRegistry};
+use iss_messages::pbft::PreparedProof;
+use iss_messages::{PbftMsg, SbMsg};
+use iss_sb::{SbContext, SbInstance};
+use iss_types::{Batch, Duration, NodeId, Segment, SeqNr, ViewNr};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Token namespace for the progress (view-change) timer; the token value is a
+/// generation counter so stale timers are ignored.
+const TIMER_PROGRESS: u64 = 1 << 32;
+
+/// PBFT as an SB instance.
+pub struct PbftInstance {
+    my_id: NodeId,
+    segment: Segment,
+    config: PbftConfig,
+    keypair: KeyPair,
+    registry: Arc<SignatureRegistry>,
+
+    view: ViewNr,
+    /// Set while a view change is in progress (we have sent a VIEW-CHANGE for
+    /// this view but have not installed it yet).
+    changing_to: Option<ViewNr>,
+    slots: BTreeMap<SeqNr, Slot>,
+    /// VIEW-CHANGE messages collected per target view.
+    view_changes: HashMap<ViewNr, HashMap<NodeId, Vec<PreparedProof>>>,
+    /// Digests announced by the NEW-VIEW of the current view; pre-prepares in
+    /// views > 0 must match them.
+    expected_digests: HashMap<SeqNr, Digest>,
+    /// Digests that already passed ISS proposal validation.
+    validated: HashSet<Digest>,
+    /// Batches observed for a digest (from pre-prepares or view changes), so
+    /// re-proposals can be delivered even after a view change.
+    known_batches: HashMap<Digest, Batch>,
+
+    current_timeout: Duration,
+    timer_generation: u64,
+    delivered: usize,
+}
+
+impl PbftInstance {
+    /// Creates a PBFT instance for `my_id` over `segment`.
+    pub fn new(
+        my_id: NodeId,
+        segment: Segment,
+        config: PbftConfig,
+        keypair: KeyPair,
+        registry: Arc<SignatureRegistry>,
+    ) -> Self {
+        let slots = segment.seq_nrs.iter().map(|sn| (*sn, Slot::default())).collect();
+        let current_timeout = config.view_change_timeout;
+        PbftInstance {
+            my_id,
+            segment,
+            config,
+            keypair,
+            registry,
+            view: 0,
+            changing_to: None,
+            slots,
+            view_changes: HashMap::new(),
+            expected_digests: HashMap::new(),
+            validated: HashSet::new(),
+            known_batches: HashMap::new(),
+            current_timeout,
+            timer_generation: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The segment this instance is responsible for.
+    pub fn segment(&self) -> &Segment {
+        &self.segment
+    }
+
+    /// The current view.
+    pub fn view(&self) -> ViewNr {
+        self.view
+    }
+
+    /// The primary (leader) of a view: view 0 is led by the segment leader,
+    /// later views rotate through the segment's node list.
+    pub fn primary_of(&self, view: ViewNr) -> NodeId {
+        let n = self.segment.nodes.len();
+        let leader_pos = self
+            .segment
+            .nodes
+            .iter()
+            .position(|x| *x == self.segment.leader)
+            .unwrap_or(0);
+        self.segment.nodes[(leader_pos + view as usize) % n]
+    }
+
+    fn quorum(&self) -> usize {
+        self.segment.strong_quorum()
+    }
+
+    fn arm_progress_timer(&mut self, ctx: &mut SbContext<'_>) {
+        self.timer_generation += 1;
+        ctx.set_timer(TIMER_PROGRESS + self.timer_generation, self.current_timeout);
+    }
+
+    fn vc_signing_bytes(new_view: ViewNr, prepared: &[PreparedProof]) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(16 + prepared.len() * 40);
+        bytes.extend_from_slice(b"pbft-vc");
+        bytes.extend_from_slice(&new_view.to_le_bytes());
+        for p in prepared {
+            bytes.extend_from_slice(&p.seq_nr.to_le_bytes());
+            bytes.extend_from_slice(&p.digest);
+        }
+        bytes
+    }
+
+    fn record_prepare(&mut self, sn: SeqNr, view: ViewNr, digest: Digest, from: NodeId, ctx: &mut SbContext<'_>) {
+        let quorum = self.quorum();
+        let my_id = self.my_id;
+        let Some(slot) = self.slots.get_mut(&sn) else { return };
+        if view != self.view || slot.digest() != Some(digest) {
+            return;
+        }
+        slot.prepares.insert(from);
+        if slot.prepares.len() >= quorum && !slot.commits.contains(&my_id) {
+            slot.prepared = true;
+            slot.prepared_view = view;
+            slot.commits.insert(my_id);
+            ctx.broadcast(SbMsg::Pbft(PbftMsg::Commit { view, seq_nr: sn, digest }));
+            self.check_committed(sn, ctx);
+        }
+    }
+
+    fn record_commit(&mut self, sn: SeqNr, view: ViewNr, digest: Digest, from: NodeId, ctx: &mut SbContext<'_>) {
+        let Some(slot) = self.slots.get_mut(&sn) else { return };
+        if view != self.view || slot.digest() != Some(digest) {
+            return;
+        }
+        slot.commits.insert(from);
+        self.check_committed(sn, ctx);
+    }
+
+    fn check_committed(&mut self, sn: SeqNr, ctx: &mut SbContext<'_>) {
+        let quorum = self.quorum();
+        let Some(slot) = self.slots.get_mut(&sn) else { return };
+        if !slot.prepared || slot.commits.len() < quorum {
+            return;
+        }
+        slot.committed = true;
+        if !slot.delivered {
+            slot.delivered = true;
+            let value = slot.pre_prepared.as_ref().and_then(|(_, b)| b.clone());
+            ctx.deliver(sn, value);
+            self.delivered += 1;
+        }
+        // Progress was made: reset the view-change timer.
+        self.arm_progress_timer(ctx);
+    }
+
+    fn accept_pre_prepare(
+        &mut self,
+        from: NodeId,
+        view: ViewNr,
+        sn: SeqNr,
+        batch: Option<Batch>,
+        digest: Digest,
+        ctx: &mut SbContext<'_>,
+    ) {
+        if view != self.view || from != self.primary_of(view) || !self.segment.contains(sn) {
+            return;
+        }
+        // Check digest integrity.
+        let expected = match &batch {
+            Some(b) => batch_digest(b),
+            None => NIL_DIGEST,
+        };
+        if expected != digest {
+            return;
+        }
+        // In views > 0 only the values announced in the NEW-VIEW may be
+        // proposed (⊥ or a previously prepared value).
+        if view > 0 {
+            match self.expected_digests.get(&sn) {
+                Some(d) if *d == digest => {}
+                _ => return,
+            }
+        }
+        // ISS proposal validation for non-nil, not-yet-validated batches.
+        if let Some(b) = &batch {
+            if !self.validated.contains(&digest) {
+                if ctx.validator.validate_proposal(sn, b).is_err() {
+                    return;
+                }
+                self.validated.insert(digest);
+            }
+            self.known_batches.insert(digest, b.clone());
+        }
+        let my_id = self.my_id;
+        {
+            let Some(slot) = self.slots.get_mut(&sn) else { return };
+            if slot.pre_prepared.is_some() {
+                return;
+            }
+            slot.pre_prepared = Some((digest, batch));
+            slot.pre_prepare_view = view;
+            // The primary's pre-prepare counts as its prepare; add ours too.
+            slot.prepares.insert(from);
+            slot.prepares.insert(my_id);
+        }
+        ctx.broadcast(SbMsg::Pbft(PbftMsg::Prepare { view, seq_nr: sn, digest }));
+        // Our own prepare may complete the quorum (e.g. n = 4 ⇒ 2f+1 = 3).
+        self.record_prepare(sn, view, digest, my_id, ctx);
+    }
+
+    fn start_view_change(&mut self, target: ViewNr, ctx: &mut SbContext<'_>) {
+        if target <= self.view || self.changing_to.is_some_and(|v| v >= target) {
+            return;
+        }
+        self.changing_to = Some(target);
+        // Suspect the primary we are abandoning (◇S(bz) output extracted from
+        // the protocol timeout, Section 4.2.4).
+        ctx.suspect(self.primary_of(self.view));
+        let prepared: Vec<PreparedProof> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.prepared)
+            .map(|(sn, s)| {
+                let digest = s.digest().unwrap_or(NIL_DIGEST);
+                PreparedProof {
+                    seq_nr: *sn,
+                    view: s.prepared_view,
+                    digest,
+                    batch: self.known_batches.get(&digest).cloned(),
+                }
+            })
+            .collect();
+        let signature = if self.config.signed_view_change {
+            self.keypair.sign(&Self::vc_signing_bytes(target, &prepared)).0
+        } else {
+            Vec::new()
+        };
+        let msg = PbftMsg::ViewChange { new_view: target, prepared: prepared.clone(), signature };
+        ctx.broadcast(SbMsg::Pbft(msg));
+        self.view_changes.entry(target).or_default().insert(self.my_id, prepared);
+        // Exponential back-off of the view-change timeout.
+        self.current_timeout = self.current_timeout.saturating_mul(2);
+        self.arm_progress_timer(ctx);
+        self.maybe_install_view(target, ctx);
+    }
+
+    fn maybe_install_view(&mut self, target: ViewNr, ctx: &mut SbContext<'_>) {
+        let count = self.view_changes.get(&target).map(HashMap::len).unwrap_or(0);
+        if count < self.quorum() || self.view >= target {
+            return;
+        }
+        if self.primary_of(target) != self.my_id {
+            return;
+        }
+        // We are the new primary: compute the re-proposals.
+        let vcs = self.view_changes.get(&target).cloned().unwrap_or_default();
+        let mut re_proposals: Vec<(SeqNr, Digest)> = Vec::new();
+        let mut values: Vec<(SeqNr, Option<Batch>, Digest)> = Vec::new();
+        for sn in self.segment.seq_nrs.clone() {
+            // Highest-view prepared proof for this sequence number. Slots
+            // already committed locally are included as well: other nodes may
+            // not have committed them yet and need the re-proposal.
+            let own_proof = self.slots.get(&sn).and_then(|s| {
+                if s.prepared {
+                    let digest = s.digest().unwrap_or(NIL_DIGEST);
+                    Some(PreparedProof {
+                        seq_nr: sn,
+                        view: s.prepared_view,
+                        digest,
+                        batch: self.known_batches.get(&digest).cloned(),
+                    })
+                } else {
+                    None
+                }
+            });
+            let mut best: Option<&PreparedProof> = own_proof.as_ref();
+            for proofs in vcs.values() {
+                for p in proofs.iter().filter(|p| p.seq_nr == sn) {
+                    if best.map(|b| p.view > b.view).unwrap_or(true) {
+                        best = Some(p);
+                    }
+                }
+            }
+            match best {
+                Some(p) if p.digest != NIL_DIGEST => {
+                    re_proposals.push((sn, p.digest));
+                    let batch = p
+                        .batch
+                        .clone()
+                        .or_else(|| self.known_batches.get(&p.digest).cloned());
+                    values.push((sn, batch, p.digest));
+                }
+                _ => {
+                    // Design principle 2 (Section 4.2): the new leader
+                    // proposes ⊥ for everything not prepared under the
+                    // original segment leader.
+                    re_proposals.push((sn, NIL_DIGEST));
+                    values.push((sn, None, NIL_DIGEST));
+                }
+            }
+        }
+        let certificate: Vec<Vec<u8>> = vec![Vec::new(); count];
+        ctx.broadcast(SbMsg::Pbft(PbftMsg::NewView {
+            view: target,
+            re_proposals: re_proposals.clone(),
+            certificate,
+        }));
+        self.install_view(target, &re_proposals, ctx);
+        // As the new primary, immediately pre-prepare the re-proposals.
+        for (sn, batch, digest) in values {
+            let my_id = self.my_id;
+            if let Some(b) = &batch {
+                self.known_batches.insert(digest, b.clone());
+                self.validated.insert(digest);
+            }
+            {
+                let Some(slot) = self.slots.get_mut(&sn) else { continue };
+                slot.pre_prepared = Some((digest, batch.clone()));
+                slot.pre_prepare_view = target;
+                slot.prepares.insert(my_id);
+            }
+            ctx.broadcast(SbMsg::Pbft(PbftMsg::PrePrepare { view: target, seq_nr: sn, batch, digest }));
+            self.record_prepare(sn, target, digest, my_id, ctx);
+        }
+    }
+
+    fn install_view(&mut self, view: ViewNr, re_proposals: &[(SeqNr, Digest)], ctx: &mut SbContext<'_>) {
+        self.view = view;
+        self.changing_to = None;
+        self.expected_digests = re_proposals.iter().copied().collect();
+        for (_, slot) in self.slots.iter_mut() {
+            slot.reset_for_view();
+        }
+        self.arm_progress_timer(ctx);
+    }
+}
+
+impl SbInstance for PbftInstance {
+    fn init(&mut self, ctx: &mut SbContext<'_>) {
+        // Everyone arms the progress timer; it is reset on every commit.
+        self.arm_progress_timer(ctx);
+    }
+
+    fn propose(&mut self, seq_nr: SeqNr, batch: Batch, ctx: &mut SbContext<'_>) {
+        // Only the segment leader proposes non-⊥ values, and only in view 0
+        // (after a view change new leaders propose ⊥ via the NEW-VIEW path).
+        if self.my_id != self.segment.leader || self.view != 0 || self.changing_to.is_some() {
+            return;
+        }
+        if !self.segment.contains(seq_nr) {
+            return;
+        }
+        if self.slots.get(&seq_nr).map(|s| s.pre_prepared.is_some()).unwrap_or(true) {
+            return;
+        }
+        let digest = batch_digest(&batch);
+        self.known_batches.insert(digest, batch.clone());
+        self.validated.insert(digest);
+        let my_id = self.my_id;
+        {
+            let slot = self.slots.get_mut(&seq_nr).expect("slot exists");
+            slot.pre_prepared = Some((digest, Some(batch.clone())));
+            slot.pre_prepare_view = 0;
+            slot.prepares.insert(my_id);
+        }
+        ctx.broadcast(SbMsg::Pbft(PbftMsg::PrePrepare {
+            view: 0,
+            seq_nr,
+            batch: Some(batch),
+            digest,
+        }));
+        self.record_prepare(seq_nr, 0, digest, my_id, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SbMsg, ctx: &mut SbContext<'_>) {
+        let SbMsg::Pbft(msg) = msg else { return };
+        match msg {
+            PbftMsg::PrePrepare { view, seq_nr, batch, digest } => {
+                self.accept_pre_prepare(from, view, seq_nr, batch, digest, ctx);
+            }
+            PbftMsg::Prepare { view, seq_nr, digest } => {
+                self.record_prepare(seq_nr, view, digest, from, ctx);
+            }
+            PbftMsg::Commit { view, seq_nr, digest } => {
+                self.record_commit(seq_nr, view, digest, from, ctx);
+            }
+            PbftMsg::ViewChange { new_view, prepared, signature } => {
+                if new_view <= self.view {
+                    return;
+                }
+                if self.config.signed_view_change {
+                    let bytes = Self::vc_signing_bytes(new_view, &prepared);
+                    if self.registry.verify_node(from, &bytes, &signature).is_err() {
+                        return;
+                    }
+                }
+                for p in &prepared {
+                    if p.digest != NIL_DIGEST {
+                        if let Some(b) = &p.batch {
+                            if batch_digest(b) == p.digest {
+                                self.known_batches.insert(p.digest, b.clone());
+                            }
+                        }
+                    }
+                }
+                self.view_changes.entry(new_view).or_default().insert(from, prepared);
+                let count = self.view_changes[&new_view].len();
+                // Join the view change once f+1 nodes ask for it.
+                if count >= self.segment.weak_quorum() && self.changing_to.map_or(true, |v| v < new_view) {
+                    self.start_view_change(new_view, ctx);
+                }
+                self.maybe_install_view(new_view, ctx);
+            }
+            PbftMsg::NewView { view, re_proposals, certificate } => {
+                if view <= self.view || from != self.primary_of(view) {
+                    return;
+                }
+                if certificate.len() < self.quorum() {
+                    return;
+                }
+                self.install_view(view, &re_proposals, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SbContext<'_>) {
+        if token != TIMER_PROGRESS + self.timer_generation {
+            return; // stale timer
+        }
+        if self.is_complete() {
+            return;
+        }
+        let target = self.changing_to.unwrap_or(self.view) + 1;
+        self.start_view_change(target, ctx);
+    }
+
+    fn on_suspect(&mut self, node: NodeId, ctx: &mut SbContext<'_>) {
+        // An external suspicion of the current primary triggers the same path
+        // as the internal timeout.
+        if node == self.primary_of(self.view) && !self.is_complete() {
+            let target = self.changing_to.unwrap_or(self.view) + 1;
+            self.start_view_change(target, ctx);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.delivered == self.segment.seq_nrs.len()
+    }
+
+    fn delivered_count(&self) -> usize {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_sb::testing::LocalNet;
+    use iss_sb::validator::RejectAll;
+    use iss_types::{BucketId, ClientId, InstanceId, Request};
+
+    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Segment {
+        Segment {
+            instance: InstanceId::new(0, 0),
+            leader: NodeId(leader),
+            seq_nrs,
+            buckets: vec![BucketId(0)],
+            nodes: (0..n as u32).map(NodeId).collect(),
+            f: (n - 1) / 3,
+        }
+    }
+
+    fn net(n: usize, leader: u32, seq_nrs: Vec<SeqNr>, timeout_ms: u64) -> LocalNet<PbftInstance> {
+        let registry = Arc::new(SignatureRegistry::with_processes(n, 0));
+        let instances = (0..n)
+            .map(|i| {
+                PbftInstance::new(
+                    NodeId(i as u32),
+                    segment(n, leader, seq_nrs.clone()),
+                    PbftConfig::with_timeout(Duration::from_millis(timeout_ms)),
+                    KeyPair::for_node(NodeId(i as u32)),
+                    Arc::clone(&registry),
+                )
+            })
+            .collect();
+        LocalNet::new(instances)
+    }
+
+    fn batch(tag: u32) -> Batch {
+        Batch::new(vec![Request::synthetic(ClientId(tag), tag as u64, 100)])
+    }
+
+    #[test]
+    fn normal_case_commits_at_all_nodes() {
+        let mut net = net(4, 0, vec![0, 1, 2], 10_000);
+        net.init_all();
+        for sn in 0..3u64 {
+            net.propose(0, sn, batch(sn as u32));
+        }
+        net.run_messages();
+        assert!(net.all_complete());
+        net.assert_agreement();
+        for node in 0..4 {
+            for sn in 0..3u64 {
+                assert_eq!(net.log_of(node).get(&sn).unwrap().as_ref(), Some(&batch(sn as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn non_leader_view_zero_proposals_are_ignored() {
+        let mut net = net(4, 1, vec![0], 10_000);
+        net.init_all();
+        // Node 3 fabricates a pre-prepare although node 1 is the leader.
+        let b = batch(9);
+        let digest = batch_digest(&b);
+        for to in [0u32, 1, 2] {
+            net.inject_message(
+                NodeId(3),
+                NodeId(to),
+                SbMsg::Pbft(PbftMsg::PrePrepare { view: 0, seq_nr: 0, batch: Some(b.clone()), digest }),
+            );
+        }
+        net.run_messages();
+        for node in 0..3 {
+            assert!(net.log_of(node).get(&0).is_none());
+        }
+    }
+
+    #[test]
+    fn crashed_leader_leads_to_nil_deliveries_via_view_change() {
+        let mut net = net(4, 0, vec![0, 1], 100);
+        net.init_all();
+        net.crash(0);
+        // Fire enough timers for the view change to go through at the three
+        // correct nodes.
+        net.run(12);
+        for node in 1..4 {
+            assert!(
+                net.instances[node].is_complete(),
+                "SB termination after leader crash (node {node}): delivered {}",
+                net.instances[node].delivered_count()
+            );
+            assert_eq!(net.log_of(node).get(&0), Some(&None));
+            assert_eq!(net.log_of(node).get(&1), Some(&None));
+        }
+        net.assert_agreement();
+        // The crashed primary was suspected.
+        assert!(net.suspicions[1].contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn prepared_value_survives_view_change() {
+        let mut net = net(4, 0, vec![0, 1], 100);
+        // Node 3 never hears from the leader directly.
+        net.drop_links.insert((NodeId(0), NodeId(3)));
+        net.init_all();
+        net.propose(0, 0, batch(7));
+        net.run_messages();
+        // Nodes 0-2 commit sequence number 0; node 3 cannot (no pre-prepare).
+        assert_eq!(net.log_of(1).get(&0).unwrap().as_ref(), Some(&batch(7)));
+        assert!(net.log_of(3).get(&0).is_none());
+        // Leader crashes before proposing sequence number 1.
+        net.crash(0);
+        net.run(16);
+        // After the view change everyone (including node 3) has the batch for
+        // sn 0 and ⊥ for sn 1.
+        for node in 1..4 {
+            assert_eq!(
+                net.log_of(node).get(&0).unwrap().as_ref(),
+                Some(&batch(7)),
+                "prepared value must survive the view change at node {node}"
+            );
+            assert_eq!(net.log_of(node).get(&1), Some(&None));
+            assert!(net.instances[node].is_complete());
+        }
+        net.assert_agreement();
+    }
+
+    #[test]
+    fn rejecting_validator_prevents_commit() {
+        let mut net = net(4, 0, vec![0], 10_000);
+        for node in 1..4 {
+            net.set_validator(node, Box::new(RejectAll));
+        }
+        net.init_all();
+        net.propose(0, 0, batch(1));
+        net.run_messages();
+        for node in 1..4 {
+            assert!(net.log_of(node).get(&0).is_none());
+        }
+    }
+
+    #[test]
+    fn digest_mismatch_is_rejected() {
+        let mut net = net(4, 0, vec![0], 10_000);
+        net.init_all();
+        let b = batch(1);
+        for to in 1..4u32 {
+            net.inject_message(
+                NodeId(0),
+                NodeId(to),
+                SbMsg::Pbft(PbftMsg::PrePrepare {
+                    view: 0,
+                    seq_nr: 0,
+                    batch: Some(b.clone()),
+                    digest: [0xAB; 32], // wrong digest
+                }),
+            );
+        }
+        net.run_messages();
+        for node in 1..4 {
+            assert!(net.log_of(node).get(&0).is_none());
+        }
+    }
+
+    #[test]
+    fn view_change_requires_valid_signatures() {
+        let mut net = net(4, 0, vec![0], 10_000);
+        net.init_all();
+        // Forge unsigned view-change messages from 3 distinct nodes; the
+        // primary of view 1 (node 1) must not install a new view from them.
+        for from in [2u32, 3] {
+            for to in 0..4u32 {
+                if to != from {
+                    net.inject_message(
+                        NodeId(from),
+                        NodeId(to),
+                        SbMsg::Pbft(PbftMsg::ViewChange {
+                            new_view: 1,
+                            prepared: vec![],
+                            signature: vec![0u8; 64],
+                        }),
+                    );
+                }
+            }
+        }
+        net.run_messages();
+        for node in 0..4 {
+            assert_eq!(net.instances[node].view(), 0, "forged view change must not advance the view");
+        }
+    }
+
+    #[test]
+    fn primary_rotation_is_round_robin_from_segment_leader() {
+        let seg = segment(4, 2, vec![0]);
+        let inst = PbftInstance::new(
+            NodeId(0),
+            seg,
+            PbftConfig::default(),
+            KeyPair::for_node(NodeId(0)),
+            Arc::new(SignatureRegistry::with_processes(4, 0)),
+        );
+        assert_eq!(inst.primary_of(0), NodeId(2));
+        assert_eq!(inst.primary_of(1), NodeId(3));
+        assert_eq!(inst.primary_of(2), NodeId(0));
+        assert_eq!(inst.primary_of(5), NodeId(3));
+    }
+
+    #[test]
+    fn duplicate_proposals_for_same_slot_are_ignored() {
+        let mut net = net(4, 0, vec![0], 10_000);
+        net.init_all();
+        net.propose(0, 0, batch(1));
+        net.propose(0, 0, batch(2));
+        net.run_messages();
+        for node in 0..4 {
+            assert_eq!(net.log_of(node).get(&0).unwrap().as_ref(), Some(&batch(1)));
+        }
+        net.assert_agreement();
+    }
+
+    #[test]
+    fn out_of_segment_proposals_ignored() {
+        let mut net = net(4, 0, vec![0, 1], 10_000);
+        net.init_all();
+        net.propose(0, 17, batch(1));
+        net.run_messages();
+        for node in 0..4 {
+            assert!(net.log_of(node).is_empty());
+        }
+    }
+
+    #[test]
+    fn seven_nodes_two_faults_still_commit() {
+        let mut net = net(7, 0, vec![0, 1, 2], 10_000);
+        net.init_all();
+        // Two non-leader nodes crash (f = 2 for n = 7).
+        net.crash(5);
+        net.crash(6);
+        for sn in 0..3u64 {
+            net.propose(0, sn, batch(sn as u32));
+        }
+        net.run_messages();
+        for node in 0..5 {
+            assert!(net.instances[node].is_complete(), "node {node} incomplete");
+        }
+        net.assert_agreement();
+    }
+}

@@ -1,0 +1,20 @@
+//! Raft (Ongaro & Ousterhout) implemented as a Sequenced Broadcast instance
+//! (Section 4.2.3 of the paper) — the crash-fault-tolerant member of the
+//! protocol family.
+//!
+//! Adaptations for ISS:
+//!
+//! * the first leader of every instance is fixed to the segment leader and
+//!   the initial election phase is skipped;
+//! * the leader keeps sending (possibly empty) append-entries requests until
+//!   every follower has replicated the whole segment, which both serves as
+//!   the heartbeat and guarantees that the segment terminates at all nodes;
+//! * if the leader fails, followers elect a replacement using randomized
+//!   election timeouts whose window doubles on every failed election (the
+//!   eventual-synchrony adaptation of Section 4.2.3); a replacement leader
+//!   fills all remaining slots of the segment with the nil value ⊥, which is
+//!   what makes Raft implement SB.
+
+pub mod instance;
+
+pub use instance::{RaftConfig, RaftInstance};

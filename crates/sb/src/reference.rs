@@ -1,0 +1,453 @@
+//! The reference implementation of Sequenced Broadcast (Algorithm 5 of the
+//! paper): Byzantine reliable broadcast (Bracha echo/ready) per sequence
+//! number, followed by a per-sequence-number agreement on either the
+//! brb-delivered batch or the nil value ⊥, driven by a ◇S(bz) failure
+//! detector.
+//!
+//! This implementation serves as an executable specification of the SB
+//! properties and is used by the property tests; the production path wraps
+//! PBFT, HotStuff or Raft instead (Section 4.2). One simplification relative
+//! to Algorithm 5: the per-sequence-number Byzantine consensus is realized as
+//! a single round of votes decided at a strong quorum (2f+1) of matching
+//! values. This is sufficient for every scenario exercised here (correct
+//! sender, crashed/quiet sender, suspected-then-restored sender); a sender
+//! that *equivocates* within BRB is blocked by BRB consistency before the
+//! vote round, but a fully Byzantine-resilient decision under split votes
+//! would require the view-change machinery that the production protocols
+//! provide.
+
+use crate::instance::{SbContext, SbInstance};
+use iss_crypto::{batch_digest, Digest};
+use iss_messages::{RefSbMsg, SbMsg};
+use iss_types::{Batch, NodeId, Segment, SeqNr};
+use std::collections::{HashMap, HashSet};
+
+/// The reference SB instance for one node and one segment.
+pub struct ReferenceSb {
+    /// This node.
+    my_id: NodeId,
+    /// The segment (sender σ, sequence numbers S, nodes, f).
+    segment: Segment,
+    initialized: bool,
+    sender_suspected: bool,
+
+    /// Batches received via BRB SEND, keyed by digest.
+    batches: HashMap<(SeqNr, Digest), Batch>,
+    echoed: HashSet<SeqNr>,
+    ready_sent: HashSet<SeqNr>,
+    echoes: HashMap<(SeqNr, Digest), HashSet<NodeId>>,
+    readies: HashMap<(SeqNr, Digest), HashSet<NodeId>>,
+    brb_delivered: HashMap<SeqNr, Digest>,
+
+    voted: HashSet<SeqNr>,
+    votes: HashMap<(SeqNr, Option<Digest>), HashSet<NodeId>>,
+    decided: HashMap<SeqNr, Option<Digest>>,
+    /// Decisions whose batch content has not arrived yet.
+    pending_delivery: HashSet<SeqNr>,
+    delivered: HashSet<SeqNr>,
+}
+
+impl ReferenceSb {
+    /// Creates an instance for `my_id` over `segment`.
+    pub fn new(my_id: NodeId, segment: Segment) -> Self {
+        ReferenceSb {
+            my_id,
+            segment,
+            initialized: false,
+            sender_suspected: false,
+            batches: HashMap::new(),
+            echoed: HashSet::new(),
+            ready_sent: HashSet::new(),
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+            brb_delivered: HashMap::new(),
+            voted: HashSet::new(),
+            votes: HashMap::new(),
+            decided: HashMap::new(),
+            pending_delivery: HashSet::new(),
+            delivered: HashSet::new(),
+        }
+    }
+
+    /// The segment this instance is responsible for.
+    pub fn segment(&self) -> &Segment {
+        &self.segment
+    }
+
+    fn quorum(&self) -> usize {
+        self.segment.strong_quorum()
+    }
+
+    fn weak(&self) -> usize {
+        self.segment.weak_quorum()
+    }
+
+    fn record_echo(&mut self, sn: SeqNr, digest: Digest, from: NodeId, ctx: &mut SbContext<'_>) {
+        self.echoes.entry((sn, digest)).or_default().insert(from);
+        self.maybe_ready(sn, digest, ctx);
+    }
+
+    fn record_ready(&mut self, sn: SeqNr, digest: Digest, from: NodeId, ctx: &mut SbContext<'_>) {
+        self.readies.entry((sn, digest)).or_default().insert(from);
+        // Amplification: f+1 readies ⇒ send own ready.
+        let count = self.readies[&(sn, digest)].len();
+        if count >= self.weak() && !self.ready_sent.contains(&sn) {
+            self.send_ready(sn, digest, ctx);
+        }
+        if count >= self.quorum() && !self.brb_delivered.contains_key(&sn) {
+            self.brb_delivered.insert(sn, digest);
+            self.cast_vote(sn, Some(digest), ctx);
+        }
+    }
+
+    fn maybe_ready(&mut self, sn: SeqNr, digest: Digest, ctx: &mut SbContext<'_>) {
+        if self.echoes.get(&(sn, digest)).map(HashSet::len).unwrap_or(0) >= self.quorum()
+            && !self.ready_sent.contains(&sn)
+        {
+            self.send_ready(sn, digest, ctx);
+        }
+    }
+
+    fn send_ready(&mut self, sn: SeqNr, digest: Digest, ctx: &mut SbContext<'_>) {
+        self.ready_sent.insert(sn);
+        ctx.broadcast(SbMsg::Reference(RefSbMsg::BrbReady { seq_nr: sn, digest }));
+        let me = self.my_id;
+        self.record_ready(sn, digest, me, ctx);
+    }
+
+    fn cast_vote(&mut self, sn: SeqNr, value: Option<Digest>, ctx: &mut SbContext<'_>) {
+        if self.voted.contains(&sn) {
+            return;
+        }
+        self.voted.insert(sn);
+        ctx.broadcast(SbMsg::Reference(RefSbMsg::Vote { seq_nr: sn, value }));
+        let me = self.my_id;
+        self.record_vote(sn, value, me, ctx);
+    }
+
+    fn record_vote(
+        &mut self,
+        sn: SeqNr,
+        value: Option<Digest>,
+        from: NodeId,
+        ctx: &mut SbContext<'_>,
+    ) {
+        self.votes.entry((sn, value)).or_default().insert(from);
+        if self.votes[&(sn, value)].len() >= self.quorum() && !self.decided.contains_key(&sn) {
+            self.decided.insert(sn, value);
+            self.try_deliver(sn, ctx);
+        }
+    }
+
+    fn try_deliver(&mut self, sn: SeqNr, ctx: &mut SbContext<'_>) {
+        if self.delivered.contains(&sn) {
+            return;
+        }
+        let Some(value) = self.decided.get(&sn).copied() else {
+            return;
+        };
+        match value {
+            None => {
+                self.delivered.insert(sn);
+                self.pending_delivery.remove(&sn);
+                ctx.deliver(sn, None);
+            }
+            Some(digest) => {
+                if let Some(batch) = self.batches.get(&(sn, digest)).cloned() {
+                    self.delivered.insert(sn);
+                    self.pending_delivery.remove(&sn);
+                    ctx.deliver(sn, Some(batch));
+                } else {
+                    self.pending_delivery.insert(sn);
+                }
+            }
+        }
+    }
+
+    /// Abort (Algorithm 5, `abort()`): vote ⊥ for every sequence number for
+    /// which nothing has been proposed / voted yet.
+    fn abort(&mut self, ctx: &mut SbContext<'_>) {
+        for sn in self.segment.seq_nrs.clone() {
+            if !self.voted.contains(&sn) {
+                self.cast_vote(sn, None, ctx);
+            }
+        }
+    }
+}
+
+impl SbInstance for ReferenceSb {
+    fn init(&mut self, ctx: &mut SbContext<'_>) {
+        self.initialized = true;
+        if self.sender_suspected {
+            self.abort(ctx);
+        }
+    }
+
+    fn propose(&mut self, seq_nr: SeqNr, batch: Batch, ctx: &mut SbContext<'_>) {
+        debug_assert_eq!(self.my_id, self.segment.leader, "only σ may sb-cast");
+        if !self.segment.contains(seq_nr) {
+            return;
+        }
+        let digest = batch_digest(&batch);
+        self.batches.insert((seq_nr, digest), batch.clone());
+        ctx.broadcast(SbMsg::Reference(RefSbMsg::BrbSend { seq_nr, batch }));
+        // The sender participates in its own BRB instance.
+        self.echoed.insert(seq_nr);
+        ctx.broadcast(SbMsg::Reference(RefSbMsg::BrbEcho { seq_nr, digest }));
+        let me = self.my_id;
+        self.record_echo(seq_nr, digest, me, ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: SbMsg, ctx: &mut SbContext<'_>) {
+        let SbMsg::Reference(msg) = msg else {
+            return;
+        };
+        match msg {
+            RefSbMsg::BrbSend { seq_nr, batch } => {
+                // Only the designated sender's sends are honoured.
+                if from != self.segment.leader || !self.segment.contains(seq_nr) {
+                    return;
+                }
+                if ctx.validator.validate_proposal(seq_nr, &batch).is_err() {
+                    return;
+                }
+                let digest = batch_digest(&batch);
+                self.batches.insert((seq_nr, digest), batch);
+                if !self.echoed.contains(&seq_nr) {
+                    self.echoed.insert(seq_nr);
+                    ctx.broadcast(SbMsg::Reference(RefSbMsg::BrbEcho { seq_nr, digest }));
+                    let me = self.my_id;
+                    self.record_echo(seq_nr, digest, me, ctx);
+                }
+                // A decision may have been waiting for this batch.
+                self.try_deliver(seq_nr, ctx);
+            }
+            RefSbMsg::BrbEcho { seq_nr, digest } => {
+                if self.segment.contains(seq_nr) {
+                    self.record_echo(seq_nr, digest, from, ctx);
+                }
+            }
+            RefSbMsg::BrbReady { seq_nr, digest } => {
+                if self.segment.contains(seq_nr) {
+                    self.record_ready(seq_nr, digest, from, ctx);
+                }
+            }
+            RefSbMsg::Vote { seq_nr, value } => {
+                if self.segment.contains(seq_nr) {
+                    self.record_vote(seq_nr, value, from, ctx);
+                }
+            }
+            RefSbMsg::Decide { .. } | RefSbMsg::Heartbeat => {}
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut SbContext<'_>) {}
+
+    fn on_suspect(&mut self, node: NodeId, ctx: &mut SbContext<'_>) {
+        if node != self.segment.leader {
+            return;
+        }
+        self.sender_suspected = true;
+        if self.initialized {
+            self.abort(ctx);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.delivered.len() == self.segment.seq_nrs.len()
+    }
+
+    fn delivered_count(&self) -> usize {
+        self.delivered.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::LocalNet;
+    use iss_types::{BucketId, ClientId, InstanceId, Request};
+
+    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Segment {
+        Segment {
+            instance: InstanceId::new(0, 0),
+            leader: NodeId(leader),
+            seq_nrs,
+            buckets: vec![BucketId(0)],
+            nodes: (0..n as u32).map(NodeId).collect(),
+            f: (n - 1) / 3,
+        }
+    }
+
+    fn net(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> LocalNet<ReferenceSb> {
+        let instances = (0..n)
+            .map(|i| ReferenceSb::new(NodeId(i as u32), segment(n, leader, seq_nrs.clone())))
+            .collect();
+        LocalNet::new(instances)
+    }
+
+    fn batch(tag: u32) -> Batch {
+        Batch::new(vec![Request::synthetic(ClientId(tag), tag as u64, 100)])
+    }
+
+    #[test]
+    fn correct_sender_all_deliver_its_batches() {
+        let mut net = net(4, 0, vec![0, 1, 2]);
+        net.init_all();
+        for sn in 0..3u64 {
+            net.propose(0, sn, batch(sn as u32));
+        }
+        net.run_messages();
+        assert!(net.all_complete(), "SB3 termination with a correct sender");
+        net.assert_agreement();
+        for node in 0..4 {
+            for sn in 0..3u64 {
+                let delivered = net.log_of(node).get(&sn).unwrap();
+                assert_eq!(delivered.as_ref(), Some(&batch(sn as u32)), "SB1 integrity");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_sender_delivers_nil_after_suspicion() {
+        let mut net = net(4, 0, vec![0, 1]);
+        net.crash(0);
+        net.init_all();
+        // The ◇S(bz) detector eventually suspects the quiet sender at every
+        // correct node.
+        net.suspect_everywhere(NodeId(0));
+        net.run_messages();
+        for node in 1..4 {
+            assert_eq!(net.log_of(node).get(&0), Some(&None), "⊥ delivered");
+            assert_eq!(net.log_of(node).get(&1), Some(&None));
+            assert!(net.instances[node].is_complete());
+        }
+        net.assert_agreement();
+    }
+
+    #[test]
+    fn nil_requires_suspicion_sb4() {
+        // Without any suspicion, no correct node ever delivers ⊥ (SB4
+        // eventual progress, contrapositive).
+        let mut net = net(4, 0, vec![0]);
+        net.init_all();
+        net.propose(0, 0, batch(9));
+        net.run_messages();
+        for node in 0..4 {
+            assert_ne!(net.log_of(node).get(&0), Some(&None));
+        }
+    }
+
+    #[test]
+    fn sender_crashing_mid_segment_terminates_with_mixed_values() {
+        let mut net = net(4, 0, vec![0, 1, 2, 3]);
+        net.init_all();
+        net.propose(0, 0, batch(1));
+        net.propose(0, 1, batch(2));
+        net.run_messages();
+        // Sender crashes before proposing 2 and 3.
+        net.crash(0);
+        net.suspect_everywhere(NodeId(0));
+        net.run_messages();
+        for node in 1..4 {
+            assert!(net.instances[node].is_complete(), "termination after crash");
+            assert_eq!(net.log_of(node).get(&0).unwrap().as_ref(), Some(&batch(1)));
+            assert_eq!(net.log_of(node).get(&1).unwrap().as_ref(), Some(&batch(2)));
+            assert_eq!(net.log_of(node).get(&2), Some(&None));
+            assert_eq!(net.log_of(node).get(&3), Some(&None));
+        }
+        net.assert_agreement();
+    }
+
+    #[test]
+    fn suspicion_before_init_only_takes_effect_at_init() {
+        let mut net = net(4, 0, vec![0]);
+        // Suspect before SB-INIT: nothing must be delivered yet.
+        net.suspect_everywhere(NodeId(0));
+        net.run_messages();
+        for node in 1..4 {
+            assert!(net.log_of(node).is_empty());
+        }
+        // After init, the pre-existing suspicion triggers the abort path.
+        net.init_all();
+        net.run_messages();
+        for node in 1..4 {
+            assert_eq!(net.log_of(node).get(&0), Some(&None));
+        }
+    }
+
+    #[test]
+    fn proposals_outside_segment_are_ignored() {
+        let mut net = net(4, 0, vec![0, 1]);
+        net.init_all();
+        net.propose(0, 99, batch(1));
+        net.run_messages();
+        for node in 0..4 {
+            assert!(net.log_of(node).is_empty());
+        }
+    }
+
+    #[test]
+    fn non_sender_broadcasts_are_ignored() {
+        // A Byzantine non-leader node (node 2) fabricates BrbSend messages.
+        let mut net = net(4, 0, vec![0]);
+        net.init_all();
+        let forged = batch(7);
+        for to in [0u32, 1, 3] {
+            net.inject_message(
+                NodeId(2),
+                NodeId(to),
+                SbMsg::Reference(RefSbMsg::BrbSend { seq_nr: 0, batch: forged.clone() }),
+            );
+        }
+        net.run_messages();
+        for node in [0usize, 1, 3] {
+            assert!(
+                net.log_of(node).get(&0).is_none(),
+                "node {node} must not deliver a batch sb-cast by a non-sender"
+            );
+        }
+    }
+
+    #[test]
+    fn rejecting_validator_blocks_delivery_of_invalid_batches() {
+        use crate::validator::RejectAll;
+        let mut net = net(4, 0, vec![0]);
+        for node in 1..4 {
+            net.set_validator(node, Box::new(RejectAll));
+        }
+        net.init_all();
+        net.propose(0, 0, batch(1));
+        net.run_messages();
+        for node in 1..4 {
+            assert!(net.log_of(node).get(&0).is_none());
+        }
+    }
+
+    #[test]
+    fn restored_sender_is_not_aborted_without_new_suspicion() {
+        // on_suspect for a *different* node has no effect.
+        let mut net = net(4, 0, vec![0]);
+        net.init_all();
+        net.suspect_everywhere(NodeId(2));
+        net.propose(0, 0, batch(3));
+        net.run_messages();
+        for node in 0..4 {
+            assert_eq!(net.log_of(node).get(&0).unwrap().as_ref(), Some(&batch(3)));
+        }
+    }
+
+    #[test]
+    fn delivered_count_and_completion_track_progress() {
+        let mut net = net(4, 0, vec![0, 1]);
+        net.init_all();
+        net.propose(0, 0, batch(0));
+        net.run_messages();
+        assert_eq!(net.instances[1].delivered_count(), 1);
+        assert!(!net.instances[1].is_complete());
+        net.propose(0, 1, batch(1));
+        net.run_messages();
+        assert_eq!(net.instances[1].delivered_count(), 2);
+        assert!(net.instances[1].is_complete());
+    }
+}

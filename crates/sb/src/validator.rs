@@ -1,0 +1,57 @@
+//! Proposal validation hook.
+//!
+//! Design principle 3 of Section 4.2: a follower accepts a proposal only if
+//! (a) all requests in the batch are valid (signature, known client,
+//! watermarks), (b) no request has previously been proposed in the same
+//! epoch or committed in a previous epoch, (c) all requests belong to the
+//! buckets of the segment, and (d) the proposal comes from the segment
+//! leader or is ⊥. Checks (a)–(c) require ISS-level state, so the ordering
+//! protocols delegate them through this trait; check (d) is enforced by the
+//! protocols themselves.
+
+use iss_types::{Batch, Result, SeqNr};
+
+/// Validates proposals received from a (possibly malicious) segment leader.
+pub trait ProposalValidator {
+    /// Returns `Ok(())` if `batch` may be accepted for `seq_nr`.
+    ///
+    /// Implementations record accepted requests so a later duplicate proposal
+    /// within the same epoch is rejected.
+    fn validate_proposal(&mut self, seq_nr: SeqNr, batch: &Batch) -> Result<()>;
+}
+
+/// A validator that accepts everything (baseline deployments without request
+/// authentication, unit tests, benchmarks of the raw protocols).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcceptAll;
+
+impl ProposalValidator for AcceptAll {
+    fn validate_proposal(&mut self, _seq_nr: SeqNr, _batch: &Batch) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A validator that rejects every proposal (tests of the rejection path).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RejectAll;
+
+impl ProposalValidator for RejectAll {
+    fn validate_proposal(&mut self, seq_nr: SeqNr, _batch: &Batch) -> Result<()> {
+        Err(iss_types::Error::invalid(format!("proposal for {seq_nr} rejected by RejectAll")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_all_accepts() {
+        assert!(AcceptAll.validate_proposal(0, &Batch::empty()).is_ok());
+    }
+
+    #[test]
+    fn reject_all_rejects() {
+        assert!(RejectAll.validate_proposal(0, &Batch::empty()).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! One experiment function per table / figure of the paper's evaluation
+//! (Section 6). Every function takes a [`Scale`] so the same code can run as
+//! a quick smoke test (`Scale::quick()`), at the default benchmark scale
+//! (`Scale::default()`), or at paper scale (`Scale::paper()`, hours of
+//! simulated traffic).
+
+use crate::cluster::{run_cluster, ClusterSpec, CrashTiming, Report};
+use crate::factories::Protocol;
+use iss_core::Mode;
+use iss_types::{Duration, LeaderPolicyKind, NodeId};
+
+/// Scaling knobs for the experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Node counts used for the scalability sweeps.
+    pub node_counts: &'static [usize],
+    /// Run duration in (virtual) seconds.
+    pub duration_secs: u64,
+    /// Multiplier on the offered load.
+    pub load_factor: f64,
+    /// Node count for the fault experiments (the paper uses 32).
+    pub fault_nodes: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { node_counts: &[4, 8, 16, 32], duration_secs: 25, load_factor: 1.0, fault_nodes: 16 }
+    }
+}
+
+impl Scale {
+    /// A very small scale for CI / smoke tests.
+    pub fn quick() -> Self {
+        Scale { node_counts: &[4, 8], duration_secs: 12, load_factor: 0.5, fault_nodes: 8 }
+    }
+
+    /// The paper's scale (4 to 128 nodes, 32-node fault experiments,
+    /// two-minute runs). Expect long wall-clock times.
+    pub fn paper() -> Self {
+        Scale {
+            node_counts: &[4, 16, 32, 64, 128],
+            duration_secs: 120,
+            load_factor: 1.0,
+            fault_nodes: 32,
+        }
+    }
+}
+
+/// A single data point of the scalability figure.
+#[derive(Clone, Debug)]
+pub struct ScalabilityPoint {
+    /// Series label (e.g. "ISS-PBFT").
+    pub series: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Peak delivered throughput in kreq/s.
+    pub kreq_per_sec: f64,
+}
+
+fn saturating_rate(nodes: usize, iss: bool, load_factor: f64) -> f64 {
+    // Offered load high enough to saturate the deployment: the batch-rate
+    // ceiling is 32 b/s × 2048 req ≈ 65 kreq/s for ISS; single-leader
+    // deployments saturate far below that.
+    let base = if iss { 70_000.0_f64.min(6_000.0 * nodes as f64) } else { 24_000.0 / (nodes as f64).sqrt() };
+    base * load_factor
+}
+
+fn spec_for(series: &str, protocol: Protocol, mode: Mode, nodes: usize, scale: Scale) -> ClusterSpec {
+    let iss = mode != Mode::SingleLeader;
+    let mut spec = ClusterSpec::new(protocol, nodes, saturating_rate(nodes, iss, scale.load_factor));
+    spec.mode = mode;
+    spec.duration = Duration::from_secs(scale.duration_secs);
+    spec.warmup = Duration::from_secs(scale.duration_secs / 3);
+    spec.seed = 7 + nodes as u64 + series.len() as u64;
+    spec
+}
+
+/// Figure 5: peak throughput vs. number of nodes for ISS-{PBFT, HotStuff,
+/// Raft}, Mir-BFT and the single-leader baselines.
+pub fn figure5(scale: Scale) -> Vec<ScalabilityPoint> {
+    let mut points = Vec::new();
+    let series: [(&str, Protocol, Mode); 7] = [
+        ("ISS-PBFT", Protocol::Pbft, Mode::Iss),
+        ("ISS-HotStuff", Protocol::HotStuff, Mode::Iss),
+        ("ISS-Raft", Protocol::Raft, Mode::Iss),
+        ("MirBFT", Protocol::Pbft, Mode::Mir),
+        ("PBFT", Protocol::Pbft, Mode::SingleLeader),
+        ("HotStuff", Protocol::HotStuff, Mode::SingleLeader),
+        ("Raft", Protocol::Raft, Mode::SingleLeader),
+    ];
+    for (name, protocol, mode) in series {
+        for &nodes in scale.node_counts {
+            let report = run_cluster(spec_for(name, protocol, mode, nodes, scale));
+            points.push(ScalabilityPoint {
+                series: name.to_string(),
+                nodes,
+                kreq_per_sec: report.throughput / 1000.0,
+            });
+        }
+    }
+    points
+}
+
+/// A latency/throughput data point of Figure 6 or Figure 11.
+#[derive(Clone, Debug)]
+pub struct LatencyThroughputPoint {
+    /// Series label.
+    pub series: String,
+    /// Delivered throughput (kreq/s).
+    pub kreq_per_sec: f64,
+    /// Mean latency in seconds.
+    pub latency_secs: f64,
+}
+
+/// Figure 6: latency over throughput for increasing load, ISS vs. the single
+/// leader baseline, for one protocol at several node counts.
+pub fn figure6(protocol: Protocol, scale: Scale) -> Vec<LatencyThroughputPoint> {
+    let mut points = Vec::new();
+    for &nodes in scale.node_counts {
+        for (label, mode) in [("ISS", Mode::Iss), ("single-leader", Mode::SingleLeader)] {
+            let saturation = saturating_rate(nodes, mode != Mode::SingleLeader, scale.load_factor);
+            for fraction in [0.25, 0.5, 0.75, 1.0] {
+                let mut spec = spec_for(label, protocol, mode, nodes, scale);
+                spec.total_rate = saturation * fraction;
+                let report = run_cluster(spec);
+                points.push(LatencyThroughputPoint {
+                    series: format!("{label}-{} {nodes} nodes", protocol.name()),
+                    kreq_per_sec: report.throughput / 1000.0,
+                    latency_secs: report.mean_latency.as_secs_f64(),
+                });
+            }
+        }
+    }
+    points
+}
+
+/// One bar of Figure 7: latency under one crash for a leader policy.
+#[derive(Clone, Debug)]
+pub struct PolicyLatency {
+    /// Policy name.
+    pub policy: String,
+    /// Crash timing ("epoch-start" / "epoch-end").
+    pub timing: String,
+    /// Mean latency in seconds.
+    pub mean_secs: f64,
+    /// 95th-percentile latency in seconds.
+    pub p95_secs: f64,
+}
+
+fn fault_spec(scale: Scale, policy: LeaderPolicyKind) -> ClusterSpec {
+    let mut spec = ClusterSpec::new(Protocol::Pbft, scale.fault_nodes, 16_400.0 * scale.load_factor);
+    spec.policy = policy;
+    spec.duration = Duration::from_secs(scale.duration_secs.max(20));
+    spec.warmup = Duration::from_secs(2);
+    spec
+}
+
+/// Figure 7: impact of the leader-selection policy on latency under a single
+/// epoch-start / epoch-end crash (32 nodes, 16.4 kreq/s in the paper).
+pub fn figure7(scale: Scale) -> Vec<PolicyLatency> {
+    let mut rows = Vec::new();
+    for policy in [LeaderPolicyKind::Simple, LeaderPolicyKind::Backoff, LeaderPolicyKind::Blacklist] {
+        for (label, timing) in [("epoch-start", CrashTiming::EpochStart), ("epoch-end", CrashTiming::EpochEnd)] {
+            let mut spec = fault_spec(scale, policy);
+            spec.crashes = vec![(NodeId(0), timing)];
+            let report = run_cluster(spec);
+            rows.push(PolicyLatency {
+                policy: policy.name().to_string(),
+                timing: label.to_string(),
+                mean_secs: report.mean_latency.as_secs_f64(),
+                p95_secs: report.p95_latency.as_secs_f64(),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of Figure 8: latency vs. experiment duration under crashes.
+#[derive(Clone, Debug)]
+pub struct CrashLatencyPoint {
+    /// Number of crashed leaders.
+    pub faults: usize,
+    /// Crash timing label.
+    pub timing: String,
+    /// Experiment duration in seconds.
+    pub duration_secs: u64,
+    /// Mean latency (s).
+    pub mean_secs: f64,
+    /// 95th-percentile latency (s).
+    pub p95_secs: f64,
+}
+
+/// Figure 8: crash-fault impact on mean and tail latency as the experiment
+/// duration grows (Blacklist policy).
+pub fn figure8(scale: Scale) -> Vec<CrashLatencyPoint> {
+    let mut rows = Vec::new();
+    let durations: Vec<u64> = vec![scale.duration_secs / 2, scale.duration_secs];
+    for faults in [0usize, 1, 2] {
+        for (label, timing) in [("epoch-start", CrashTiming::EpochStart), ("epoch-end", CrashTiming::EpochEnd)] {
+            if faults == 0 && label == "epoch-end" {
+                continue; // f=0 has a single series in the paper
+            }
+            for &duration in &durations {
+                let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
+                spec.duration = Duration::from_secs(duration);
+                spec.crashes = (0..faults).map(|i| (NodeId(i as u32), timing)).collect();
+                let report = run_cluster(spec);
+                rows.push(CrashLatencyPoint {
+                    faults,
+                    timing: label.to_string(),
+                    duration_secs: duration,
+                    mean_secs: report.mean_latency.as_secs_f64(),
+                    p95_secs: report.p95_latency.as_secs_f64(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 9 (ISS) / Figure 10 (Mir-BFT): throughput over time with one crash.
+pub fn throughput_timeline(
+    mode: Mode,
+    timing: CrashTiming,
+    scale: Scale,
+) -> Report {
+    let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
+    spec.mode = mode;
+    spec.crashes = vec![(NodeId(0), timing)];
+    run_cluster(spec)
+}
+
+/// Figure 11: latency over throughput with 0/1/5/10 Byzantine stragglers.
+pub fn figure11(scale: Scale) -> Vec<LatencyThroughputPoint> {
+    let mut points = Vec::new();
+    let straggler_counts: &[usize] = if scale.fault_nodes >= 32 { &[0, 1, 5, 10] } else { &[0, 1, 2] };
+    for &count in straggler_counts {
+        for fraction in [0.5, 1.0] {
+            let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
+            spec.total_rate *= fraction;
+            spec.stragglers = (0..count).map(|i| NodeId(i as u32)).collect();
+            let report = run_cluster(spec);
+            points.push(LatencyThroughputPoint {
+                series: format!("{count} stragglers"),
+                kreq_per_sec: report.throughput / 1000.0,
+                latency_secs: report.mean_latency.as_secs_f64(),
+            });
+        }
+    }
+    points
+}
+
+/// Figure 12: throughput over time with one Byzantine straggler.
+pub fn figure12(scale: Scale) -> Report {
+    let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
+    spec.stragglers = vec![NodeId(0)];
+    run_cluster(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_quick_shape_iss_beats_single_leader() {
+        let tiny = Scale { node_counts: &[4], duration_secs: 12, load_factor: 0.3, fault_nodes: 4 };
+        // Only compare the two PBFT series to keep the test fast.
+        let iss = run_cluster(spec_for("ISS-PBFT", Protocol::Pbft, Mode::Iss, 4, tiny));
+        let single = run_cluster(spec_for("PBFT", Protocol::Pbft, Mode::SingleLeader, 4, tiny));
+        assert!(iss.delivered > 0 && single.delivered > 0);
+    }
+
+    #[test]
+    fn crash_timeline_has_epoch_transitions() {
+        let tiny = Scale { node_counts: &[4], duration_secs: 20, load_factor: 0.2, fault_nodes: 4 };
+        let report = throughput_timeline(Mode::Iss, CrashTiming::EpochStart, tiny);
+        assert!(!report.timeline.is_empty());
+        assert!(report.delivered > 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Full-system evaluation harness.
+//!
+//! This crate assembles everything into runnable deployments on the
+//! discrete-event simulator: ISS (or a baseline) over PBFT / HotStuff / Raft
+//! on the 16-datacenter WAN topology with open-loop clients, fault injection
+//! (crashes at epoch start/end, Byzantine stragglers) and metrics collection,
+//! and provides one experiment function per table/figure of the paper's
+//! evaluation (Section 6).
+
+pub mod client_proc;
+pub mod cluster;
+pub mod experiments;
+pub mod factories;
+pub mod metrics;
+
+pub use cluster::{ClusterSpec, CrashTiming, Deployment, Report};
+pub use factories::{make_factory, Protocol};
+pub use metrics::{Metrics, MetricsHandle, MetricsSink};

@@ -1,0 +1,139 @@
+//! Metrics collection: throughput time series, latency statistics and
+//! progress counters, shared between the harness and the node processes.
+
+use iss_core::DeliverySink;
+use iss_types::{EpochNr, NodeId, Request, SeqNr, Time};
+use iss_workload::{LatencyStats, OpenLoopSchedule, ThroughputTimeline};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Aggregated measurements of one run.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests delivered per node.
+    pub delivered_per_node: HashMap<NodeId, u64>,
+    /// Throughput time series measured at the observer node.
+    pub timeline: ThroughputTimeline,
+    /// End-to-end latency (submission to delivery at the observer node).
+    pub latency: LatencyStats,
+    /// Epoch transitions observed at the observer node: (epoch, time).
+    pub epochs: Vec<(EpochNr, Time)>,
+    /// Batches (or ⊥) committed at the observer node.
+    pub batches_committed: u64,
+    /// ⊥ entries committed at the observer node.
+    pub nil_committed: u64,
+    /// The submission schedule used to recompute request submit times.
+    pub schedule: Option<OpenLoopSchedule>,
+    /// The node whose deliveries feed the timeline and latency statistics.
+    pub observer: NodeId,
+}
+
+impl Metrics {
+    /// Creates metrics for a run observed at `observer`.
+    pub fn new(observer: NodeId, schedule: Option<OpenLoopSchedule>) -> Self {
+        Metrics { observer, schedule, ..Default::default() }
+    }
+
+    /// Total requests delivered at the observer node.
+    pub fn observer_delivered(&self) -> u64 {
+        self.delivered_per_node.get(&self.observer).copied().unwrap_or(0)
+    }
+
+    /// Average delivered throughput at the observer over `[from, until)`.
+    pub fn average_throughput(&self, from: Time, until: Time) -> f64 {
+        self.timeline.average_between(from, until)
+    }
+}
+
+/// Shared handle to the run's metrics.
+pub type MetricsHandle = Rc<RefCell<Metrics>>;
+
+/// Creates a fresh shared metrics handle.
+pub fn metrics_handle(observer: NodeId, schedule: Option<OpenLoopSchedule>) -> MetricsHandle {
+    Rc::new(RefCell::new(Metrics::new(observer, schedule)))
+}
+
+/// The [`DeliverySink`] installed into every node, funnelling observations
+/// into the shared [`Metrics`].
+pub struct MetricsSink {
+    metrics: MetricsHandle,
+}
+
+impl MetricsSink {
+    /// Creates a sink backed by the shared metrics.
+    pub fn new(metrics: MetricsHandle) -> Self {
+        MetricsSink { metrics }
+    }
+}
+
+impl DeliverySink for MetricsSink {
+    fn on_request_delivered(&mut self, node: NodeId, request: &Request, _request_seq_nr: u64, now: Time) {
+        let mut m = self.metrics.borrow_mut();
+        *m.delivered_per_node.entry(node).or_insert(0) += 1;
+        if node == m.observer {
+            m.timeline.record(now, 1);
+            if let Some(schedule) = m.schedule {
+                let submitted = schedule.submit_time(request.id.client, request.id.timestamp);
+                m.latency.record(now.saturating_since(submitted));
+            }
+        }
+    }
+
+    fn on_batch_committed(&mut self, node: NodeId, _seq_nr: SeqNr, batch_size: usize, _now: Time) {
+        let mut m = self.metrics.borrow_mut();
+        if node == m.observer {
+            m.batches_committed += 1;
+            if batch_size == 0 {
+                m.nil_committed += 1;
+            }
+        }
+    }
+
+    fn on_epoch_advanced(&mut self, node: NodeId, epoch: EpochNr, now: Time) {
+        let mut m = self.metrics.borrow_mut();
+        if node == m.observer {
+            m.epochs.push((epoch, now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::{ClientId, Duration};
+
+    #[test]
+    fn sink_records_observer_only_series() {
+        let schedule = OpenLoopSchedule::new(1, 100.0, Time::ZERO);
+        let handle = metrics_handle(NodeId(1), Some(schedule));
+        let mut sink = MetricsSink::new(Rc::clone(&handle));
+        let req = Request::synthetic(ClientId(0), 0, 500);
+        sink.on_request_delivered(NodeId(0), &req, 0, Time::from_millis(50));
+        sink.on_request_delivered(NodeId(1), &req, 0, Time::from_millis(80));
+        sink.on_batch_committed(NodeId(1), 0, 1, Time::from_millis(80));
+        sink.on_batch_committed(NodeId(1), 1, 0, Time::from_millis(90));
+        sink.on_epoch_advanced(NodeId(1), 1, Time::from_millis(100));
+
+        let m = handle.borrow();
+        assert_eq!(m.observer_delivered(), 1);
+        assert_eq!(*m.delivered_per_node.get(&NodeId(0)).unwrap(), 1);
+        assert_eq!(m.timeline.total(), 1);
+        assert_eq!(m.batches_committed, 2);
+        assert_eq!(m.nil_committed, 1);
+        assert_eq!(m.epochs, vec![(1, Time::from_millis(100))]);
+        assert_eq!(m.latency.count(), 1);
+    }
+
+    #[test]
+    fn latency_uses_schedule_submit_time() {
+        // Request #10 of a 100 req/s client is submitted at 100 ms; delivered
+        // at 350 ms → latency 250 ms.
+        let schedule = OpenLoopSchedule::new(1, 100.0, Time::ZERO);
+        let handle = metrics_handle(NodeId(0), Some(schedule));
+        let mut sink = MetricsSink::new(Rc::clone(&handle));
+        let req = Request::synthetic(ClientId(0), 10, 500);
+        sink.on_request_delivered(NodeId(0), &req, 0, Time::from_millis(350));
+        assert_eq!(handle.borrow().latency.mean(), Duration::from_millis(250));
+    }
+}

@@ -1,0 +1,160 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by virtual time with a monotonically increasing
+//! sequence number as a tie-breaker, which makes runs fully deterministic for
+//! a given seed and schedule.
+
+use crate::process::Addr;
+use iss_types::{Time, TimerId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event.
+#[derive(Debug)]
+pub enum EventKind<M> {
+    /// Deliver a message to `to`.
+    Deliver {
+        /// Sender address.
+        from: Addr,
+        /// Receiver address.
+        to: Addr,
+        /// The message.
+        msg: M,
+    },
+    /// Fire a timer at `addr`.
+    Timer {
+        /// The process whose timer fires.
+        addr: Addr,
+        /// Timer handle.
+        id: TimerId,
+        /// Opaque tag supplied when the timer was armed.
+        kind: u64,
+    },
+    /// Invoke `on_start` of a process (used at time zero).
+    Start {
+        /// The process to start.
+        addr: Addr,
+    },
+    /// Invoke the message handler after the receiver's CPU becomes free
+    /// (scheduled internally by the runtime's CPU model).
+    Invoke {
+        /// Sender address.
+        from: Addr,
+        /// Receiver address.
+        to: Addr,
+        /// The message.
+        msg: M,
+    },
+}
+
+/// An event plus its firing time.
+#[derive(Debug)]
+pub struct Event<M> {
+    /// Virtual time at which the event fires.
+    pub at: Time,
+    seq: u64,
+    /// What happens.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event queue.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules an event at time `at`.
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::NodeId;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(Time::from_millis(20), EventKind::Start { addr: Addr::Node(NodeId(2)) });
+        q.push(Time::from_millis(10), EventKind::Start { addr: Addr::Node(NodeId(1)) });
+        q.push(Time::from_millis(30), EventKind::Start { addr: Addr::Node(NodeId(3)) });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Time::from_millis(10)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_micros()).collect();
+        assert_eq!(order, vec![10_000, 20_000, 30_000]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = Time::from_millis(5);
+        q.push(t, EventKind::Timer { addr: Addr::Node(NodeId(0)), id: TimerId(1), kind: 1 });
+        q.push(t, EventKind::Timer { addr: Addr::Node(NodeId(0)), id: TimerId(2), kind: 2 });
+        let first = q.pop().unwrap();
+        let second = q.pop().unwrap();
+        match (first.kind, second.kind) {
+            (EventKind::Timer { kind: k1, .. }, EventKind::Timer { kind: k2, .. }) => {
+                assert_eq!((k1, k2), (1, 2));
+            }
+            _ => panic!("unexpected event kinds"),
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Fault injection: crashes, partitions and probabilistic message loss.
+//!
+//! The evaluation of the paper studies crash faults at the start and end of
+//! an epoch (Section 6.4.1) and Byzantine stragglers (Section 6.4.2).
+//! Crashes and partitions are injected here at the network level; straggler
+//! behaviour is a protocol-level misbehaviour implemented in the node logic
+//! (`iss-sim::faults`).
+
+use crate::process::Addr;
+use iss_types::{NodeId, Time};
+use std::collections::HashMap;
+
+/// When a node stops participating.
+#[derive(Clone, Debug, Default)]
+pub struct CrashSchedule {
+    crash_at: HashMap<NodeId, Time>,
+}
+
+impl CrashSchedule {
+    /// Creates an empty schedule (no crashes).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `node` to crash at `at`.
+    pub fn crash(mut self, node: NodeId, at: Time) -> Self {
+        self.crash_at.insert(node, at);
+        self
+    }
+
+    /// Whether `node` has crashed by time `now`.
+    pub fn is_crashed(&self, node: NodeId, now: Time) -> bool {
+        self.crash_at.get(&node).is_some_and(|t| now >= *t)
+    }
+
+    /// The set of nodes that ever crash.
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<_> = self.crash_at.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// A network partition separating two groups of nodes during a time window.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// One side of the partition.
+    pub group_a: Vec<NodeId>,
+    /// The other side.
+    pub group_b: Vec<NodeId>,
+    /// Start of the partition (inclusive).
+    pub from: Time,
+    /// End of the partition (exclusive). Communication heals at this time —
+    /// this models the global stabilization time (GST) of the partial
+    /// synchrony assumption.
+    pub until: Time,
+}
+
+impl Partition {
+    /// Whether a message between `a` and `b` sent at `now` is blocked.
+    pub fn blocks(&self, a: Addr, b: Addr, now: Time) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        let (Some(na), Some(nb)) = (a.as_node(), b.as_node()) else {
+            return false;
+        };
+        (self.group_a.contains(&na) && self.group_b.contains(&nb))
+            || (self.group_a.contains(&nb) && self.group_b.contains(&na))
+    }
+}
+
+/// Complete fault configuration for a run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// Crash schedule.
+    pub crashes: CrashSchedule,
+    /// Active partitions.
+    pub partitions: Vec<Partition>,
+    /// Probability of dropping any node-to-node message before `gst`.
+    pub pre_gst_drop_probability: f64,
+    /// Global stabilization time; after this no message is dropped.
+    pub gst: Time,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether a message from `from` to `to` at `now` must be dropped
+    /// deterministically (crash or partition). Probabilistic loss is decided
+    /// by the runtime using its RNG and [`FaultConfig::pre_gst_drop_probability`].
+    pub fn drops(&self, from: Addr, to: Addr, now: Time) -> bool {
+        if let Some(n) = from.as_node() {
+            if self.crashes.is_crashed(n, now) {
+                return true;
+            }
+        }
+        if let Some(n) = to.as_node() {
+            if self.crashes.is_crashed(n, now) {
+                return true;
+            }
+        }
+        self.partitions.iter().any(|p| p.blocks(from, to, now))
+    }
+
+    /// Whether probabilistic loss applies at `now`.
+    pub fn lossy_at(&self, now: Time) -> bool {
+        self.pre_gst_drop_probability > 0.0 && now < self.gst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_schedule_applies_from_crash_time() {
+        let s = CrashSchedule::none().crash(NodeId(3), Time::from_secs(10));
+        assert!(!s.is_crashed(NodeId(3), Time::from_secs(9)));
+        assert!(s.is_crashed(NodeId(3), Time::from_secs(10)));
+        assert!(!s.is_crashed(NodeId(1), Time::from_secs(100)));
+        assert_eq!(s.crashed_nodes(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_node_traffic_only() {
+        let p = Partition {
+            group_a: vec![NodeId(0), NodeId(1)],
+            group_b: vec![NodeId(2), NodeId(3)],
+            from: Time::from_secs(1),
+            until: Time::from_secs(2),
+        };
+        let a = Addr::Node(NodeId(0));
+        let b = Addr::Node(NodeId(2));
+        assert!(!p.blocks(a, b, Time::from_millis(500)));
+        assert!(p.blocks(a, b, Time::from_millis(1500)));
+        assert!(p.blocks(b, a, Time::from_millis(1500)));
+        assert!(!p.blocks(a, b, Time::from_secs(2)));
+        // Same-group traffic unaffected.
+        assert!(!p.blocks(a, Addr::Node(NodeId(1)), Time::from_millis(1500)));
+        // Client traffic unaffected.
+        assert!(!p.blocks(a, Addr::Client(iss_types::ClientId(0)), Time::from_millis(1500)));
+    }
+
+    #[test]
+    fn fault_config_combines_sources() {
+        let cfg = FaultConfig {
+            crashes: CrashSchedule::none().crash(NodeId(1), Time::from_secs(5)),
+            partitions: vec![Partition {
+                group_a: vec![NodeId(0)],
+                group_b: vec![NodeId(2)],
+                from: Time::ZERO,
+                until: Time::from_secs(1),
+            }],
+            pre_gst_drop_probability: 0.1,
+            gst: Time::from_secs(3),
+        };
+        assert!(cfg.drops(Addr::Node(NodeId(1)), Addr::Node(NodeId(0)), Time::from_secs(6)));
+        assert!(cfg.drops(Addr::Node(NodeId(0)), Addr::Node(NodeId(1)), Time::from_secs(6)));
+        assert!(cfg.drops(Addr::Node(NodeId(0)), Addr::Node(NodeId(2)), Time::from_millis(500)));
+        assert!(!cfg.drops(Addr::Node(NodeId(0)), Addr::Node(NodeId(2)), Time::from_secs(2)));
+        assert!(cfg.lossy_at(Time::from_secs(1)));
+        assert!(!cfg.lossy_at(Time::from_secs(4)));
+        assert!(!FaultConfig::none().drops(
+            Addr::Node(NodeId(0)),
+            Addr::Node(NodeId(1)),
+            Time::ZERO
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic discrete-event network and CPU simulator.
+//!
+//! This crate is the substitute for the paper's physical testbed (a WAN of
+//! 16 IBM-Cloud datacenters with 1 Gbps interfaces and 32-vCPU machines, see
+//! `DESIGN.md`). It simulates:
+//!
+//! * **virtual time** — a global event queue ordered by [`iss_types::Time`];
+//! * **WAN latency** — a 16-datacenter round-trip-time matrix
+//!   ([`topology`]);
+//! * **bandwidth** — per-node, per-interface (client-facing "public" and
+//!   node-facing "private") serialization delay at a configurable line rate
+//!   ([`bandwidth`]);
+//! * **CPU** — a per-node processing-cost model that serializes message
+//!   handling ([`cpu`]);
+//! * **faults** — crash schedules, network partitions and probabilistic
+//!   message drops before GST ([`fault`]).
+//!
+//! Protocol code is written against the [`process::Process`] /
+//! [`process::Context`] interface and is completely unaware of whether it
+//! runs on the simulator or on a real transport.
+
+pub mod bandwidth;
+pub mod cpu;
+pub mod event;
+pub mod fault;
+pub mod process;
+pub mod runtime;
+pub mod topology;
+
+pub use bandwidth::BandwidthConfig;
+pub use cpu::CpuModel;
+pub use fault::{CrashSchedule, FaultConfig, Partition};
+pub use process::{Addr, Context, Payload, Process};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeStats};
+pub use topology::{Datacenter, Topology};

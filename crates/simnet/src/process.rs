@@ -1,0 +1,245 @@
+//! The process model: every simulated participant (replica or client)
+//! implements [`Process`] and interacts with the world exclusively through a
+//! [`Context`].
+//!
+//! Keeping the interface this narrow makes protocol state machines
+//! deterministic and lets the same implementation run on the discrete-event
+//! simulator and on a real (threaded) transport.
+
+use iss_types::{ClientId, Duration, NodeId, Time, TimerId};
+use rand::rngs::StdRng;
+
+/// Address of a simulated participant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Addr {
+    /// A replica.
+    Node(NodeId),
+    /// A client.
+    Client(ClientId),
+}
+
+impl Addr {
+    /// Whether the address denotes a replica.
+    pub fn is_node(&self) -> bool {
+        matches!(self, Addr::Node(_))
+    }
+
+    /// Returns the node identifier if this is a node address.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Addr::Node(n) => Some(*n),
+            Addr::Client(_) => None,
+        }
+    }
+
+    /// Returns the client identifier if this is a client address.
+    pub fn as_client(&self) -> Option<ClientId> {
+        match self {
+            Addr::Client(c) => Some(*c),
+            Addr::Node(_) => None,
+        }
+    }
+}
+
+impl From<NodeId> for Addr {
+    fn from(n: NodeId) -> Self {
+        Addr::Node(n)
+    }
+}
+
+impl From<ClientId> for Addr {
+    fn from(c: ClientId) -> Self {
+        Addr::Client(c)
+    }
+}
+
+/// Anything that can travel over the simulated network.
+///
+/// Re-exported from [`iss_types::payload`] so protocol crates can implement
+/// it without depending on the simulator.
+pub use iss_types::Payload;
+
+/// Actions a process can request from the runtime during a single callback.
+#[derive(Debug)]
+pub enum Action<M> {
+    /// Send `msg` to `to`.
+    Send {
+        /// Destination address.
+        to: Addr,
+        /// The message.
+        msg: M,
+    },
+    /// Arm a timer firing after `delay`, identified by `id` and carrying the
+    /// opaque `kind` tag back to the process.
+    SetTimer {
+        /// Handle assigned by the context.
+        id: TimerId,
+        /// Delay until the timer fires.
+        delay: Duration,
+        /// Opaque tag passed back in `on_timer`.
+        kind: u64,
+    },
+    /// Cancel a previously armed timer.
+    CancelTimer {
+        /// Handle of the timer to cancel.
+        id: TimerId,
+    },
+}
+
+/// Execution context handed to a process on every callback.
+///
+/// The context *buffers* actions; the runtime applies them after the callback
+/// returns, which keeps the borrow structure simple and the execution
+/// deterministic.
+pub struct Context<'a, M> {
+    now: Time,
+    self_addr: Addr,
+    next_timer: &'a mut u64,
+    pub(crate) actions: Vec<Action<M>>,
+    rng: &'a mut StdRng,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Creates a context (used by runtimes; protocol code never constructs
+    /// one).
+    pub fn new(now: Time, self_addr: Addr, next_timer: &'a mut u64, rng: &'a mut StdRng) -> Self {
+        Context { now, self_addr, next_timer, actions: Vec::new(), rng }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The address of the process being invoked.
+    pub fn self_addr(&self) -> Addr {
+        self.self_addr
+    }
+
+    /// Sends a message to another participant.
+    pub fn send(&mut self, to: Addr, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends the same message to every node in `nodes` except the sender
+    /// itself (self-delivery, when needed, is the caller's responsibility —
+    /// protocols in this codebase handle their own state locally).
+    pub fn broadcast(&mut self, nodes: &[NodeId], msg: M)
+    where
+        M: Clone,
+    {
+        for &n in nodes {
+            if Addr::Node(n) != self.self_addr {
+                self.send(Addr::Node(n), msg.clone());
+            }
+        }
+    }
+
+    /// Arms a timer; the returned handle can be used to cancel it.
+    pub fn set_timer(&mut self, delay: Duration, kind: u64) -> TimerId {
+        *self.next_timer += 1;
+        let id = TimerId(*self.next_timer);
+        self.actions.push(Action::SetTimer { id, delay, kind });
+        id
+    }
+
+    /// Cancels a timer; firing of cancelled timers is suppressed.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Deterministic random number generator (seeded per run).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Drains the buffered actions (runtime use).
+    pub fn take_actions(self) -> Vec<Action<M>> {
+        self.actions
+    }
+}
+
+/// A deterministic, event-driven participant.
+pub trait Process<M: Payload> {
+    /// Invoked once when the run starts.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>);
+
+    /// Invoked when a message from `from` is delivered to this process.
+    fn on_message(&mut self, from: Addr, msg: M, ctx: &mut Context<'_, M>);
+
+    /// Invoked when a timer armed by this process fires. `kind` is the tag
+    /// passed to [`Context::set_timer`].
+    fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<'_, M>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct Msg(usize);
+    impl Payload for Msg {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn addr_helpers() {
+        let n: Addr = NodeId(1).into();
+        let c: Addr = ClientId(2).into();
+        assert!(n.is_node());
+        assert!(!c.is_node());
+        assert_eq!(n.as_node(), Some(NodeId(1)));
+        assert_eq!(n.as_client(), None);
+        assert_eq!(c.as_client(), Some(ClientId(2)));
+        assert_eq!(c.as_node(), None);
+    }
+
+    #[test]
+    fn context_buffers_actions() {
+        let mut next = 0u64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = Context::new(Time::from_secs(1), Addr::Node(NodeId(0)), &mut next, &mut rng);
+        assert_eq!(ctx.now(), Time::from_secs(1));
+        assert_eq!(ctx.self_addr(), Addr::Node(NodeId(0)));
+        ctx.send(Addr::Node(NodeId(1)), Msg(10));
+        let t = ctx.set_timer(Duration::from_millis(5), 7);
+        ctx.cancel_timer(t);
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 3);
+        assert!(matches!(actions[0], Action::Send { to: Addr::Node(NodeId(1)), .. }));
+        assert!(matches!(actions[1], Action::SetTimer { kind: 7, .. }));
+        assert!(matches!(actions[2], Action::CancelTimer { .. }));
+    }
+
+    #[test]
+    fn broadcast_excludes_self() {
+        let mut next = 0u64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = Context::new(Time::ZERO, Addr::Node(NodeId(0)), &mut next, &mut rng);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        ctx.broadcast(&nodes, Msg(1));
+        let sends: Vec<_> = ctx
+            .take_actions()
+            .into_iter()
+            .filter_map(|a| match a {
+                Action::Send { to, .. } => Some(to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends, vec![Addr::Node(NodeId(1)), Addr::Node(NodeId(2)), Addr::Node(NodeId(3))]);
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut next = 0u64;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx: Context<'_, Msg> =
+            Context::new(Time::ZERO, Addr::Node(NodeId(0)), &mut next, &mut rng);
+        let a = ctx.set_timer(Duration::from_millis(1), 0);
+        let b = ctx.set_timer(Duration::from_millis(1), 0);
+        assert_ne!(a, b);
+    }
+}

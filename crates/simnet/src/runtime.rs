@@ -1,0 +1,483 @@
+//! The discrete-event simulation runtime.
+//!
+//! [`Runtime`] owns the registered processes, the event queue, the network
+//! (topology + bandwidth), the CPU model and the fault configuration, and
+//! advances virtual time by executing events in order. Runs are fully
+//! deterministic for a given seed and configuration.
+
+use crate::bandwidth::{BandwidthConfig, InterfaceState};
+use crate::cpu::{CpuModel, CpuState};
+use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultConfig;
+use crate::process::{Action, Addr, Context, Payload, Process};
+use crate::topology::Topology;
+use iss_types::{Duration, Time, TimerId};
+use rand::{Rng, SeedableRng};
+use rand::rngs::StdRng;
+use std::collections::{HashMap, HashSet};
+
+/// Static configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Datacenter placement and latency.
+    pub topology: Topology,
+    /// Interface bandwidth.
+    pub bandwidth: BandwidthConfig,
+    /// CPU cost model applied to node (not client) message handling.
+    pub cpu: CpuModel,
+    /// Fault injection.
+    pub faults: FaultConfig,
+    /// RNG seed; two runs with identical configuration and seed produce
+    /// identical schedules.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// The paper's testbed: 16-datacenter WAN, 1 Gbps interfaces, 32-core
+    /// nodes, no faults.
+    pub fn testbed() -> Self {
+        RuntimeConfig {
+            topology: Topology::wan16(),
+            bandwidth: BandwidthConfig::gigabit(),
+            cpu: CpuModel::testbed(),
+            faults: FaultConfig::none(),
+            seed: 42,
+        }
+    }
+
+    /// A fast, idealized configuration for unit tests: single datacenter,
+    /// unlimited bandwidth, free CPU.
+    pub fn ideal() -> Self {
+        RuntimeConfig {
+            topology: Topology::lan(Duration::from_micros(100)),
+            bandwidth: BandwidthConfig::unlimited(),
+            cpu: CpuModel::free(),
+            faults: FaultConfig::none(),
+            seed: 7,
+        }
+    }
+}
+
+/// Counters maintained by the runtime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeStats {
+    /// Messages accepted for transmission.
+    pub messages_sent: u64,
+    /// Bytes accepted for transmission (wire sizes).
+    pub bytes_sent: u64,
+    /// Messages dropped by crashes, partitions or pre-GST loss.
+    pub messages_dropped: u64,
+    /// Events executed.
+    pub events_processed: u64,
+    /// Timers fired (after cancellation filtering).
+    pub timers_fired: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Runtime<M: Payload> {
+    config: RuntimeConfig,
+    processes: HashMap<Addr, Box<dyn Process<M>>>,
+    queue: EventQueue<M>,
+    interfaces: InterfaceState,
+    cpus: HashMap<Addr, CpuState>,
+    cancelled_timers: HashSet<TimerId>,
+    now: Time,
+    next_timer: u64,
+    rng: StdRng,
+    stats: RuntimeStats,
+    started: bool,
+}
+
+impl<M: Payload> Runtime<M> {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Runtime {
+            config,
+            processes: HashMap::new(),
+            queue: EventQueue::new(),
+            interfaces: InterfaceState::new(),
+            cpus: HashMap::new(),
+            cancelled_timers: HashSet::new(),
+            now: Time::ZERO,
+            next_timer: 0,
+            rng,
+            stats: RuntimeStats::default(),
+            started: false,
+        }
+    }
+
+    /// Registers a process under the given address. Node addresses get a CPU
+    /// governed by the configured cost model; clients are assumed to have
+    /// ample CPU.
+    pub fn add_process(&mut self, addr: Addr, process: Box<dyn Process<M>>) {
+        if addr.is_node() {
+            self.cpus.insert(addr, CpuState::new(self.config.cpu.cores));
+        }
+        self.processes.insert(addr, process);
+        self.queue.push(Time::ZERO, EventKind::Start { addr });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Runtime statistics so far.
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// Immutable access to the run configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Runs the simulation until virtual time `until` (inclusive) or until no
+    /// events remain, whichever comes first. Returns the number of events
+    /// processed by this call.
+    pub fn run_until(&mut self, until: Time) -> u64 {
+        self.started = true;
+        let mut processed = 0u64;
+        while let Some(at) = self.queue.peek_time() {
+            if at > until {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            self.now = event.at;
+            self.dispatch(event.kind);
+            processed += 1;
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        processed
+    }
+
+    /// Runs until the event queue drains completely (useful for tests; liveness
+    /// protocols with periodic timers never drain, so prefer
+    /// [`Runtime::run_until`] for those).
+    pub fn run_to_quiescence(&mut self, hard_limit: Time) -> u64 {
+        self.run_until(hard_limit)
+    }
+
+    fn dispatch(&mut self, kind: EventKind<M>) {
+        self.stats.events_processed += 1;
+        match kind {
+            EventKind::Start { addr } => {
+                self.invoke(addr, |process, ctx| process.on_start(ctx));
+            }
+            EventKind::Deliver { from, to, msg } => {
+                // Receiver may have crashed while the message was in flight.
+                if self.addr_crashed(to) {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                // Charge the receiver's CPU; if it is busy, defer the invocation.
+                let completion = if let Some(cpu) = self.cpus.get_mut(&to) {
+                    let cost = self
+                        .config
+                        .cpu
+                        .message_cost(msg.num_requests(), msg.wire_size());
+                    cpu.schedule(self.now, cost)
+                } else {
+                    self.now
+                };
+                if completion > self.now {
+                    self.queue.push(completion, EventKind::Invoke { from, to, msg });
+                } else {
+                    self.invoke(to, |process, ctx| process.on_message(from, msg, ctx));
+                }
+            }
+            EventKind::Invoke { from, to, msg } => {
+                if self.addr_crashed(to) {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                self.invoke(to, |process, ctx| process.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { addr, id, kind } => {
+                if self.cancelled_timers.remove(&id) {
+                    return;
+                }
+                if self.addr_crashed(addr) {
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                self.invoke(addr, |process, ctx| process.on_timer(id, kind, ctx));
+            }
+        }
+    }
+
+    fn addr_crashed(&self, addr: Addr) -> bool {
+        addr.as_node()
+            .is_some_and(|n| self.config.faults.crashes.is_crashed(n, self.now))
+    }
+
+    fn invoke<F>(&mut self, addr: Addr, f: F)
+    where
+        F: FnOnce(&mut dyn Process<M>, &mut Context<'_, M>),
+    {
+        if self.addr_crashed(addr) {
+            return;
+        }
+        let Some(mut process) = self.processes.remove(&addr) else {
+            return;
+        };
+        let mut ctx = Context::new(self.now, addr, &mut self.next_timer, &mut self.rng);
+        f(process.as_mut(), &mut ctx);
+        let actions = ctx.take_actions();
+        self.processes.insert(addr, process);
+        self.apply_actions(addr, actions);
+    }
+
+    fn apply_actions(&mut self, source: Addr, actions: Vec<Action<M>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.send(source, to, msg),
+                Action::SetTimer { id, delay, kind } => {
+                    self.queue
+                        .push(self.now + delay, EventKind::Timer { addr: source, id, kind });
+                }
+                Action::CancelTimer { id } => {
+                    self.cancelled_timers.insert(id);
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, from: Addr, to: Addr, msg: M) {
+        // Deterministic drops: crashes and partitions.
+        if self.config.faults.drops(from, to, self.now) {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        // Probabilistic loss before GST (models asynchrony before stabilization).
+        if self.config.faults.lossy_at(self.now)
+            && self.rng.gen::<f64>() < self.config.faults.pre_gst_drop_probability
+        {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let size = msg.wire_size();
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += size as u64;
+
+        // Local delivery (a process sending to itself) skips the network.
+        if from == to {
+            self.queue.push(self.now, EventKind::Deliver { from, to, msg });
+            return;
+        }
+
+        let (sent_at, _) = self
+            .interfaces
+            .schedule(&self.config.bandwidth, self.now, from, to, size);
+        let base_latency = self.config.topology.latency(from, to);
+        let jitter = if self.config.topology.jitter_us > 0 {
+            Duration::from_micros(self.rng.gen_range(0..=self.config.topology.jitter_us))
+        } else {
+            Duration::ZERO
+        };
+        let arrival = self
+            .interfaces
+            .receive(&self.config.bandwidth, sent_at + base_latency + jitter, from, to, size);
+        self.queue.push(arrival, EventKind::Deliver { from, to, msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::CrashSchedule;
+    use iss_types::NodeId;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Clone, Debug)]
+    struct Ping {
+        hops: u32,
+        size: usize,
+    }
+    impl Payload for Ping {
+        fn wire_size(&self) -> usize {
+            self.size
+        }
+    }
+
+    /// A process that forwards a ping around a ring a fixed number of times.
+    struct RingNode {
+        id: NodeId,
+        n: u32,
+        max_hops: u32,
+        log: Rc<RefCell<Vec<(Time, NodeId, u32)>>>,
+    }
+
+    impl Process<Ping> for RingNode {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            if self.id == NodeId(0) {
+                ctx.send(Addr::Node(NodeId(1 % self.n)), Ping { hops: 1, size: 100 });
+            }
+        }
+        fn on_message(&mut self, _from: Addr, msg: Ping, ctx: &mut Context<'_, Ping>) {
+            self.log.borrow_mut().push((ctx.now(), self.id, msg.hops));
+            if msg.hops < self.max_hops {
+                let next = NodeId((self.id.0 + 1) % self.n);
+                ctx.send(Addr::Node(next), Ping { hops: msg.hops + 1, size: msg.size });
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Context<'_, Ping>) {}
+    }
+
+    fn ring_runtime(
+        config: RuntimeConfig,
+        n: u32,
+        max_hops: u32,
+    ) -> (Runtime<Ping>, Rc<RefCell<Vec<(Time, NodeId, u32)>>>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut rt = Runtime::new(config);
+        for i in 0..n {
+            rt.add_process(
+                Addr::Node(NodeId(i)),
+                Box::new(RingNode { id: NodeId(i), n, max_hops, log: Rc::clone(&log) }),
+            );
+        }
+        (rt, log)
+    }
+
+    #[test]
+    fn ring_ping_visits_every_node_in_order() {
+        let (mut rt, log) = ring_runtime(RuntimeConfig::ideal(), 4, 8);
+        rt.run_until(Time::from_secs(10));
+        let hops: Vec<u32> = log.borrow().iter().map(|(_, _, h)| *h).collect();
+        assert_eq!(hops, (1..=8).collect::<Vec<_>>());
+        // Virtual time advances with each hop.
+        let times: Vec<Time> = log.borrow().iter().map(|(t, _, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(rt.stats().messages_sent >= 8);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_schedules() {
+        let (mut a, log_a) = ring_runtime(RuntimeConfig::testbed(), 4, 12);
+        let (mut b, log_b) = ring_runtime(RuntimeConfig::testbed(), 4, 12);
+        a.run_until(Time::from_secs(30));
+        b.run_until(Time::from_secs(30));
+        assert_eq!(*log_a.borrow(), *log_b.borrow());
+    }
+
+    #[test]
+    fn different_seeds_change_jitter_but_not_logic() {
+        let mut cfg = RuntimeConfig::testbed();
+        cfg.seed = 1;
+        let (mut a, log_a) = ring_runtime(cfg.clone(), 4, 6);
+        cfg.seed = 2;
+        let (mut b, log_b) = ring_runtime(cfg, 4, 6);
+        a.run_until(Time::from_secs(30));
+        b.run_until(Time::from_secs(30));
+        let hops_a: Vec<u32> = log_a.borrow().iter().map(|(_, _, h)| *h).collect();
+        let hops_b: Vec<u32> = log_b.borrow().iter().map(|(_, _, h)| *h).collect();
+        assert_eq!(hops_a, hops_b);
+    }
+
+    #[test]
+    fn crashed_nodes_stop_receiving() {
+        let mut cfg = RuntimeConfig::ideal();
+        cfg.faults.crashes = CrashSchedule::none().crash(NodeId(2), Time::ZERO);
+        let (mut rt, log) = ring_runtime(cfg, 4, 8);
+        rt.run_until(Time::from_secs(10));
+        // The ping dies when it reaches the crashed node 2.
+        let visited: Vec<NodeId> = log.borrow().iter().map(|(_, n, _)| *n).collect();
+        assert!(visited.contains(&NodeId(1)));
+        assert!(!visited.contains(&NodeId(2)));
+        assert!(rt.stats().messages_dropped >= 1);
+    }
+
+    #[test]
+    fn wan_latency_dominates_ideal_latency() {
+        let (mut ideal, log_ideal) = ring_runtime(RuntimeConfig::ideal(), 4, 4);
+        ideal.run_until(Time::from_secs(30));
+        let (mut wan, log_wan) = ring_runtime(RuntimeConfig::testbed(), 4, 4);
+        wan.run_until(Time::from_secs(30));
+        let end_ideal = log_ideal.borrow().last().map(|(t, _, _)| *t).unwrap();
+        let end_wan = log_wan.borrow().last().map(|(t, _, _)| *t).unwrap();
+        assert!(end_wan > end_ideal, "WAN must be slower than the ideal LAN");
+        assert!(end_wan >= Time::from_millis(100), "4 cross-continent hops take >100ms");
+    }
+
+    /// A process that arms and cancels timers.
+    struct TimerNode {
+        fired: Rc<RefCell<Vec<u64>>>,
+    }
+    impl Process<Ping> for TimerNode {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            let keep = ctx.set_timer(Duration::from_millis(10), 1);
+            let cancel = ctx.set_timer(Duration::from_millis(20), 2);
+            ctx.cancel_timer(cancel);
+            let _ = keep;
+            ctx.set_timer(Duration::from_millis(30), 3);
+        }
+        fn on_message(&mut self, _f: Addr, _m: Ping, _c: &mut Context<'_, Ping>) {}
+        fn on_timer(&mut self, _id: TimerId, kind: u64, _ctx: &mut Context<'_, Ping>) {
+            self.fired.borrow_mut().push(kind);
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut rt: Runtime<Ping> = Runtime::new(RuntimeConfig::ideal());
+        rt.add_process(Addr::Node(NodeId(0)), Box::new(TimerNode { fired: Rc::clone(&fired) }));
+        rt.run_until(Time::from_secs(1));
+        assert_eq!(*fired.borrow(), vec![1, 3]);
+        assert_eq!(rt.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut rt: Runtime<Ping> = Runtime::new(RuntimeConfig::ideal());
+        rt.run_until(Time::from_secs(5));
+        assert_eq!(rt.now(), Time::from_secs(5));
+    }
+
+    #[test]
+    fn cpu_model_defers_processing_under_load() {
+        // One node, free network, expensive CPU: messages queue up on the CPU.
+        let mut cfg = RuntimeConfig::ideal();
+        cfg.cpu = CpuModel {
+            cores: 1,
+            per_message: Duration::from_millis(10),
+            per_request: Duration::ZERO,
+            per_byte_ns: 0.0,
+        };
+        struct Sink {
+            times: Rc<RefCell<Vec<Time>>>,
+        }
+        impl Process<Ping> for Sink {
+            fn on_start(&mut self, _ctx: &mut Context<'_, Ping>) {}
+            fn on_message(&mut self, _f: Addr, _m: Ping, ctx: &mut Context<'_, Ping>) {
+                self.times.borrow_mut().push(ctx.now());
+            }
+            fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<'_, Ping>) {}
+        }
+        struct Burst;
+        impl Process<Ping> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                for _ in 0..3 {
+                    ctx.send(Addr::Node(NodeId(1)), Ping { hops: 0, size: 10 });
+                }
+            }
+            fn on_message(&mut self, _f: Addr, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<'_, Ping>) {}
+        }
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let mut rt: Runtime<Ping> = Runtime::new(cfg);
+        rt.add_process(Addr::Node(NodeId(0)), Box::new(Burst));
+        rt.add_process(Addr::Node(NodeId(1)), Box::new(Sink { times: Rc::clone(&times) }));
+        rt.run_until(Time::from_secs(1));
+        let times = times.borrow();
+        assert_eq!(times.len(), 3);
+        // Second and third messages are delayed by CPU occupancy (10 ms each).
+        assert!(times[1].as_micros() >= times[0].as_micros() + 10_000);
+        assert!(times[2].as_micros() >= times[1].as_micros() + 10_000);
+    }
+}

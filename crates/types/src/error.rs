@@ -1,0 +1,90 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used by fallible APIs in the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the ISS library and its substrates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A message, proposal or request failed validation.
+    InvalidInput(String),
+    /// A cryptographic check (signature, digest, certificate) failed.
+    CryptoFailure(String),
+    /// Decoding a wire message failed.
+    Codec(String),
+    /// The operation refers to an unknown node, client, instance or epoch.
+    Unknown(String),
+    /// The operation is not permitted in the current protocol state.
+    InvalidState(String),
+    /// A resource limit (watermark window, queue capacity, …) was exceeded.
+    LimitExceeded(String),
+    /// Configuration is inconsistent or unsupported.
+    Config(String),
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidInput`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidInput(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::InvalidState`].
+    pub fn state(msg: impl Into<String>) -> Self {
+        Error::InvalidState(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            Error::CryptoFailure(m) => write!(f, "cryptographic check failed: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Unknown(m) => write!(f, "unknown entity: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(
+            Error::invalid("bad request").to_string(),
+            "invalid input: bad request"
+        );
+        assert_eq!(
+            Error::CryptoFailure("sig".into()).to_string(),
+            "cryptographic check failed: sig"
+        );
+        assert_eq!(Error::Codec("eof".into()).to_string(), "codec error: eof");
+        assert_eq!(
+            Error::state("not leader").to_string(),
+            "invalid state: not leader"
+        );
+        assert_eq!(
+            Error::config("n < 3f+1").to_string(),
+            "configuration error: n < 3f+1"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::Unknown("node".into()));
+    }
+}

@@ -1,0 +1,27 @@
+//! Common identifiers, request/batch types, time, configuration and errors
+//! shared by every crate of the ISS reproduction.
+//!
+//! The types in this crate mirror the vocabulary of the paper
+//! *State-Machine Replication Scalability Made Simple* (EuroSys'22):
+//! nodes, clients, buckets, sequence numbers, epochs, segments, requests and
+//! batches. They carry no protocol logic; the ISS framework lives in
+//! `iss-core`, the ordering protocols in `iss-pbft` / `iss-hotstuff` /
+//! `iss-raft`.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod payload;
+pub mod request;
+pub mod segment;
+pub mod time;
+
+pub use config::{IssConfig, LeaderPolicyKind, ProtocolKind};
+pub use error::{Error, Result};
+pub use ids::{
+    BucketId, ClientId, EpochNr, InstanceId, NodeId, ReqTimestamp, SeqNr, TimerId, ViewNr,
+};
+pub use payload::Payload;
+pub use request::{Batch, BatchDigest, Request, RequestId};
+pub use segment::Segment;
+pub use time::{Duration, Time};

@@ -1,0 +1,50 @@
+//! The [`Payload`] trait: anything that can travel over a transport.
+//!
+//! It lives in `iss-types` so that both the network simulator (`iss-simnet`)
+//! and the wire-message definitions (`iss-messages`) can reference it without
+//! depending on each other.
+
+/// Anything that can travel over the (simulated or real) network.
+pub trait Payload: Clone {
+    /// Number of bytes the message occupies on the wire (used by the
+    /// bandwidth model and by transport statistics).
+    fn wire_size(&self) -> usize;
+
+    /// Number of client requests carried by the message (used by the CPU
+    /// model to charge per-request processing such as signature
+    /// verification). Defaults to zero.
+    fn num_requests(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Fixed;
+    impl Payload for Fixed {
+        fn wire_size(&self) -> usize {
+            10
+        }
+    }
+
+    #[test]
+    fn default_num_requests_is_zero() {
+        assert_eq!(Fixed.num_requests(), 0);
+        assert_eq!(Fixed.wire_size(), 10);
+    }
+
+    #[test]
+    fn bytes_payload_uses_length() {
+        let v = vec![0u8; 123];
+        assert_eq!(v.wire_size(), 123);
+    }
+}

@@ -1,0 +1,226 @@
+//! Client requests and request batches.
+//!
+//! A request `r = (o, id)` carries an opaque payload `o` and a unique
+//! identifier `id = (t, c)` where `t` is a per-client logical timestamp and
+//! `c` the client identity (Section 2.1 of the paper). Requests are grouped
+//! into batches; ISS agrees on the assignment of one batch to every log
+//! sequence number.
+
+use crate::ids::{BucketId, ClientId, ReqTimestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique request identifier `id = (t, c)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId {
+    /// The submitting client.
+    pub client: ClientId,
+    /// The client's logical timestamp (per-client sequence number).
+    pub timestamp: ReqTimestamp,
+}
+
+impl RequestId {
+    /// Creates a request identifier.
+    pub fn new(client: ClientId, timestamp: ReqTimestamp) -> Self {
+        RequestId { client, timestamp }
+    }
+
+    /// Maps the request to its bucket using the paper's payload-independent
+    /// hash `b = (c || t) mod |B|` (Section 3.7).
+    ///
+    /// The payload is deliberately excluded so malicious clients cannot bias
+    /// the distribution of requests over buckets by crafting payloads.
+    pub fn bucket(&self, num_buckets: usize) -> BucketId {
+        debug_assert!(num_buckets > 0, "bucket count must be positive");
+        // A small multiplicative mix of (c, t); deterministic and uniform for
+        // the identifier space clients are allowed to use (watermarks bound t).
+        let c = self.client.0 as u64;
+        let mixed = c
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.timestamp.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        let mixed = (mixed ^ (mixed >> 31)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mixed = mixed ^ (mixed >> 29);
+        BucketId((mixed % num_buckets as u64) as u32)
+    }
+}
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.timestamp)
+    }
+}
+
+/// A client request: payload plus identifier plus the client's signature.
+///
+/// In the simulator the payload is usually represented only by its size
+/// (`payload_size`) to keep memory bounded; the `payload` vector is used by
+/// the real (in-process) deployment path and the examples.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique identifier `(t, c)`.
+    pub id: RequestId,
+    /// Opaque operation payload (may be empty when only the size matters).
+    pub payload: Vec<u8>,
+    /// Size in bytes the payload occupies on the wire. For requests carrying
+    /// a real payload this equals `payload.len()`.
+    pub payload_size: u32,
+    /// Client signature over `(id, payload)`. Empty when signatures are
+    /// disabled (e.g. the Raft configuration of Table 1).
+    pub signature: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a request with a real payload.
+    pub fn new(client: ClientId, timestamp: ReqTimestamp, payload: Vec<u8>) -> Self {
+        let payload_size = payload.len() as u32;
+        Request {
+            id: RequestId::new(client, timestamp),
+            payload,
+            payload_size,
+            signature: Vec::new(),
+        }
+    }
+
+    /// Creates a request that carries only a payload size (simulation mode).
+    pub fn synthetic(client: ClientId, timestamp: ReqTimestamp, payload_size: u32) -> Self {
+        Request {
+            id: RequestId::new(client, timestamp),
+            payload: Vec::new(),
+            payload_size,
+            signature: Vec::new(),
+        }
+    }
+
+    /// Attaches a signature, returning the signed request.
+    pub fn with_signature(mut self, signature: Vec<u8>) -> Self {
+        self.signature = signature;
+        self
+    }
+
+    /// Maps the request to its bucket (see [`RequestId::bucket`]).
+    pub fn bucket(&self, num_buckets: usize) -> BucketId {
+        self.id.bucket(num_buckets)
+    }
+
+    /// Approximate number of bytes this request occupies on the wire:
+    /// identifier, payload and signature.
+    pub fn wire_size(&self) -> usize {
+        12 + self.payload_size as usize + self.signature.len()
+    }
+}
+
+impl fmt::Debug for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Request({:?}, {}B)", self.id, self.payload_size)
+    }
+}
+
+/// Digest of a batch (32 bytes). Computed by `iss-crypto`; stored here so the
+/// type is available without a dependency cycle.
+pub type BatchDigest = [u8; 32];
+
+/// A batch of client requests assigned (or proposed for assignment) to one
+/// log sequence number.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Batch {
+    /// The requests in proposal order.
+    pub requests: Vec<Request>,
+}
+
+impl Batch {
+    /// Creates a batch from a list of requests.
+    pub fn new(requests: Vec<Request>) -> Self {
+        Batch { requests }
+    }
+
+    /// The empty batch (used for heartbeat proposals and HotStuff dummy
+    /// blocks).
+    pub fn empty() -> Self {
+        Batch { requests: Vec::new() }
+    }
+
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch contains no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Approximate wire size of the batch in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.requests.iter().map(Request::wire_size).sum::<usize>()
+    }
+
+    /// Returns the identifiers of all requests in the batch.
+    pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.requests.iter().map(|r| r.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_ignores_payload() {
+        let a = Request::new(ClientId(1), 7, vec![1, 2, 3]);
+        let b = Request::new(ClientId(1), 7, vec![9, 9, 9, 9, 9]);
+        assert_eq!(a.bucket(16), b.bucket(16));
+    }
+
+    #[test]
+    fn bucket_mapping_in_range_and_spread() {
+        let num_buckets = 16;
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..64u32 {
+            for t in 0..16u64 {
+                let b = RequestId::new(ClientId(c), t).bucket(num_buckets);
+                assert!(b.index() < num_buckets);
+                seen.insert(b);
+            }
+        }
+        // With 1024 ids over 16 buckets we expect every bucket to be hit.
+        assert_eq!(seen.len(), num_buckets);
+    }
+
+    #[test]
+    fn bucket_mapping_is_deterministic() {
+        let id = RequestId::new(ClientId(42), 1234);
+        assert_eq!(id.bucket(32), id.bucket(32));
+    }
+
+    #[test]
+    fn request_equality_is_id_and_payload() {
+        let a = Request::new(ClientId(1), 1, vec![1]);
+        let b = Request::new(ClientId(1), 1, vec![1]);
+        let c = Request::new(ClientId(1), 2, vec![1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wire_size_accounts_for_payload_and_signature() {
+        let r = Request::new(ClientId(0), 0, vec![0u8; 500]).with_signature(vec![0u8; 64]);
+        assert_eq!(r.wire_size(), 12 + 500 + 64);
+        let s = Request::synthetic(ClientId(0), 0, 500);
+        assert_eq!(s.wire_size(), 512);
+    }
+
+    #[test]
+    fn batch_helpers() {
+        let reqs = vec![
+            Request::synthetic(ClientId(0), 0, 100),
+            Request::synthetic(ClientId(1), 0, 100),
+        ];
+        let b = Batch::new(reqs.clone());
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert!(Batch::empty().is_empty());
+        assert_eq!(b.wire_size(), 8 + 2 * 112);
+        let ids: Vec<_> = b.request_ids().collect();
+        assert_eq!(ids, vec![reqs[0].id, reqs[1].id]);
+    }
+}

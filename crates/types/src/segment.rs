@@ -1,0 +1,125 @@
+//! Segments: the unit of multiplexing in ISS.
+//!
+//! A segment of epoch `e` with leader `i` is the tuple
+//! `(e, i, Seg(e, i), Buckets(e, i))` (Section 2.3): a subset of the epoch's
+//! sequence numbers for which `i` is the only node allowed to propose
+//! batches, restricted to requests from the buckets assigned to the segment.
+
+use crate::ids::{BucketId, EpochNr, InstanceId, NodeId, SeqNr};
+use serde::{Deserialize, Serialize};
+
+/// Description of one segment / SB instance.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Segment {
+    /// The SB instance identifier `(epoch, index)`.
+    pub instance: InstanceId,
+    /// The segment leader (the designated SB sender σ).
+    pub leader: NodeId,
+    /// The sequence numbers of the segment, in increasing order.
+    pub seq_nrs: Vec<SeqNr>,
+    /// The buckets assigned to the segment for this epoch.
+    pub buckets: Vec<BucketId>,
+    /// All nodes of the system (leader and followers participate).
+    pub nodes: Vec<NodeId>,
+    /// The number of tolerated faults `f` for the node set.
+    pub f: usize,
+}
+
+impl Segment {
+    /// Epoch this segment belongs to.
+    pub fn epoch(&self) -> EpochNr {
+        self.instance.epoch
+    }
+
+    /// Number of sequence numbers in the segment.
+    pub fn len(&self) -> usize {
+        self.seq_nrs.len()
+    }
+
+    /// Whether the segment has no sequence numbers.
+    pub fn is_empty(&self) -> bool {
+        self.seq_nrs.is_empty()
+    }
+
+    /// Number of nodes participating in the instance.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Size of a strong (Byzantine) quorum for this segment: `2f + 1`.
+    pub fn strong_quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Size of a weak quorum: `f + 1`.
+    pub fn weak_quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Size of a majority quorum (used by the CFT protocol): `⌊n/2⌋ + 1`.
+    pub fn majority_quorum(&self) -> usize {
+        self.nodes.len() / 2 + 1
+    }
+
+    /// Whether `sn` belongs to this segment.
+    pub fn contains(&self, sn: SeqNr) -> bool {
+        self.seq_nrs.binary_search(&sn).is_ok()
+    }
+
+    /// Position of `sn` within the segment (its "offset"), if present.
+    pub fn offset_of(&self, sn: SeqNr) -> Option<usize> {
+        self.seq_nrs.binary_search(&sn).ok()
+    }
+
+    /// The highest sequence number of the segment, if any.
+    pub fn max_seq_nr(&self) -> Option<SeqNr> {
+        self.seq_nrs.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment() -> Segment {
+        Segment {
+            instance: InstanceId::new(2, 1),
+            leader: NodeId(1),
+            seq_nrs: vec![25, 27, 29, 31, 33, 35],
+            buckets: vec![BucketId(1), BucketId(3)],
+            nodes: (0..4).map(NodeId).collect(),
+            f: 1,
+        }
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        let s = segment();
+        assert_eq!(s.strong_quorum(), 3);
+        assert_eq!(s.weak_quorum(), 2);
+        assert_eq!(s.majority_quorum(), 3);
+        assert_eq!(s.num_nodes(), 4);
+    }
+
+    #[test]
+    fn membership_and_offsets() {
+        let s = segment();
+        assert!(s.contains(29));
+        assert!(!s.contains(30));
+        assert_eq!(s.offset_of(25), Some(0));
+        assert_eq!(s.offset_of(35), Some(5));
+        assert_eq!(s.offset_of(26), None);
+        assert_eq!(s.max_seq_nr(), Some(35));
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        assert_eq!(s.epoch(), 2);
+    }
+
+    #[test]
+    fn empty_segment() {
+        let mut s = segment();
+        s.seq_nrs.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.max_seq_nr(), None);
+    }
+}

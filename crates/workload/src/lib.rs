@@ -1,0 +1,106 @@
+//! Workload generation helpers and measurement containers used by the
+//! evaluation harness: open-loop rate schedules, latency statistics and
+//! per-second throughput time series.
+
+pub mod stats;
+pub mod timeline;
+
+pub use stats::LatencyStats;
+pub use timeline::ThroughputTimeline;
+
+use iss_types::{ClientId, Duration, ReqTimestamp, Time};
+
+/// An open-loop, fixed-rate submission schedule for a set of clients.
+///
+/// Each client submits `per_client_rate` requests per second with evenly
+/// spaced inter-arrival times, matching the paper's load generation (16
+/// client machines × 16 clients submitting 500-byte requests). Because the
+/// schedule is deterministic, the submission time of any request can be
+/// recomputed from its identifier, which lets the metrics sink compute
+/// end-to-end latency without remembering every in-flight request.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopSchedule {
+    /// Number of clients.
+    pub num_clients: usize,
+    /// Aggregate request rate (requests per second across all clients).
+    pub total_rate: f64,
+    /// Payload size in bytes (the paper uses 500, the average Bitcoin
+    /// transaction size).
+    pub payload_size: u32,
+    /// Time at which submission starts.
+    pub start: Time,
+}
+
+impl OpenLoopSchedule {
+    /// Creates a schedule with the paper's default payload size.
+    pub fn new(num_clients: usize, total_rate: f64, start: Time) -> Self {
+        OpenLoopSchedule { num_clients, total_rate, payload_size: 500, start }
+    }
+
+    /// Rate of a single client in requests per second.
+    pub fn per_client_rate(&self) -> f64 {
+        self.total_rate / self.num_clients.max(1) as f64
+    }
+
+    /// Interval between two consecutive requests of one client.
+    pub fn per_client_interval(&self) -> Duration {
+        let rate = self.per_client_rate();
+        if rate <= 0.0 {
+            Duration::from_secs(3600)
+        } else {
+            Duration::from_secs_f64(1.0 / rate)
+        }
+    }
+
+    /// The (deterministic) submission time of request `timestamp` of any
+    /// client.
+    pub fn submit_time(&self, _client: ClientId, timestamp: ReqTimestamp) -> Time {
+        self.start + Duration::from_secs_f64(timestamp as f64 / self.per_client_rate().max(1e-9))
+    }
+
+    /// How many requests a client should have submitted by `now`.
+    pub fn due_by(&self, now: Time) -> u64 {
+        if now < self.start {
+            return 0;
+        }
+        let elapsed = (now - self.start).as_secs_f64();
+        (elapsed * self.per_client_rate()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_rates_and_intervals() {
+        let s = OpenLoopSchedule::new(16, 1600.0, Time::ZERO);
+        assert!((s.per_client_rate() - 100.0).abs() < 1e-9);
+        assert_eq!(s.per_client_interval(), Duration::from_millis(10));
+        assert_eq!(s.payload_size, 500);
+    }
+
+    #[test]
+    fn submit_time_is_recomputable() {
+        let s = OpenLoopSchedule::new(4, 400.0, Time::from_secs(2));
+        // 100 req/s per client → request #50 at 2.5 s.
+        assert_eq!(s.submit_time(ClientId(0), 50), Time::from_millis(2500));
+        assert_eq!(s.submit_time(ClientId(3), 0), Time::from_secs(2));
+    }
+
+    #[test]
+    fn due_by_counts_elapsed_requests() {
+        let s = OpenLoopSchedule::new(1, 100.0, Time::from_secs(1));
+        assert_eq!(s.due_by(Time::ZERO), 0);
+        assert_eq!(s.due_by(Time::from_secs(1)), 0);
+        assert_eq!(s.due_by(Time::from_millis(1500)), 50);
+        assert_eq!(s.due_by(Time::from_secs(3)), 200);
+    }
+
+    #[test]
+    fn zero_rate_is_safe() {
+        let s = OpenLoopSchedule::new(4, 0.0, Time::ZERO);
+        assert_eq!(s.due_by(Time::from_secs(100)), 0);
+        assert!(s.per_client_interval() >= Duration::from_secs(3600));
+    }
+}

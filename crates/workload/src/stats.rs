@@ -1,0 +1,99 @@
+//! Latency statistics (mean and tail percentiles).
+
+use iss_types::Duration;
+
+/// Collects latency samples and reports mean / percentile statistics, as used
+//  by Figures 6, 7, 8 and 11 of the paper.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples_us.push(latency.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Mean latency (zero if no samples).
+    pub fn mean(&self) -> Duration {
+        if self.samples_us.is_empty() {
+            return Duration::ZERO;
+        }
+        let sum: u128 = self.samples_us.iter().map(|s| *s as u128).sum();
+        Duration::from_micros((sum / self.samples_us.len() as u128) as u64)
+    }
+
+    /// The given percentile (e.g. 0.95 for the 95th percentile), zero if no
+    /// samples.
+    pub fn percentile(&mut self, p: f64) -> Duration {
+        if self.samples_us.is_empty() {
+            return Duration::ZERO;
+        }
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((self.samples_us.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Duration::from_micros(self.samples_us[rank])
+    }
+
+    /// Convenience: the 95th-percentile latency reported in the paper's
+    /// fault experiments.
+    pub fn p95(&mut self) -> Duration {
+        self.percentile(0.95)
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.samples_us.iter().copied().max().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut s = LatencyStats::new();
+        for ms in 1..=100u64 {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.mean(), Duration::from_micros(50_500));
+        assert_eq!(s.p95(), Duration::from_millis(95));
+        assert_eq!(s.percentile(0.0), Duration::from_millis(1));
+        assert_eq!(s.percentile(1.0), Duration::from_millis(100));
+        assert_eq!(s.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.p95(), Duration::ZERO);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn recording_after_percentile_requery_is_correct() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_millis(10));
+        assert_eq!(s.p95(), Duration::from_millis(10));
+        s.record(Duration::from_millis(1));
+        assert_eq!(s.percentile(0.0), Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-second throughput time series (Figures 9, 10 and 12 plot "throughput
+//! average over 1 s intervals over time").
+
+use iss_types::Time;
+
+/// Counts delivered requests per one-second bin of virtual time.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputTimeline {
+    bins: Vec<u64>,
+}
+
+impl ThroughputTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` deliveries at time `now`.
+    pub fn record(&mut self, now: Time, count: u64) {
+        let bin = (now.as_micros() / 1_000_000) as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += count;
+    }
+
+    /// The per-second series (requests per second), one entry per second of
+    /// virtual time from zero.
+    pub fn series(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total deliveries recorded.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Average throughput between two points in time (inclusive start,
+    /// exclusive end), in requests per second.
+    pub fn average_between(&self, from: Time, until: Time) -> f64 {
+        let from_bin = (from.as_micros() / 1_000_000) as usize;
+        let until_bin = ((until.as_micros() + 999_999) / 1_000_000) as usize;
+        let span = until_bin.saturating_sub(from_bin).max(1);
+        let sum: u64 = self
+            .bins
+            .iter()
+            .skip(from_bin)
+            .take(span)
+            .sum();
+        sum as f64 / span as f64
+    }
+
+    /// Number of one-second bins with zero deliveries between two points in
+    /// time (used to quantify the Mir-BFT epoch-change stalls of Figure 10).
+    pub fn zero_bins_between(&self, from: Time, until: Time) -> usize {
+        let from_bin = (from.as_micros() / 1_000_000) as usize;
+        let until_bin = ((until.as_micros()) / 1_000_000) as usize;
+        (from_bin..until_bin.min(self.bins.len()))
+            .filter(|b| self.bins[*b] == 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::Duration;
+
+    #[test]
+    fn bins_accumulate_by_second() {
+        let mut t = ThroughputTimeline::new();
+        t.record(Time::from_millis(100), 5);
+        t.record(Time::from_millis(900), 5);
+        t.record(Time::from_millis(1100), 7);
+        assert_eq!(t.series(), &[10, 7]);
+        assert_eq!(t.total(), 17);
+    }
+
+    #[test]
+    fn average_and_zero_bins() {
+        let mut t = ThroughputTimeline::new();
+        for s in 0..10u64 {
+            if s != 4 && s != 5 {
+                t.record(Time::from_secs(s) + Duration::from_millis(1), 100);
+            }
+        }
+        assert!((t.average_between(Time::ZERO, Time::from_secs(10)) - 80.0).abs() < 1e-9);
+        assert_eq!(t.zero_bins_between(Time::ZERO, Time::from_secs(10)), 2);
+        assert_eq!(t.zero_bins_between(Time::from_secs(6), Time::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = ThroughputTimeline::new();
+        assert_eq!(t.total(), 0);
+        assert!(t.series().is_empty());
+        assert_eq!(t.average_between(Time::ZERO, Time::from_secs(1)), 0.0);
+    }
+}

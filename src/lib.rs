@@ -1,0 +1,53 @@
+//! # ISS — Insanely Scalable State-machine replication
+//!
+//! A from-scratch Rust reproduction of *"State-Machine Replication
+//! Scalability Made Simple"* (Stathakopoulou, Pavlovic, Vukolić,
+//! EuroSys 2022): a generic construction that turns leader-driven total-order
+//! broadcast protocols (PBFT, HotStuff, Raft) into scalable multi-leader ones
+//! by multiplexing finite **Sequenced Broadcast** instances over disjoint
+//! segments of a single log, with bucketed request-space partitioning to
+//! prevent duplication and censoring.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | identifiers, requests, batches, configuration (Table 1 presets) |
+//! | [`crypto`] | SHA-256, signatures, Merkle trees, threshold signatures |
+//! | [`messages`] | every wire message and the binary codec |
+//! | [`sb`] | the Sequenced Broadcast abstraction and its reference implementation |
+//! | [`pbft`], [`hotstuff`], [`raft`] | the three ordering protocols as SB instances |
+//! | [`core`] | the ISS framework: epochs, segments, buckets, leader policies, checkpointing |
+//! | [`mirbft`] | the Mir-BFT-style baseline |
+//! | [`client`], [`workload`] | client-side logic and load generation / metrics |
+//! | [`simnet`], [`sim`] | the discrete-event WAN simulator and the experiment harness |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use iss::sim::{ClusterSpec, Deployment, Protocol};
+//! use iss::types::Duration;
+//!
+//! // A 4-node ISS-PBFT deployment on the simulated 16-datacenter WAN,
+//! // 400 requests/s of offered load, run for 10 simulated seconds.
+//! let mut spec = ClusterSpec::new(Protocol::Pbft, 4, 400.0);
+//! spec.duration = Duration::from_secs(10);
+//! spec.warmup = Duration::from_secs(2);
+//! let report = Deployment::build(spec).run();
+//! assert!(report.delivered > 0);
+//! ```
+
+pub use iss_client as client;
+pub use iss_core as core;
+pub use iss_crypto as crypto;
+pub use iss_fd as fd;
+pub use iss_hotstuff as hotstuff;
+pub use iss_messages as messages;
+pub use iss_mirbft as mirbft;
+pub use iss_pbft as pbft;
+pub use iss_raft as raft;
+pub use iss_sb as sb;
+pub use iss_sim as sim;
+pub use iss_simnet as simnet;
+pub use iss_types as types;
+pub use iss_workload as workload;
