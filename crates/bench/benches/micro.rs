@@ -32,8 +32,12 @@ fn bench_crypto(c: &mut Criterion) {
     group.bench_function("threshold_aggregate_2f1_of_32", |b| {
         b.iter(|| scheme.aggregate(&shares, &payload).unwrap())
     });
+    group.bench_function("batch_digest_2048_uncached", |b| {
+        b.iter_batched(|| batch(2048), |fresh| batch_digest(&fresh), BatchSize::LargeInput)
+    });
     let b2048 = batch(2048);
-    group.bench_function("batch_digest_2048", |b| b.iter(|| batch_digest(&b2048)));
+    batch_digest(&b2048); // warm the memo
+    group.bench_function("batch_digest_2048_memoized", |b| b.iter(|| batch_digest(&b2048)));
     let leaves: Vec<[u8; 32]> = (0..256u64).map(|i| Sha256::digest(&i.to_le_bytes())).collect();
     group.bench_function("merkle_root_256", |b| b.iter(|| merkle_root(&leaves)));
     group.finish();
@@ -66,21 +70,49 @@ fn bench_buckets(c: &mut Criterion) {
 
 fn bench_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    let b128 = batch(128);
-    group.bench_function("encode_batch_128", |b| {
+    for n in [128usize, 2048] {
+        let batch_n = batch(n);
+        group.bench_function(format!("encode_batch_{n}"), |b| {
+            b.iter(|| {
+                let mut buf = bytes::BytesMut::new();
+                codec::encode_batch(&batch_n, &mut buf);
+                buf
+            })
+        });
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_batch(&batch_n, &mut buf);
+        let encoded = buf.freeze();
+        group.bench_function(format!("decode_batch_{n}"), |b| {
+            b.iter(|| {
+                let mut bytes = encoded.clone();
+                codec::decode_batch(&mut bytes).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_handles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    let b2048 = batch(2048);
+    // The hot-path operation: cloning a batch on propose / fan-out / commit.
+    // O(1) refcount bump — should report in nanoseconds, independent of the
+    // ~1 MB of payload the batch carries.
+    group.bench_function("batch_clone_2048", |b| b.iter(|| b2048.clone()));
+    // What every one of those clones cost before the zero-copy refactor:
+    // duplicating all request metadata and payload bytes.
+    group.bench_function("batch_deep_copy_2048", |b| {
         b.iter(|| {
-            let mut buf = bytes::BytesMut::new();
-            codec::encode_batch(&b128, &mut buf);
-            buf
-        })
-    });
-    let mut buf = bytes::BytesMut::new();
-    codec::encode_batch(&b128, &mut buf);
-    let encoded = buf.freeze();
-    group.bench_function("decode_batch_128", |b| {
-        b.iter(|| {
-            let mut bytes = encoded.clone();
-            codec::decode_batch(&mut bytes).unwrap()
+            Batch::new(
+                b2048
+                    .requests()
+                    .iter()
+                    .map(|r| {
+                        Request::new(r.id.client, r.id.timestamp, r.payload.to_vec())
+                            .with_signature(r.signature.to_vec())
+                    })
+                    .collect(),
+            )
         })
     });
     group.finish();
@@ -88,13 +120,15 @@ fn bench_codec(c: &mut Criterion) {
 
 fn pbft_net(n: usize, seq: Vec<u64>) -> LocalNet<PbftInstance> {
     let registry = Arc::new(iss_crypto::SignatureRegistry::with_processes(n, 0));
-    let segment = |_: usize| Segment {
-        instance: InstanceId::new(0, 0),
-        leader: NodeId(0),
-        seq_nrs: seq.clone(),
-        buckets: vec![BucketId(0)],
-        nodes: (0..n as u32).map(NodeId).collect(),
-        f: (n - 1) / 3,
+    let segment = |_: usize| {
+        Arc::new(Segment {
+            instance: InstanceId::new(0, 0),
+            leader: NodeId(0),
+            seq_nrs: seq.clone(),
+            buckets: vec![BucketId(0)],
+            nodes: (0..n as u32).map(NodeId).collect(),
+            f: (n - 1) / 3,
+        })
     };
     LocalNet::new(
         (0..n)
@@ -132,5 +166,5 @@ fn bench_pbft_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_buckets, bench_codec, bench_pbft_round);
+criterion_group!(benches, bench_crypto, bench_buckets, bench_codec, bench_batch_handles, bench_pbft_round);
 criterion_main!(benches);

@@ -53,6 +53,10 @@ impl RequestFactory {
     }
 }
 
+/// The announcing nodes and the announced assignment for one not-yet-accepted
+/// epoch.
+type PendingAnnouncement = (HashSet<NodeId>, Vec<(BucketId, NodeId)>);
+
 /// Tracks the bucket → leader assignment announced by the nodes at every
 /// epoch transition (Section 4.3). An announcement is accepted once a quorum
 /// of nodes has sent the same assignment for the same epoch.
@@ -64,7 +68,7 @@ pub struct LeaderTable {
     accepted_epoch: Option<EpochNr>,
     /// epoch → set of nodes that announced it (assignments are deterministic,
     /// so counting senders is sufficient).
-    pending: HashMap<EpochNr, (HashSet<NodeId>, Vec<(BucketId, NodeId)>)>,
+    pending: HashMap<EpochNr, PendingAnnouncement>,
 }
 
 impl LeaderTable {

@@ -67,9 +67,12 @@ impl CheckpointManager {
 
     /// Computes the Merkle root over the batch digests of an epoch
     /// (`D(e)` in the paper).
+    ///
+    /// Reads the batches in place: no batch is cloned, and each leaf digest
+    /// is a memo hit when the batch was already hashed on the ordering path.
     pub fn epoch_root(log: &IssLog, first: SeqNr, last: SeqNr) -> Digest {
         let leaves: Vec<Digest> = (first..=last)
-            .map(|sn| maybe_batch_digest(&log.get(sn).and_then(|e| e.batch.clone())))
+            .map(|sn| maybe_batch_digest(log.get(sn).and_then(|e| e.batch.as_ref())))
             .collect();
         merkle_root(&leaves)
     }
@@ -119,7 +122,7 @@ impl CheckpointManager {
                 entry.iter().map(|(n, s)| (*n, s.clone())).collect();
             let stable = StableCheckpoint { epoch, max_seq_nr, root, proof };
             self.stable.insert(epoch, stable.clone());
-            if self.latest_stable.map_or(true, |e| epoch > e) {
+            if self.latest_stable.is_none_or(|e| epoch > e) {
                 self.latest_stable = Some(epoch);
             }
             return Some(stable);

@@ -2,6 +2,7 @@
 
 use crate::buckets::BucketAssignment;
 use iss_types::{EpochNr, InstanceId, IssConfig, NodeId, Segment, SeqNr};
+use std::sync::Arc;
 
 /// The configuration of one epoch: its sequence numbers and segments.
 #[derive(Clone, Debug)]
@@ -14,8 +15,10 @@ pub struct EpochConfig {
     pub length: u64,
     /// The leaders of the epoch, in segment order.
     pub leaders: Vec<NodeId>,
-    /// One segment per leader.
-    pub segments: Vec<Segment>,
+    /// One segment per leader. Segments are shared (`Arc`) so handing one
+    /// to its SB instance is a refcount bump, not a deep copy of the
+    /// sequence-number and bucket vectors.
+    pub segments: Vec<Arc<Segment>>,
 }
 
 impl EpochConfig {
@@ -43,14 +46,14 @@ impl EpochConfig {
                     .filter(|offset| (*offset as usize) % leaders.len() == l)
                     .map(|offset| first_seq_nr + offset)
                     .collect();
-                Segment {
+                Arc::new(Segment {
                     instance: InstanceId::new(epoch, l as u32),
                     leader: *leader,
                     seq_nrs,
                     buckets: assignment.of_leader(l).to_vec(),
                     nodes: all_nodes.clone(),
                     f: config.f(),
-                }
+                })
             })
             .collect();
         EpochConfig { epoch, first_seq_nr, length, leaders, segments }
@@ -73,12 +76,12 @@ impl EpochConfig {
 
     /// The segment that contains `sn`, if any.
     pub fn segment_of(&self, sn: SeqNr) -> Option<&Segment> {
-        self.segments.iter().find(|s| s.contains(sn))
+        self.segments.iter().find(|s| s.contains(sn)).map(Arc::as_ref)
     }
 
     /// The segment led by `node`, if `node` is a leader this epoch.
     pub fn segment_of_leader(&self, node: NodeId) -> Option<&Segment> {
-        self.segments.iter().find(|s| s.leader == node)
+        self.segments.iter().find(|s| s.leader == node).map(Arc::as_ref)
     }
 
     /// The owner (leader) of each bucket in this epoch, used for the client

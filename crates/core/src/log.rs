@@ -91,7 +91,7 @@ impl IssLog {
         let mut delivered = Vec::new();
         while let Some(entry) = self.entries.get(&self.first_undelivered) {
             if let Some(batch) = &entry.batch {
-                for request in &batch.requests {
+                for request in batch.requests() {
                     delivered.push(DeliveredRequest {
                         request: request.clone(),
                         batch_seq_nr: self.first_undelivered,

@@ -29,8 +29,8 @@ use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg};
 use iss_sb::{SbAction, SbContext, SbInstance};
 use iss_simnet::process::{Addr, Context, Process};
 use iss_types::{
-    Batch, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr, Time,
-    TimerId,
+    Batch, BucketId, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr,
+    Time, TimerId,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -121,6 +121,10 @@ impl NodeOptions {
 pub struct IssNode {
     my_id: NodeId,
     opts: NodeOptions,
+    /// All node ids, computed once (the broadcast fan-out iterates this on
+    /// every message; recomputing or cloning it there would be per-message
+    /// allocation).
+    all_nodes: Vec<NodeId>,
     factory: Box<dyn OrdererFactory>,
     sink: Rc<RefCell<dyn DeliverySink>>,
 
@@ -186,9 +190,11 @@ impl IssNode {
         let leaders = Self::leaders_for(&opts, &policy, 0);
         let epoch = EpochConfig::build(config, 0, 0, leaders);
         let buckets = BucketQueues::new(config.num_buckets());
+        let all_nodes = config.all_nodes();
         IssNode {
             my_id,
             opts,
+            all_nodes,
             factory,
             sink,
             current_epoch: 0,
@@ -252,17 +258,21 @@ impl IssNode {
 
     fn setup_epoch_instances(&mut self, ctx: &mut Context<'_, NetMsg>) {
         // Record segment leadership for the policy and the bucket restriction
-        // for proposal validation.
+        // for proposal validation. All sequence numbers of a segment share
+        // one refcounted bucket list instead of each owning a copy.
         let mut bucket_map = HashMap::new();
         for segment in &self.epoch.segments {
+            let buckets: Arc<[BucketId]> = segment.buckets.as_slice().into();
             for sn in &segment.seq_nrs {
                 self.leader_of_sn.insert(*sn, segment.leader);
-                bucket_map.insert(*sn, segment.buckets.clone());
+                bucket_map.insert(*sn, Arc::clone(&buckets));
             }
         }
         self.validation.on_epoch_start(bucket_map);
 
-        // Create and initialize one SB instance per segment.
+        // Create and initialize one SB instance per segment. Segments are
+        // `Arc`-shared with the instances, so this clone of the segment list
+        // is a refcount bump per segment, not a deep copy.
         self.my_segment_idx = None;
         for (idx, segment) in self.epoch.segments.clone().into_iter().enumerate() {
             if segment.leader == self.my_id {
@@ -283,8 +293,8 @@ impl IssNode {
                 epoch: self.current_epoch,
                 leaders: self.epoch.bucket_owners(),
             };
-            for client in self.opts.clients.clone() {
-                ctx.send(Addr::Client(client), NetMsg::Client(leaders.clone()));
+            for client in &self.opts.clients {
+                ctx.send(Addr::Client(*client), NetMsg::Client(leaders.clone()));
             }
         }
     }
@@ -318,11 +328,10 @@ impl IssNode {
                     ctx.send(Addr::Node(to), NetMsg::Sb { instance: instance_id, msg });
                 }
                 SbAction::Broadcast(msg) => {
-                    let nodes = self.opts.config.all_nodes();
-                    for node in nodes {
-                        if node != self.my_id {
+                    for node in &self.all_nodes {
+                        if *node != self.my_id {
                             ctx.send(
-                                Addr::Node(node),
+                                Addr::Node(*node),
                                 NetMsg::Sb { instance: instance_id, msg: msg.clone() },
                             );
                         }
@@ -369,7 +378,7 @@ impl IssNode {
         }
         match &batch {
             Some(b) => {
-                for req in &b.requests {
+                for req in b.requests() {
                     self.buckets.remove(&req.id);
                     self.validation.mark_delivered(&req.id);
                 }
@@ -378,9 +387,9 @@ impl IssNode {
                 // ⊥ delivered: resurrect our own unsuccessful proposal, if any.
                 self.policy.record_nil_delivery(leader, sn);
                 if let Some(proposed) = self.proposed.remove(&sn) {
-                    for req in proposed.requests {
+                    for req in proposed.requests() {
                         if !self.validation.is_delivered(&req.id) {
-                            self.buckets.resurrect(req);
+                            self.buckets.resurrect(req.clone());
                         }
                     }
                 }
@@ -427,9 +436,9 @@ impl IssNode {
         // Broadcast the epoch checkpoint (Section 3.5).
         let root = CheckpointManager::epoch_root(&self.log, first, last);
         let msg = self.checkpoints.make_checkpoint(self.current_epoch, last, root);
-        for node in self.opts.config.all_nodes() {
-            if node != self.my_id {
-                ctx.send(Addr::Node(node), NetMsg::Iss(msg.clone()));
+        for node in &self.all_nodes {
+            if *node != self.my_id {
+                ctx.send(Addr::Node(*node), NetMsg::Iss(msg.clone()));
             }
         }
         // Update the leader policy with the epoch's outcome.
@@ -443,10 +452,10 @@ impl IssNode {
                 let next = self.current_epoch + 1;
                 let primary = self.mir_primary(next);
                 if primary == self.my_id {
-                    for node in self.opts.config.all_nodes() {
-                        if node != self.my_id {
+                    for node in &self.all_nodes {
+                        if *node != self.my_id {
                             ctx.send(
-                                Addr::Node(node),
+                                Addr::Node(*node),
                                 NetMsg::Mir(MirMsg::NewEpoch { epoch: next, config_digest: root }),
                             );
                         }
@@ -511,7 +520,6 @@ impl IssNode {
         }
         let sn = segment.seq_nrs[self.next_proposal];
         let instance_id = segment.instance;
-        let buckets = segment.buckets.clone();
         let now = ctx.now();
 
         let batch = if let Some(straggler) = self.opts.straggler {
@@ -524,7 +532,10 @@ impl IssNode {
             }
             Batch::empty()
         } else {
-            let available = self.buckets.available_in(&buckets);
+            // `segment` borrows `self.epoch`; the queues live in
+            // `self.buckets` — disjoint fields, so the bucket list is read in
+            // place instead of being cloned per tick.
+            let available = self.buckets.available_in(&segment.buckets);
             let max_size = self.opts.config.max_batch_size;
             let since_last = now.saturating_since(self.last_proposal_at);
             let min_wait = self.opts.config.min_batch_timeout;
@@ -533,7 +544,7 @@ impl IssNode {
             let have_some = available > 0 && since_last >= min_wait;
             let timed_out = max_wait > Duration::ZERO && since_last >= max_wait;
             if full || have_some || timed_out {
-                self.buckets.cut_batch(&buckets, max_size)
+                self.buckets.cut_batch(&segment.buckets, max_size)
             } else {
                 return;
             }
@@ -581,6 +592,8 @@ impl IssNode {
                 if from_seq_nr > last {
                     return;
                 }
+                // Batch clones here are refcount bumps: state transfer no
+                // longer copies payload bytes out of the log.
                 let entries: Vec<iss_messages::isscp::LogEntry> = self
                     .log
                     .range(from_seq_nr, last)
@@ -604,7 +617,7 @@ impl IssNode {
                     let leader = self.leader_of_sn.get(&entry.seq_nr).copied().unwrap_or(NodeId(0));
                     if self.log.commit(entry.seq_nr, entry.batch.clone(), leader) {
                         if let Some(b) = &entry.batch {
-                            for req in &b.requests {
+                            for req in b.requests() {
                                 self.buckets.remove(&req.id);
                                 self.validation.mark_delivered(&req.id);
                             }
@@ -642,12 +655,11 @@ impl Process<NetMsg> for IssNode {
                     self.drive(instance_id, ctx, |inst, sb| inst.on_timer(token, sb));
                 }
             }
-            KIND_MIR_EPOCH => {
-                if self.mir_waiting {
+            KIND_MIR_EPOCH
+                if self.mir_waiting => {
                     // Ungraceful epoch change: the primary was unresponsive.
                     self.start_next_epoch(ctx);
                 }
-            }
             _ => {}
         }
     }

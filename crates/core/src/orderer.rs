@@ -8,11 +8,12 @@
 
 use iss_sb::SbInstance;
 use iss_types::{NodeId, Segment};
+use std::sync::Arc;
 
 /// Creates one SB instance per announced segment.
 pub trait OrdererFactory {
     /// Instantiates the ordering protocol for `segment` at node `my_id`.
-    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance>;
+    fn create(&self, my_id: NodeId, segment: Arc<Segment>) -> Box<dyn SbInstance>;
 
     /// A short protocol name used in diagnostics and experiment output.
     fn name(&self) -> &'static str;
@@ -26,7 +27,7 @@ pub struct FnOrdererFactory<F> {
 
 impl<F> FnOrdererFactory<F>
 where
-    F: Fn(NodeId, Segment) -> Box<dyn SbInstance>,
+    F: Fn(NodeId, Arc<Segment>) -> Box<dyn SbInstance>,
 {
     /// Wraps a closure as a factory.
     pub fn new(name: &'static str, make: F) -> Self {
@@ -36,9 +37,9 @@ where
 
 impl<F> OrdererFactory for FnOrdererFactory<F>
 where
-    F: Fn(NodeId, Segment) -> Box<dyn SbInstance>,
+    F: Fn(NodeId, Arc<Segment>) -> Box<dyn SbInstance>,
 {
-    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance> {
+    fn create(&self, my_id: NodeId, segment: Arc<Segment>) -> Box<dyn SbInstance> {
         (self.make)(my_id, segment)
     }
 
@@ -67,7 +68,7 @@ mod tests {
             nodes: (0..4).map(NodeId).collect(),
             f: 1,
         };
-        let instance = factory.create(NodeId(1), segment);
+        let instance = factory.create(NodeId(1), Arc::new(segment));
         assert_eq!(instance.delivered_count(), 0);
         assert!(!instance.is_complete());
     }

@@ -9,6 +9,7 @@
 
 use iss_types::{EpochNr, LeaderPolicyKind, NodeId, SeqNr};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-node failure observations derived from the log.
 #[derive(Clone, Debug, Default)]
@@ -21,7 +22,9 @@ pub struct FailureRecord {
 #[derive(Clone, Debug)]
 pub struct LeaderPolicy {
     kind: LeaderPolicyKind,
-    all_nodes: Vec<NodeId>,
+    /// Shared, immutable node set: the policy is re-evaluated every epoch,
+    /// so it must not copy this per call.
+    all_nodes: Arc<[NodeId]>,
     f: usize,
     /// BACKOFF: remaining ban period per node (in epochs).
     penalty: HashMap<NodeId, i64>,
@@ -43,7 +46,7 @@ impl LeaderPolicy {
     ) -> Self {
         LeaderPolicy {
             kind,
-            all_nodes,
+            all_nodes: all_nodes.into(),
             f,
             penalty: HashMap::new(),
             ban_period: ban_period as i64,
@@ -68,7 +71,8 @@ impl LeaderPolicy {
     /// updates the BACKOFF penalties (Algorithm 4, lines 142-155).
     pub fn on_epoch_end(&mut self, epoch_seq_range: (SeqNr, SeqNr)) {
         let (first, last) = epoch_seq_range;
-        for node in self.all_nodes.clone() {
+        let all_nodes = Arc::clone(&self.all_nodes);
+        for &node in all_nodes.iter() {
             let suspected = self
                 .last_failure(node)
                 .map(|sn| sn >= first && sn <= last)
@@ -93,7 +97,7 @@ impl LeaderPolicy {
     /// nodes, as described in Section 3.4.
     pub fn leaders(&self, _epoch: EpochNr) -> Vec<NodeId> {
         let leaders = match self.kind {
-            LeaderPolicyKind::Simple => self.all_nodes.clone(),
+            LeaderPolicyKind::Simple => self.all_nodes.to_vec(),
             LeaderPolicyKind::Backoff => self
                 .all_nodes
                 .iter()
@@ -118,7 +122,7 @@ impl LeaderPolicy {
             }
         };
         if leaders.is_empty() {
-            self.all_nodes.clone()
+            self.all_nodes.to_vec()
         } else {
             leaders
         }

@@ -7,6 +7,7 @@ use iss_types::{Batch, BucketId, ClientId, Error, ReqTimestamp, Request, Request
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+
 /// Tracks which request timestamps of one client have been delivered, as a
 /// low watermark plus a sparse set of out-of-order deliveries, so memory stays
 /// proportional to the watermark window rather than to the execution length.
@@ -51,8 +52,9 @@ pub struct RequestValidation {
     /// (prevents duplication across segments of the same epoch).
     proposed_this_epoch: HashSet<RequestId>,
     /// The buckets every sequence number of the current epoch may draw from
-    /// (set by the manager at epoch initialization).
-    buckets_of_seq_nr: HashMap<SeqNr, Vec<BucketId>>,
+    /// (set by the manager at epoch initialization). The lists are shared
+    /// with every other sequence number of the same segment.
+    buckets_of_seq_nr: HashMap<SeqNr, Arc<[BucketId]>>,
 }
 
 impl RequestValidation {
@@ -121,7 +123,7 @@ impl RequestValidation {
     /// client watermarks to just above the last delivered contiguous
     /// timestamp (Section 3.7: "ISS advances all clients' watermark windows
     /// at the end of each epoch").
-    pub fn on_epoch_start(&mut self, buckets_of_seq_nr: HashMap<SeqNr, Vec<BucketId>>) {
+    pub fn on_epoch_start(&mut self, buckets_of_seq_nr: HashMap<SeqNr, Arc<[BucketId]>>) {
         self.proposed_this_epoch.clear();
         self.buckets_of_seq_nr = buckets_of_seq_nr;
         for (client, delivered) in &self.delivered {
@@ -140,7 +142,7 @@ impl ProposalValidator for RequestValidation {
     fn validate_proposal(&mut self, seq_nr: SeqNr, batch: &Batch) -> Result<()> {
         let allowed = self.buckets_of_seq_nr.get(&seq_nr);
         let mut seen_in_batch = HashSet::new();
-        for req in &batch.requests {
+        for req in batch.requests() {
             // (a) request validity.
             self.validate_request(req)?;
             // (c) bucket membership.
@@ -167,7 +169,7 @@ impl ProposalValidator for RequestValidation {
         }
         // Record acceptance so a second proposal with the same requests (in a
         // different segment of the same epoch) is rejected.
-        for req in &batch.requests {
+        for req in batch.requests() {
             self.proposed_this_epoch.insert(req.id);
         }
         Ok(())
@@ -205,7 +207,9 @@ mod tests {
     fn bad_signature_rejected() {
         let v = validation(true);
         let mut req = signed_request(1, 5);
-        req.signature[3] ^= 0xff;
+        let mut sig = req.signature.to_vec();
+        sig[3] ^= 0xff;
+        req.signature = sig.into();
         assert!(v.validate_request(&req).is_err());
     }
 
@@ -258,8 +262,8 @@ mod tests {
         let req = Request::synthetic(ClientId(1), 1, 100);
         let bucket = req.bucket(16);
         let mut map = HashMap::new();
-        map.insert(0u64, vec![bucket]);
-        map.insert(1u64, vec![BucketId((bucket.0 + 1) % 16)]);
+        map.insert(0u64, vec![bucket].into());
+        map.insert(1u64, vec![BucketId((bucket.0 + 1) % 16)].into());
         v.on_epoch_start(map);
 
         // Accepted for the segment owning the request's bucket.

@@ -28,17 +28,28 @@ pub fn request_digest(req: &Request) -> Digest {
 }
 
 /// Computes the digest of a batch as the hash of its request digests.
+///
+/// Memoized: the result is stored in the batch's shared digest cell, so for
+/// any given batch (including all of its clones) the hash is computed at
+/// most once per process. Subsequent calls are a cache read.
 pub fn batch_digest(batch: &Batch) -> Digest {
+    batch.digest_or_init(batch_digest_uncached)
+}
+
+/// The raw (non-memoized) batch hash: length-prefixed hash of the request
+/// digests. Exposed for tests that need to compare the memo against a fresh
+/// recomputation.
+pub fn batch_digest_uncached(requests: &[Request]) -> Digest {
     let mut h = Sha256::new();
-    h.update(&(batch.requests.len() as u64).to_le_bytes());
-    for req in &batch.requests {
+    h.update(&(requests.len() as u64).to_le_bytes());
+    for req in requests {
         h.update(&request_digest(req));
     }
     h.finalize()
 }
 
 /// Computes the digest of an optional batch, mapping ⊥ to [`NIL_DIGEST`].
-pub fn maybe_batch_digest(batch: &Option<Batch>) -> Digest {
+pub fn maybe_batch_digest(batch: Option<&Batch>) -> Digest {
     match batch {
         Some(b) => batch_digest(b),
         None => NIL_DIGEST,
@@ -72,7 +83,7 @@ mod tests {
 
     #[test]
     fn nil_batch_digest_is_distinct() {
-        assert_eq!(maybe_batch_digest(&None), NIL_DIGEST);
-        assert_ne!(maybe_batch_digest(&Some(Batch::empty())), NIL_DIGEST);
+        assert_eq!(maybe_batch_digest(None), NIL_DIGEST);
+        assert_ne!(maybe_batch_digest(Some(&Batch::empty())), NIL_DIGEST);
     }
 }

@@ -28,7 +28,7 @@ pub mod sha256;
 pub mod sign;
 pub mod threshold;
 
-pub use digest::{batch_digest, maybe_batch_digest, request_digest, Digest};
+pub use digest::{batch_digest, batch_digest_uncached, maybe_batch_digest, request_digest, Digest};
 pub use hmac::hmac_sha256;
 pub use merkle::{merkle_root, MerkleTree};
 pub use sha256::Sha256;

@@ -87,7 +87,7 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
             let sibling = level.get(sibling_idx).copied().unwrap_or(level[idx]);
             siblings.push(sibling);
             idx /= 2;
@@ -100,7 +100,7 @@ impl MerkleTree {
         let mut current = hash_leaf(leaf);
         let mut idx = proof.index;
         for sibling in &proof.siblings {
-            current = if idx % 2 == 0 {
+            current = if idx.is_multiple_of(2) {
                 hash_node(&current, sibling)
             } else {
                 hash_node(sibling, &current)

@@ -183,7 +183,7 @@ mod tests {
         let mut d = FailureDetector::new(cfg, vec![NodeId(0)], Time::ZERO);
         let mut now = Time::ZERO;
         for _ in 0..10 {
-            now = now + Duration::from_secs(100);
+            now += Duration::from_secs(100);
             d.on_tick(now);
             d.on_heartbeat(NodeId(0), now);
         }
@@ -201,7 +201,7 @@ mod tests {
         // Pre-GST: heartbeats every 3 s for 30 s.
         let mut suspected_pre = 0;
         while now < Time::from_secs(30) {
-            now = now + Duration::from_secs(3);
+            now += Duration::from_secs(3);
             suspected_pre += d.on_tick(now).len();
             d.on_heartbeat(NodeId(0), now);
         }
@@ -209,7 +209,7 @@ mod tests {
         // Post-GST: heartbeats every 500 ms for 60 s; no new suspicion.
         let mut suspected_post = 0;
         while now < Time::from_secs(90) {
-            now = now + Duration::from_millis(500);
+            now += Duration::from_millis(500);
             suspected_post += d.on_tick(now).len();
             d.on_heartbeat(NodeId(0), now);
         }

@@ -6,6 +6,7 @@ use iss_messages::{HotStuffMsg, SbMsg};
 use iss_sb::{SbContext, SbInstance};
 use iss_types::{Batch, Duration, NodeId, Segment, SeqNr, ViewNr};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Token for the pacemaker timer (generation-counted).
 const TIMER_PACEMAKER: u64 = 1 << 33;
@@ -44,8 +45,7 @@ fn block_digest(block: &HsBlock) -> Digest {
 /// Chained HotStuff as an SB instance.
 pub struct HotStuffInstance {
     my_id: NodeId,
-    segment: Segment,
-    config: HotStuffConfig,
+    segment: Arc<Segment>,
     scheme: ThresholdScheme,
 
     /// Blocks by view, together with their digest.
@@ -74,7 +74,7 @@ pub struct HotStuffInstance {
 
 impl HotStuffInstance {
     /// Creates a HotStuff instance for `my_id` over `segment`.
-    pub fn new(my_id: NodeId, segment: Segment, config: HotStuffConfig) -> Self {
+    pub fn new(my_id: NodeId, segment: Arc<Segment>, config: HotStuffConfig) -> Self {
         let domain = format!("hotstuff-{}-{}", segment.instance.epoch, segment.instance.index);
         let scheme = ThresholdScheme::new(
             segment.nodes.len(),
@@ -86,7 +86,6 @@ impl HotStuffInstance {
         HotStuffInstance {
             my_id,
             segment,
-            config,
             scheme,
             blocks: BTreeMap::new(),
             certified: BTreeMap::new(),
@@ -416,15 +415,15 @@ mod tests {
     use iss_sb::validator::RejectAll;
     use iss_types::{BucketId, ClientId, InstanceId, Request};
 
-    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Segment {
-        Segment {
+    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Arc<Segment> {
+        Arc::new(Segment {
             instance: InstanceId::new(0, 0),
             leader: NodeId(leader),
             seq_nrs,
             buckets: vec![BucketId(0)],
             nodes: (0..n as u32).map(NodeId).collect(),
             f: (n - 1) / 3,
-        }
+        })
     }
 
     fn net(n: usize, leader: u32, seq_nrs: Vec<SeqNr>, timeout_ms: u64) -> LocalNet<HotStuffInstance> {

@@ -20,6 +20,18 @@ pub fn encode_request(req: &Request, buf: &mut BytesMut) {
 }
 
 /// Decodes a request.
+///
+/// Zero-copy: the decoded payload and signature are sub-slices of the input
+/// buffer sharing its allocation (`Buf::copy_to_bytes` on a [`Bytes`] does
+/// not copy), so decoding a batch of requests performs no per-request
+/// payload allocation.
+///
+/// Trade-off: each decoded request keeps the *whole* input buffer's
+/// allocation alive for as long as the request lives. Decode one wire unit
+/// (one batch / one state-transfer chunk) per buffer — as this codec's
+/// entry points do — so a surviving request pins at most its own chunk; if
+/// a decoded request must outlive its buffer by a lot, copy it out
+/// explicitly (`Bytes::copy_from_slice(&req.payload)`).
 pub fn decode_request(buf: &mut Bytes) -> Result<Request> {
     if buf.remaining() < 20 {
         return Err(Error::Codec("truncated request header".into()));
@@ -31,7 +43,7 @@ pub fn decode_request(buf: &mut Bytes) -> Result<Request> {
     if buf.remaining() < payload_len {
         return Err(Error::Codec("truncated request payload".into()));
     }
-    let payload = buf.copy_to_bytes(payload_len).to_vec();
+    let payload = buf.copy_to_bytes(payload_len);
     if buf.remaining() < 4 {
         return Err(Error::Codec("truncated signature length".into()));
     }
@@ -39,7 +51,7 @@ pub fn decode_request(buf: &mut Bytes) -> Result<Request> {
     if buf.remaining() < sig_len {
         return Err(Error::Codec("truncated signature".into()));
     }
-    let signature = buf.copy_to_bytes(sig_len).to_vec();
+    let signature = buf.copy_to_bytes(sig_len);
     let mut req = Request::new(client, timestamp, payload);
     req.payload_size = payload_size;
     req.signature = signature;
@@ -48,8 +60,8 @@ pub fn decode_request(buf: &mut Bytes) -> Result<Request> {
 
 /// Encodes a batch.
 pub fn encode_batch(batch: &Batch, buf: &mut BytesMut) {
-    buf.put_u32_le(batch.requests.len() as u32);
-    for req in &batch.requests {
+    buf.put_u32_le(batch.len() as u32);
+    for req in batch.requests() {
         encode_request(req, buf);
     }
 }
@@ -164,6 +176,21 @@ mod tests {
         for cut in [0, 1, 5, 9, encoded.len() - 1] {
             assert!(decode_log(&encoded[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn decode_is_zero_copy() {
+        // The decoded payload must point into the encode buffer's allocation
+        // rather than a fresh copy.
+        let req = Request::new(ClientId(1), 2, vec![0xEE; 256]).with_signature(vec![0xDD; 64]);
+        let mut buf = BytesMut::new();
+        encode_request(&req, &mut buf);
+        let wire = buf.freeze();
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        let mut cursor = wire.clone();
+        let decoded = decode_request(&mut cursor).unwrap();
+        assert!(wire_range.contains(&(decoded.payload.as_ptr() as usize)));
+        assert!(wire_range.contains(&(decoded.signature.as_ptr() as usize)));
     }
 
     #[test]

@@ -17,7 +17,7 @@ const TIMER_PROGRESS: u64 = 1 << 32;
 /// PBFT as an SB instance.
 pub struct PbftInstance {
     my_id: NodeId,
-    segment: Segment,
+    segment: Arc<Segment>,
     config: PbftConfig,
     keypair: KeyPair,
     registry: Arc<SignatureRegistry>,
@@ -47,7 +47,7 @@ impl PbftInstance {
     /// Creates a PBFT instance for `my_id` over `segment`.
     pub fn new(
         my_id: NodeId,
-        segment: Segment,
+        segment: Arc<Segment>,
         config: PbftConfig,
         keypair: KeyPair,
         registry: Arc<SignatureRegistry>,
@@ -412,7 +412,7 @@ impl SbInstance for PbftInstance {
                 self.view_changes.entry(new_view).or_default().insert(from, prepared);
                 let count = self.view_changes[&new_view].len();
                 // Join the view change once f+1 nodes ask for it.
-                if count >= self.segment.weak_quorum() && self.changing_to.map_or(true, |v| v < new_view) {
+                if count >= self.segment.weak_quorum() && self.changing_to.is_none_or(|v| v < new_view) {
                     self.start_view_change(new_view, ctx);
                 }
                 self.maybe_install_view(new_view, ctx);
@@ -465,15 +465,15 @@ mod tests {
     use iss_sb::validator::RejectAll;
     use iss_types::{BucketId, ClientId, InstanceId, Request};
 
-    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Segment {
-        Segment {
+    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Arc<Segment> {
+        Arc::new(Segment {
             instance: InstanceId::new(0, 0),
             leader: NodeId(leader),
             seq_nrs,
             buckets: vec![BucketId(0)],
             nodes: (0..n as u32).map(NodeId).collect(),
             f: (n - 1) / 3,
-        }
+        })
     }
 
     fn net(n: usize, leader: u32, seq_nrs: Vec<SeqNr>, timeout_ms: u64) -> LocalNet<PbftInstance> {

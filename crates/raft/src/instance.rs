@@ -6,6 +6,7 @@ use iss_sb::{SbContext, SbInstance};
 use iss_types::{Batch, Duration, NodeId, Segment, SeqNr, ViewNr};
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Timer token namespaces (generation-counted).
 const TIMER_ELECTION: u64 = 1 << 34;
@@ -44,7 +45,7 @@ enum Role {
 /// Raft as an SB instance.
 pub struct RaftInstance {
     my_id: NodeId,
-    segment: Segment,
+    segment: Arc<Segment>,
     config: RaftConfig,
 
     term: ViewNr,
@@ -73,7 +74,7 @@ impl RaftInstance {
     ///
     /// The election phase is skipped: the segment leader starts as the Raft
     /// leader of term 1 (Section 4.2.3).
-    pub fn new(my_id: NodeId, segment: Segment, config: RaftConfig) -> Self {
+    pub fn new(my_id: NodeId, segment: Arc<Segment>, config: RaftConfig) -> Self {
         let role = if my_id == segment.leader { Role::Leader } else { Role::Follower };
         let election_window = (config.election_timeout_min, config.election_timeout_max);
         RaftInstance {
@@ -314,8 +315,7 @@ impl SbInstance for RaftInstance {
                     return;
                 }
                 // Append / overwrite entries after prev, validating proposals.
-                let mut idx = (prev + 1) as usize;
-                for entry in entries {
+                for (idx, entry) in ((prev + 1) as usize..).zip(entries) {
                     let conflicting = self
                         .log
                         .get(idx)
@@ -332,7 +332,6 @@ impl SbInstance for RaftInstance {
                         }
                         self.log.push(entry);
                     }
-                    idx += 1;
                 }
                 // Advance our commit index based on the leader's.
                 let leader_commit = leader_commit as i64 - 1;
@@ -415,11 +414,10 @@ impl SbInstance for RaftInstance {
                     self.arm_heartbeat_timer(ctx);
                 }
             }
-        } else if token == TIMER_ELECTION + self.election_generation {
-            if self.role != Role::Leader && !self.is_complete() {
+        } else if token == TIMER_ELECTION + self.election_generation
+            && self.role != Role::Leader && !self.is_complete() {
                 self.start_election(ctx);
             }
-        }
     }
 
     fn on_suspect(&mut self, node: NodeId, ctx: &mut SbContext<'_>) {
@@ -443,15 +441,15 @@ mod tests {
     use iss_sb::testing::LocalNet;
     use iss_types::{BucketId, ClientId, InstanceId, Request};
 
-    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Segment {
-        Segment {
+    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Arc<Segment> {
+        Arc::new(Segment {
             instance: InstanceId::new(0, 0),
             leader: NodeId(leader),
             seq_nrs,
             buckets: vec![BucketId(0)],
             nodes: (0..n as u32).map(NodeId).collect(),
             f: (n - 1) / 2,
-        }
+        })
     }
 
     fn net(n: usize, leader: u32, seq_nrs: Vec<SeqNr>, election_ms: u64) -> LocalNet<RaftInstance> {

@@ -181,7 +181,7 @@ mod tests {
     fn context_exposes_time_and_rng() {
         let mut v = AcceptAll;
         let mut rng = StdRng::seed_from_u64(7);
-        let mut ctx = SbContext::new(Time::from_millis(250), &mut v, &mut rng);
+        let ctx = SbContext::new(Time::from_millis(250), &mut v, &mut rng);
         assert_eq!(ctx.now, Time::from_millis(250));
         use rand::Rng;
         let x: u64 = ctx.rng.gen_range(0..10);

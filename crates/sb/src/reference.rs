@@ -21,13 +21,14 @@ use iss_crypto::{batch_digest, Digest};
 use iss_messages::{RefSbMsg, SbMsg};
 use iss_types::{Batch, NodeId, Segment, SeqNr};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The reference SB instance for one node and one segment.
 pub struct ReferenceSb {
     /// This node.
     my_id: NodeId,
     /// The segment (sender σ, sequence numbers S, nodes, f).
-    segment: Segment,
+    segment: Arc<Segment>,
     initialized: bool,
     sender_suspected: bool,
 
@@ -49,7 +50,7 @@ pub struct ReferenceSb {
 
 impl ReferenceSb {
     /// Creates an instance for `my_id` over `segment`.
-    pub fn new(my_id: NodeId, segment: Segment) -> Self {
+    pub fn new(my_id: NodeId, segment: Arc<Segment>) -> Self {
         ReferenceSb {
             my_id,
             segment,
@@ -268,15 +269,15 @@ mod tests {
     use crate::testing::LocalNet;
     use iss_types::{BucketId, ClientId, InstanceId, Request};
 
-    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Segment {
-        Segment {
+    fn segment(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> Arc<Segment> {
+        Arc::new(Segment {
             instance: InstanceId::new(0, 0),
             leader: NodeId(leader),
             seq_nrs,
             buckets: vec![BucketId(0)],
             nodes: (0..n as u32).map(NodeId).collect(),
             f: (n - 1) / 3,
-        }
+        })
     }
 
     fn net(n: usize, leader: u32, seq_nrs: Vec<SeqNr>) -> LocalNet<ReferenceSb> {

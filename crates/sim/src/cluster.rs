@@ -44,10 +44,14 @@ pub struct ClusterSpec {
     pub num_clients: usize,
     /// Aggregate offered load in requests per second.
     pub total_rate: f64,
-    /// Virtual-time duration of the run.
+    /// Virtual-time duration of the run (clients submit until this point).
     pub duration: Duration,
     /// Measurements before this point are excluded from averages (warm-up).
     pub warmup: Duration,
+    /// Extra virtual time after `duration` during which no new requests are
+    /// submitted but the simulation keeps running, so in-flight batches
+    /// commit on every node and per-node delivery counts converge.
+    pub drain: Duration,
     /// Leader-selection policy.
     pub policy: LeaderPolicyKind,
     /// Crash faults to inject.
@@ -72,6 +76,7 @@ impl ClusterSpec {
             total_rate,
             duration: Duration::from_secs(30),
             warmup: Duration::from_secs(10),
+            drain: Duration::from_secs(4),
             policy: LeaderPolicyKind::Blacklist,
             crashes: Vec::new(),
             stragglers: Vec::new(),
@@ -247,7 +252,12 @@ impl Deployment {
     /// Runs the deployment for the configured duration and summarizes it.
     pub fn run(&mut self) -> Report {
         let end = Time::ZERO + self.spec.duration;
-        self.runtime.run_until(end);
+        // Run past the submission cutoff so the last proposals settle.
+        // Throughput is averaged over [warmup, duration] only; latency
+        // samples, delivery counts and message/byte totals deliberately
+        // include the drain window, so late deliveries of pre-cutoff
+        // requests are observed instead of truncated.
+        self.runtime.run_until(end + self.spec.drain);
         let warm = Time::ZERO + self.spec.warmup;
         let stats = self.runtime.stats();
         let mut m = self.metrics.borrow_mut();

@@ -44,7 +44,7 @@ pub struct PbftFactory {
 }
 
 impl OrdererFactory for PbftFactory {
-    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance> {
+    fn create(&self, my_id: NodeId, segment: Arc<Segment>) -> Box<dyn SbInstance> {
         Box::new(PbftInstance::new(
             my_id,
             segment,
@@ -66,7 +66,7 @@ pub struct HotStuffFactory {
 }
 
 impl OrdererFactory for HotStuffFactory {
-    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance> {
+    fn create(&self, my_id: NodeId, segment: Arc<Segment>) -> Box<dyn SbInstance> {
         Box::new(HotStuffInstance::new(
             my_id,
             segment,
@@ -86,7 +86,7 @@ pub struct RaftFactory {
 }
 
 impl OrdererFactory for RaftFactory {
-    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance> {
+    fn create(&self, my_id: NodeId, segment: Arc<Segment>) -> Box<dyn SbInstance> {
         Box::new(RaftInstance::new(my_id, segment, self.config))
     }
 
@@ -99,7 +99,7 @@ impl OrdererFactory for RaftFactory {
 pub struct ReferenceFactory;
 
 impl OrdererFactory for ReferenceFactory {
-    fn create(&self, my_id: NodeId, segment: Segment) -> Box<dyn SbInstance> {
+    fn create(&self, my_id: NodeId, segment: Arc<Segment>) -> Box<dyn SbInstance> {
         Box::new(ReferenceSb::new(my_id, segment))
     }
 
@@ -155,7 +155,7 @@ mod tests {
         let config = IssConfig::pbft(4);
         for protocol in [Protocol::Pbft, Protocol::HotStuff, Protocol::Raft, Protocol::Reference] {
             let factory = make_factory(protocol, &config, Arc::clone(&registry));
-            let inst = factory.create(NodeId(1), segment());
+            let inst = factory.create(NodeId(1), Arc::new(segment()));
             assert!(!inst.is_complete());
             assert!(!factory.name().is_empty());
             assert!(!protocol.name().is_empty());

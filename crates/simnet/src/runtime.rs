@@ -328,11 +328,13 @@ mod tests {
         fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Context<'_, Ping>) {}
     }
 
+    type PingLog = Rc<RefCell<Vec<(Time, NodeId, u32)>>>;
+
     fn ring_runtime(
         config: RuntimeConfig,
         n: u32,
         max_hops: u32,
-    ) -> (Runtime<Ping>, Rc<RefCell<Vec<(Time, NodeId, u32)>>>) {
+    ) -> (Runtime<Ping>, PingLog) {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut rt = Runtime::new(config);
         for i in 0..n {

@@ -7,10 +7,9 @@
 
 use crate::ids::NodeId;
 use crate::time::Duration;
-use serde::{Deserialize, Serialize};
 
 /// The leader-driven ordering protocol multiplexed by ISS (Section 4.2).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ProtocolKind {
     /// Practical Byzantine Fault Tolerance (Castro–Liskov).
     Pbft,
@@ -37,7 +36,7 @@ impl ProtocolKind {
 }
 
 /// Leader-selection policy (Section 3.4).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum LeaderPolicyKind {
     /// All nodes are leaders in every epoch.
     Simple,
@@ -59,7 +58,7 @@ impl LeaderPolicyKind {
 }
 
 /// Full configuration of an ISS deployment.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct IssConfig {
     /// Number of replicas `n`.
     pub num_nodes: usize,
@@ -249,7 +248,9 @@ impl IssConfig {
             ));
         }
         if let Some(rate) = self.batch_rate {
-            if !(rate > 0.0) {
+            // `partial_cmp` keeps NaN out: anything that is not strictly
+            // greater than zero (including NaN) is rejected.
+            if rate.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(crate::error::Error::config("batch_rate must be positive"));
             }
         }

@@ -4,7 +4,6 @@
 //! can serve as map keys in protocol state machines and as compact wire
 //! representations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a replica (node) participating in the SMR service.
@@ -12,7 +11,7 @@ use std::fmt;
 /// Nodes are numbered `0..n` as in the paper's round-robin formulas
 /// (e.g. the bucket assignment of Section 2.4).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct NodeId(pub u32);
 
@@ -46,7 +45,7 @@ impl From<usize> for NodeId {
 /// The paper represents the client identifier as an integer associated with
 /// the client's public key (Section 3.7); we do the same.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ClientId(pub u32);
 
@@ -87,7 +86,7 @@ pub type ViewNr = u64;
 
 /// Bucket number in `0..numBuckets` (Section 2.4).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct BucketId(pub u32);
 
@@ -111,7 +110,7 @@ impl fmt::Debug for BucketId {
 /// it belongs to so that a node can dispatch it to the right state machine
 /// (or buffer it if the epoch has not started locally yet).
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct InstanceId {
     /// Epoch this instance belongs to.
@@ -135,7 +134,7 @@ impl fmt::Debug for InstanceId {
 
 /// Opaque handle for a timer set through a runtime [`crate::time`] context.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug,
 )]
 pub struct TimerId(pub u64);
 

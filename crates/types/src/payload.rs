@@ -24,6 +24,12 @@ impl Payload for Vec<u8> {
     }
 }
 
+impl Payload for bytes::Bytes {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +52,7 @@ mod tests {
     fn bytes_payload_uses_length() {
         let v = vec![0u8; 123];
         assert_eq!(v.wire_size(), 123);
+        let b = bytes::Bytes::from(vec![0u8; 77]);
+        assert_eq!(b.wire_size(), 77);
     }
 }

@@ -5,13 +5,21 @@
 //! `c` the client identity (Section 2.1 of the paper). Requests are grouped
 //! into batches; ISS agrees on the assignment of one batch to every log
 //! sequence number.
+//!
+//! Both types are designed for the zero-copy hot path of the ISS node:
+//! payloads and signatures are refcounted [`Bytes`] (cloning a [`Request`]
+//! never copies payload bytes), a [`Batch`] is a refcounted handle to its
+//! request storage (cloning is an `Arc` bump, independent of batch size),
+//! and a batch memoizes its digest so it is computed at most once per
+//! process no matter how many times the batch changes hands.
 
 use crate::ids::{BucketId, ClientId, ReqTimestamp};
-use serde::{Deserialize, Serialize};
+use bytes::Bytes;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Unique request identifier `id = (t, c)`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId {
     /// The submitting client.
     pub client: ClientId,
@@ -52,32 +60,38 @@ impl fmt::Debug for RequestId {
 
 /// A client request: payload plus identifier plus the client's signature.
 ///
+/// Payload and signature are refcounted [`Bytes`]: cloning a request is O(1)
+/// and shares the underlying allocations, so requests can move between the
+/// bucket queues, proposals, the log and delivery without copying payload
+/// bytes.
+///
 /// In the simulator the payload is usually represented only by its size
-/// (`payload_size`) to keep memory bounded; the `payload` vector is used by
+/// (`payload_size`) to keep memory bounded; the `payload` buffer is used by
 /// the real (in-process) deployment path and the examples.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Request {
     /// Unique identifier `(t, c)`.
     pub id: RequestId,
     /// Opaque operation payload (may be empty when only the size matters).
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
     /// Size in bytes the payload occupies on the wire. For requests carrying
     /// a real payload this equals `payload.len()`.
     pub payload_size: u32,
     /// Client signature over `(id, payload)`. Empty when signatures are
     /// disabled (e.g. the Raft configuration of Table 1).
-    pub signature: Vec<u8>,
+    pub signature: Bytes,
 }
 
 impl Request {
     /// Creates a request with a real payload.
-    pub fn new(client: ClientId, timestamp: ReqTimestamp, payload: Vec<u8>) -> Self {
+    pub fn new(client: ClientId, timestamp: ReqTimestamp, payload: impl Into<Bytes>) -> Self {
+        let payload = payload.into();
         let payload_size = payload.len() as u32;
         Request {
             id: RequestId::new(client, timestamp),
             payload,
             payload_size,
-            signature: Vec::new(),
+            signature: Bytes::new(),
         }
     }
 
@@ -85,15 +99,15 @@ impl Request {
     pub fn synthetic(client: ClientId, timestamp: ReqTimestamp, payload_size: u32) -> Self {
         Request {
             id: RequestId::new(client, timestamp),
-            payload: Vec::new(),
+            payload: Bytes::new(),
             payload_size,
-            signature: Vec::new(),
+            signature: Bytes::new(),
         }
     }
 
     /// Attaches a signature, returning the signed request.
-    pub fn with_signature(mut self, signature: Vec<u8>) -> Self {
-        self.signature = signature;
+    pub fn with_signature(mut self, signature: impl Into<Bytes>) -> Self {
+        self.signature = signature.into();
         self
     }
 
@@ -119,44 +133,109 @@ impl fmt::Debug for Request {
 /// type is available without a dependency cycle.
 pub type BatchDigest = [u8; 32];
 
+/// Shared storage of one batch: the requests plus the once-computed digest.
+#[derive(Default)]
+struct BatchInner {
+    requests: Vec<Request>,
+    /// Memoized batch digest; filled in by `iss-crypto` on first use and
+    /// shared by every clone of the batch.
+    digest: OnceLock<BatchDigest>,
+}
+
 /// A batch of client requests assigned (or proposed for assignment) to one
 /// log sequence number.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+///
+/// A `Batch` is a cheap-clone handle: the request storage and the memoized
+/// digest live behind one `Arc`, so cloning a batch — on propose, on SB
+/// fan-out, on commit, on state transfer — is a refcount bump regardless of
+/// how many requests or payload bytes it holds.
+#[derive(Clone, Default)]
 pub struct Batch {
-    /// The requests in proposal order.
-    pub requests: Vec<Request>,
+    inner: Arc<BatchInner>,
 }
 
 impl Batch {
     /// Creates a batch from a list of requests.
     pub fn new(requests: Vec<Request>) -> Self {
-        Batch { requests }
+        Batch { inner: Arc::new(BatchInner { requests, digest: OnceLock::new() }) }
     }
 
     /// The empty batch (used for heartbeat proposals and HotStuff dummy
-    /// blocks).
+    /// blocks). All empty batches share one allocation.
     pub fn empty() -> Self {
-        Batch { requests: Vec::new() }
+        static EMPTY: OnceLock<Arc<BatchInner>> = OnceLock::new();
+        Batch { inner: Arc::clone(EMPTY.get_or_init(|| Arc::new(BatchInner::default()))) }
+    }
+
+    /// The requests in proposal order.
+    pub fn requests(&self) -> &[Request] {
+        &self.inner.requests
     }
 
     /// Number of requests in the batch.
     pub fn len(&self) -> usize {
-        self.requests.len()
+        self.inner.requests.len()
     }
 
     /// Whether the batch contains no requests.
     pub fn is_empty(&self) -> bool {
-        self.requests.is_empty()
+        self.inner.requests.is_empty()
     }
 
     /// Approximate wire size of the batch in bytes.
     pub fn wire_size(&self) -> usize {
-        8 + self.requests.iter().map(Request::wire_size).sum::<usize>()
+        8 + self.requests().iter().map(Request::wire_size).sum::<usize>()
     }
 
     /// Returns the identifiers of all requests in the batch.
     pub fn request_ids(&self) -> impl Iterator<Item = RequestId> + '_ {
-        self.requests.iter().map(|r| r.id)
+        self.requests().iter().map(|r| r.id)
+    }
+
+    /// The memoized digest, if it has been computed already.
+    pub fn cached_digest(&self) -> Option<&BatchDigest> {
+        self.inner.digest.get()
+    }
+
+    /// Returns the batch digest, computing it with `compute` exactly once
+    /// per batch (clones share the memo). The hash function lives in
+    /// `iss-crypto`; this cell only stores the result.
+    pub fn digest_or_init(&self, compute: impl FnOnce(&[Request]) -> BatchDigest) -> BatchDigest {
+        *self.inner.digest.get_or_init(|| compute(&self.inner.requests))
+    }
+
+    /// Whether two batches are the same handle (share storage). Used as an
+    /// equality fast path.
+    pub fn ptr_eq(&self, other: &Batch) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        // Clones share storage, so the common case is O(1). Distinct handles
+        // compare by content — deliberately NOT by memoized digest: the
+        // digest does not cover signatures and is caller-supplied via
+        // `digest_or_init`, so using it here would make equality depend on
+        // hashing history.
+        self.ptr_eq(other) || self.requests() == other.requests()
+    }
+}
+
+impl Eq for Batch {}
+
+impl fmt::Debug for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Batch")
+            .field("requests", &self.inner.requests)
+            .field("digest", &self.cached_digest().map(|_| "memoized"))
+            .finish()
+    }
+}
+
+impl FromIterator<Request> for Batch {
+    fn from_iter<T: IntoIterator<Item = Request>>(iter: T) -> Self {
+        Batch::new(iter.into_iter().collect())
     }
 }
 
@@ -222,5 +301,50 @@ mod tests {
         assert_eq!(b.wire_size(), 8 + 2 * 112);
         let ids: Vec<_> = b.request_ids().collect();
         assert_eq!(ids, vec![reqs[0].id, reqs[1].id]);
+    }
+
+    #[test]
+    fn request_clone_shares_payload_storage() {
+        let payload = Bytes::from(vec![7u8; 4096]);
+        let r = Request::new(ClientId(0), 0, payload.clone());
+        let c = r.clone();
+        // Bytes equality plus the slices pointing at the same address prove
+        // the clone did not copy the payload.
+        assert_eq!(c.payload, r.payload);
+        assert_eq!(c.payload.as_ptr(), r.payload.as_ptr());
+    }
+
+    #[test]
+    fn batch_clone_is_a_refcount_bump() {
+        let b = Batch::new((0..64u32).map(|i| Request::synthetic(ClientId(i), 0, 100)).collect());
+        let c = b.clone();
+        assert!(b.ptr_eq(&c));
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn digest_memo_is_computed_once_and_shared_by_clones() {
+        let b = Batch::new(vec![Request::synthetic(ClientId(1), 2, 3)]);
+        assert!(b.cached_digest().is_none());
+        let c = b.clone();
+        let mut calls = 0;
+        let d1 = b.digest_or_init(|_| {
+            calls += 1;
+            [0xAB; 32]
+        });
+        // The clone sees the memo and never recomputes.
+        let d2 = c.digest_or_init(|_| {
+            calls += 1;
+            [0xCD; 32]
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(d1, d2);
+        assert_eq!(c.cached_digest(), Some(&[0xAB; 32]));
+    }
+
+    #[test]
+    fn empty_batches_share_storage() {
+        assert!(Batch::empty().ptr_eq(&Batch::empty()));
+        assert_eq!(Batch::default(), Batch::empty());
     }
 }

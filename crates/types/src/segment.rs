@@ -6,10 +6,9 @@
 //! batches, restricted to requests from the buckets assigned to the segment.
 
 use crate::ids::{BucketId, EpochNr, InstanceId, NodeId, SeqNr};
-use serde::{Deserialize, Serialize};
 
 /// Description of one segment / SB instance.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Segment {
     /// The SB instance identifier `(epoch, index)`.
     pub instance: InstanceId,

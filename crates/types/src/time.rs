@@ -5,19 +5,18 @@
 //! state machine deterministic and lets the same code run on the simulated
 //! clock and on a wall-clock driven in-process transport.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in microseconds since the start of the run.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Time(pub u64);
 
 /// A span of virtual time, in microseconds.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Duration(pub u64);
 
@@ -101,6 +100,7 @@ impl Duration {
     }
 
     /// Divides the duration by an integer divisor (divisor must be non-zero).
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, divisor: u64) -> Duration {
         Duration(self.0 / divisor)
     }

@@ -39,7 +39,7 @@ impl ThroughputTimeline {
     /// exclusive end), in requests per second.
     pub fn average_between(&self, from: Time, until: Time) -> f64 {
         let from_bin = (from.as_micros() / 1_000_000) as usize;
-        let until_bin = ((until.as_micros() + 999_999) / 1_000_000) as usize;
+        let until_bin = until.as_micros().div_ceil(1_000_000) as usize;
         let span = until_bin.saturating_sub(from_bin).max(1);
         let sum: u64 = self
             .bins

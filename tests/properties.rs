@@ -84,7 +84,7 @@ proptest! {
         let batch = queues.cut_batch(&allowed, max_size);
         prop_assert!(batch.len() <= max_size);
         prop_assert_eq!(queues.len(), before - batch.len());
-        for req in &batch.requests {
+        for req in batch.requests() {
             prop_assert!(allowed.contains(&req.bucket(16)));
         }
     }
@@ -160,4 +160,102 @@ proptest! {
         let wrong = Sha256::digest(b"not a leaf");
         prop_assert!(!MerkleTree::verify(&root, &wrong, &proof));
     }
+}
+
+proptest! {
+    /// Zero-copy invariant: the digest memoized on a batch equals a fresh
+    /// recomputation from its requests, before and after a codec round-trip
+    /// (the decoded batch is backed by sub-slices of the wire buffer, which
+    /// must not change its identity).
+    #[test]
+    fn batch_digest_memo_matches_fresh_recompute_after_roundtrip(
+        specs in proptest::collection::vec((0u32..64, 0u64..1000, 0usize..80, 0usize..72), 0..24),
+    ) {
+        use iss::crypto::{batch_digest, batch_digest_uncached};
+        use iss::messages::codec;
+
+        let batch = Batch::new(
+            specs
+                .iter()
+                .map(|(c, t, plen, slen)| {
+                    Request::new(ClientId(*c), *t, vec![0xA5u8; *plen])
+                        .with_signature(vec![0x5Au8; *slen])
+                })
+                .collect(),
+        );
+        // First call computes and memoizes; the memo must equal the raw hash.
+        let memoized = batch_digest(&batch);
+        prop_assert_eq!(memoized, batch_digest_uncached(batch.requests()));
+        prop_assert_eq!(batch.cached_digest(), Some(&memoized));
+
+        // Round-trip through the wire format: the decoded batch (zero-copy
+        // slices of the encode buffer) hashes to the same digest.
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_batch(&batch, &mut buf);
+        let mut wire = buf.freeze();
+        let decoded = codec::decode_batch(&mut wire).unwrap();
+        prop_assert_eq!(decoded.clone(), batch);
+        prop_assert_eq!(batch_digest(&decoded), memoized);
+        prop_assert_eq!(batch_digest_uncached(decoded.requests()), memoized);
+    }
+
+    /// Request payloads and signatures survive the codec unchanged for any
+    /// combination of lengths, including zero-length payloads/signatures.
+    #[test]
+    fn codec_roundtrips_bytes_payloads(
+        client in 0u32..10_000,
+        ts in 0u64..1_000_000,
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        sig in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        use iss::messages::codec;
+
+        let req = Request::new(ClientId(client), ts, payload.clone()).with_signature(sig.clone());
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_request(&req, &mut buf);
+        let mut wire = buf.freeze();
+        let decoded = codec::decode_request(&mut wire).unwrap();
+        prop_assert_eq!(&decoded, &req);
+        prop_assert_eq!(decoded.payload.as_ref(), payload.as_slice());
+        prop_assert_eq!(decoded.signature.as_ref(), sig.as_slice());
+        prop_assert_eq!(wire.len(), 0, "decoder must consume the request exactly");
+    }
+}
+
+#[test]
+fn batch_digest_is_a_cache_hit_once_computed() {
+    use iss::crypto::batch_digest;
+
+    let batch = Batch::new(
+        (0..512u32).map(|i| Request::new(ClientId(i), 0, vec![i as u8; 500])).collect(),
+    );
+    assert!(batch.cached_digest().is_none(), "no digest before first use");
+    let first = batch_digest(&batch);
+    assert_eq!(batch.cached_digest(), Some(&first), "digest memoized after first use");
+    // A clone shares the memo, and repeated calls return the cached value
+    // without recomputing (observable through the shared OnceLock cell).
+    let clone = batch.clone();
+    assert_eq!(clone.cached_digest(), Some(&first));
+    assert_eq!(batch_digest(&clone), first);
+}
+
+#[test]
+fn codec_zero_length_payload_and_signature_edge_cases() {
+    use iss::messages::codec;
+
+    for (plen, slen) in [(0usize, 0usize), (0, 64), (500, 0)] {
+        let req = Request::new(ClientId(7), 9, vec![1u8; plen]).with_signature(vec![2u8; slen]);
+        let mut buf = bytes::BytesMut::new();
+        codec::encode_request(&req, &mut buf);
+        let mut wire = buf.freeze();
+        let decoded = codec::decode_request(&mut wire).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(decoded.payload.len(), plen);
+        assert_eq!(decoded.signature.len(), slen);
+    }
+    // An entirely empty batch also round-trips.
+    let mut buf = bytes::BytesMut::new();
+    codec::encode_batch(&Batch::empty(), &mut buf);
+    let mut wire = buf.freeze();
+    assert_eq!(codec::decode_batch(&mut wire).unwrap(), Batch::empty());
 }

@@ -1,0 +1,261 @@
+//! Vendored, std-only subset of the `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use — benchmark
+//! groups, `bench_function`, `iter`, `iter_batched`, throughput annotation —
+//! on top of `std::time::Instant`. Each benchmark is auto-calibrated to a
+//! target measurement time, run for a configurable number of samples, and
+//! reported as median / mean / p95 nanoseconds per iteration (plus MB/s or
+//! Melem/s when a throughput is set).
+//!
+//! No statistical regression analysis, plots or saved baselines; for
+//! comparing runs, capture the printed medians.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many inputs per batch (cheap setup).
+    SmallInput,
+    /// One input per measurement batch (expensive setup).
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 60,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments for compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), self.sample_size, self.measurement_time, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-sample measurement time budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, self.measurement_time, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmarked closure; records what to measure.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Measured duration of the sample (set by `iter*`).
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` run `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like `iter_batched` but hands the routine a mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std_black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: find an iteration count whose sample takes roughly
+    // measurement_time / sample_size.
+    let target = measurement_time.div_f64(sample_size as f64).max(Duration::from_micros(200));
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 24 {
+            break;
+        }
+        let scale = if b.elapsed.is_zero() {
+            16.0
+        } else {
+            (target.as_secs_f64() / b.elapsed.as_secs_f64()).clamp(1.5, 16.0)
+        };
+        iters = ((iters as f64) * scale).ceil() as u64;
+    }
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, z| a.partial_cmp(z).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let p95_idx = ((samples_ns.len() as f64 * 0.95) as usize).min(samples_ns.len() - 1);
+    let p95 = samples_ns[p95_idx];
+
+    // `median` is ns/iter, so units/iter ÷ ns × 1e9 = units/s; ÷ 1e6 → M/s.
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => format!("  {:>10.1} MB/s", n as f64 / median * 1000.0),
+        Some(Throughput::Elements(n)) => format!("  {:>10.2} Melem/s", n as f64 / median * 1000.0),
+        None => String::new(),
+    };
+    println!(
+        "{name:<44} median {m}  mean {a}  p95 {p}{rate}",
+        m = fmt_ns(median),
+        a = fmt_ns(mean),
+        p = fmt_ns(p95),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:>8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:>8.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:>8.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Defines a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
