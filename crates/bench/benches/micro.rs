@@ -1,6 +1,8 @@
 //! Criterion micro-benchmarks of the building blocks: hashing, signatures,
-//! Merkle trees, bucket mapping, batch cutting, the binary codec and a full
-//! PBFT three-phase round for one batch.
+//! Merkle trees, bucket mapping, batch cutting, the binary codec, a full
+//! PBFT three-phase round for one batch, the simnet event-queue engine
+//! (timing wheel vs the reference binary heap) and a fig8-scale simulation
+//! wall-clock smoke.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use iss_core::buckets::BucketQueues;
@@ -9,7 +11,11 @@ use iss_messages::codec;
 use iss_pbft::{PbftConfig, PbftInstance};
 use iss_sb::testing::LocalNet;
 use iss_sb::SbInstance;
-use iss_types::{Batch, BucketId, ClientId, InstanceId, NodeId, Request, Segment};
+use iss_sim::cluster::run_cluster;
+use iss_sim::{ClusterSpec, CrashTiming, Protocol};
+use iss_simnet::event::{EventKind, EventQueue, ReferenceQueue};
+use iss_simnet::Addr;
+use iss_types::{Batch, BucketId, ClientId, Duration, InstanceId, NodeId, Request, Segment, Time};
 use std::sync::Arc;
 
 fn request(i: u32) -> Request {
@@ -166,5 +172,87 @@ fn bench_pbft_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_buckets, bench_codec, bench_batch_handles, bench_pbft_round);
+use iss_bench::engine::next_delay_us;
+
+/// Steady-state event-engine throughput: hold the queue at a sim-realistic
+/// depth and, per element, pop the earliest event and push a successor at a
+/// randomized offset — exactly the simulator's pop→dispatch→push cycle.
+/// `wheel` is the production timing wheel, `heap` the pre-wheel BinaryHeap
+/// baseline measured in the same run for the before/after comparison.
+fn bench_simnet_event_throughput(c: &mut Criterion) {
+    const DEPTH: usize = iss_bench::engine::DEPTH;
+    let mut group = c.benchmark_group("simnet_event_throughput");
+    group.throughput(Throughput::Elements(1));
+
+    let start_event = |i: usize| EventKind::Start { addr: Addr::Node(NodeId(i as u32)) };
+
+    group.bench_function("wheel", |b| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut state = iss_bench::engine::WORKLOAD_SEED;
+        for i in 0..DEPTH {
+            q.push(Time::from_micros(next_delay_us(&mut state)), start_event(i));
+        }
+        b.iter(|| {
+            let e = q.pop().expect("queue is held at constant depth");
+            q.push(e.at + Duration::from_micros(next_delay_us(&mut state)), e.kind);
+            e.at
+        })
+    });
+
+    group.bench_function("heap", |b| {
+        let mut q: ReferenceQueue<u32> = ReferenceQueue::new();
+        let mut state = iss_bench::engine::WORKLOAD_SEED;
+        for i in 0..DEPTH {
+            q.push(Time::from_micros(next_delay_us(&mut state)), start_event(i));
+        }
+        b.iter(|| {
+            let e = q.pop().expect("queue is held at constant depth");
+            q.push(e.at + Duration::from_micros(next_delay_us(&mut state)), e.kind);
+            e.at
+        })
+    });
+
+    group.finish();
+}
+
+/// A scaled-down Figure 8 deployment (crash fault at epoch start, Blacklist
+/// policy): 8 nodes on the WAN testbed, one epoch-start crash, several
+/// seconds of virtual traffic per iteration.
+fn fig8_smoke_spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::new(Protocol::Pbft, 8, 3_000.0);
+    spec.num_clients = 8;
+    spec.duration = iss_types::Duration::from_secs(10);
+    spec.warmup = iss_types::Duration::from_secs(2);
+    spec.crashes = vec![(NodeId(0), CrashTiming::EpochStart)];
+    spec
+}
+
+/// End-to-end engine wall-clock: how long one fig8-scale `run_until` takes.
+fn bench_fig8_smoke_wallclock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet");
+    group.sample_size(10);
+    group.bench_function("fig8_smoke_wallclock", |b| {
+        b.iter_batched(
+            fig8_smoke_spec,
+            |spec| {
+                let report = run_cluster(spec);
+                assert!(report.delivered > 0, "smoke run must deliver requests");
+                report.delivered
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_buckets,
+    bench_codec,
+    bench_batch_handles,
+    bench_pbft_round,
+    bench_simnet_event_throughput,
+    bench_fig8_smoke_wallclock,
+);
 criterion_main!(benches);

@@ -11,6 +11,33 @@
 
 use iss_sim::experiments::Scale;
 
+pub mod engine {
+    //! Shared workload definition for the simnet event-engine measurements
+    //! (the `simnet_event_throughput` bench and the `perf_smoke` CI binary),
+    //! so both drive the queues with the identical push schedule.
+
+    /// Deterministic xorshift64* delay stream: mostly sub-250 ms network/CPU
+    /// style delays, occasionally seconds-out protocol timers.
+    pub fn next_delay_us(state: &mut u64) -> u64 {
+        *state ^= *state >> 12;
+        *state ^= *state << 25;
+        *state ^= *state >> 27;
+        let x = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        if x % 100 < 90 {
+            x % 250_000
+        } else {
+            1_000_000 + x % 4_000_000
+        }
+    }
+
+    /// Seed used by every engine workload.
+    pub const WORKLOAD_SEED: u64 = 0x155_5eed;
+
+    /// Queue depth the steady-state workload holds (a fig8-scale run keeps
+    /// thousands of in-flight events).
+    pub const DEPTH: usize = 65536;
+}
+
 /// Reads the experiment scale from the `ISS_SCALE` environment variable
 /// (`quick`, `default` or `paper`).
 pub fn scale_from_env() -> Scale {

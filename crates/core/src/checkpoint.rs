@@ -7,6 +7,7 @@
 //! instances and serve state-transfer requests to lagging nodes.
 
 use crate::log::IssLog;
+use bytes::Bytes;
 use iss_crypto::{maybe_batch_digest, merkle_root, Digest, KeyPair, SignatureRegistry};
 use iss_messages::IssMsg;
 use iss_types::{EpochNr, NodeId, SeqNr};
@@ -23,7 +24,9 @@ pub struct StableCheckpoint {
     /// Merkle root of the epoch's batch digests.
     pub root: Digest,
     /// The 2f+1 signatures (`π(e)` in the paper), paired with their signers.
-    pub proof: Vec<(NodeId, Vec<u8>)>,
+    /// Refcounted so fanning the proof out during state transfer clones
+    /// handles, not signature bytes.
+    pub proof: Vec<(NodeId, Bytes)>,
 }
 
 /// Per-node checkpointing state.
@@ -33,7 +36,7 @@ pub struct CheckpointManager {
     registry: Arc<SignatureRegistry>,
     quorum: usize,
     /// Collected CHECKPOINT signatures per (epoch, root).
-    collected: HashMap<(EpochNr, Digest), HashMap<NodeId, Vec<u8>>>,
+    collected: HashMap<(EpochNr, Digest), HashMap<NodeId, Bytes>>,
     /// Max sequence number announced per epoch (from the first checkpoint seen).
     max_seq_nrs: HashMap<EpochNr, SeqNr>,
     stable: HashMap<EpochNr, StableCheckpoint>,
@@ -80,7 +83,8 @@ impl CheckpointManager {
     /// Builds this node's signed CHECKPOINT message for an epoch, recording
     /// the own signature towards the stable checkpoint.
     pub fn make_checkpoint(&mut self, epoch: EpochNr, max_seq_nr: SeqNr, root: Digest) -> IssMsg {
-        let signature = self.keypair.sign(&Self::signing_bytes(epoch, max_seq_nr, &root)).0;
+        let signature =
+            Bytes::from(self.keypair.sign(&Self::signing_bytes(epoch, max_seq_nr, &root)).0);
         let my_id = self.my_id;
         self.record(my_id, epoch, max_seq_nr, root, signature.clone());
         IssMsg::Checkpoint { epoch, max_seq_nr, root, signature }
@@ -94,7 +98,7 @@ impl CheckpointManager {
         epoch: EpochNr,
         max_seq_nr: SeqNr,
         root: Digest,
-        signature: Vec<u8>,
+        signature: Bytes,
     ) -> Option<StableCheckpoint> {
         let bytes = Self::signing_bytes(epoch, max_seq_nr, &root);
         if self.registry.verify_node(from, &bytes, &signature).is_err() {
@@ -109,7 +113,7 @@ impl CheckpointManager {
         epoch: EpochNr,
         max_seq_nr: SeqNr,
         root: Digest,
-        signature: Vec<u8>,
+        signature: Bytes,
     ) -> Option<StableCheckpoint> {
         if self.stable.contains_key(&epoch) {
             return None;
@@ -118,7 +122,8 @@ impl CheckpointManager {
         let entry = self.collected.entry((epoch, root)).or_default();
         entry.insert(from, signature);
         if entry.len() >= self.quorum {
-            let proof: Vec<(NodeId, Vec<u8>)> =
+            // Refcount bumps, not signature copies.
+            let proof: Vec<(NodeId, Bytes)> =
                 entry.iter().map(|(n, s)| (*n, s.clone())).collect();
             let stable = StableCheckpoint { epoch, max_seq_nr, root, proof };
             self.stable.insert(epoch, stable.clone());
@@ -147,7 +152,7 @@ impl CheckpointManager {
         epoch: EpochNr,
         max_seq_nr: SeqNr,
         root: &Digest,
-        proof: &[(NodeId, Vec<u8>)],
+        proof: &[(NodeId, Bytes)],
     ) -> bool {
         let bytes = Self::signing_bytes(epoch, max_seq_nr, root);
         let mut valid_signers: Vec<NodeId> = proof
@@ -205,13 +210,17 @@ mod tests {
         let IssMsg::Checkpoint { signature, .. } = msg else { panic!("wrong variant") };
         assert!(!signature.is_empty());
         // Two more valid checkpoints complete the quorum.
-        let sig1 = KeyPair::for_node(NodeId(1))
-            .sign(&CheckpointManager::signing_bytes(0, 3, &root))
-            .0;
+        let sig1 = Bytes::from(
+            KeyPair::for_node(NodeId(1))
+                .sign(&CheckpointManager::signing_bytes(0, 3, &root))
+                .0,
+        );
         assert!(mine.on_checkpoint(NodeId(1), 0, 3, root, sig1).is_none());
-        let sig2 = KeyPair::for_node(NodeId(2))
-            .sign(&CheckpointManager::signing_bytes(0, 3, &root))
-            .0;
+        let sig2 = Bytes::from(
+            KeyPair::for_node(NodeId(2))
+                .sign(&CheckpointManager::signing_bytes(0, 3, &root))
+                .0,
+        );
         let stable = mine.on_checkpoint(NodeId(2), 0, 3, root, sig2).expect("stable");
         assert_eq!(stable.epoch, 0);
         assert_eq!(stable.proof.len(), 3);
@@ -228,8 +237,8 @@ mod tests {
         let root = [7u8; 32];
         let mut mine = manager(0, 3);
         mine.make_checkpoint(0, 3, root);
-        assert!(mine.on_checkpoint(NodeId(1), 0, 3, root, vec![0u8; 64]).is_none());
-        assert!(mine.on_checkpoint(NodeId(2), 0, 3, root, vec![0u8; 64]).is_none());
+        assert!(mine.on_checkpoint(NodeId(1), 0, 3, root, vec![0u8; 64].into()).is_none());
+        assert!(mine.on_checkpoint(NodeId(2), 0, 3, root, vec![0u8; 64].into()).is_none());
         assert!(mine.latest_stable().is_none());
     }
 
@@ -237,9 +246,11 @@ mod tests {
     fn mismatching_roots_do_not_mix() {
         let mut mine = manager(0, 2);
         mine.make_checkpoint(0, 3, [1u8; 32]);
-        let sig = KeyPair::for_node(NodeId(1))
-            .sign(&CheckpointManager::signing_bytes(0, 3, &[2u8; 32]))
-            .0;
+        let sig = Bytes::from(
+            KeyPair::for_node(NodeId(1))
+                .sign(&CheckpointManager::signing_bytes(0, 3, &[2u8; 32]))
+                .0,
+        );
         assert!(mine.on_checkpoint(NodeId(1), 0, 3, [2u8; 32], sig).is_none());
     }
 

@@ -1,6 +1,11 @@
 //! ISS checkpointing and state-transfer messages (Section 3.5).
+//!
+//! Signature payloads are refcounted [`Bytes`]: a checkpoint broadcast to n
+//! nodes and a 2f+1-signature stable-checkpoint proof shipped during state
+//! transfer clone handles, not byte buffers.
 
 use crate::{DIGEST_WIRE, HEADER_WIRE, SIG_WIRE};
+use bytes::Bytes;
 use iss_types::{Batch, EpochNr, SeqNr};
 
 /// Digest type alias (32 bytes).
@@ -36,7 +41,7 @@ pub enum IssMsg {
         /// Merkle root over the digests of the epoch's batches.
         root: Digest,
         /// Signature by the sending node.
-        signature: Vec<u8>,
+        signature: Bytes,
     },
     /// Request for missing log entries, sent by a node that has fallen
     /// behind.
@@ -56,7 +61,7 @@ pub enum IssMsg {
         /// Merkle root of the covering stable checkpoint.
         root: Digest,
         /// The 2f+1 signatures forming the stable checkpoint π(e).
-        proof: Vec<Vec<u8>>,
+        proof: Vec<Bytes>,
     },
 }
 
@@ -94,7 +99,12 @@ mod tests {
 
     #[test]
     fn checkpoint_is_constant_size() {
-        let m = IssMsg::Checkpoint { epoch: 3, max_seq_nr: 1023, root: [0; 32], signature: vec![0; 64] };
+        let m = IssMsg::Checkpoint {
+            epoch: 3,
+            max_seq_nr: 1023,
+            root: [0; 32],
+            signature: vec![0u8; 64].into(),
+        };
         assert!(m.wire_size() < 200);
         assert_eq!(m.num_requests(), 0);
     }
@@ -107,7 +117,12 @@ mod tests {
                 batch: Some(Batch::new(vec![Request::synthetic(ClientId(0), i, 500); 8])),
             })
             .collect();
-        let m = IssMsg::StateResponse { epoch: 0, entries, root: [0; 32], proof: vec![vec![0; 64]; 3] };
+        let m = IssMsg::StateResponse {
+            epoch: 0,
+            entries,
+            root: [0; 32],
+            proof: vec![Bytes::from(vec![0u8; 64]); 3],
+        };
         assert!(m.wire_size() > 4 * 8 * 500);
         assert_eq!(m.num_requests(), 32);
     }

@@ -7,6 +7,7 @@
 
 use crate::pbft::PbftMsg;
 use crate::{DIGEST_WIRE, HEADER_WIRE, SIG_WIRE};
+use bytes::Bytes;
 use iss_types::EpochNr;
 
 /// Mir-BFT baseline messages.
@@ -28,7 +29,7 @@ pub enum MirMsg {
         /// The epoch the sender wants to enter.
         next_epoch: EpochNr,
         /// Signature by the sender.
-        signature: Vec<u8>,
+        signature: Bytes,
     },
     /// The epoch primary announces the configuration of the next epoch.
     NewEpoch {
@@ -78,7 +79,10 @@ mod tests {
 
     #[test]
     fn epoch_change_messages_small() {
-        assert!(MirMsg::EpochChangeReq { next_epoch: 2, signature: vec![0; 64] }.wire_size() < 200);
+        assert!(
+            MirMsg::EpochChangeReq { next_epoch: 2, signature: vec![0u8; 64].into() }.wire_size()
+                < 200
+        );
         assert!(MirMsg::NewEpoch { epoch: 2, config_digest: [0; 32] }.wire_size() < 100);
     }
 }

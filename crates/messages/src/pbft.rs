@@ -6,6 +6,7 @@
 //! leader had not proposed (design principle 2 of Section 4.2).
 
 use crate::{DIGEST_WIRE, HEADER_WIRE, SIG_WIRE};
+use bytes::Bytes;
 use iss_types::{Batch, SeqNr, ViewNr};
 
 /// Digest type alias (32 bytes).
@@ -64,8 +65,9 @@ pub enum PbftMsg {
         new_view: ViewNr,
         /// Certificates for proposals prepared by the sender.
         prepared: Vec<PreparedProof>,
-        /// Signature over the message by the sender.
-        signature: Vec<u8>,
+        /// Signature over the message by the sender (refcounted: broadcast
+        /// fan-out clones a handle, not the 64 bytes).
+        signature: Bytes,
     },
     /// New-view message from the leader of `view`, carrying the view-change
     /// certificate and the proposals (batches or ⊥) it re-proposes.
@@ -76,7 +78,7 @@ pub enum PbftMsg {
         /// digest the new leader is bound to re-propose (nil digest for ⊥).
         re_proposals: Vec<(SeqNr, Digest)>,
         /// Signatures of the 2f+1 view-change messages justifying this view.
-        certificate: Vec<Vec<u8>>,
+        certificate: Vec<Bytes>,
     },
 }
 
@@ -160,7 +162,7 @@ mod tests {
     fn view_accessor() {
         assert_eq!(PbftMsg::Prepare { view: 5, seq_nr: 0, digest: [0; 32] }.view(), 5);
         assert_eq!(
-            PbftMsg::ViewChange { new_view: 2, prepared: vec![], signature: vec![] }.view(),
+            PbftMsg::ViewChange { new_view: 2, prepared: vec![], signature: Bytes::new() }.view(),
             2
         );
         assert_eq!(
@@ -171,13 +173,14 @@ mod tests {
 
     #[test]
     fn view_change_size_grows_with_prepared_set() {
-        let empty = PbftMsg::ViewChange { new_view: 1, prepared: vec![], signature: vec![0; 64] };
+        let empty =
+            PbftMsg::ViewChange { new_view: 1, prepared: vec![], signature: vec![0u8; 64].into() };
         let loaded = PbftMsg::ViewChange {
             new_view: 1,
             prepared: (0..8)
                 .map(|i| PreparedProof { seq_nr: i, view: 0, digest: [0; 32], batch: None })
                 .collect(),
-            signature: vec![0; 64],
+            signature: vec![0u8; 64].into(),
         };
         assert!(loaded.wire_size() > empty.wire_size());
     }

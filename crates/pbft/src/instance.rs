@@ -237,9 +237,9 @@ impl PbftInstance {
             })
             .collect();
         let signature = if self.config.signed_view_change {
-            self.keypair.sign(&Self::vc_signing_bytes(target, &prepared)).0
+            bytes::Bytes::from(self.keypair.sign(&Self::vc_signing_bytes(target, &prepared)).0)
         } else {
-            Vec::new()
+            bytes::Bytes::new()
         };
         let msg = PbftMsg::ViewChange { new_view: target, prepared: prepared.clone(), signature };
         ctx.broadcast(SbMsg::Pbft(msg));
@@ -305,7 +305,7 @@ impl PbftInstance {
                 }
             }
         }
-        let certificate: Vec<Vec<u8>> = vec![Vec::new(); count];
+        let certificate: Vec<bytes::Bytes> = vec![bytes::Bytes::new(); count];
         ctx.broadcast(SbMsg::Pbft(PbftMsg::NewView {
             view: target,
             re_proposals: re_proposals.clone(),
@@ -635,7 +635,7 @@ mod tests {
                         SbMsg::Pbft(PbftMsg::ViewChange {
                             new_view: 1,
                             prepared: vec![],
-                            signature: vec![0u8; 64],
+                            signature: vec![0u8; 64].into(),
                         }),
                     );
                 }

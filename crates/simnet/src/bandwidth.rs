@@ -10,7 +10,6 @@
 
 use crate::process::Addr;
 use iss_types::{Duration, Time};
-use std::collections::HashMap;
 
 /// Bandwidth configuration.
 #[derive(Clone, Copy, Debug)]
@@ -59,17 +58,43 @@ fn is_client_traffic(a: Addr, b: Addr) -> bool {
     !(a.is_node() && b.is_node())
 }
 
+/// Busy-until times of one participant's four logical interfaces, indexed by
+/// `(is_client_interface, is_outbound)`.
+type IfaceTimes = [Time; 4];
+
+#[inline(always)]
+fn iface_index(client_if: bool, outbound: bool) -> usize {
+    (client_if as usize) | ((outbound as usize) << 1)
+}
+
 /// Tracks per-interface occupancy of every participant.
+///
+/// Storage is dense — one four-entry array per node/client id, grown on
+/// demand — so the two lookups on every send are plain array indexing
+/// instead of hash-map probes.
 #[derive(Clone, Debug, Default)]
 pub struct InterfaceState {
-    /// (addr, is_client_interface, is_outbound) → busy-until time.
-    busy_until: HashMap<(Addr, bool, bool), Time>,
+    nodes: Vec<IfaceTimes>,
+    clients: Vec<IfaceTimes>,
 }
 
 impl InterfaceState {
     /// Creates an empty interface state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The busy-until slot for one direction of one participant's interface.
+    #[inline]
+    fn slot(&mut self, addr: Addr, client_if: bool, outbound: bool) -> &mut Time {
+        let (table, idx) = match addr {
+            Addr::Node(n) => (&mut self.nodes, n.index()),
+            Addr::Client(c) => (&mut self.clients, c.index()),
+        };
+        if idx >= table.len() {
+            table.resize(idx + 1, [Time::ZERO; 4]);
+        }
+        &mut table[idx][iface_index(client_if, outbound)]
     }
 
     /// Schedules a transfer of `size` bytes from `from` to `to` starting no
@@ -88,11 +113,10 @@ impl InterfaceState {
         let ser = cfg.serialization_delay(size, client_if);
 
         // Outbound interface of the sender.
-        let out_key = (from, client_if, true);
-        let out_free = self.busy_until.get(&out_key).copied().unwrap_or(Time::ZERO);
-        let start = if out_free > now { out_free } else { now };
+        let out_free = self.slot(from, client_if, true);
+        let start = if *out_free > now { *out_free } else { now };
         let sent_at = start + ser;
-        self.busy_until.insert(out_key, sent_at);
+        *out_free = sent_at;
 
         (sent_at, ser)
     }
@@ -110,11 +134,10 @@ impl InterfaceState {
     ) -> Time {
         let client_if = is_client_traffic(from, to);
         let ser = cfg.serialization_delay(size, client_if);
-        let in_key = (to, client_if, false);
-        let in_free = self.busy_until.get(&in_key).copied().unwrap_or(Time::ZERO);
-        let start = if in_free > arrival { in_free } else { arrival };
+        let in_free = self.slot(to, client_if, false);
+        let start = if *in_free > arrival { *in_free } else { arrival };
         let done = start + ser;
-        self.busy_until.insert(in_key, done);
+        *in_free = done;
         done
     }
 }

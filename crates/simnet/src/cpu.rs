@@ -72,17 +72,29 @@ impl CpuState {
 
     /// Schedules a unit of work of length `cost` arriving at `arrival`;
     /// returns the completion time.
+    ///
+    /// Arrivals are monotonically non-decreasing in a discrete-event run, so
+    /// any core with `free_at <= arrival` is equivalently idle: the fast path
+    /// grabs the first such core without scanning the rest. Only when every
+    /// core is busy does the full earliest-free scan run. Completion times
+    /// are identical to the always-scan implementation.
+    #[inline]
     pub fn schedule(&mut self, arrival: Time, cost: Duration) -> Time {
-        let (idx, free_at) = self
-            .core_free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .map(|(i, t)| (i, *t))
-            .expect("at least one core");
-        let start = if free_at > arrival { free_at } else { arrival };
-        let done = start + cost;
-        self.core_free_at[idx] = done;
+        let mut min_idx = 0;
+        let mut min_free = Time(u64::MAX);
+        for (idx, &free_at) in self.core_free_at.iter().enumerate() {
+            if free_at <= arrival {
+                let done = arrival + cost;
+                self.core_free_at[idx] = done;
+                return done;
+            }
+            if free_at < min_free {
+                min_free = free_at;
+                min_idx = idx;
+            }
+        }
+        let done = min_free + cost;
+        self.core_free_at[min_idx] = done;
         done
     }
 

@@ -3,11 +3,33 @@
 //! Events are ordered by virtual time with a monotonically increasing
 //! sequence number as a tie-breaker, which makes runs fully deterministic for
 //! a given seed and schedule.
+//!
+//! [`EventQueue`] is a hierarchical timing wheel tuned for the access pattern
+//! of the simulator: almost every event is scheduled within a few hundred
+//! milliseconds of virtual *now* (network latency, CPU completion, bandwidth
+//! serialization), while a small minority (protocol timers) lands seconds
+//! ahead. The structure has three tiers, consulted in order:
+//!
+//! 1. an *active slot*: the events of the wheel slot the cursor points at,
+//!    sorted once when the cursor enters the slot and drained from the back;
+//! 2. the *near wheel*: [`WHEEL_SLOTS`] unsorted buckets of
+//!    2^[`SLOT_BITS`] µs each, covering a sliding window of about four
+//!    seconds of virtual time, with an occupancy bitmap to skip empty slots
+//!    64 at a time;
+//! 3. a *sorted overflow* (`BTreeMap` keyed by `(time, seq)`) that spills
+//!    everything beyond the window and cascades back into the wheel when
+//!    the window re-anchors.
+//!
+//! Push and pop are O(1) amortized for in-window events; far-future events
+//! pay one extra O(log n) detour through the overflow map. The pop order is
+//! *exactly* the `(time, seq)` order of the reference heap implementation
+//! ([`ReferenceQueue`]), which a property test asserts over randomized
+//! workloads.
 
 use crate::process::Addr;
 use iss_types::{Time, TimerId};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A scheduled event.
 #[derive(Debug)]
@@ -78,9 +100,36 @@ impl<M> Ord for Event<M> {
     }
 }
 
-/// A deterministic event queue.
+/// log2 of the width of one wheel slot in microseconds (256 µs).
+pub const SLOT_BITS: u32 = 8;
+/// Number of slots in the near wheel (must be a multiple of 64 for the
+/// occupancy bitmap); 16384 × 256 µs ≈ 4.2 s of virtual time, wide enough
+/// that only the long protocol timers (10 s view/epoch-change timeouts)
+/// spill to the overflow tier (~10% of inserts in a fig8-scale run).
+pub const WHEEL_SLOTS: usize = 16384;
+
+const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// A deterministic event queue (timing-wheel implementation).
 pub struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+    /// The overall minimum event, cached so `peek_time` and `pop` are O(1).
+    /// Invariant: `Some` iff the queue is non-empty.
+    next: Option<Event<M>>,
+    /// Events of the cursor slot (and any event scheduled at or before it),
+    /// sorted so the earliest event is at the *back* — draining is `Vec::pop`
+    /// and the rare insert into the active slot is a binary-search insert.
+    active: Vec<Event<M>>,
+    /// The near wheel: unsorted buckets of 2^SLOT_BITS µs each.
+    wheel: Vec<Vec<Event<M>>>,
+    /// One bit per wheel slot: does the bucket hold any event?
+    occupied: [u64; BITMAP_WORDS],
+    /// Absolute slot number (`time >> SLOT_BITS`) that `wheel[0]` covers.
+    window_start_slot: u64,
+    /// Index into `wheel` of the slot the active heap was loaded from.
+    cursor: usize,
+    /// Events beyond the wheel window, sorted by `(time µs, seq)`.
+    overflow: BTreeMap<(u64, u64), EventKind<M>>,
+    len: usize,
     next_seq: u64,
 }
 
@@ -93,7 +142,156 @@ impl<M> Default for EventQueue<M> {
 impl<M> EventQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            next: None,
+            active: Vec::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            window_start_slot: 0,
+            cursor: 0,
+            overflow: BTreeMap::new(),
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules an event at time `at`.
+    #[inline]
+    pub fn push(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let event = Event { at, seq, kind };
+        match &self.next {
+            None => self.next = Some(event),
+            // A new event can only displace the cached minimum with a
+            // strictly earlier time: on a tie the cached event wins because
+            // its sequence number is smaller.
+            Some(min) if event.at < min.at => {
+                let displaced = std::mem::replace(self.next.as_mut().expect("checked"), event);
+                self.insert(displaced);
+            }
+            Some(_) => self.insert(event),
+        }
+    }
+
+    /// Pops the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        let event = self.next.take()?;
+        self.len -= 1;
+        self.next = self.extract_min();
+        Some(event)
+    }
+
+    /// Time of the next event without removing it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Time> {
+        self.next.as_ref().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Routes an event into the tier matching its distance from the cursor.
+    fn insert(&mut self, event: Event<M>) {
+        let slot_abs = event.at.as_micros() >> SLOT_BITS;
+        if slot_abs <= self.window_start_slot + self.cursor as u64 {
+            // At or before the cursor slot (e.g. a zero-delay self-send):
+            // goes straight into the sorted active slot. The existing `Ord`
+            // sorts "earliest last", which is exactly the drain order.
+            let pos = self.active.binary_search(&event).unwrap_or_else(|p| p);
+            self.active.insert(pos, event);
+            return;
+        }
+        let offset = slot_abs - self.window_start_slot;
+        if offset < WHEEL_SLOTS as u64 {
+            let idx = offset as usize;
+            self.wheel[idx].push(event);
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
+        } else {
+            self.overflow.insert((event.at.as_micros(), event.seq), event.kind);
+        }
+    }
+
+    /// Extracts the globally earliest event from the three tiers.
+    fn extract_min(&mut self) -> Option<Event<M>> {
+        loop {
+            if let Some(event) = self.active.pop() {
+                return Some(event);
+            }
+            // Advance the cursor to the next occupied wheel slot.
+            if let Some(idx) = self.next_occupied_slot() {
+                self.cursor = idx;
+                self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+                // Swap buffers (the active vec is empty here) and sort the
+                // slot once; draining it is then pop-from-back.
+                std::mem::swap(&mut self.active, &mut self.wheel[idx]);
+                self.active.sort_unstable();
+                continue;
+            }
+            // Wheel exhausted: re-anchor the window at the first overflow
+            // event and cascade everything inside the new window back in.
+            let (&(first_us, _), _) = self.overflow.iter().next()?;
+            self.window_start_slot = first_us >> SLOT_BITS;
+            self.cursor = 0;
+            let window_end_us = (self.window_start_slot + WHEEL_SLOTS as u64) << SLOT_BITS;
+            let far = self.overflow.split_off(&(window_end_us, 0));
+            let near = std::mem::replace(&mut self.overflow, far);
+            for ((at_us, seq), kind) in near {
+                let idx = ((at_us >> SLOT_BITS) - self.window_start_slot) as usize;
+                self.wheel[idx].push(Event { at: Time::from_micros(at_us), seq, kind });
+                self.occupied[idx / 64] |= 1u64 << (idx % 64);
+            }
+        }
+    }
+
+    /// Index of the first occupied slot at or after the cursor, if any.
+    fn next_occupied_slot(&self) -> Option<usize> {
+        let start = self.cursor;
+        let mut word_idx = start / 64;
+        // Mask off bits below the cursor in the first word.
+        let mut word = self.occupied[word_idx] & (!0u64 << (start % 64));
+        loop {
+            if word != 0 {
+                return Some(word_idx * 64 + word.trailing_zeros() as usize);
+            }
+            word_idx += 1;
+            if word_idx >= BITMAP_WORDS {
+                return None;
+            }
+            word = self.occupied[word_idx];
+        }
+    }
+}
+
+/// The reference event queue: a plain binary heap ordered by `(time, seq)`.
+///
+/// This is the pre-timing-wheel implementation, kept as the behavioural
+/// oracle for the wheel's equivalence property test and as the baseline the
+/// `simnet_event_throughput` benchmark measures the wheel against.
+pub struct ReferenceQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for ReferenceQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> ReferenceQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ReferenceQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
     /// Schedules an event at time `at`.
@@ -156,5 +354,58 @@ mod tests {
             }
             _ => panic!("unexpected event kinds"),
         }
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_path() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Far beyond the wheel window (window is ~4.2 s).
+        q.push(Time::from_secs(30), EventKind::Start { addr: Addr::Node(NodeId(1)) });
+        q.push(Time::from_secs(10), EventKind::Start { addr: Addr::Node(NodeId(0)) });
+        q.push(Time::from_millis(1), EventKind::Start { addr: Addr::Node(NodeId(2)) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_micros()).collect();
+        assert_eq!(order, vec![1_000, 10_000_000, 30_000_000]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_window_reanchors() {
+        // Mimics the simulator: pop an event, schedule follow-ups relative to
+        // its time, repeat. Times repeatedly cross the wheel horizon.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut r: ReferenceQueue<u32> = ReferenceQueue::new();
+        for i in 0..4u64 {
+            let t = Time::from_millis(i * 2_800);
+            q.push(t, EventKind::Start { addr: Addr::Node(NodeId(i as u32)) });
+            r.push(t, EventKind::Start { addr: Addr::Node(NodeId(i as u32)) });
+        }
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            let re = r.pop().expect("reference has the same events");
+            assert_eq!(e.at, re.at);
+            popped.push(e.at);
+            if popped.len() < 64 {
+                // Two follow-ups: one near, one past the horizon.
+                for delay in [150u64, 5_100_000] {
+                    let t = e.at + iss_types::Duration::from_micros(delay);
+                    q.push(t, EventKind::Start { addr: Addr::Node(NodeId(9)) });
+                    r.push(t, EventKind::Start { addr: Addr::Node(NodeId(9)) });
+                }
+            }
+        }
+        assert!(r.is_empty());
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_delay_pushes_pop_before_later_events() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(Time::from_millis(10), EventKind::Start { addr: Addr::Node(NodeId(0)) });
+        q.push(Time::from_millis(20), EventKind::Start { addr: Addr::Node(NodeId(1)) });
+        let first = q.pop().unwrap();
+        assert_eq!(first.at, Time::from_millis(10));
+        // Self-send at the current time must come before the 20 ms event.
+        q.push(Time::from_millis(10), EventKind::Start { addr: Addr::Node(NodeId(2)) });
+        assert_eq!(q.pop().unwrap().at, Time::from_millis(10));
+        assert_eq!(q.pop().unwrap().at, Time::from_millis(20));
     }
 }

@@ -33,6 +33,12 @@ impl CrashSchedule {
         self.crash_at.get(&node).is_some_and(|t| now >= *t)
     }
 
+    /// Whether the schedule contains no crashes at all (lets the runtime
+    /// skip the per-event crash probe entirely in fault-free runs).
+    pub fn is_empty(&self) -> bool {
+        self.crash_at.is_empty()
+    }
+
     /// The set of nodes that ever crash.
     pub fn crashed_nodes(&self) -> Vec<NodeId> {
         let mut v: Vec<_> = self.crash_at.keys().copied().collect();

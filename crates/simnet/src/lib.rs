@@ -18,6 +18,48 @@
 //! Protocol code is written against the [`process::Process`] /
 //! [`process::Context`] interface and is completely unaware of whether it
 //! runs on the simulator or on a real transport.
+//!
+//! # Engine design
+//!
+//! Every paper figure is produced by millions of simulated events, so the
+//! engine hot path (pop event → dispatch → invoke handler → apply actions)
+//! is built to be allocation-free and hash-free:
+//!
+//! * **Timing-wheel event queue** ([`event::EventQueue`]). Three tiers,
+//!   consulted in order: a sorted *active slot* drained from the back, a
+//!   *near wheel* of [`event::WHEEL_SLOTS`] unsorted 2^[`event::SLOT_BITS`]
+//!   µs buckets (about four seconds of virtual time) with an occupancy
+//!   bitmap, and a *sorted overflow* `BTreeMap` for everything beyond the
+//!   window that cascades back in when the window re-anchors. Push and pop are
+//!   O(1) amortized for the near-future events that dominate; the cached
+//!   global minimum makes `peek_time` O(1). The pre-wheel `BinaryHeap`
+//!   implementation survives as [`event::ReferenceQueue`], the oracle for
+//!   the equivalence property test and the baseline for the
+//!   `simnet_event_throughput` benchmark.
+//! * **Slab-indexed processes** ([`runtime::Runtime`]). Processes and their
+//!   CPU state live in one dense `Vec` addressed through `NodeId`/`ClientId`
+//!   → slot tables, so dispatching an event is two array indexes — no map
+//!   lookups and no per-event remove/insert churn.
+//! * **Generation-stamped timers** ([`timer::TimerSlab`]). A
+//!   [`iss_types::TimerId`] packs a slab slot and its generation;
+//!   cancellation retires the slot in O(1) and a stale timer event fails its
+//!   generation check when it pops. No tombstone set, memory bounded by the
+//!   number of concurrently armed timers.
+//! * **Reused action buffer.** Every callback writes its actions into one
+//!   runtime-owned `Vec` that is drained and handed back, so steady-state
+//!   invocations allocate nothing.
+//!
+//! # Determinism invariants
+//!
+//! * Events pop in strict `(time, sequence-number)` order; the sequence
+//!   number increments per push, so same-time events fire in submission
+//!   order. The timing wheel preserves this order bit-for-bit relative to
+//!   the reference heap (asserted by a randomized property test).
+//! * All randomness (jitter, probabilistic loss, process RNG) comes from one
+//!   seeded generator owned by the runtime; identical configuration + seed ⇒
+//!   identical schedules.
+//! * Virtual time never runs backwards: handlers only schedule at
+//!   `now + delay` with `delay ≥ 0`.
 
 pub mod bandwidth;
 pub mod cpu;
@@ -25,11 +67,14 @@ pub mod event;
 pub mod fault;
 pub mod process;
 pub mod runtime;
+pub mod timer;
 pub mod topology;
 
 pub use bandwidth::BandwidthConfig;
 pub use cpu::CpuModel;
+pub use event::{EventQueue, ReferenceQueue};
 pub use fault::{CrashSchedule, FaultConfig, Partition};
 pub use process::{Addr, Context, Payload, Process};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats};
+pub use timer::TimerSlab;
 pub use topology::{Datacenter, Topology};

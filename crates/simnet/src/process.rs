@@ -6,6 +6,7 @@
 //! deterministic and lets the same implementation run on the discrete-event
 //! simulator and on a real (threaded) transport.
 
+use crate::timer::TimerSlab;
 use iss_types::{ClientId, Duration, NodeId, Time, TimerId};
 use rand::rngs::StdRng;
 
@@ -60,6 +61,10 @@ impl From<ClientId> for Addr {
 pub use iss_types::Payload;
 
 /// Actions a process can request from the runtime during a single callback.
+///
+/// Timer cancellation is not an action: [`Context::cancel_timer`] retires the
+/// handle in the runtime's [`TimerSlab`] immediately, which is O(1) and needs
+/// no queue traffic.
 #[derive(Debug)]
 pub enum Action<M> {
     /// Send `msg` to `to`.
@@ -79,31 +84,34 @@ pub enum Action<M> {
         /// Opaque tag passed back in `on_timer`.
         kind: u64,
     },
-    /// Cancel a previously armed timer.
-    CancelTimer {
-        /// Handle of the timer to cancel.
-        id: TimerId,
-    },
 }
 
 /// Execution context handed to a process on every callback.
 ///
-/// The context *buffers* actions; the runtime applies them after the callback
-/// returns, which keeps the borrow structure simple and the execution
-/// deterministic.
+/// The context *buffers* actions in a runtime-owned buffer (reused across
+/// invocations, so steady-state callbacks allocate nothing); the runtime
+/// applies them after the callback returns, which keeps the borrow structure
+/// simple and the execution deterministic.
 pub struct Context<'a, M> {
     now: Time,
     self_addr: Addr,
-    next_timer: &'a mut u64,
-    pub(crate) actions: Vec<Action<M>>,
+    timers: &'a mut TimerSlab,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
     rng: &'a mut StdRng,
 }
 
 impl<'a, M> Context<'a, M> {
     /// Creates a context (used by runtimes; protocol code never constructs
-    /// one).
-    pub fn new(now: Time, self_addr: Addr, next_timer: &'a mut u64, rng: &'a mut StdRng) -> Self {
-        Context { now, self_addr, next_timer, actions: Vec::new(), rng }
+    /// one). `actions` is the runtime's reusable buffer; it must be empty.
+    pub fn new(
+        now: Time,
+        self_addr: Addr,
+        timers: &'a mut TimerSlab,
+        actions: &'a mut Vec<Action<M>>,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        debug_assert!(actions.is_empty());
+        Context { now, self_addr, timers, actions, rng }
     }
 
     /// Current virtual time.
@@ -137,25 +145,22 @@ impl<'a, M> Context<'a, M> {
 
     /// Arms a timer; the returned handle can be used to cancel it.
     pub fn set_timer(&mut self, delay: Duration, kind: u64) -> TimerId {
-        *self.next_timer += 1;
-        let id = TimerId(*self.next_timer);
+        let id = self.timers.allocate();
         self.actions.push(Action::SetTimer { id, delay, kind });
         id
     }
 
     /// Cancels a timer; firing of cancelled timers is suppressed.
+    ///
+    /// O(1): the handle's slab slot is retired immediately, so the timer
+    /// event already in the queue fails its generation check when it fires.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.actions.push(Action::CancelTimer { id });
+        self.timers.retire(id);
     }
 
     /// Deterministic random number generator (seeded per run).
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
-    }
-
-    /// Drains the buffered actions (runtime use).
-    pub fn take_actions(self) -> Vec<Action<M>> {
-        self.actions
     }
 }
 
@@ -198,31 +203,50 @@ mod tests {
     }
 
     #[test]
-    fn context_buffers_actions() {
-        let mut next = 0u64;
+    fn context_buffers_actions_and_cancels_in_place() {
+        let mut timers = TimerSlab::new();
+        let mut actions = Vec::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx = Context::new(Time::from_secs(1), Addr::Node(NodeId(0)), &mut next, &mut rng);
-        assert_eq!(ctx.now(), Time::from_secs(1));
-        assert_eq!(ctx.self_addr(), Addr::Node(NodeId(0)));
-        ctx.send(Addr::Node(NodeId(1)), Msg(10));
-        let t = ctx.set_timer(Duration::from_millis(5), 7);
-        ctx.cancel_timer(t);
-        let actions = ctx.take_actions();
-        assert_eq!(actions.len(), 3);
+        let t = {
+            let mut ctx = Context::new(
+                Time::from_secs(1),
+                Addr::Node(NodeId(0)),
+                &mut timers,
+                &mut actions,
+                &mut rng,
+            );
+            assert_eq!(ctx.now(), Time::from_secs(1));
+            assert_eq!(ctx.self_addr(), Addr::Node(NodeId(0)));
+            ctx.send(Addr::Node(NodeId(1)), Msg(10));
+            let t = ctx.set_timer(Duration::from_millis(5), 7);
+            ctx.cancel_timer(t);
+            t
+        };
+        // Send and SetTimer are buffered; the cancellation retired the slab
+        // slot directly instead of queueing an action.
+        assert_eq!(actions.len(), 2);
         assert!(matches!(actions[0], Action::Send { to: Addr::Node(NodeId(1)), .. }));
         assert!(matches!(actions[1], Action::SetTimer { kind: 7, .. }));
-        assert!(matches!(actions[2], Action::CancelTimer { .. }));
+        assert!(!timers.is_live(t));
     }
 
     #[test]
     fn broadcast_excludes_self() {
-        let mut next = 0u64;
+        let mut timers = TimerSlab::new();
+        let mut actions = Vec::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx = Context::new(Time::ZERO, Addr::Node(NodeId(0)), &mut next, &mut rng);
-        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
-        ctx.broadcast(&nodes, Msg(1));
-        let sends: Vec<_> = ctx
-            .take_actions()
+        {
+            let mut ctx = Context::new(
+                Time::ZERO,
+                Addr::Node(NodeId(0)),
+                &mut timers,
+                &mut actions,
+                &mut rng,
+            );
+            let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+            ctx.broadcast(&nodes, Msg(1));
+        }
+        let sends: Vec<_> = actions
             .into_iter()
             .filter_map(|a| match a {
                 Action::Send { to, .. } => Some(to),
@@ -234,12 +258,18 @@ mod tests {
 
     #[test]
     fn timer_ids_are_unique() {
-        let mut next = 0u64;
+        let mut timers = TimerSlab::new();
+        let mut actions = Vec::new();
         let mut rng = StdRng::seed_from_u64(1);
         let mut ctx: Context<'_, Msg> =
-            Context::new(Time::ZERO, Addr::Node(NodeId(0)), &mut next, &mut rng);
+            Context::new(Time::ZERO, Addr::Node(NodeId(0)), &mut timers, &mut actions, &mut rng);
         let a = ctx.set_timer(Duration::from_millis(1), 0);
         let b = ctx.set_timer(Duration::from_millis(1), 0);
         assert_ne!(a, b);
+        // Cancelling and re-arming reuses the slot under a new generation.
+        ctx.cancel_timer(a);
+        let c = ctx.set_timer(Duration::from_millis(1), 0);
+        assert_ne!(c, a);
+        assert_ne!(c, b);
     }
 }

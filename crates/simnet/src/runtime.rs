@@ -4,17 +4,25 @@
 //! (topology + bandwidth), the CPU model and the fault configuration, and
 //! advances virtual time by executing events in order. Runs are fully
 //! deterministic for a given seed and configuration.
+//!
+//! The hot path is allocation- and hash-free: processes live in a dense slab
+//! indexed directly by node/client id (no per-event map lookups or
+//! remove/insert churn), callbacks buffer their actions in one reusable
+//! per-runtime `Vec`, timers are generation-stamped slab slots with O(1)
+//! cancellation (see [`crate::timer::TimerSlab`]), and the fault/jitter RNG
+//! draws in [`Runtime::send`] go through inlined samplers that produce the
+//! same values as the generic `rand` paths they replace.
 
 use crate::bandwidth::{BandwidthConfig, InterfaceState};
 use crate::cpu::{CpuModel, CpuState};
 use crate::event::{EventKind, EventQueue};
 use crate::fault::FaultConfig;
 use crate::process::{Action, Addr, Context, Payload, Process};
+use crate::timer::TimerSlab;
 use crate::topology::Topology;
-use iss_types::{Duration, Time, TimerId};
-use rand::{Rng, SeedableRng};
+use iss_types::{Duration, Time};
 use rand::rngs::StdRng;
-use std::collections::{HashMap, HashSet};
+use rand::{RngCore, SeedableRng};
 
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
@@ -73,37 +81,84 @@ pub struct RuntimeStats {
     pub timers_fired: u64,
 }
 
+/// One registered participant: its state machine and (for nodes) its CPU
+/// occupancy.
+struct ProcEntry<M: Payload> {
+    process: Box<dyn Process<M>>,
+    cpu: Option<CpuState>,
+}
+
+/// Sentinel in the id → slot tables for "no process registered".
+const NO_SLOT: u32 = u32::MAX;
+
+/// Uniform draw from `[0, 1)` — inlined replica of the vendored
+/// `rng.gen::<f64>()` (53-bit mantissa), so the drop-sampling stream is
+/// bit-identical to the generic path it replaces.
+#[inline(always)]
+fn sample_unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform draw from `0..=max_us` — inlined replica of the vendored
+/// `rng.gen_range(0..=max_us)` widening-multiply reduction.
+#[inline(always)]
+fn sample_jitter_us(rng: &mut StdRng, max_us: u64) -> u64 {
+    ((rng.next_u64() as u128 * (max_us as u128 + 1)) >> 64) as u64
+}
+
 /// The discrete-event simulator.
 pub struct Runtime<M: Payload> {
     config: RuntimeConfig,
-    processes: HashMap<Addr, Box<dyn Process<M>>>,
+    /// Dense process storage; never shrinks.
+    procs: Vec<ProcEntry<M>>,
+    /// NodeId index → slot in `procs` (NO_SLOT when unregistered).
+    node_slots: Vec<u32>,
+    /// ClientId index → slot in `procs` (NO_SLOT when unregistered).
+    client_slots: Vec<u32>,
     queue: EventQueue<M>,
     interfaces: InterfaceState,
-    cpus: HashMap<Addr, CpuState>,
-    cancelled_timers: HashSet<TimerId>,
+    timers: TimerSlab,
+    /// Reusable action buffer handed to every `Context` (empty between
+    /// invocations).
+    action_buf: Vec<Action<M>>,
     now: Time,
-    next_timer: u64,
     rng: StdRng,
     stats: RuntimeStats,
     started: bool,
+    // Hoisted fault/jitter configuration so the per-event and per-send hot
+    // paths skip the config traversals when (as in most runs) there is
+    // nothing to sample.
+    crash_faults: bool,
+    drop_faults: bool,
+    lossy_faults: bool,
+    jitter_us: u64,
 }
 
 impl<M: Payload> Runtime<M> {
     /// Creates a runtime with the given configuration.
     pub fn new(config: RuntimeConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let crash_faults = !config.faults.crashes.is_empty();
+        let drop_faults = crash_faults || !config.faults.partitions.is_empty();
+        let lossy_faults = config.faults.pre_gst_drop_probability > 0.0;
+        let jitter_us = config.topology.jitter_us;
         Runtime {
             config,
-            processes: HashMap::new(),
+            procs: Vec::new(),
+            node_slots: Vec::new(),
+            client_slots: Vec::new(),
             queue: EventQueue::new(),
             interfaces: InterfaceState::new(),
-            cpus: HashMap::new(),
-            cancelled_timers: HashSet::new(),
+            timers: TimerSlab::new(),
+            action_buf: Vec::new(),
             now: Time::ZERO,
-            next_timer: 0,
             rng,
             stats: RuntimeStats::default(),
             started: false,
+            crash_faults,
+            drop_faults,
+            lossy_faults,
+            jitter_us,
         }
     }
 
@@ -111,11 +166,37 @@ impl<M: Payload> Runtime<M> {
     /// governed by the configured cost model; clients are assumed to have
     /// ample CPU.
     pub fn add_process(&mut self, addr: Addr, process: Box<dyn Process<M>>) {
-        if addr.is_node() {
-            self.cpus.insert(addr, CpuState::new(self.config.cpu.cores));
+        let cpu = addr.is_node().then(|| CpuState::new(self.config.cpu.cores));
+        let (table, idx) = match addr {
+            Addr::Node(n) => (&mut self.node_slots, n.index()),
+            Addr::Client(c) => (&mut self.client_slots, c.index()),
+        };
+        if idx >= table.len() {
+            table.resize(idx + 1, NO_SLOT);
         }
-        self.processes.insert(addr, process);
+        if table[idx] == NO_SLOT {
+            table[idx] = self.procs.len() as u32;
+            self.procs.push(ProcEntry { process, cpu });
+        } else {
+            // Re-registration replaces the process (and resets its CPU).
+            let entry = &mut self.procs[table[idx] as usize];
+            entry.process = process;
+            entry.cpu = cpu;
+        }
         self.queue.push(Time::ZERO, EventKind::Start { addr });
+    }
+
+    /// Slot of the process registered under `addr`, if any.
+    #[inline]
+    fn slot_of(&self, addr: Addr) -> Option<usize> {
+        let (table, idx) = match addr {
+            Addr::Node(n) => (&self.node_slots, n.index()),
+            Addr::Client(c) => (&self.client_slots, c.index()),
+        };
+        match table.get(idx) {
+            Some(&slot) if slot != NO_SLOT => Some(slot as usize),
+            _ => None,
+        }
     }
 
     /// Current virtual time.
@@ -174,14 +255,18 @@ impl<M: Payload> Runtime<M> {
                     return;
                 }
                 // Charge the receiver's CPU; if it is busy, defer the invocation.
-                let completion = if let Some(cpu) = self.cpus.get_mut(&to) {
-                    let cost = self
-                        .config
-                        .cpu
-                        .message_cost(msg.num_requests(), msg.wire_size());
-                    cpu.schedule(self.now, cost)
-                } else {
-                    self.now
+                let completion = match self.slot_of(to) {
+                    Some(slot) => match self.procs[slot].cpu.as_mut() {
+                        Some(cpu) => {
+                            let cost = self
+                                .config
+                                .cpu
+                                .message_cost(msg.num_requests(), msg.wire_size());
+                            cpu.schedule(self.now, cost)
+                        }
+                        None => self.now,
+                    },
+                    None => self.now,
                 };
                 if completion > self.now {
                     self.queue.push(completion, EventKind::Invoke { from, to, msg });
@@ -197,7 +282,9 @@ impl<M: Payload> Runtime<M> {
                 self.invoke(to, |process, ctx| process.on_message(from, msg, ctx));
             }
             EventKind::Timer { addr, id, kind } => {
-                if self.cancelled_timers.remove(&id) {
+                // O(1) liveness check: a cancelled (or superseded) handle
+                // fails the generation match and is dropped here.
+                if !self.timers.retire(id) {
                     return;
                 }
                 if self.addr_crashed(addr) {
@@ -209,9 +296,12 @@ impl<M: Payload> Runtime<M> {
         }
     }
 
+    #[inline]
     fn addr_crashed(&self, addr: Addr) -> bool {
-        addr.as_node()
-            .is_some_and(|n| self.config.faults.crashes.is_crashed(n, self.now))
+        self.crash_faults
+            && addr
+                .as_node()
+                .is_some_and(|n| self.config.faults.crashes.is_crashed(n, self.now))
     }
 
     fn invoke<F>(&mut self, addr: Addr, f: F)
@@ -221,26 +311,31 @@ impl<M: Payload> Runtime<M> {
         if self.addr_crashed(addr) {
             return;
         }
-        let Some(mut process) = self.processes.remove(&addr) else {
+        let Some(slot) = self.slot_of(addr) else {
             return;
         };
-        let mut ctx = Context::new(self.now, addr, &mut self.next_timer, &mut self.rng);
-        f(process.as_mut(), &mut ctx);
-        let actions = ctx.take_actions();
-        self.processes.insert(addr, process);
-        self.apply_actions(addr, actions);
+        // Take the reusable buffer for the duration of the callback; the
+        // process stays in place (disjoint field borrows), so there is no
+        // per-event remove/insert churn.
+        let mut actions = std::mem::take(&mut self.action_buf);
+        {
+            let entry = &mut self.procs[slot];
+            let mut ctx =
+                Context::new(self.now, addr, &mut self.timers, &mut actions, &mut self.rng);
+            f(entry.process.as_mut(), &mut ctx);
+        }
+        self.apply_actions(addr, &mut actions);
+        debug_assert!(actions.is_empty());
+        self.action_buf = actions;
     }
 
-    fn apply_actions(&mut self, source: Addr, actions: Vec<Action<M>>) {
-        for action in actions {
+    fn apply_actions(&mut self, source: Addr, actions: &mut Vec<Action<M>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => self.send(source, to, msg),
                 Action::SetTimer { id, delay, kind } => {
                     self.queue
                         .push(self.now + delay, EventKind::Timer { addr: source, id, kind });
-                }
-                Action::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id);
                 }
             }
         }
@@ -248,13 +343,14 @@ impl<M: Payload> Runtime<M> {
 
     fn send(&mut self, from: Addr, to: Addr, msg: M) {
         // Deterministic drops: crashes and partitions.
-        if self.config.faults.drops(from, to, self.now) {
+        if self.drop_faults && self.config.faults.drops(from, to, self.now) {
             self.stats.messages_dropped += 1;
             return;
         }
         // Probabilistic loss before GST (models asynchrony before stabilization).
-        if self.config.faults.lossy_at(self.now)
-            && self.rng.gen::<f64>() < self.config.faults.pre_gst_drop_probability
+        if self.lossy_faults
+            && self.config.faults.lossy_at(self.now)
+            && sample_unit(&mut self.rng) < self.config.faults.pre_gst_drop_probability
         {
             self.stats.messages_dropped += 1;
             return;
@@ -273,8 +369,8 @@ impl<M: Payload> Runtime<M> {
             .interfaces
             .schedule(&self.config.bandwidth, self.now, from, to, size);
         let base_latency = self.config.topology.latency(from, to);
-        let jitter = if self.config.topology.jitter_us > 0 {
-            Duration::from_micros(self.rng.gen_range(0..=self.config.topology.jitter_us))
+        let jitter = if self.jitter_us > 0 {
+            Duration::from_micros(sample_jitter_us(&mut self.rng, self.jitter_us))
         } else {
             Duration::ZERO
         };
@@ -289,7 +385,8 @@ impl<M: Payload> Runtime<M> {
 mod tests {
     use super::*;
     use crate::fault::CrashSchedule;
-    use iss_types::NodeId;
+    use iss_types::{NodeId, TimerId};
+    use rand::Rng;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -432,6 +529,22 @@ mod tests {
         rt.run_until(Time::from_secs(1));
         assert_eq!(*fired.borrow(), vec![1, 3]);
         assert_eq!(rt.stats().timers_fired, 2);
+    }
+
+    /// Guards the inlined hot-path samplers against silently diverging from
+    /// the generic `rand` paths they replicate: if the vendored stand-in is
+    /// ever swapped or its formulas change, this fails instead of quietly
+    /// changing schedules.
+    #[test]
+    fn inlined_samplers_match_generic_rand_paths() {
+        for seed in [0u64, 1, 42, 0xDEAD] {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            for max_us in [1u64, 7, 500, 1_000_000] {
+                assert_eq!(sample_unit(&mut a).to_bits(), b.gen::<f64>().to_bits());
+                assert_eq!(sample_jitter_us(&mut a, max_us), b.gen_range(0..=max_us));
+            }
+        }
     }
 
     #[test]

@@ -7,15 +7,84 @@
 //! reported as median / mean / p95 nanoseconds per iteration (plus MB/s or
 //! Melem/s when a throughput is set).
 //!
-//! No statistical regression analysis, plots or saved baselines; for
-//! comparing runs, capture the printed medians.
+//! No statistical regression analysis or plots, but every run dumps its
+//! per-benchmark median/mean/p95 to `target/bench-baselines.json` (override
+//! the path with `ISS_BENCH_BASELINES`), so a future run — or CI — can diff
+//! against a committed baseline without scraping stdout.
 
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// One finished benchmark: name plus ns-per-iteration statistics.
+#[derive(Clone, Debug)]
+struct BenchResult {
+    name: String,
+    median_ns: f64,
+    mean_ns: f64,
+    p95_ns: f64,
+}
+
+/// Results collected by every `run_benchmark` call in this process.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Where the JSON baseline dump goes: `$ISS_BENCH_BASELINES` if set,
+/// otherwise `<workspace root>/target/bench-baselines.json` (the workspace
+/// root is found by walking up from the current directory to `Cargo.lock`).
+fn baseline_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("ISS_BENCH_BASELINES") {
+        return p.into();
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("bench-baselines.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("target/bench-baselines.json");
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes every benchmark result recorded so far as JSON (median, mean and
+/// p95 ns/iter keyed by benchmark name). Called automatically by
+/// [`criterion_main!`] after all groups have run; safe to call manually.
+pub fn dump_baselines() {
+    let results = RESULTS.lock().expect("results lock");
+    if results.is_empty() {
+        return;
+    }
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns_per_iter\",\n  \"benchmarks\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {{\"median\": {:.3}, \"mean\": {:.3}, \"p95\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            r.mean_ns,
+            r.p95_ns,
+            comma
+        ));
+    }
+    out.push_str("  }\n}\n");
+    let path = baseline_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("baselines written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// How `iter_batched` amortizes setup cost.
@@ -215,6 +284,13 @@ fn run_benchmark<F>(
     let p95_idx = ((samples_ns.len() as f64 * 0.95) as usize).min(samples_ns.len() - 1);
     let p95 = samples_ns[p95_idx];
 
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        name: name.to_string(),
+        median_ns: median,
+        mean_ns: mean,
+        p95_ns: p95,
+    });
+
     // `median` is ns/iter, so units/iter ÷ ns × 1e9 = units/s; ÷ 1e6 → M/s.
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => format!("  {:>10.1} MB/s", n as f64 / median * 1000.0),
@@ -250,12 +326,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Defines `main` from group-runner functions.
+/// Defines `main` from group-runner functions. After every group has run,
+/// the collected medians are dumped to `target/bench-baselines.json`.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::dump_baselines();
         }
     };
 }
