@@ -1,18 +1,25 @@
 //! Criterion micro-benchmarks of the building blocks: hashing, signatures,
-//! Merkle trees, bucket mapping, batch cutting, the binary codec, a full
-//! PBFT three-phase round for one batch, the simnet event-queue engine
-//! (timing wheel vs the reference binary heap) and a fig8-scale simulation
-//! wall-clock smoke.
+//! the request-authentication pipeline (serial vs parallel vs cached batch
+//! verification, request-digest memoization), proposal validation, the
+//! CPU-model scheduler (heap vs scan), Merkle trees, bucket mapping, batch
+//! cutting, the binary codec, a full PBFT three-phase round for one batch,
+//! the simnet event-queue engine (timing wheel vs the reference binary
+//! heap) and a fig8-scale simulation wall-clock smoke.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use iss_core::buckets::BucketQueues;
-use iss_crypto::{batch_digest, merkle_root, KeyPair, Sha256, ThresholdScheme};
+use iss_core::validation::{EpochBuckets, RequestValidation};
+use iss_crypto::{
+    batch_digest, merkle_root, request_digest, request_digest_uncached, KeyPair, Sha256,
+    SignatureRegistry, ThresholdScheme,
+};
 use iss_messages::codec;
 use iss_pbft::{PbftConfig, PbftInstance};
 use iss_sb::testing::LocalNet;
-use iss_sb::SbInstance;
+use iss_sb::{ProposalValidator, SbInstance};
 use iss_sim::cluster::run_cluster;
 use iss_sim::{ClusterSpec, CrashTiming, Protocol};
+use iss_simnet::cpu::{CpuState, ReferenceCpuState};
 use iss_simnet::event::{EventKind, EventQueue, ReferenceQueue};
 use iss_simnet::Addr;
 use iss_types::{Batch, BucketId, ClientId, Duration, InstanceId, NodeId, Request, Segment, Time};
@@ -172,6 +179,115 @@ fn bench_pbft_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// The request-authentication pipeline at fig8 batch scale: serial oracle vs
+/// the parallel pool (cold cache) vs pure cache hits, plus the request-digest
+/// memo against a fresh recomputation.
+fn bench_verify_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(20);
+    const N: usize = 2048;
+    let registry = SignatureRegistry::with_processes(4, iss_bench::authload::CLIENTS as usize);
+    let requests = iss_bench::authload::signed_requests(N, false);
+    let digests = iss_bench::authload::digests(&requests);
+    let items = iss_bench::authload::items(&requests, &digests);
+
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("verify_batch_serial_2048", |b| {
+        b.iter(|| registry.verify_batch_serial(&items))
+    });
+    group.bench_function("verify_batch_parallel_2048", |b| {
+        // Clearing the memo each iteration keeps every signature a miss, so
+        // this measures the worker pool, not the cache.
+        b.iter(|| {
+            registry.clear_verified_cache();
+            registry.verify_batch(&items)
+        })
+    });
+    registry.clear_verified_cache();
+    registry.verify_batch(&items); // warm the cache
+    group.bench_function("verify_batch_cache_hit_2048", |b| {
+        b.iter(|| registry.verify_batch(&items))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("digest");
+    let req = request(7);
+    request_digest(&req); // warm the memo
+    group.bench_function("request_digest_memo_hit", |b| b.iter(|| request_digest(&req)));
+    group.bench_function("request_digest_recompute", |b| b.iter(|| request_digest_uncached(&req)));
+    group.finish();
+}
+
+/// The dense non-cryptographic proposal-validation path: watermarks,
+/// delivered/proposed dedup, in-batch sort dedup and the bucket bitmap, for
+/// one 2048-request batch (signatures measured separately above).
+fn bench_validate_proposal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation");
+    group.sample_size(20);
+    let registry = Arc::new(SignatureRegistry::with_processes(4, 0));
+    let num_buckets = 512usize;
+    let batch = Batch::new(
+        (0..2048u32).map(|i| Request::synthetic(ClientId(i % 256), (i / 256) as u64, 500)).collect(),
+    );
+    let all_buckets: Vec<BucketId> = (0..num_buckets as u32).map(BucketId).collect();
+    group.throughput(Throughput::Elements(2048));
+    group.bench_function("validate_proposal_2048", |b| {
+        b.iter_batched(
+            || {
+                let mut v = RequestValidation::new(Arc::clone(&registry), false, num_buckets, 128);
+                let mut table = EpochBuckets::new(0, num_buckets);
+                table.add_segment(&[0], &all_buckets);
+                v.on_epoch_start(table);
+                v
+            },
+            |mut v| {
+                v.validate_proposal(0, &batch).expect("valid batch");
+                v
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// The per-message CPU-model scheduling step at fig8-and-beyond core counts:
+/// the production heap vs the scan oracle it replaced, on a saturating
+/// workload (the regime where the scan degenerates to full sweeps).
+fn bench_cpu_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu");
+    group.throughput(Throughput::Elements(1));
+    // Each variant gets its own identically-seeded stream so heap and scan
+    // are measured on the same arrival/cost sequence.
+    let fresh_draw = || {
+        let mut state = 0xDEAD_BEEFu64;
+        move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state
+        }
+    };
+    group.bench_function("cpu_schedule_128cores", |b| {
+        let mut cpu = CpuState::new(128);
+        let mut arrival = Time::ZERO;
+        let mut draw = fresh_draw();
+        b.iter(|| {
+            arrival += Duration::from_micros(draw() % 3);
+            cpu.schedule(arrival, Duration::from_micros(100 + draw() % 200))
+        })
+    });
+    group.bench_function("cpu_schedule_128cores_scan", |b| {
+        let mut cpu = ReferenceCpuState::new(128);
+        let mut arrival = Time::ZERO;
+        let mut draw = fresh_draw();
+        b.iter(|| {
+            arrival += Duration::from_micros(draw() % 3);
+            cpu.schedule(arrival, Duration::from_micros(100 + draw() % 200))
+        })
+    });
+    group.finish();
+}
+
 use iss_bench::engine::next_delay_us;
 
 /// Steady-state event-engine throughput: hold the queue at a sim-realistic
@@ -248,6 +364,9 @@ fn bench_fig8_smoke_wallclock(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_crypto,
+    bench_verify_pipeline,
+    bench_validate_proposal,
+    bench_cpu_schedule,
     bench_buckets,
     bench_codec,
     bench_batch_handles,

@@ -38,14 +38,68 @@ pub mod engine {
     pub const DEPTH: usize = 65536;
 }
 
+pub mod authload {
+    //! Shared signed-request workload for the verification-pipeline
+    //! measurements (the `verify` micro benches and the `perf_smoke` CI
+    //! binary), so both drive the registry with identical requests.
+
+    use iss_crypto::{request_digest, Identity, KeyPair, VerifyItem};
+    use iss_types::{ClientId, Request};
+
+    /// Number of distinct signing clients in the workload.
+    pub const CLIENTS: u32 = 64;
+
+    /// `n` signed 64-byte requests from [`CLIENTS`] round-robin clients.
+    /// With `corrupt`, a deterministic mix of signatures is damaged: every
+    /// 5th is bit-flipped and every 11th truncated.
+    pub fn signed_requests(n: usize, corrupt: bool) -> Vec<Request> {
+        (0..n as u32)
+            .map(|i| {
+                let client = ClientId(i % CLIENTS);
+                let req = Request::new(client, i as u64, vec![0u8; 64]);
+                let mut sig = KeyPair::for_client(client).sign(&request_digest(&req)).to_vec();
+                if corrupt {
+                    if i % 5 == 0 {
+                        sig[i as usize % 64] ^= 0x80;
+                    }
+                    if i % 11 == 0 {
+                        sig.truncate(i as usize % 64);
+                    }
+                }
+                req.with_signature(sig)
+            })
+            .collect()
+    }
+
+    /// The request digests of `requests` (warms each request's memo).
+    pub fn digests(requests: &[Request]) -> Vec<[u8; 32]> {
+        requests.iter().map(request_digest).collect()
+    }
+
+    /// Verification work items borrowing parallel request/digest storage.
+    pub fn items<'a>(requests: &'a [Request], digests: &'a [[u8; 32]]) -> Vec<VerifyItem<'a>> {
+        requests
+            .iter()
+            .zip(digests)
+            .map(|(r, d)| (Identity::Client(r.id.client), &d[..], &r.signature[..]))
+            .collect()
+    }
+}
+
 /// Reads the experiment scale from the `ISS_SCALE` environment variable
-/// (`quick`, `default` or `paper`).
+/// (`quick`, `default` or `paper`). `ISS_FAULT_NODES` overrides the cluster
+/// size of the fault experiments (figures 7–9), e.g. to reproduce the
+/// full-scale n=32 crash runs at quick duration.
 pub fn scale_from_env() -> Scale {
-    match std::env::var("ISS_SCALE").as_deref() {
+    let mut scale = match std::env::var("ISS_SCALE").as_deref() {
         Ok("quick") => Scale::quick(),
         Ok("paper") => Scale::paper(),
         _ => Scale::default(),
+    };
+    if let Some(n) = std::env::var("ISS_FAULT_NODES").ok().and_then(|v| v.parse().ok()) {
+        scale.fault_nodes = n;
     }
+    scale
 }
 
 /// Prints a table header for a figure binary.

@@ -45,7 +45,7 @@ impl RequestFactory {
         let req = Request::synthetic(self.client, t, self.payload_size);
         if self.sign {
             let digest = request_digest(&req);
-            let sig = self.keypair.sign(&digest).0;
+            let sig = self.keypair.sign(&digest).to_vec();
             req.with_signature(sig)
         } else {
             req

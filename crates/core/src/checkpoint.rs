@@ -84,7 +84,7 @@ impl CheckpointManager {
     /// the own signature towards the stable checkpoint.
     pub fn make_checkpoint(&mut self, epoch: EpochNr, max_seq_nr: SeqNr, root: Digest) -> IssMsg {
         let signature =
-            Bytes::from(self.keypair.sign(&Self::signing_bytes(epoch, max_seq_nr, &root)).0);
+            Bytes::from(self.keypair.sign(&Self::signing_bytes(epoch, max_seq_nr, &root)).to_vec());
         let my_id = self.my_id;
         self.record(my_id, epoch, max_seq_nr, root, signature.clone());
         IssMsg::Checkpoint { epoch, max_seq_nr, root, signature }
@@ -213,13 +213,13 @@ mod tests {
         let sig1 = Bytes::from(
             KeyPair::for_node(NodeId(1))
                 .sign(&CheckpointManager::signing_bytes(0, 3, &root))
-                .0,
+                .to_vec(),
         );
         assert!(mine.on_checkpoint(NodeId(1), 0, 3, root, sig1).is_none());
         let sig2 = Bytes::from(
             KeyPair::for_node(NodeId(2))
                 .sign(&CheckpointManager::signing_bytes(0, 3, &root))
-                .0,
+                .to_vec(),
         );
         let stable = mine.on_checkpoint(NodeId(2), 0, 3, root, sig2).expect("stable");
         assert_eq!(stable.epoch, 0);
@@ -249,7 +249,7 @@ mod tests {
         let sig = Bytes::from(
             KeyPair::for_node(NodeId(1))
                 .sign(&CheckpointManager::signing_bytes(0, 3, &[2u8; 32]))
-                .0,
+                .to_vec(),
         );
         assert!(mine.on_checkpoint(NodeId(1), 0, 3, [2u8; 32], sig).is_none());
     }

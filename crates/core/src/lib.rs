@@ -41,4 +41,4 @@ pub use log::IssLog;
 pub use node::{DeliverySink, IssNode, Mode, NodeOptions, NullSink, StragglerBehavior};
 pub use orderer::OrdererFactory;
 pub use policy::LeaderPolicy;
-pub use validation::RequestValidation;
+pub use validation::{EpochBuckets, RequestValidation};

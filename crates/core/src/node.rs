@@ -23,13 +23,13 @@ use crate::epoch::EpochConfig;
 use crate::log::IssLog;
 use crate::orderer::OrdererFactory;
 use crate::policy::LeaderPolicy;
-use crate::validation::RequestValidation;
+use crate::validation::{EpochBuckets, RequestValidation};
 use iss_crypto::{KeyPair, SignatureRegistry};
 use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg};
 use iss_sb::{SbAction, SbContext, SbInstance};
 use iss_simnet::process::{Addr, Context, Process};
 use iss_types::{
-    Batch, BucketId, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr,
+    Batch, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr,
     Time, TimerId,
 };
 use std::cell::RefCell;
@@ -258,17 +258,18 @@ impl IssNode {
 
     fn setup_epoch_instances(&mut self, ctx: &mut Context<'_, NetMsg>) {
         // Record segment leadership for the policy and the bucket restriction
-        // for proposal validation. All sequence numbers of a segment share
-        // one refcounted bucket list instead of each owning a copy.
-        let mut bucket_map = HashMap::new();
+        // for proposal validation. The restriction is a dense offset-indexed
+        // table of per-segment bucket bitmaps: one entry per sequence number
+        // of the epoch, one bitmap per segment.
+        let mut epoch_buckets =
+            EpochBuckets::new(self.epoch.first_seq_nr, self.opts.config.num_buckets());
         for segment in &self.epoch.segments {
-            let buckets: Arc<[BucketId]> = segment.buckets.as_slice().into();
+            epoch_buckets.add_segment(&segment.seq_nrs, &segment.buckets);
             for sn in &segment.seq_nrs {
                 self.leader_of_sn.insert(*sn, segment.leader);
-                bucket_map.insert(*sn, Arc::clone(&buckets));
             }
         }
-        self.validation.on_epoch_start(bucket_map);
+        self.validation.on_epoch_start(epoch_buckets);
 
         // Create and initialize one SB instance per segment. Segments are
         // `Arc`-shared with the instances, so this clone of the segment list

@@ -1,12 +1,31 @@
 //! Request validity, client watermarks and duplication prevention
 //! (Sections 3.7 and 4.2, design principle 3).
+//!
+//! This is the hottest per-request path of a node — every request in every
+//! accepted proposal passes through [`RequestValidation::validate_proposal`]
+//! — so its state is kept dense, with per-request work allocation-free (the
+//! only per-proposal allocation left is the verify-item list handed to the
+//! signature pipeline, one small `Vec` per *signed* proposal):
+//!
+//! * client-signature checks go through the batched, memoized, parallel
+//!   pipeline of [`iss_crypto::SignatureRegistry`] (one MAC per signature
+//!   per *process*, not per node);
+//! * in-batch duplicate detection uses a reusable sort buffer instead of a
+//!   per-call `HashSet`;
+//! * the epoch-level proposal/delivery sets hash with the vendored
+//!   FxHash-style hasher (`iss_types::fxhash`) instead of SipHash;
+//! * the per-sequence-number bucket restriction is a dense offset-indexed
+//!   table of per-segment bucket bitmaps ([`EpochBuckets`]) instead of a
+//!   `HashMap<SeqNr, Arc<[BucketId]>>` probed per proposal with a linear
+//!   `contains` scan per request.
 
-use iss_crypto::{request_digest, SignatureRegistry};
+use iss_crypto::{request_digest, Identity, SignatureRegistry, VerifyItem};
 use iss_sb::ProposalValidator;
-use iss_types::{Batch, BucketId, ClientId, Error, ReqTimestamp, Request, RequestId, Result, SeqNr};
-use std::collections::{HashMap, HashSet};
+use iss_types::{
+    Batch, BucketId, ClientId, Error, FxHashMap, FxHashSet, ReqTimestamp, Request, RequestDigest,
+    RequestId, Result, SeqNr,
+};
 use std::sync::Arc;
-
 
 /// Tracks which request timestamps of one client have been delivered, as a
 /// low watermark plus a sparse set of out-of-order deliveries, so memory stays
@@ -16,7 +35,7 @@ struct ClientDelivered {
     /// All timestamps `< low` have been delivered.
     low: ReqTimestamp,
     /// Delivered timestamps `>= low`.
-    sparse: HashSet<ReqTimestamp>,
+    sparse: FxHashSet<ReqTimestamp>,
 }
 
 impl ClientDelivered {
@@ -35,6 +54,91 @@ impl ClientDelivered {
     }
 }
 
+/// Marker for "this sequence number has no recorded segment" in
+/// [`EpochBuckets`].
+const NO_SEGMENT: u16 = u16::MAX;
+
+/// Dense per-epoch table answering "may bucket `b` appear at sequence number
+/// `sn`?" (Section 2.4: every segment draws from its own bucket subset).
+///
+/// Sequence numbers of an epoch form a contiguous range, so the table is
+/// indexed by offset from the epoch's first sequence number; each entry
+/// points at its segment's bucket *bitmap*, making the membership test two
+/// array reads and a bit probe instead of a hash lookup plus a linear scan
+/// of a bucket list.
+#[derive(Clone, Debug, Default)]
+pub struct EpochBuckets {
+    first_seq_nr: SeqNr,
+    num_buckets: usize,
+    /// Segment index per sequence-number offset (`NO_SEGMENT` = none).
+    seg_of_offset: Vec<u16>,
+    /// One bucket-membership bitmap per segment.
+    masks: Vec<Vec<u64>>,
+}
+
+impl EpochBuckets {
+    /// Creates an empty table for an epoch starting at `first_seq_nr` over
+    /// `num_buckets` buckets. Until segments are added, every sequence
+    /// number is unrestricted.
+    pub fn new(first_seq_nr: SeqNr, num_buckets: usize) -> Self {
+        EpochBuckets { first_seq_nr, num_buckets, seg_of_offset: Vec::new(), masks: Vec::new() }
+    }
+
+    /// Records one segment: all of `seq_nrs` may draw exactly from
+    /// `buckets`. Segment sequence numbers below the epoch's first violate
+    /// the epoch layout; they trip a debug assertion and are skipped in
+    /// release builds (leaving them unrestricted rather than mis-indexed).
+    pub fn add_segment(&mut self, seq_nrs: &[SeqNr], buckets: &[BucketId]) {
+        let seg = u16::try_from(self.masks.len()).expect("more than u16::MAX segments");
+        assert_ne!(seg, NO_SEGMENT, "more than u16::MAX - 1 segments");
+        let words = self.num_buckets.div_ceil(64).max(1);
+        let mut mask = vec![0u64; words];
+        for b in buckets {
+            let i = b.index();
+            debug_assert!(i < self.num_buckets, "bucket {i} out of range");
+            mask[i / 64] |= 1 << (i % 64);
+        }
+        self.masks.push(mask);
+        for sn in seq_nrs {
+            let Some(offset) = sn.checked_sub(self.first_seq_nr) else {
+                debug_assert!(
+                    false,
+                    "segment sequence number {sn} below epoch start {}",
+                    self.first_seq_nr
+                );
+                continue;
+            };
+            let offset = offset as usize;
+            if offset >= self.seg_of_offset.len() {
+                self.seg_of_offset.resize(offset + 1, NO_SEGMENT);
+            }
+            self.seg_of_offset[offset] = seg;
+        }
+    }
+
+    /// The bucket bitmap of `sn`'s segment, or `None` if the sequence number
+    /// has no recorded restriction.
+    fn mask_of(&self, sn: SeqNr) -> Option<&[u64]> {
+        let offset = sn.checked_sub(self.first_seq_nr)? as usize;
+        match *self.seg_of_offset.get(offset)? {
+            NO_SEGMENT => None,
+            seg => Some(&self.masks[seg as usize]),
+        }
+    }
+
+    /// Whether `bucket` may appear at `sn` (unrestricted sequence numbers
+    /// allow everything).
+    pub fn allows(&self, sn: SeqNr, bucket: BucketId) -> bool {
+        match self.mask_of(sn) {
+            Some(mask) => {
+                let i = bucket.index();
+                i < self.num_buckets && mask[i / 64] & (1 << (i % 64)) != 0
+            }
+            None => true,
+        }
+    }
+}
+
 /// The ISS-level validation state of one node. Implements the
 /// [`ProposalValidator`] hook handed to the ordering protocols.
 pub struct RequestValidation {
@@ -45,16 +149,20 @@ pub struct RequestValidation {
     /// Client watermark window size.
     watermark_window: u64,
     /// Low watermark per client (advanced at epoch transitions).
-    low_watermark: HashMap<ClientId, ReqTimestamp>,
+    low_watermark: FxHashMap<ClientId, ReqTimestamp>,
     /// Delivered requests per client.
-    delivered: HashMap<ClientId, ClientDelivered>,
+    delivered: FxHashMap<ClientId, ClientDelivered>,
     /// Requests accepted into proposals during the current epoch
     /// (prevents duplication across segments of the same epoch).
-    proposed_this_epoch: HashSet<RequestId>,
-    /// The buckets every sequence number of the current epoch may draw from
-    /// (set by the manager at epoch initialization). The lists are shared
-    /// with every other sequence number of the same segment.
-    buckets_of_seq_nr: HashMap<SeqNr, Arc<[BucketId]>>,
+    proposed_this_epoch: FxHashSet<RequestId>,
+    /// The bucket restriction of the current epoch's sequence numbers
+    /// (set by the manager at epoch initialization).
+    epoch_buckets: EpochBuckets,
+    /// Reusable in-batch duplicate-detection buffer (sorted per proposal;
+    /// replaces a per-call `HashSet` allocation).
+    dedup_scratch: Vec<RequestId>,
+    /// Reusable buffer of request digests for batched signature checks.
+    digest_scratch: Vec<RequestDigest>,
 }
 
 impl RequestValidation {
@@ -70,23 +178,25 @@ impl RequestValidation {
             verify_signatures,
             num_buckets,
             watermark_window,
-            low_watermark: HashMap::new(),
-            delivered: HashMap::new(),
-            proposed_this_epoch: HashSet::new(),
-            buckets_of_seq_nr: HashMap::new(),
+            low_watermark: FxHashMap::default(),
+            delivered: FxHashMap::default(),
+            proposed_this_epoch: FxHashSet::default(),
+            epoch_buckets: EpochBuckets::default(),
+            dedup_scratch: Vec::new(),
+            digest_scratch: Vec::new(),
         }
     }
 
-    /// Validates a single client request on reception (Section 3.7): known
-    /// client, valid signature, within the watermark window.
-    pub fn validate_request(&self, req: &Request) -> Result<()> {
-        if self.verify_signatures {
-            if !self.registry.knows(iss_crypto::sign::Identity::Client(req.id.client)) {
-                return Err(Error::Unknown(format!("unknown client {:?}", req.id.client)));
-            }
-            let digest = request_digest(req);
-            self.registry.verify_client(req.id.client, &digest, &req.signature)?;
+    /// Known-client check (only meaningful when signatures are verified).
+    fn check_known_client(&self, req: &Request) -> Result<()> {
+        if self.verify_signatures && !self.registry.knows(Identity::Client(req.id.client)) {
+            return Err(Error::Unknown(format!("unknown client {:?}", req.id.client)));
         }
+        Ok(())
+    }
+
+    /// Watermark-window and already-delivered checks.
+    fn check_window_and_delivered(&self, req: &Request) -> Result<()> {
         let low = self.low_watermark.get(&req.id.client).copied().unwrap_or(0);
         if req.id.timestamp < low || req.id.timestamp >= low + self.watermark_window {
             return Err(Error::LimitExceeded(format!(
@@ -99,6 +209,19 @@ impl RequestValidation {
             return Err(Error::invalid("request already delivered"));
         }
         Ok(())
+    }
+
+    /// Validates a single client request on reception (Section 3.7): known
+    /// client, valid signature, within the watermark window. The signature
+    /// check is memoized process-wide, so a request a colocated node already
+    /// verified costs one hash and a cache probe.
+    pub fn validate_request(&self, req: &Request) -> Result<()> {
+        self.check_known_client(req)?;
+        if self.verify_signatures {
+            let digest = request_digest(req);
+            self.registry.verify_client(req.id.client, &digest, &req.signature)?;
+        }
+        self.check_window_and_delivered(req)
     }
 
     /// Whether the request was already delivered.
@@ -123,9 +246,9 @@ impl RequestValidation {
     /// client watermarks to just above the last delivered contiguous
     /// timestamp (Section 3.7: "ISS advances all clients' watermark windows
     /// at the end of each epoch").
-    pub fn on_epoch_start(&mut self, buckets_of_seq_nr: HashMap<SeqNr, Arc<[BucketId]>>) {
+    pub fn on_epoch_start(&mut self, epoch_buckets: EpochBuckets) {
         self.proposed_this_epoch.clear();
-        self.buckets_of_seq_nr = buckets_of_seq_nr;
+        self.epoch_buckets = epoch_buckets;
         for (client, delivered) in &self.delivered {
             self.low_watermark.insert(*client, delivered.low);
         }
@@ -140,25 +263,19 @@ impl RequestValidation {
 
 impl ProposalValidator for RequestValidation {
     fn validate_proposal(&mut self, seq_nr: SeqNr, batch: &Batch) -> Result<()> {
-        let allowed = self.buckets_of_seq_nr.get(&seq_nr);
-        let mut seen_in_batch = HashSet::new();
-        for req in batch.requests() {
-            // (a) request validity.
-            self.validate_request(req)?;
-            // (c) bucket membership.
-            if let Some(allowed) = allowed {
-                let bucket = req.bucket(self.num_buckets);
-                if !allowed.contains(&bucket) {
-                    return Err(Error::invalid(format!(
-                        "request {:?} maps to bucket {bucket:?} not assigned to sequence number {seq_nr}",
-                        req.id
-                    )));
-                }
-            }
-            // (b) no duplication: within the batch, within the epoch, across
-            // epochs (delivered requests are rejected by validate_request).
-            if !seen_in_batch.insert(req.id) {
-                return Err(Error::invalid("duplicate request within batch"));
+        let requests = batch.requests();
+
+        // (a) semantics, (c) bucket membership, (b.2) no duplication against
+        // proposals already accepted this epoch. One pass, no allocation.
+        for req in requests {
+            self.check_known_client(req)?;
+            self.check_window_and_delivered(req)?;
+            if !self.epoch_buckets.allows(seq_nr, req.bucket(self.num_buckets)) {
+                return Err(Error::invalid(format!(
+                    "request {:?} maps to bucket {:?} not assigned to sequence number {seq_nr}",
+                    req.id,
+                    req.bucket(self.num_buckets)
+                )));
             }
             if self.proposed_this_epoch.contains(&req.id) {
                 return Err(Error::invalid(format!(
@@ -167,9 +284,37 @@ impl ProposalValidator for RequestValidation {
                 )));
             }
         }
+
+        // (b.1) no duplication within the batch: reusable sort buffer.
+        self.dedup_scratch.clear();
+        self.dedup_scratch.extend(requests.iter().map(|r| r.id));
+        self.dedup_scratch.sort_unstable();
+        if self.dedup_scratch.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::invalid("duplicate request within batch"));
+        }
+
+        // (a) signatures, last so the cheap checks short-circuit first:
+        // batched through the memoized, parallel pipeline. On a follower
+        // whose colocated leader already verified the batch this is pure
+        // cache hits.
+        if self.verify_signatures {
+            self.digest_scratch.clear();
+            self.digest_scratch.extend(requests.iter().map(request_digest));
+            let items: Vec<VerifyItem<'_>> = requests
+                .iter()
+                .zip(&self.digest_scratch)
+                .map(|(req, digest)| {
+                    (Identity::Client(req.id.client), &digest[..], &req.signature[..])
+                })
+                .collect();
+            for result in self.registry.verify_batch(&items) {
+                result?;
+            }
+        }
+
         // Record acceptance so a second proposal with the same requests (in a
         // different segment of the same epoch) is rejected.
-        for req in batch.requests() {
+        for req in requests {
             self.proposed_this_epoch.insert(req.id);
         }
         Ok(())
@@ -189,7 +334,7 @@ mod tests {
     fn signed_request(c: u32, t: u64) -> Request {
         let req = Request::new(ClientId(c), t, vec![0u8; 64]);
         let digest = request_digest(&req);
-        let sig = KeyPair::for_client(ClientId(c)).sign(&digest).0;
+        let sig = KeyPair::for_client(ClientId(c)).sign(&digest).to_vec();
         req.with_signature(sig)
     }
 
@@ -236,7 +381,7 @@ mod tests {
         for t in 0..100u64 {
             v.mark_delivered(&RequestId::new(ClientId(0), t));
         }
-        v.on_epoch_start(HashMap::new());
+        v.on_epoch_start(EpochBuckets::default());
         assert!(v.validate_request(&Request::synthetic(ClientId(0), 200, 1)).is_ok());
         assert!(v.validate_request(&Request::synthetic(ClientId(0), 50, 1)).is_err(), "below low watermark");
     }
@@ -261,10 +406,10 @@ mod tests {
         let mut v = validation(false);
         let req = Request::synthetic(ClientId(1), 1, 100);
         let bucket = req.bucket(16);
-        let mut map = HashMap::new();
-        map.insert(0u64, vec![bucket].into());
-        map.insert(1u64, vec![BucketId((bucket.0 + 1) % 16)].into());
-        v.on_epoch_start(map);
+        let mut table = EpochBuckets::new(0, 16);
+        table.add_segment(&[0], &[bucket]);
+        table.add_segment(&[1], &[BucketId((bucket.0 + 1) % 16)]);
+        v.on_epoch_start(table);
 
         // Accepted for the segment owning the request's bucket.
         assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_ok());
@@ -291,10 +436,41 @@ mod tests {
         let req = Request::synthetic(ClientId(1), 1, 100);
         assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_ok());
         assert_eq!(v.proposed_in_epoch(), 1);
-        v.on_epoch_start(HashMap::new());
+        v.on_epoch_start(EpochBuckets::default());
         assert_eq!(v.proposed_in_epoch(), 0);
         // The same request can be proposed again in a later epoch as long as
         // it has not been delivered.
         assert!(v.validate_proposal(10, &Batch::new(vec![req])).is_ok());
+    }
+
+    #[test]
+    fn signed_proposal_batch_verifies_and_rejects_tampering() {
+        let mut v = validation(true);
+        let good = Batch::new(vec![signed_request(1, 1), signed_request(2, 1), signed_request(3, 1)]);
+        assert!(v.validate_proposal(0, &good).is_ok());
+
+        let mut bad = signed_request(1, 2);
+        let mut sig = bad.signature.to_vec();
+        sig[7] ^= 0x01;
+        bad.signature = sig.into();
+        let tampered = Batch::new(vec![signed_request(2, 2), bad]);
+        assert!(v.validate_proposal(1, &tampered).is_err());
+    }
+
+    #[test]
+    fn epoch_buckets_dense_table() {
+        let mut t = EpochBuckets::new(100, 200);
+        t.add_segment(&[100, 102], &[BucketId(0), BucketId(199)]);
+        t.add_segment(&[101], &[BucketId(64)]);
+        assert!(t.allows(100, BucketId(0)));
+        assert!(t.allows(100, BucketId(199)));
+        assert!(!t.allows(100, BucketId(64)));
+        assert!(t.allows(101, BucketId(64)));
+        assert!(!t.allows(101, BucketId(0)));
+        assert!(t.allows(102, BucketId(199)));
+        // Unknown sequence numbers (below first, beyond table) are
+        // unrestricted, matching the sparse-map behaviour it replaced.
+        assert!(t.allows(99, BucketId(5)));
+        assert!(t.allows(1000, BucketId(5)));
     }
 }

@@ -18,7 +18,20 @@ pub const NIL_DIGEST: Digest = [0u8; 32];
 /// The digest covers the identifier and the payload (or, for synthetic
 /// simulation requests, the declared payload size), matching the signed
 /// content described in Section 3.7.
+///
+/// Memoized: the result is stored in the request's inline digest cell, so a
+/// request is hashed at most once per handle no matter how many times the
+/// node touches it (reception validation, proposal validation, batch
+/// hashing, delivery). Clones carry the memo; requests decoded from the
+/// wire always start cold.
 pub fn request_digest(req: &Request) -> Digest {
+    req.digest_or_init(request_digest_uncached)
+}
+
+/// The raw (non-memoized) request hash. Exposed for tests that need to
+/// compare the memo against a fresh recomputation, and as the benchmark
+/// baseline for the memo-hit path.
+pub fn request_digest_uncached(req: &Request) -> Digest {
     let mut h = Sha256::new();
     h.update(&req.id.client.0.to_le_bytes());
     h.update(&req.id.timestamp.to_le_bytes());
@@ -69,6 +82,17 @@ mod tests {
         assert_ne!(request_digest(&a), request_digest(&b));
         assert_ne!(request_digest(&a), request_digest(&c));
         assert_eq!(request_digest(&a), request_digest(&a.clone()));
+    }
+
+    #[test]
+    fn request_digest_memo_matches_recomputation() {
+        let a = Request::new(ClientId(7), 9, vec![5u8; 100]);
+        assert!(a.cached_digest().is_none());
+        let memoized = request_digest(&a);
+        assert_eq!(a.cached_digest(), Some(&memoized));
+        assert_eq!(memoized, request_digest_uncached(&a));
+        // The clone reuses the memo and agrees with a fresh computation.
+        assert_eq!(request_digest(&a.clone()), memoized);
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Property tests of the request-authentication pipeline: the parallel,
+//! memoized `verify_batch` must be result-identical to the serial uncached
+//! oracle for randomized good/bad signature mixes, a bad signature must
+//! never be laundered through the verified-signature cache, and a
+//! cached-valid entry must never vouch for a tampered payload or signature.
+
+use iss_crypto::{request_digest, Identity, KeyPair, SignatureRegistry, VerifyItem};
+use iss_types::{ClientId, Request};
+use proptest::prelude::*;
+
+/// Clients registered in every test registry. Client ids drawn above this
+/// exercise the unknown-identity error path.
+const KNOWN_CLIENTS: u32 = 8;
+
+/// How one generated signature is corrupted (or not).
+fn corrupt(kind: u8, pos: u8, sig: &mut Vec<u8>) {
+    match kind % 8 {
+        // 0..=4: leave the signature valid (majority of traffic is honest).
+        0..=4 => {}
+        // Flip one byte somewhere in the signature.
+        5 => sig[pos as usize % 64] ^= 0x80,
+        // Truncate (malformed length).
+        6 => sig.truncate(pos as usize % 64),
+        // Zero the MAC half entirely.
+        _ => sig[..32].fill(0),
+    }
+}
+
+/// Builds `(request, message digest, possibly-corrupted signature)` triples
+/// from a drawn spec. Returns owned storage; callers borrow `VerifyItem`s
+/// out of it.
+#[allow(clippy::type_complexity)]
+fn build_workload(spec: &[(u8, u8, u8, u64)]) -> (Vec<Request>, Vec<[u8; 32]>, Vec<Vec<u8>>) {
+    let mut requests = Vec::with_capacity(spec.len());
+    let mut digests = Vec::with_capacity(spec.len());
+    let mut sigs = Vec::with_capacity(spec.len());
+    for (i, (client_byte, kind, pos, ts)) in spec.iter().enumerate() {
+        // ~1 in 10 requests comes from an unregistered client.
+        let client = ClientId(*client_byte as u32 % (KNOWN_CLIENTS + 2));
+        let req = Request::new(client, *ts, vec![i as u8, *client_byte, *kind]);
+        let digest = request_digest(&req);
+        let mut sig = KeyPair::for_client(client).sign(&digest).to_vec();
+        corrupt(*kind, *pos, &mut sig);
+        requests.push(req);
+        digests.push(digest);
+        sigs.push(sig);
+    }
+    (requests, digests, sigs)
+}
+
+fn items<'a>(
+    requests: &[Request],
+    digests: &'a [[u8; 32]],
+    sigs: &'a [Vec<u8>],
+) -> Vec<VerifyItem<'a>> {
+    requests
+        .iter()
+        .zip(digests)
+        .zip(sigs)
+        .map(|((req, digest), sig)| (Identity::Client(req.id.client), &digest[..], &sig[..]))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn parallel_verify_batch_is_result_identical_to_serial_oracle(
+        spec in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), 0u64..1000),
+            0..300,
+        ),
+    ) {
+        let reg = SignatureRegistry::with_processes(2, KNOWN_CLIENTS as usize);
+        let (requests, digests, sigs) = build_workload(&spec);
+        let items = items(&requests, &digests, &sigs);
+
+        let serial = reg.verify_batch_serial(&items);
+        let cold = reg.verify_batch(&items);
+        prop_assert_eq!(&cold, &serial, "cold auto-sized run diverged from the serial oracle");
+
+        // Forced multi-worker pools exercise the scoped-thread fan-out even
+        // on single-core machines, including ragged chunking (pool sizes
+        // that don't divide the batch).
+        for workers in [2usize, 3, 7] {
+            reg.clear_verified_cache();
+            let forced = reg.verify_batch_with_workers(&items, Some(workers));
+            prop_assert_eq!(&forced, &serial, "{}-worker run diverged from the serial oracle", workers);
+        }
+
+        // Warm run: the good entries are now cache hits; outcomes must not
+        // change, and in particular no bad signature may have become "valid".
+        let warm = reg.verify_batch(&items);
+        prop_assert_eq!(&warm, &serial, "warm (cached) run diverged from the serial oracle");
+
+        // Exactly the distinct successful triples are memoized.
+        let mut witnessed: Vec<(u32, &[u8; 32], &Vec<u8>)> = requests
+            .iter()
+            .zip(&digests)
+            .zip(&sigs)
+            .zip(&serial)
+            .filter(|(_, r)| r.is_ok())
+            .map(|(((req, d), s), _)| (req.id.client.0, d, s))
+            .collect();
+        witnessed.sort();
+        witnessed.dedup();
+        prop_assert_eq!(reg.verified_cache_len(), witnessed.len());
+    }
+
+    #[test]
+    fn bad_signatures_are_never_cached_and_hits_never_mask_tampering(
+        spec in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), 0u64..1000),
+            1..120,
+        ),
+        tamper_byte in 1u8..=255,
+    ) {
+        let reg = SignatureRegistry::with_processes(2, KNOWN_CLIENTS as usize);
+        let (requests, digests, sigs) = build_workload(&spec);
+        let items = items(&requests, &digests, &sigs);
+        let outcomes = reg.verify_batch(&items);
+
+        for (i, (req, outcome)) in requests.iter().zip(&outcomes).enumerate() {
+            let id = Identity::Client(req.id.client);
+            // Re-asking any single question must reproduce the batch answer:
+            // a rejected signature stays rejected (nothing was laundered into
+            // the cache), an accepted one stays accepted.
+            prop_assert_eq!(
+                reg.verify(id, &digests[i], &sigs[i]).is_ok(),
+                outcome.is_ok(),
+                "single re-verification diverged at item {}", i
+            );
+
+            if outcome.is_ok() {
+                // A later tampered payload yields a different digest: the
+                // cached entry for the original digest must not vouch for it.
+                let mut payload = req.payload.to_vec();
+                payload[0] ^= tamper_byte;
+                let tampered = Request::new(req.id.client, req.id.timestamp, payload)
+                    .with_signature(sigs[i].clone());
+                let digest = request_digest(&tampered);
+                prop_assert_ne!(&digest, &digests[i]);
+                prop_assert!(
+                    reg.verify(id, &digest, &tampered.signature).is_err(),
+                    "cached entry masked a tampered payload at item {}", i
+                );
+
+                // And a tampered signature over the original digest is a
+                // distinct witness: it must be re-checked and rejected.
+                let mut bad_sig = sigs[i].clone();
+                bad_sig[63] ^= tamper_byte;
+                prop_assert!(
+                    reg.verify(id, &digests[i], &bad_sig).is_err(),
+                    "cached entry masked a tampered signature at item {}", i
+                );
+            }
+        }
+    }
+}

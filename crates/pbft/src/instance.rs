@@ -237,7 +237,7 @@ impl PbftInstance {
             })
             .collect();
         let signature = if self.config.signed_view_change {
-            bytes::Bytes::from(self.keypair.sign(&Self::vc_signing_bytes(target, &prepared)).0)
+            bytes::Bytes::from(self.keypair.sign(&Self::vc_signing_bytes(target, &prepared)).to_vec())
         } else {
             bytes::Bytes::new()
         };

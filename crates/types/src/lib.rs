@@ -10,6 +10,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fxhash;
 pub mod ids;
 pub mod payload;
 pub mod request;
@@ -18,10 +19,11 @@ pub mod time;
 
 pub use config::{IssConfig, LeaderPolicyKind, ProtocolKind};
 pub use error::{Error, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{
     BucketId, ClientId, EpochNr, InstanceId, NodeId, ReqTimestamp, SeqNr, TimerId, ViewNr,
 };
 pub use payload::Payload;
-pub use request::{Batch, BatchDigest, Request, RequestId};
+pub use request::{Batch, BatchDigest, Request, RequestDigest, RequestId};
 pub use segment::Segment;
 pub use time::{Duration, Time};

@@ -58,6 +58,10 @@ impl fmt::Debug for RequestId {
     }
 }
 
+/// Digest of a request (32 bytes). Computed by `iss-crypto`; the alias lives
+/// here so the memo cell can be typed without a dependency cycle.
+pub type RequestDigest = [u8; 32];
+
 /// A client request: payload plus identifier plus the client's signature.
 ///
 /// Payload and signature are refcounted [`Bytes`]: cloning a request is O(1)
@@ -65,10 +69,17 @@ impl fmt::Debug for RequestId {
 /// bucket queues, proposals, the log and delivery without copying payload
 /// bytes.
 ///
+/// The request digest is memoized inline (see [`Request::digest_or_init`]):
+/// every node-side touch of a request — reception validation, proposal
+/// validation, batch hashing — needs `H(id, payload)`, and before the memo
+/// each touch recomputed it. The cell is carried by clones, excluded from
+/// equality/hashing, and never serialized; a request decoded from the wire
+/// always starts with an empty cell, so tampered wire bytes can never reuse
+/// a stale digest.
+///
 /// In the simulator the payload is usually represented only by its size
 /// (`payload_size`) to keep memory bounded; the `payload` buffer is used by
 /// the real (in-process) deployment path and the examples.
-#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Request {
     /// Unique identifier `(t, c)`.
     pub id: RequestId,
@@ -80,6 +91,49 @@ pub struct Request {
     /// Client signature over `(id, payload)`. Empty when signatures are
     /// disabled (e.g. the Raft configuration of Table 1).
     pub signature: Bytes,
+    /// Memoized request digest; filled in by `iss-crypto` on first use.
+    digest: OnceLock<RequestDigest>,
+}
+
+impl Clone for Request {
+    fn clone(&self) -> Self {
+        // Carry the memo: a clone of an already-hashed request must not pay
+        // for the hash again. `OnceLock` itself is not `Clone`, so the
+        // computed value (if any) is moved into a fresh cell.
+        let digest = OnceLock::new();
+        if let Some(d) = self.digest.get() {
+            let _ = digest.set(*d);
+        }
+        Request {
+            id: self.id,
+            payload: self.payload.clone(),
+            payload_size: self.payload_size,
+            signature: self.signature.clone(),
+            digest,
+        }
+    }
+}
+
+impl PartialEq for Request {
+    fn eq(&self, other: &Self) -> bool {
+        // The digest memo is derived state and deliberately excluded: two
+        // equal requests compare equal whether or not either has been hashed.
+        self.id == other.id
+            && self.payload == other.payload
+            && self.payload_size == other.payload_size
+            && self.signature == other.signature
+    }
+}
+
+impl Eq for Request {}
+
+impl std::hash::Hash for Request {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+        self.payload.hash(state);
+        self.payload_size.hash(state);
+        self.signature.hash(state);
+    }
 }
 
 impl Request {
@@ -92,6 +146,7 @@ impl Request {
             payload,
             payload_size,
             signature: Bytes::new(),
+            digest: OnceLock::new(),
         }
     }
 
@@ -102,6 +157,7 @@ impl Request {
             payload: Bytes::new(),
             payload_size,
             signature: Bytes::new(),
+            digest: OnceLock::new(),
         }
     }
 
@@ -120,6 +176,31 @@ impl Request {
     /// identifier, payload and signature.
     pub fn wire_size(&self) -> usize {
         12 + self.payload_size as usize + self.signature.len()
+    }
+
+    /// The memoized request digest, if it has been computed already.
+    pub fn cached_digest(&self) -> Option<&RequestDigest> {
+        self.digest.get()
+    }
+
+    /// Returns the request digest, computing it with `compute` at most once
+    /// per handle (clones carry the memo forward). The hash function lives
+    /// in `iss-crypto`; this cell only stores the result. Thread-safe: two
+    /// threads racing on a cold cell both compute, one result wins.
+    ///
+    /// Trust model: like the [`Batch`] digest memo, the cell is an
+    /// in-process cache — whoever first touches a handle decides its memo,
+    /// and downstream code (including signature verification) trusts it.
+    /// That is sound in this codebase because in-memory `Request` handles
+    /// only travel between components of the same trust domain: anything
+    /// that crossed a real trust boundary goes through the wire codec,
+    /// which always constructs cold cells, so tampered bytes can never
+    /// reuse a stale digest. A Byzantine-*process* model that hands
+    /// poisoned in-memory handles to honest nodes would need to strip the
+    /// memo at reception (`Request::clone` of the fields into a fresh
+    /// handle) before this cell can be trusted.
+    pub fn digest_or_init(&self, compute: impl FnOnce(&Request) -> RequestDigest) -> RequestDigest {
+        *self.digest.get_or_init(|| compute(self))
     }
 }
 
@@ -340,6 +421,38 @@ mod tests {
         assert_eq!(calls, 1);
         assert_eq!(d1, d2);
         assert_eq!(c.cached_digest(), Some(&[0xAB; 32]));
+    }
+
+    #[test]
+    fn request_digest_memo_is_carried_by_clones_but_not_compared() {
+        let r = Request::new(ClientId(1), 2, vec![3u8; 8]);
+        assert!(r.cached_digest().is_none());
+        let mut calls = 0;
+        let d1 = r.digest_or_init(|_| {
+            calls += 1;
+            [0xAB; 32]
+        });
+        // A clone carries the memo and never recomputes.
+        let c = r.clone();
+        let d2 = c.digest_or_init(|_| {
+            calls += 1;
+            [0xCD; 32]
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(d1, d2);
+        // The memo does not leak into equality: a fresh, never-hashed request
+        // with the same content still compares equal.
+        assert_eq!(r, Request::new(ClientId(1), 2, vec![3u8; 8]));
+    }
+
+    #[test]
+    fn with_signature_preserves_the_digest_memo() {
+        // The digest covers (id, payload) but not the signature, so attaching
+        // a signature must not invalidate the memo.
+        let r = Request::new(ClientId(1), 2, vec![3u8; 8]);
+        r.digest_or_init(|_| [0x11; 32]);
+        let signed = r.with_signature(vec![0u8; 64]);
+        assert_eq!(signed.cached_digest(), Some(&[0x11; 32]));
     }
 
     #[test]
