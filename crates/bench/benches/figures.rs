@@ -13,7 +13,10 @@ fn main() {
 
     println!("== Figure 5 (scaled down): peak throughput vs number of nodes ==");
     for point in figure5(scale) {
-        println!("{:<14} n={:<4} {:>8.1} kreq/s", point.series, point.nodes, point.kreq_per_sec);
+        println!(
+            "{:<14} n={:<4} {:>8.1} kreq/s",
+            point.series, point.nodes, point.kreq_per_sec
+        );
     }
 
     println!();

@@ -41,17 +41,27 @@ fn bench_crypto(c: &mut Criterion) {
     let kp = KeyPair::for_node(NodeId(0));
     group.bench_function("sign_500B", |b| b.iter(|| kp.sign(&payload)));
     let scheme = ThresholdScheme::new(32, 21, b"bench").unwrap();
-    let shares: Vec<_> = (0..21).map(|i| scheme.sign_share(NodeId(i), &payload)).collect();
+    let shares: Vec<_> = (0..21)
+        .map(|i| scheme.sign_share(NodeId(i), &payload))
+        .collect();
     group.bench_function("threshold_aggregate_2f1_of_32", |b| {
         b.iter(|| scheme.aggregate(&shares, &payload).unwrap())
     });
     group.bench_function("batch_digest_2048_uncached", |b| {
-        b.iter_batched(|| batch(2048), |fresh| batch_digest(&fresh), BatchSize::LargeInput)
+        b.iter_batched(
+            || batch(2048),
+            |fresh| batch_digest(&fresh),
+            BatchSize::LargeInput,
+        )
     });
     let b2048 = batch(2048);
     batch_digest(&b2048); // warm the memo
-    group.bench_function("batch_digest_2048_memoized", |b| b.iter(|| batch_digest(&b2048)));
-    let leaves: Vec<[u8; 32]> = (0..256u64).map(|i| Sha256::digest(&i.to_le_bytes())).collect();
+    group.bench_function("batch_digest_2048_memoized", |b| {
+        b.iter(|| batch_digest(&b2048))
+    });
+    let leaves: Vec<[u8; 32]> = (0..256u64)
+        .map(|i| Sha256::digest(&i.to_le_bytes()))
+        .collect();
     group.bench_function("merkle_root_256", |b| b.iter(|| merkle_root(&leaves)));
     group.finish();
 }
@@ -213,8 +223,12 @@ fn bench_verify_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("digest");
     let req = request(7);
     request_digest(&req); // warm the memo
-    group.bench_function("request_digest_memo_hit", |b| b.iter(|| request_digest(&req)));
-    group.bench_function("request_digest_recompute", |b| b.iter(|| request_digest_uncached(&req)));
+    group.bench_function("request_digest_memo_hit", |b| {
+        b.iter(|| request_digest(&req))
+    });
+    group.bench_function("request_digest_recompute", |b| {
+        b.iter(|| request_digest_uncached(&req))
+    });
     group.finish();
 }
 
@@ -227,7 +241,9 @@ fn bench_validate_proposal(c: &mut Criterion) {
     let registry = Arc::new(SignatureRegistry::with_processes(4, 0));
     let num_buckets = 512usize;
     let batch = Batch::new(
-        (0..2048u32).map(|i| Request::synthetic(ClientId(i % 256), (i / 256) as u64, 500)).collect(),
+        (0..2048u32)
+            .map(|i| Request::synthetic(ClientId(i % 256), (i / 256) as u64, 500))
+            .collect(),
     );
     let all_buckets: Vec<BucketId> = (0..num_buckets as u32).map(BucketId).collect();
     group.throughput(Throughput::Elements(2048));
@@ -288,6 +304,108 @@ fn bench_cpu_schedule(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Manager's per-message bookkeeping at 128-node scale: resolve an
+/// `InstanceId` to its instance and bracket a callback (the `drive` loop),
+/// round-robin across one epoch's 128 SB instances. `node_dispatch_128` is
+/// the dense slab+arena state, `node_dispatch_128_ref` the `HashMap` oracle
+/// it replaced.
+fn bench_node_state(c: &mut Criterion) {
+    use iss_core::state::{EpochState, NodeState, ReferenceNodeState};
+    use iss_sb::testing::NullSb;
+    use iss_types::{EpochNr, SeqNr, TimerId};
+
+    const SEGMENTS: u32 = 128;
+    const PER_SEGMENT: u64 = 4;
+
+    /// Populates one epoch: 128 segments, round-robin sequence numbers,
+    /// one inert instance each, two armed timers per instance.
+    fn fill_epoch<S: NodeState>(state: &mut S, epoch: EpochNr, timer_base: &mut u64) {
+        let length = SEGMENTS as u64 * PER_SEGMENT;
+        let first = epoch * length;
+        state.begin_epoch(epoch, first, length);
+        for s in 0..SEGMENTS {
+            let seq_nrs: Vec<SeqNr> = (0..length)
+                .filter(|o| o % SEGMENTS as u64 == s as u64)
+                .map(|o| first + o)
+                .collect();
+            state.record_segment(&seq_nrs, NodeId(s));
+            let slot = state.insert_instance(InstanceId::new(epoch, s), Box::new(NullSb));
+            for token in 0..2u64 {
+                *timer_base += 1;
+                state.register_timer(TimerId(*timer_base), slot, token);
+            }
+        }
+    }
+
+    fn dispatch_workload<S: NodeState>(state: &mut S, i: &mut u32) -> SeqNr {
+        let id = InstanceId::new(0, *i % SEGMENTS);
+        *i = (*i + 1) % SEGMENTS;
+        let slot = state.slot_of(id).expect("live instance");
+        let (_, instance) = state.take_instance(slot).expect("live instance");
+        state.restore_instance(slot, instance);
+        // The delivery path's companion lookup: seq-nr → leader.
+        let sn = (id.index as u64) * PER_SEGMENT;
+        state.leader_of(sn).map(|n| n.0 as u64).unwrap_or(0)
+    }
+
+    let mut group = c.benchmark_group("node_state");
+    group.throughput(Throughput::Elements(1));
+
+    let mut dense = EpochState::new();
+    let mut timer_base = 0u64;
+    fill_epoch(&mut dense, 0, &mut timer_base);
+    let mut i = 0u32;
+    group.bench_function("node_dispatch_128", |b| {
+        b.iter(|| dispatch_workload(&mut dense, &mut i))
+    });
+
+    let mut reference = ReferenceNodeState::new();
+    let mut timer_base = 0u64;
+    fill_epoch(&mut reference, 0, &mut timer_base);
+    let mut i = 0u32;
+    group.bench_function("node_dispatch_128_ref", |b| {
+        b.iter(|| dispatch_workload(&mut reference, &mut i))
+    });
+
+    // Epoch GC at the same scale: two live epochs of 128 instances (plus
+    // two armed timers each), collect the older one and advance the
+    // checkpoint cut — the wholesale arena drop vs four retain scans.
+    group.sample_size(20);
+    group.bench_function("epoch_gc", |b| {
+        b.iter_batched(
+            || {
+                let mut state = EpochState::new();
+                let mut timer_base = 0u64;
+                fill_epoch(&mut state, 0, &mut timer_base);
+                fill_epoch(&mut state, 1, &mut timer_base);
+                state
+            },
+            |mut state| {
+                state.gc(1, Some(SEGMENTS as u64 * PER_SEGMENT));
+                state
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("epoch_gc_ref", |b| {
+        b.iter_batched(
+            || {
+                let mut state = ReferenceNodeState::new();
+                let mut timer_base = 0u64;
+                fill_epoch(&mut state, 0, &mut timer_base);
+                fill_epoch(&mut state, 1, &mut timer_base);
+                state
+            },
+            |mut state| {
+                state.gc(1, Some(SEGMENTS as u64 * PER_SEGMENT));
+                state
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
 use iss_bench::engine::next_delay_us;
 
 /// Steady-state event-engine throughput: hold the queue at a sim-realistic
@@ -300,7 +418,9 @@ fn bench_simnet_event_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simnet_event_throughput");
     group.throughput(Throughput::Elements(1));
 
-    let start_event = |i: usize| EventKind::Start { addr: Addr::Node(NodeId(i as u32)) };
+    let start_event = |i: usize| EventKind::Start {
+        addr: Addr::Node(NodeId(i as u32)),
+    };
 
     group.bench_function("wheel", |b| {
         let mut q: EventQueue<u32> = EventQueue::new();
@@ -310,7 +430,10 @@ fn bench_simnet_event_throughput(c: &mut Criterion) {
         }
         b.iter(|| {
             let e = q.pop().expect("queue is held at constant depth");
-            q.push(e.at + Duration::from_micros(next_delay_us(&mut state)), e.kind);
+            q.push(
+                e.at + Duration::from_micros(next_delay_us(&mut state)),
+                e.kind,
+            );
             e.at
         })
     });
@@ -323,7 +446,10 @@ fn bench_simnet_event_throughput(c: &mut Criterion) {
         }
         b.iter(|| {
             let e = q.pop().expect("queue is held at constant depth");
-            q.push(e.at + Duration::from_micros(next_delay_us(&mut state)), e.kind);
+            q.push(
+                e.at + Duration::from_micros(next_delay_us(&mut state)),
+                e.kind,
+            );
             e.at
         })
     });
@@ -366,6 +492,7 @@ criterion_group!(
     bench_crypto,
     bench_verify_pipeline,
     bench_validate_proposal,
+    bench_node_state,
     bench_cpu_schedule,
     bench_buckets,
     bench_codec,

@@ -25,9 +25,15 @@ fn parse_baselines(text: &str) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     for line in text.lines() {
         let line = line.trim();
-        let Some(rest) = line.strip_prefix('"') else { continue };
-        let Some((name, rest)) = rest.split_once('"') else { continue };
-        let Some((_, rest)) = rest.split_once("\"median\":") else { continue };
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some((_, rest)) = rest.split_once("\"median\":") else {
+            continue;
+        };
         let median: f64 = rest
             .trim_start()
             .chars()
@@ -118,7 +124,9 @@ fn main() -> ExitCode {
     }
 
     if failures > 0 {
-        eprintln!("bench-diff: {failures} benchmark(s) regressed beyond {tolerance:.2}x or went missing");
+        eprintln!(
+            "bench-diff: {failures} benchmark(s) regressed beyond {tolerance:.2}x or went missing"
+        );
         return ExitCode::FAILURE;
     }
     println!("bench-diff: OK");

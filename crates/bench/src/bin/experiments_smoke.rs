@@ -1,0 +1,160 @@
+//! Experiment-matrix smoke: iterates every scripted experiment besides
+//! figure 8 (figures 5, 6, 7, 11 and 12) at quick scale and asserts the
+//! output is non-empty and shape-sane, so CI exercises the full scenario
+//! matrix instead of the fig8 path only.
+//!
+//! "Shape-sane" deliberately stops short of asserting absolute numbers —
+//! quick scale is tiny and noisy by design — but every series must exist,
+//! every statistic must be finite and non-negative, and the workloads must
+//! actually deliver traffic.
+//!
+//! Scale defaults to `quick` (unlike the figure binaries, whose default is
+//! the benchmark scale); set `ISS_SCALE` explicitly to override.
+
+use iss_bench::scale_from_env;
+use iss_sim::experiments::{figure11, figure12, figure5, figure6, figure7, Scale};
+use iss_sim::Protocol;
+
+fn scale() -> Scale {
+    if std::env::var("ISS_SCALE").is_err() {
+        let mut scale = Scale::quick();
+        if let Some(n) = std::env::var("ISS_FAULT_NODES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            scale.fault_nodes = n;
+        }
+        return scale;
+    }
+    scale_from_env()
+}
+
+fn check(ok: bool, what: &str, failures: &mut u32) {
+    if ok {
+        println!("  ok   {what}");
+    } else {
+        println!("  FAIL {what}");
+        *failures += 1;
+    }
+}
+
+fn finite_nonneg(x: f64) -> bool {
+    x.is_finite() && x >= 0.0
+}
+
+fn main() -> std::process::ExitCode {
+    let scale = scale();
+    let mut failures = 0u32;
+    println!(
+        "# experiment-matrix smoke ({} nodes for fault runs)",
+        scale.fault_nodes
+    );
+
+    // Figure 5: every series present at every node count, finite
+    // throughputs, and the ISS series must move actual traffic.
+    let f5 = figure5(scale);
+    println!("figure5: {} points", f5.len());
+    check(
+        f5.len() == 7 * scale.node_counts.len(),
+        "figure5 has 7 series x node counts",
+        &mut failures,
+    );
+    check(
+        f5.iter().all(|p| finite_nonneg(p.kreq_per_sec)),
+        "figure5 throughputs finite",
+        &mut failures,
+    );
+    check(
+        f5.iter()
+            .filter(|p| p.series.starts_with("ISS"))
+            .all(|p| p.kreq_per_sec > 0.0),
+        "figure5 ISS series deliver traffic",
+        &mut failures,
+    );
+
+    // Figure 6: latency/throughput curves for ISS vs single-leader.
+    let f6 = figure6(Protocol::Pbft, scale);
+    println!("figure6: {} points", f6.len());
+    check(
+        f6.len() == scale.node_counts.len() * 2 * 4,
+        "figure6 has 2 modes x 4 load points",
+        &mut failures,
+    );
+    check(
+        f6.iter()
+            .all(|p| finite_nonneg(p.kreq_per_sec) && finite_nonneg(p.latency_secs)),
+        "figure6 stats finite",
+        &mut failures,
+    );
+    check(
+        f6.iter().any(|p| p.kreq_per_sec > 0.0),
+        "figure6 delivers traffic",
+        &mut failures,
+    );
+
+    // Figure 7: one bar per (policy, crash timing).
+    let f7 = figure7(scale);
+    println!("figure7: {} rows", f7.len());
+    check(
+        f7.len() == 6,
+        "figure7 has 3 policies x 2 crash timings",
+        &mut failures,
+    );
+    check(
+        f7.iter()
+            .all(|r| finite_nonneg(r.mean_secs) && finite_nonneg(r.p95_secs)),
+        "figure7 latencies finite",
+        &mut failures,
+    );
+    check(
+        f7.iter().any(|r| r.mean_secs > 0.0),
+        "figure7 measures latency despite the crash",
+        &mut failures,
+    );
+
+    // Figure 11: straggler sweep.
+    let f11 = figure11(scale);
+    println!("figure11: {} points", f11.len());
+    check(!f11.is_empty(), "figure11 non-empty", &mut failures);
+    check(
+        f11.iter()
+            .all(|p| finite_nonneg(p.kreq_per_sec) && finite_nonneg(p.latency_secs)),
+        "figure11 stats finite",
+        &mut failures,
+    );
+    check(
+        f11.iter().any(|p| p.kreq_per_sec > 0.0),
+        "figure11 delivers traffic",
+        &mut failures,
+    );
+
+    // Figure 12: throughput timeline with one straggler.
+    let f12 = figure12(scale);
+    println!(
+        "figure12: {} timeline buckets, {} delivered",
+        f12.timeline.len(),
+        f12.delivered
+    );
+    check(
+        f12.delivered > 0,
+        "figure12 delivers traffic",
+        &mut failures,
+    );
+    check(
+        !f12.timeline.is_empty(),
+        "figure12 timeline non-empty",
+        &mut failures,
+    );
+    check(
+        f12.timeline.iter().sum::<u64>() > 0,
+        "figure12 timeline carries the deliveries",
+        &mut failures,
+    );
+
+    if failures > 0 {
+        eprintln!("experiment-matrix smoke: {failures} check(s) failed");
+        return std::process::ExitCode::FAILURE;
+    }
+    println!("experiment-matrix smoke: OK");
+    std::process::ExitCode::SUCCESS
+}

@@ -8,7 +8,10 @@ use iss_sim::experiments::throughput_timeline;
 use iss_sim::CrashTiming;
 
 fn main() {
-    header("Figure 10", "Mir-BFT throughput over time with one epoch-start crash");
+    header(
+        "Figure 10",
+        "Mir-BFT throughput over time with one epoch-start crash",
+    );
     let report = throughput_timeline(Mode::Mir, CrashTiming::EpochStart, scale_from_env());
     for (second, tput) in report.timeline.iter().enumerate() {
         println!("t={second:>3}s  {tput:>8} req/s");

@@ -5,8 +5,14 @@ use iss_bench::{header, scale_from_env};
 use iss_sim::experiments::figure11;
 
 fn main() {
-    header("Figure 11", "latency over throughput with Byzantine stragglers");
+    header(
+        "Figure 11",
+        "latency over throughput with Byzantine stragglers",
+    );
     for p in figure11(scale_from_env()) {
-        println!("{:<16} {:>8.2} kreq/s   mean latency {:>7.2} s", p.series, p.kreq_per_sec, p.latency_secs);
+        println!(
+            "{:<16} {:>8.2} kreq/s   mean latency {:>7.2} s",
+            p.series, p.kreq_per_sec, p.latency_secs
+        );
     }
 }

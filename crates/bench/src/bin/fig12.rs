@@ -5,7 +5,10 @@ use iss_bench::{header, scale_from_env};
 use iss_sim::experiments::figure12;
 
 fn main() {
-    header("Figure 12", "ISS-PBFT throughput over time with one Byzantine straggler");
+    header(
+        "Figure 12",
+        "ISS-PBFT throughput over time with one Byzantine straggler",
+    );
     let report = figure12(scale_from_env());
     for (second, tput) in report.timeline.iter().enumerate() {
         println!("t={second:>3}s  {tput:>8} req/s");

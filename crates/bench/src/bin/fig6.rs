@@ -6,12 +6,18 @@ use iss_sim::experiments::figure6;
 use iss_sim::Protocol;
 
 fn main() {
-    header("Figure 6", "latency (s) over throughput (kreq/s) for increasing load");
+    header(
+        "Figure 6",
+        "latency (s) over throughput (kreq/s) for increasing load",
+    );
     let scale = scale_from_env();
     for protocol in [Protocol::Pbft, Protocol::HotStuff, Protocol::Raft] {
         println!("--- {} ---", protocol.name());
         for p in figure6(protocol, scale) {
-            println!("{:<30} {:>10.2} kreq/s {:>8.2} s", p.series, p.kreq_per_sec, p.latency_secs);
+            println!(
+                "{:<30} {:>10.2} kreq/s {:>8.2} s",
+                p.series, p.kreq_per_sec, p.latency_secs
+            );
         }
     }
 }

@@ -5,7 +5,10 @@ use iss_bench::{header, scale_from_env};
 use iss_sim::experiments::figure7;
 
 fn main() {
-    header("Figure 7", "leader selection policies under one crash (mean / 95th pct latency)");
+    header(
+        "Figure 7",
+        "leader selection policies under one crash (mean / 95th pct latency)",
+    );
     for row in figure7(scale_from_env()) {
         println!(
             "{:<10} {:<12} mean {:>7.2} s   p95 {:>7.2} s",

@@ -5,7 +5,10 @@ use iss_bench::{header, scale_from_env};
 use iss_sim::experiments::figure8;
 
 fn main() {
-    header("Figure 8", "crash faults vs experiment duration (Blacklist policy)");
+    header(
+        "Figure 8",
+        "crash faults vs experiment duration (Blacklist policy)",
+    );
     for row in figure8(scale_from_env()) {
         println!(
             "f={} {:<12} duration {:>4} s   mean {:>7.2} s   p95 {:>7.2} s",

@@ -7,11 +7,24 @@ use iss_sim::experiments::throughput_timeline;
 use iss_sim::CrashTiming;
 
 fn main() {
-    header("Figure 9", "ISS-PBFT throughput over time with one crash fault");
+    header(
+        "Figure 9",
+        "ISS-PBFT throughput over time with one crash fault",
+    );
     let scale = scale_from_env();
-    for (label, timing) in [("(a) epoch-start", CrashTiming::EpochStart), ("(b) epoch-end", CrashTiming::EpochEnd)] {
+    for (label, timing) in [
+        ("(a) epoch-start", CrashTiming::EpochStart),
+        ("(b) epoch-end", CrashTiming::EpochEnd),
+    ] {
         let report = throughput_timeline(Mode::Iss, timing, scale);
-        println!("--- {label} crash; epoch ends: {:?} ---", report.epochs.iter().map(|(e, t)| (*e, t.as_secs_f64())).collect::<Vec<_>>());
+        println!(
+            "--- {label} crash; epoch ends: {:?} ---",
+            report
+                .epochs
+                .iter()
+                .map(|(e, t)| (*e, t.as_secs_f64()))
+                .collect::<Vec<_>>()
+        );
         for (second, tput) in report.timeline.iter().enumerate() {
             println!("t={second:>3}s  {tput:>8} req/s");
         }

@@ -50,7 +50,9 @@ macro_rules! run_workload {
         for i in 0..DEPTH {
             q.push(
                 Time::from_micros(next_delay_us(&mut state)),
-                EventKind::Start { addr: Addr::Node(NodeId(i as u32)) },
+                EventKind::Start {
+                    addr: Addr::Node(NodeId(i as u32)),
+                },
             );
         }
         let start = Instant::now();
@@ -60,7 +62,10 @@ macro_rules! run_workload {
             checksum = checksum
                 .wrapping_mul(0x100_0000_01b3)
                 .wrapping_add(e.at.as_micros());
-            q.push(e.at + Duration::from_micros(next_delay_us(&mut state)), e.kind);
+            q.push(
+                e.at + Duration::from_micros(next_delay_us(&mut state)),
+                e.kind,
+            );
         }
         black_box(&mut q);
         let rate = $ops as f64 / start.elapsed().as_secs_f64();
@@ -78,8 +83,7 @@ fn verify_equivalence_smoke() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4096)
         .max(16);
-    let registry =
-        SignatureRegistry::with_processes(4, iss_bench::authload::CLIENTS as usize);
+    let registry = SignatureRegistry::with_processes(4, iss_bench::authload::CLIENTS as usize);
     // Deterministic corruption mix: every 5th signature tampered, every 11th
     // truncated (see `iss_bench::authload`).
     let requests = iss_bench::authload::signed_requests(n, true);
@@ -101,16 +105,28 @@ fn verify_equivalence_smoke() {
     let forced = registry.verify_batch_with_workers(&items, Some(4));
 
     for (i, (s, c)) in serial.iter().zip(&cold).enumerate() {
-        assert_eq!(s, c, "cold verify_batch diverged from the serial oracle at item {i}");
+        assert_eq!(
+            s, c,
+            "cold verify_batch diverged from the serial oracle at item {i}"
+        );
     }
     for (i, (s, w)) in serial.iter().zip(&warm).enumerate() {
-        assert_eq!(s, w, "warm (cached) verify_batch diverged from the serial oracle at item {i}");
+        assert_eq!(
+            s, w,
+            "warm (cached) verify_batch diverged from the serial oracle at item {i}"
+        );
     }
     for (i, (s, f)) in serial.iter().zip(&forced).enumerate() {
-        assert_eq!(s, f, "4-worker verify_batch diverged from the serial oracle at item {i}");
+        assert_eq!(
+            s, f,
+            "4-worker verify_batch diverged from the serial oracle at item {i}"
+        );
     }
     let good = serial.iter().filter(|r| r.is_ok()).count();
-    assert!(good > 0 && good < n, "corruption mix must produce both outcomes");
+    assert!(
+        good > 0 && good < n,
+        "corruption mix must produce both outcomes"
+    );
     println!(
         "perf-smoke: verify {n} sigs ({good} valid): serial {:.0} k/s, parallel cold {:.0} k/s ({:.2}x), cached {:.0} k/s",
         serial_rate / 1e3,

@@ -10,7 +10,10 @@ fn main() {
         ("HotStuff", IssConfig::hotstuff(n)),
         ("Raft", IssConfig::raft(n)),
     ];
-    println!("{:<26} {:>12} {:>12} {:>12}", "parameter", "PBFT", "HotStuff", "Raft");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12}",
+        "parameter", "PBFT", "HotStuff", "Raft"
+    );
     let row = |name: &str, f: &dyn Fn(&IssConfig) -> String| {
         println!(
             "{:<26} {:>12} {:>12} {:>12}",
@@ -20,15 +23,31 @@ fn main() {
             f(&configs[2].1)
         );
     };
-    row("Initial leaderset size", &|c| format!("|N|={}", c.num_nodes));
+    row("Initial leaderset size", &|c| {
+        format!("|N|={}", c.num_nodes)
+    });
     row("Max batch size", &|c| c.max_batch_size.to_string());
-    row("Batch rate (b/s)", &|c| c.batch_rate.map(|r| r.to_string()).unwrap_or("n/a".into()));
-    row("Min batch timeout (s)", &|c| format!("{:.0}", c.min_batch_timeout.as_secs_f64()));
-    row("Max batch timeout (s)", &|c| format!("{:.0}", c.max_batch_timeout.as_secs_f64()));
+    row("Batch rate (b/s)", &|c| {
+        c.batch_rate.map(|r| r.to_string()).unwrap_or("n/a".into())
+    });
+    row("Min batch timeout (s)", &|c| {
+        format!("{:.0}", c.min_batch_timeout.as_secs_f64())
+    });
+    row("Max batch timeout (s)", &|c| {
+        format!("{:.0}", c.max_batch_timeout.as_secs_f64())
+    });
     row("Min epoch length", &|c| c.min_epoch_length.to_string());
     row("Min segment size", &|c| c.min_segment_size.to_string());
-    row("Epoch change timeout (s)", &|c| format!("{:.0}", c.epoch_change_timeout.as_secs_f64()));
+    row("Epoch change timeout (s)", &|c| {
+        format!("{:.0}", c.epoch_change_timeout.as_secs_f64())
+    });
     row("Buckets per leader", &|c| c.buckets_per_leader.to_string());
-    row("Client signatures", &|c| if c.client_signatures { "256-bit".into() } else { "none".into() });
+    row("Client signatures", &|c| {
+        if c.client_signatures {
+            "256-bit".into()
+        } else {
+            "none".into()
+        }
+    });
     let _ = ProtocolKind::Pbft;
 }

@@ -57,7 +57,9 @@ pub mod authload {
             .map(|i| {
                 let client = ClientId(i % CLIENTS);
                 let req = Request::new(client, i as u64, vec![0u8; 64]);
-                let mut sig = KeyPair::for_client(client).sign(&request_digest(&req)).to_vec();
+                let mut sig = KeyPair::for_client(client)
+                    .sign(&request_digest(&req))
+                    .to_vec();
                 if corrupt {
                     if i % 5 == 0 {
                         sig[i as usize % 64] ^= 0x80;
@@ -96,7 +98,10 @@ pub fn scale_from_env() -> Scale {
         Ok("paper") => Scale::paper(),
         _ => Scale::default(),
     };
-    if let Some(n) = std::env::var("ISS_FAULT_NODES").ok().and_then(|v| v.parse().ok()) {
+    if let Some(n) = std::env::var("ISS_FAULT_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
         scale.fault_nodes = n;
     }
     scale

@@ -139,12 +139,20 @@ pub struct ResponseTracker {
 impl ResponseTracker {
     /// Creates a tracker requiring `quorum` (= f+1) matching responses.
     pub fn new(quorum: usize) -> Self {
-        ResponseTracker { quorum, ..Default::default() }
+        ResponseTracker {
+            quorum,
+            ..Default::default()
+        }
     }
 
     /// Records a response. Returns `Some(seq_nr)` the first time the request
     /// reaches its response quorum.
-    pub fn on_response(&mut self, from: NodeId, request: RequestId, seq_nr: SeqNr) -> Option<SeqNr> {
+    pub fn on_response(
+        &mut self,
+        from: NodeId,
+        request: RequestId,
+        seq_nr: SeqNr,
+    ) -> Option<SeqNr> {
         if self.completed.contains_key(&request) {
             return None;
         }
@@ -206,13 +214,22 @@ mod tests {
 
         let assignment: Vec<(BucketId, NodeId)> =
             (0..8).map(|b| (BucketId(b), NodeId(3))).collect();
-        let msg = ClientMsg::BucketLeaders { epoch: 1, leaders: assignment };
+        let msg = ClientMsg::BucketLeaders {
+            epoch: 1,
+            leaders: assignment,
+        };
         assert!(!table.on_announcement(NodeId(0), &msg));
         assert!(table.on_announcement(NodeId(1), &msg));
         assert_eq!(table.accepted_epoch(), Some(1));
         assert_eq!(table.target_for(&req), NodeId(3));
         // Stale announcements are ignored.
-        assert!(!table.on_announcement(NodeId(2), &ClientMsg::BucketLeaders { epoch: 1, leaders: vec![] }));
+        assert!(!table.on_announcement(
+            NodeId(2),
+            &ClientMsg::BucketLeaders {
+                epoch: 1,
+                leaders: vec![]
+            }
+        ));
     }
 
     #[test]
@@ -221,8 +238,20 @@ mod tests {
         let mut table = LeaderTable::new(nodes, 4, 1);
         let e1: Vec<(BucketId, NodeId)> = (0..4).map(|b| (BucketId(b), NodeId(1))).collect();
         let e2: Vec<(BucketId, NodeId)> = (0..4).map(|b| (BucketId(b), NodeId(2))).collect();
-        table.on_announcement(NodeId(0), &ClientMsg::BucketLeaders { epoch: 1, leaders: e1 });
-        table.on_announcement(NodeId(0), &ClientMsg::BucketLeaders { epoch: 2, leaders: e2 });
+        table.on_announcement(
+            NodeId(0),
+            &ClientMsg::BucketLeaders {
+                epoch: 1,
+                leaders: e1,
+            },
+        );
+        table.on_announcement(
+            NodeId(0),
+            &ClientMsg::BucketLeaders {
+                epoch: 2,
+                leaders: e2,
+            },
+        );
         assert_eq!(table.accepted_epoch(), Some(2));
         assert_eq!(table.target_for(&RequestId::new(ClientId(0), 0)), NodeId(2));
     }
@@ -232,7 +261,11 @@ mod tests {
         let mut t = ResponseTracker::new(2);
         let req = RequestId::new(ClientId(0), 0);
         assert_eq!(t.on_response(NodeId(0), req, 5), None);
-        assert_eq!(t.on_response(NodeId(0), req, 5), None, "duplicate responder does not count");
+        assert_eq!(
+            t.on_response(NodeId(0), req, 5),
+            None,
+            "duplicate responder does not count"
+        );
         assert_eq!(t.on_response(NodeId(1), req, 5), Some(5));
         assert_eq!(t.on_response(NodeId(2), req, 5), None, "already completed");
         assert!(t.is_complete(&req));

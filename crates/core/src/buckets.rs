@@ -26,7 +26,10 @@ impl BucketAssignment {
         all_nodes: &[NodeId],
         leaders: &[NodeId],
     ) -> Self {
-        assert!(!leaders.is_empty(), "bucket assignment requires at least one leader");
+        assert!(
+            !leaders.is_empty(),
+            "bucket assignment requires at least one leader"
+        );
         let n = all_nodes.len() as u64;
         // Map each node to its index in `leaders` once, so the per-bucket
         // lookup below is O(1) and the whole assignment is O(B + L) rather
@@ -299,7 +302,10 @@ mod tests {
         assert!(batch.len() <= 5);
         assert!(batch.len() <= available);
         for r in batch.requests() {
-            assert!(restricted.contains(&r.bucket(8)), "request outside the allowed buckets");
+            assert!(
+                restricted.contains(&r.bucket(8)),
+                "request outside the allowed buckets"
+            );
         }
         assert_eq!(q.len(), total - batch.len());
     }

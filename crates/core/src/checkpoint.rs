@@ -45,7 +45,12 @@ pub struct CheckpointManager {
 
 impl CheckpointManager {
     /// Creates the manager for one node; `quorum` is 2f+1.
-    pub fn new(my_id: NodeId, keypair: KeyPair, registry: Arc<SignatureRegistry>, quorum: usize) -> Self {
+    pub fn new(
+        my_id: NodeId,
+        keypair: KeyPair,
+        registry: Arc<SignatureRegistry>,
+        quorum: usize,
+    ) -> Self {
         CheckpointManager {
             my_id,
             keypair,
@@ -83,11 +88,19 @@ impl CheckpointManager {
     /// Builds this node's signed CHECKPOINT message for an epoch, recording
     /// the own signature towards the stable checkpoint.
     pub fn make_checkpoint(&mut self, epoch: EpochNr, max_seq_nr: SeqNr, root: Digest) -> IssMsg {
-        let signature =
-            Bytes::from(self.keypair.sign(&Self::signing_bytes(epoch, max_seq_nr, &root)).to_vec());
+        let signature = Bytes::from(
+            self.keypair
+                .sign(&Self::signing_bytes(epoch, max_seq_nr, &root))
+                .to_vec(),
+        );
         let my_id = self.my_id;
         self.record(my_id, epoch, max_seq_nr, root, signature.clone());
-        IssMsg::Checkpoint { epoch, max_seq_nr, root, signature }
+        IssMsg::Checkpoint {
+            epoch,
+            max_seq_nr,
+            root,
+            signature,
+        }
     }
 
     /// Processes a CHECKPOINT message from another node. Returns the stable
@@ -123,9 +136,13 @@ impl CheckpointManager {
         entry.insert(from, signature);
         if entry.len() >= self.quorum {
             // Refcount bumps, not signature copies.
-            let proof: Vec<(NodeId, Bytes)> =
-                entry.iter().map(|(n, s)| (*n, s.clone())).collect();
-            let stable = StableCheckpoint { epoch, max_seq_nr, root, proof };
+            let proof: Vec<(NodeId, Bytes)> = entry.iter().map(|(n, s)| (*n, s.clone())).collect();
+            let stable = StableCheckpoint {
+                epoch,
+                max_seq_nr,
+                root,
+                proof,
+            };
             self.stable.insert(epoch, stable.clone());
             if self.latest_stable.is_none_or(|e| epoch > e) {
                 self.latest_stable = Some(epoch);
@@ -207,7 +224,9 @@ mod tests {
         let mut mine = manager(0, 3);
         // Own checkpoint counts as one signature.
         let msg = mine.make_checkpoint(0, 3, root);
-        let IssMsg::Checkpoint { signature, .. } = msg else { panic!("wrong variant") };
+        let IssMsg::Checkpoint { signature, .. } = msg else {
+            panic!("wrong variant")
+        };
         assert!(!signature.is_empty());
         // Two more valid checkpoints complete the quorum.
         let sig1 = Bytes::from(
@@ -221,7 +240,9 @@ mod tests {
                 .sign(&CheckpointManager::signing_bytes(0, 3, &root))
                 .to_vec(),
         );
-        let stable = mine.on_checkpoint(NodeId(2), 0, 3, root, sig2).expect("stable");
+        let stable = mine
+            .on_checkpoint(NodeId(2), 0, 3, root, sig2)
+            .expect("stable");
         assert_eq!(stable.epoch, 0);
         assert_eq!(stable.proof.len(), 3);
         assert_eq!(mine.latest_stable().unwrap().epoch, 0);
@@ -237,8 +258,12 @@ mod tests {
         let root = [7u8; 32];
         let mut mine = manager(0, 3);
         mine.make_checkpoint(0, 3, root);
-        assert!(mine.on_checkpoint(NodeId(1), 0, 3, root, vec![0u8; 64].into()).is_none());
-        assert!(mine.on_checkpoint(NodeId(2), 0, 3, root, vec![0u8; 64].into()).is_none());
+        assert!(mine
+            .on_checkpoint(NodeId(1), 0, 3, root, vec![0u8; 64].into())
+            .is_none());
+        assert!(mine
+            .on_checkpoint(NodeId(2), 0, 3, root, vec![0u8; 64].into())
+            .is_none());
         assert!(mine.latest_stable().is_none());
     }
 
@@ -251,7 +276,9 @@ mod tests {
                 .sign(&CheckpointManager::signing_bytes(0, 3, &[2u8; 32]))
                 .to_vec(),
         );
-        assert!(mine.on_checkpoint(NodeId(1), 0, 3, [2u8; 32], sig).is_none());
+        assert!(mine
+            .on_checkpoint(NodeId(1), 0, 3, [2u8; 32], sig)
+            .is_none());
     }
 
     #[test]

@@ -56,7 +56,13 @@ impl EpochConfig {
                 })
             })
             .collect();
-        EpochConfig { epoch, first_seq_nr, length, leaders, segments }
+        EpochConfig {
+            epoch,
+            first_seq_nr,
+            length,
+            leaders,
+            segments,
+        }
     }
 
     /// The set `Sn(e)` of sequence numbers of this epoch.
@@ -76,12 +82,18 @@ impl EpochConfig {
 
     /// The segment that contains `sn`, if any.
     pub fn segment_of(&self, sn: SeqNr) -> Option<&Segment> {
-        self.segments.iter().find(|s| s.contains(sn)).map(Arc::as_ref)
+        self.segments
+            .iter()
+            .find(|s| s.contains(sn))
+            .map(Arc::as_ref)
     }
 
     /// The segment led by `node`, if `node` is a leader this epoch.
     pub fn segment_of_leader(&self, node: NodeId) -> Option<&Segment> {
-        self.segments.iter().find(|s| s.leader == node).map(Arc::as_ref)
+        self.segments
+            .iter()
+            .find(|s| s.leader == node)
+            .map(Arc::as_ref)
     }
 
     /// The owner (leader) of each bucket in this epoch, used for the client
@@ -128,7 +140,12 @@ mod tests {
         assert_eq!(e1.segments.len(), 2);
         assert_eq!(e1.segments[0].seq_nrs, vec![12, 14, 16, 18, 20, 22]);
 
-        let e2 = EpochConfig::build(&cfg, 2, e1.next_first_seq_nr(), vec![NodeId(0), NodeId(1), NodeId(3)]);
+        let e2 = EpochConfig::build(
+            &cfg,
+            2,
+            e1.next_first_seq_nr(),
+            vec![NodeId(0), NodeId(1), NodeId(3)],
+        );
         assert_eq!(e2.first_seq_nr, 24, "no gaps between epochs");
     }
 
@@ -167,6 +184,8 @@ mod tests {
         assert!(e.segment_of_leader(NodeId(1)).is_none());
         let owners = e.bucket_owners();
         assert_eq!(owners.len(), cfg.num_buckets());
-        assert!(owners.iter().all(|(_, n)| *n == NodeId(0) || *n == NodeId(2)));
+        assert!(owners
+            .iter()
+            .all(|(_, n)| *n == NodeId(0) || *n == NodeId(2)));
     }
 }

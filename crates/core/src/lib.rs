@@ -21,6 +21,11 @@
 //! * [`orderer`] — the Orderer side of the Manager/Orderer split
 //!   (Section 4.1): the factory that instantiates an SB implementation per
 //!   segment;
+//! * [`state`] — the Manager's dense, epoch-scoped bookkeeping
+//!   ([`state::EpochState`]: offset-indexed sequence-number tables and a
+//!   generation-stamped instance slab) behind the [`state::NodeState`]
+//!   trait, with the original `HashMap` implementation preserved as the
+//!   [`state::ReferenceNodeState`] oracle;
 //! * [`node`] — the Manager: the full ISS replica tying everything together
 //!   as an event-driven process (also usable in single-leader baseline mode
 //!   and in a Mir-BFT-like mode with an epoch primary).
@@ -32,6 +37,7 @@ pub mod log;
 pub mod node;
 pub mod orderer;
 pub mod policy;
+pub mod state;
 pub mod validation;
 
 pub use buckets::{BucketAssignment, BucketQueues};
@@ -41,4 +47,5 @@ pub use log::IssLog;
 pub use node::{DeliverySink, IssNode, Mode, NodeOptions, NullSink, StragglerBehavior};
 pub use orderer::OrdererFactory;
 pub use policy::LeaderPolicy;
+pub use state::{EpochState, InstanceSlot, NodeState, ReferenceNodeState};
 pub use validation::{EpochBuckets, RequestValidation};

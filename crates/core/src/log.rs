@@ -107,7 +107,11 @@ impl IssLog {
 
     /// Iterates over the committed entries in `first..=last` (used for
     /// checkpointing and state transfer).
-    pub fn range(&self, first: SeqNr, last: SeqNr) -> impl Iterator<Item = (SeqNr, &CommittedEntry)> {
+    pub fn range(
+        &self,
+        first: SeqNr,
+        last: SeqNr,
+    ) -> impl Iterator<Item = (SeqNr, &CommittedEntry)> {
         self.entries.range(first..=last).map(|(sn, e)| (*sn, e))
     }
 
@@ -130,7 +134,11 @@ mod tests {
     use iss_types::ClientId;
 
     fn batch(reqs: &[(u32, u64)]) -> Batch {
-        Batch::new(reqs.iter().map(|(c, t)| Request::synthetic(ClientId(*c), *t, 100)).collect())
+        Batch::new(
+            reqs.iter()
+                .map(|(c, t)| Request::synthetic(ClientId(*c), *t, 100))
+                .collect(),
+        )
     }
 
     #[test]

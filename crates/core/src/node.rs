@@ -16,6 +16,29 @@
 //! * [`Mode::Mir`] — a Mir-BFT-like construction that, unlike ISS, relies on
 //!   an *epoch primary* and stalls all instances during the epoch change
 //!   (used for the comparison in Figures 5 and 10).
+//!
+//! # Epoch-state layout
+//!
+//! The Manager's per-epoch bookkeeping — which SB instance owns a message,
+//! which leader owned a sequence number, what this node proposed where, and
+//! which instance a timer belongs to — lives behind the
+//! [`crate::state::NodeState`] trait. The node is generic over it:
+//! production deployments use the dense [`EpochState`] arena (offset-indexed
+//! sequence-number tables, a generation-stamped instance slab addressed by
+//! [`crate::state::InstanceSlot`] handles, wholesale-drop epoch GC), while
+//! [`crate::state::ReferenceNodeState`] preserves the original four-`HashMap`
+//! implementation as a bit-identical oracle for property tests and
+//! equivalence runs.
+//!
+//! The generation-stamp argument, in short: every handle (instance slot or
+//! timer route) carries the generation of the slab slot it points at, and
+//! retiring a slot bumps the generation. A dangling reference — a timer that
+//! fires after its epoch was garbage-collected, a late message for a dead
+//! instance — therefore fails an O(1) comparison instead of requiring the GC
+//! to eagerly scrub every map that might mention the instance. Epoch GC
+//! becomes one generation bump per instance plus dropping the arena's dense
+//! tables, replacing four `retain` scans whose cost grew with the node count
+//! and the timer population.
 
 use crate::buckets::BucketQueues;
 use crate::checkpoint::CheckpointManager;
@@ -23,17 +46,17 @@ use crate::epoch::EpochConfig;
 use crate::log::IssLog;
 use crate::orderer::OrdererFactory;
 use crate::policy::LeaderPolicy;
+use crate::state::{EpochState, InstanceSlot, NodeState};
 use crate::validation::{EpochBuckets, RequestValidation};
 use iss_crypto::{KeyPair, SignatureRegistry};
 use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg};
 use iss_sb::{SbAction, SbContext, SbInstance};
 use iss_simnet::process::{Addr, Context, Process};
 use iss_types::{
-    Batch, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr,
-    Time, TimerId,
+    Batch, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr, Time,
+    TimerId,
 };
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -67,7 +90,13 @@ pub struct StragglerBehavior {
 /// Observer of a node's deliveries (metrics collection, application hookup).
 pub trait DeliverySink {
     /// A request was delivered with its global request sequence number.
-    fn on_request_delivered(&mut self, node: NodeId, request: &Request, request_seq_nr: u64, now: Time);
+    fn on_request_delivered(
+        &mut self,
+        node: NodeId,
+        request: &Request,
+        request_seq_nr: u64,
+        now: Time,
+    );
     /// A batch (or ⊥) was committed at a log position.
     fn on_batch_committed(&mut self, node: NodeId, seq_nr: SeqNr, batch_size: usize, now: Time);
     /// The node advanced to a new epoch.
@@ -117,8 +146,9 @@ impl NodeOptions {
     }
 }
 
-/// The ISS replica.
-pub struct IssNode {
+/// The ISS replica, generic over its epoch-state implementation (see the
+/// module docs; production uses the dense [`EpochState`] default).
+pub struct IssNode<S: NodeState = EpochState> {
     my_id: NodeId,
     opts: NodeOptions,
     /// All node ids, computed once (the broadcast fan-out iterates this on
@@ -131,10 +161,9 @@ pub struct IssNode {
     // Manager state.
     current_epoch: EpochNr,
     epoch: EpochConfig,
-    instances: HashMap<InstanceId, Box<dyn SbInstance>>,
-    /// Leader of the segment that owned each sequence number (needed by the
-    /// leader policy after the epoch's segments are gone).
-    leader_of_sn: HashMap<SeqNr, NodeId>,
+    /// Instance storage/dispatch, seq-nr → leader, proposed batches and
+    /// timer routing (the former four `HashMap`s).
+    state: S,
     log: IssLog,
     buckets: BucketQueues,
     validation: RequestValidation,
@@ -145,10 +174,6 @@ pub struct IssNode {
     my_segment_idx: Option<usize>,
     next_proposal: usize,
     last_proposal_at: Time,
-    proposed: HashMap<SeqNr, Batch>,
-
-    // Timer bookkeeping.
-    instance_timers: HashMap<TimerId, (InstanceId, u64)>,
 
     // Mir mode: waiting for the epoch primary's NEW-EPOCH message.
     mir_waiting: bool,
@@ -157,9 +182,24 @@ pub struct IssNode {
     pub suspicions: Vec<(EpochNr, NodeId)>,
 }
 
-impl IssNode {
-    /// Creates a node.
+impl IssNode<EpochState> {
+    /// Creates a node over the production dense epoch state.
     pub fn new(
+        my_id: NodeId,
+        opts: NodeOptions,
+        factory: Box<dyn OrdererFactory>,
+        registry: Arc<SignatureRegistry>,
+        sink: Rc<RefCell<dyn DeliverySink>>,
+    ) -> Self {
+        Self::with_state(my_id, opts, factory, registry, sink)
+    }
+}
+
+impl<S: NodeState + Default> IssNode<S> {
+    /// Creates a node over any [`NodeState`] implementation (equivalence
+    /// tests run clusters on [`crate::state::ReferenceNodeState`] through
+    /// this).
+    pub fn with_state(
         my_id: NodeId,
         opts: NodeOptions,
         factory: Box<dyn OrdererFactory>,
@@ -181,12 +221,8 @@ impl IssNode {
             config.backoff_ban_period,
             config.backoff_decrease,
         );
-        let checkpoints = CheckpointManager::new(
-            my_id,
-            keypair,
-            Arc::clone(&registry),
-            2 * config.f() + 1,
-        );
+        let checkpoints =
+            CheckpointManager::new(my_id, keypair, Arc::clone(&registry), 2 * config.f() + 1);
         let leaders = Self::leaders_for(&opts, &policy, 0);
         let epoch = EpochConfig::build(config, 0, 0, leaders);
         let buckets = BucketQueues::new(config.num_buckets());
@@ -199,8 +235,7 @@ impl IssNode {
             sink,
             current_epoch: 0,
             epoch,
-            instances: HashMap::new(),
-            leader_of_sn: HashMap::new(),
+            state: S::default(),
             log: IssLog::new(),
             buckets,
             validation,
@@ -209,13 +244,13 @@ impl IssNode {
             my_segment_idx: None,
             next_proposal: 0,
             last_proposal_at: Time::ZERO,
-            proposed: HashMap::new(),
-            instance_timers: HashMap::new(),
             mir_waiting: false,
             suspicions: Vec::new(),
         }
     }
+}
 
+impl<S: NodeState> IssNode<S> {
     fn leaders_for(opts: &NodeOptions, policy: &LeaderPolicy, epoch: EpochNr) -> Vec<NodeId> {
         match opts.mode {
             Mode::SingleLeader => vec![NodeId(0)],
@@ -257,17 +292,20 @@ impl IssNode {
     }
 
     fn setup_epoch_instances(&mut self, ctx: &mut Context<'_, NetMsg>) {
-        // Record segment leadership for the policy and the bucket restriction
-        // for proposal validation. The restriction is a dense offset-indexed
-        // table of per-segment bucket bitmaps: one entry per sequence number
-        // of the epoch, one bitmap per segment.
+        // Open the epoch's arena, then record segment leadership for the
+        // policy and the bucket restriction for proposal validation. Both
+        // tables are dense and offset-indexed: one leader and one segment
+        // bucket-bitmap entry per sequence number of the epoch.
+        self.state.begin_epoch(
+            self.current_epoch,
+            self.epoch.first_seq_nr,
+            self.epoch.length,
+        );
         let mut epoch_buckets =
             EpochBuckets::new(self.epoch.first_seq_nr, self.opts.config.num_buckets());
         for segment in &self.epoch.segments {
             epoch_buckets.add_segment(&segment.seq_nrs, &segment.buckets);
-            for sn in &segment.seq_nrs {
-                self.leader_of_sn.insert(*sn, segment.leader);
-            }
+            self.state.record_segment(&segment.seq_nrs, segment.leader);
         }
         self.validation.on_epoch_start(epoch_buckets);
 
@@ -281,11 +319,11 @@ impl IssNode {
             }
             let instance_id = segment.instance;
             let instance = self.factory.create(self.my_id, segment);
-            self.instances.insert(instance_id, instance);
-            self.drive(instance_id, ctx, |inst, sb| inst.init(sb));
+            let slot = self.state.insert_instance(instance_id, instance);
+            self.drive(slot, ctx, |inst, sb| inst.init(sb));
         }
         self.next_proposal = 0;
-        self.proposed.clear();
+        self.state.clear_proposed();
         self.last_proposal_at = ctx.now();
 
         // Announce the bucket assignment to clients (Section 4.3).
@@ -300,12 +338,15 @@ impl IssNode {
         }
     }
 
-    /// Runs a closure against one SB instance and applies its actions.
-    fn drive<F>(&mut self, instance_id: InstanceId, ctx: &mut Context<'_, NetMsg>, f: F)
+    /// Runs a closure against the SB instance at `slot` and applies its
+    /// actions. Dispatch is slot-based: the caller resolves an `InstanceId`
+    /// to a slot once (at the message boundary), and every touch from here
+    /// on — take, restore, timer registration — is an O(1) slab access.
+    fn drive<F>(&mut self, slot: InstanceSlot, ctx: &mut Context<'_, NetMsg>, f: F)
     where
         F: FnOnce(&mut dyn SbInstance, &mut SbContext<'_>),
     {
-        let Some(mut instance) = self.instances.remove(&instance_id) else {
+        let Some((instance_id, mut instance)) = self.state.take_instance(slot) else {
             return;
         };
         let actions = {
@@ -313,12 +354,13 @@ impl IssNode {
             f(instance.as_mut(), &mut sb_ctx);
             sb_ctx.take_actions()
         };
-        self.instances.insert(instance_id, instance);
-        self.apply_sb_actions(instance_id, actions, ctx);
+        self.state.restore_instance(slot, instance);
+        self.apply_sb_actions(slot, instance_id, actions, ctx);
     }
 
     fn apply_sb_actions(
         &mut self,
+        slot: InstanceSlot,
         instance_id: InstanceId,
         actions: Vec<SbAction>,
         ctx: &mut Context<'_, NetMsg>,
@@ -326,14 +368,23 @@ impl IssNode {
         for action in actions {
             match action {
                 SbAction::Send { to, msg } => {
-                    ctx.send(Addr::Node(to), NetMsg::Sb { instance: instance_id, msg });
+                    ctx.send(
+                        Addr::Node(to),
+                        NetMsg::Sb {
+                            instance: instance_id,
+                            msg,
+                        },
+                    );
                 }
                 SbAction::Broadcast(msg) => {
                     for node in &self.all_nodes {
                         if *node != self.my_id {
                             ctx.send(
                                 Addr::Node(*node),
-                                NetMsg::Sb { instance: instance_id, msg: msg.clone() },
+                                NetMsg::Sb {
+                                    instance: instance_id,
+                                    msg: msg.clone(),
+                                },
                             );
                         }
                     }
@@ -343,17 +394,12 @@ impl IssNode {
                 }
                 SbAction::SetTimer { token, delay } => {
                     let id = ctx.set_timer(delay, KIND_INSTANCE);
-                    self.instance_timers.insert(id, (instance_id, token));
+                    self.state.register_timer(id, slot, token);
                 }
                 SbAction::CancelTimer { token } => {
-                    let ids: Vec<TimerId> = self
-                        .instance_timers
-                        .iter()
-                        .filter(|(_, (inst, t))| *inst == instance_id && *t == token)
-                        .map(|(id, _)| *id)
-                        .collect();
+                    let mut ids = Vec::new();
+                    self.state.take_matching_timers(slot, token, &mut ids);
                     for id in ids {
-                        self.instance_timers.remove(&id);
                         ctx.cancel_timer(id);
                     }
                 }
@@ -369,11 +415,12 @@ impl IssNode {
     /// requests on ⊥, delivers the contiguous prefix and advances the epoch
     /// when complete (Algorithm 1, lines 40-56).
     fn on_sb_deliver(&mut self, sn: SeqNr, batch: Option<Batch>, ctx: &mut Context<'_, NetMsg>) {
-        let leader = self
-            .leader_of_sn
-            .get(&sn)
-            .copied()
-            .unwrap_or(self.epoch.segment_of(sn).map(|s| s.leader).unwrap_or(NodeId(0)));
+        let leader = self.state.leader_of(sn).unwrap_or(
+            self.epoch
+                .segment_of(sn)
+                .map(|s| s.leader)
+                .unwrap_or(NodeId(0)),
+        );
         if !self.log.commit(sn, batch.clone(), leader) {
             return; // already committed (e.g. via state transfer)
         }
@@ -387,7 +434,7 @@ impl IssNode {
             None => {
                 // ⊥ delivered: resurrect our own unsuccessful proposal, if any.
                 self.policy.record_nil_delivery(leader, sn);
-                if let Some(proposed) = self.proposed.remove(&sn) {
+                if let Some(proposed) = self.state.take_proposed(sn) {
                     for req in proposed.requests() {
                         if !self.validation.is_delivered(&req.id) {
                             self.buckets.resurrect(req.clone());
@@ -413,9 +460,12 @@ impl IssNode {
         }
         let now = ctx.now();
         for d in &delivered {
-            self.sink
-                .borrow_mut()
-                .on_request_delivered(self.my_id, &d.request, d.request_seq_nr, now);
+            self.sink.borrow_mut().on_request_delivered(
+                self.my_id,
+                &d.request,
+                d.request_seq_nr,
+                now,
+            );
             if self.opts.respond_to_clients {
                 ctx.send(
                     Addr::Client(d.request.id.client),
@@ -436,7 +486,9 @@ impl IssNode {
         }
         // Broadcast the epoch checkpoint (Section 3.5).
         let root = CheckpointManager::epoch_root(&self.log, first, last);
-        let msg = self.checkpoints.make_checkpoint(self.current_epoch, last, root);
+        let msg = self
+            .checkpoints
+            .make_checkpoint(self.current_epoch, last, root);
         for node in &self.all_nodes {
             if *node != self.my_id {
                 ctx.send(Addr::Node(*node), NetMsg::Iss(msg.clone()));
@@ -457,7 +509,10 @@ impl IssNode {
                         if *node != self.my_id {
                             ctx.send(
                                 Addr::Node(*node),
-                                NetMsg::Mir(MirMsg::NewEpoch { epoch: next, config_digest: root }),
+                                NetMsg::Mir(MirMsg::NewEpoch {
+                                    epoch: next,
+                                    config_digest: root,
+                                }),
                             );
                         }
                     }
@@ -475,21 +530,25 @@ impl IssNode {
         self.mir_waiting = false;
         let finished = self.current_epoch;
         self.current_epoch += 1;
-        self.sink.borrow_mut().on_epoch_advanced(self.my_id, self.current_epoch, ctx.now());
+        self.sink
+            .borrow_mut()
+            .on_epoch_advanced(self.my_id, self.current_epoch, ctx.now());
 
         // Garbage-collect instances of epochs strictly older than the one we
         // just finished (the just-finished epoch's instances are kept one more
-        // epoch so slow nodes can still be served, Section 2.3).
+        // epoch so slow nodes can still be served, Section 2.3), and the
+        // delivered log prefix below the latest stable checkpoint older than
+        // the kept epoch. For the dense state this is a wholesale arena drop:
+        // one generation bump per dead instance, no retain scans.
         let keep_from = finished;
-        self.instances.retain(|id, _| id.epoch >= keep_from);
-        self.instance_timers.retain(|_, (id, _)| id.epoch >= keep_from);
-        // Garbage-collect the delivered log prefix below the latest stable
-        // checkpoint older than the kept epoch.
-        if let Some(stable) = self.checkpoints.stable_for(finished.saturating_sub(1)) {
-            let cut = stable.max_seq_nr + 1;
+        let cut = self
+            .checkpoints
+            .stable_for(finished.saturating_sub(1))
+            .map(|stable| stable.max_seq_nr + 1);
+        if let Some(cut) = cut {
             self.log.garbage_collect(cut);
-            self.leader_of_sn.retain(|sn, _| *sn >= cut);
         }
+        self.state.gc(keep_from, cut);
 
         let leaders = Self::leaders_for(&self.opts, &self.policy, self.current_epoch);
         self.epoch = EpochConfig::build(
@@ -511,7 +570,9 @@ impl IssNode {
         };
         ctx.set_timer(interval, KIND_PROPOSE);
 
-        let Some(seg_idx) = self.my_segment_idx else { return };
+        let Some(seg_idx) = self.my_segment_idx else {
+            return;
+        };
         if self.mir_waiting {
             return;
         }
@@ -553,8 +614,11 @@ impl IssNode {
 
         self.last_proposal_at = now;
         self.next_proposal += 1;
-        self.proposed.insert(sn, batch.clone());
-        self.drive(instance_id, ctx, |inst, sb| inst.propose(sn, batch, sb));
+        self.state.record_proposed(sn, batch.clone());
+        let Some(slot) = self.state.slot_of(instance_id) else {
+            return;
+        };
+        self.drive(slot, ctx, |inst, sb| inst.propose(sn, batch, sb));
     }
 
     fn on_net_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
@@ -567,8 +631,8 @@ impl IssNode {
             NetMsg::Client(_) => {}
             NetMsg::Sb { instance, msg } => {
                 let Some(node) = from.as_node() else { return };
-                if self.instances.contains_key(&instance) {
-                    self.drive(instance, ctx, |inst, sb| inst.on_message(node, msg, sb));
+                if let Some(slot) = self.state.slot_of(instance) {
+                    self.drive(slot, ctx, |inst, sb| inst.on_message(node, msg, sb));
                 } else if instance.epoch > self.current_epoch {
                     // We have fallen behind: ask the sender for the missing
                     // log entries (state transfer, Section 3.5).
@@ -581,14 +645,25 @@ impl IssNode {
                     );
                 }
             }
-            NetMsg::Iss(IssMsg::Checkpoint { epoch, max_seq_nr, root, signature }) => {
+            NetMsg::Iss(IssMsg::Checkpoint {
+                epoch,
+                max_seq_nr,
+                root,
+                signature,
+            }) => {
                 if let Some(node) = from.as_node() {
-                    self.checkpoints.on_checkpoint(node, epoch, max_seq_nr, root, signature);
+                    self.checkpoints
+                        .on_checkpoint(node, epoch, max_seq_nr, root, signature);
                 }
             }
-            NetMsg::Iss(IssMsg::StateRequest { from_seq_nr, to_seq_nr }) => {
+            NetMsg::Iss(IssMsg::StateRequest {
+                from_seq_nr,
+                to_seq_nr,
+            }) => {
                 let Some(node) = from.as_node() else { return };
-                let Some(stable) = self.checkpoints.latest_stable() else { return };
+                let Some(stable) = self.checkpoints.latest_stable() else {
+                    return;
+                };
                 let last = to_seq_nr.min(stable.max_seq_nr);
                 if from_seq_nr > last {
                     return;
@@ -598,7 +673,10 @@ impl IssNode {
                 let entries: Vec<iss_messages::isscp::LogEntry> = self
                     .log
                     .range(from_seq_nr, last)
-                    .map(|(sn, e)| iss_messages::isscp::LogEntry { seq_nr: sn, batch: e.batch.clone() })
+                    .map(|(sn, e)| iss_messages::isscp::LogEntry {
+                        seq_nr: sn,
+                        batch: e.batch.clone(),
+                    })
                     .collect();
                 ctx.send(
                     Addr::Node(node),
@@ -615,7 +693,7 @@ impl IssNode {
                 // protected by the stable checkpoint; the proof was verified
                 // against known signers when the checkpoint was formed.
                 for entry in entries {
-                    let leader = self.leader_of_sn.get(&entry.seq_nr).copied().unwrap_or(NodeId(0));
+                    let leader = self.state.leader_of(entry.seq_nr).unwrap_or(NodeId(0));
                     if self.log.commit(entry.seq_nr, entry.batch.clone(), leader) {
                         if let Some(b) = &entry.batch {
                             for req in b.requests() {
@@ -629,7 +707,10 @@ impl IssNode {
                 self.maybe_finish_epoch(ctx);
             }
             NetMsg::Mir(MirMsg::NewEpoch { epoch, .. }) => {
-                if self.opts.mode == Mode::Mir && self.mir_waiting && epoch == self.current_epoch + 1 {
+                if self.opts.mode == Mode::Mir
+                    && self.mir_waiting
+                    && epoch == self.current_epoch + 1
+                {
                     self.start_next_epoch(ctx);
                 }
             }
@@ -638,7 +719,7 @@ impl IssNode {
     }
 }
 
-impl Process<NetMsg> for IssNode {
+impl<S: NodeState> Process<NetMsg> for IssNode<S> {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
         self.setup_epoch_instances(ctx);
         ctx.set_timer(self.proposal_interval(), KIND_PROPOSE);
@@ -652,15 +733,17 @@ impl Process<NetMsg> for IssNode {
         match kind {
             KIND_PROPOSE => self.on_propose_tick(ctx),
             KIND_INSTANCE => {
-                if let Some((instance_id, token)) = self.instance_timers.remove(&id) {
-                    self.drive(instance_id, ctx, |inst, sb| inst.on_timer(token, sb));
+                // O(1) timer → instance resolution: the route carries the
+                // instance's slot handle; a stale timer (instance GC'd)
+                // fails the generation check inside `resolve_timer`.
+                if let Some((slot, token)) = self.state.resolve_timer(id) {
+                    self.drive(slot, ctx, |inst, sb| inst.on_timer(token, sb));
                 }
             }
-            KIND_MIR_EPOCH
-                if self.mir_waiting => {
-                    // Ungraceful epoch change: the primary was unresponsive.
-                    self.start_next_epoch(ctx);
-                }
+            KIND_MIR_EPOCH if self.mir_waiting => {
+                // Ungraceful epoch change: the primary was unresponsive.
+                self.start_next_epoch(ctx);
+            }
             _ => {}
         }
     }
@@ -706,7 +789,10 @@ mod tests {
         let node = make_node(Mode::SingleLeader, 4);
         assert_eq!(node.epoch.segments.len(), 1);
         assert_eq!(node.epoch.segments[0].leader, NodeId(0));
-        assert_eq!(node.epoch.segments[0].buckets.len(), node.opts.config.num_buckets());
+        assert_eq!(
+            node.epoch.segments[0].buckets.len(),
+            node.opts.config.num_buckets()
+        );
     }
 
     #[test]
@@ -735,6 +821,9 @@ mod tests {
 
     #[test]
     fn sb_msg_kind_names() {
-        assert_eq!(sb_msg_kind(&SbMsg::Reference(iss_messages::RefSbMsg::Heartbeat)), "reference");
+        assert_eq!(
+            sb_msg_kind(&SbMsg::Reference(iss_messages::RefSbMsg::Heartbeat)),
+            "reference"
+        );
     }
 }

@@ -184,7 +184,10 @@ mod tests {
         p.on_epoch_end((12, 23));
         assert!(!p.leaders(2).contains(&NodeId(3)));
         p.on_epoch_end((24, 35));
-        assert!(p.leaders(3).contains(&NodeId(3)), "re-included after the ban expires");
+        assert!(
+            p.leaders(3).contains(&NodeId(3)),
+            "re-included after the ban expires"
+        );
     }
 
     #[test]
@@ -203,7 +206,11 @@ mod tests {
         p.record_nil_delivery(NodeId(0), 1);
         p.record_nil_delivery(NodeId(1), 2);
         p.on_epoch_end((0, 11));
-        assert_eq!(p.leaders(1), nodes(2), "falls back to all nodes rather than an empty set");
+        assert_eq!(
+            p.leaders(1),
+            nodes(2),
+            "falls back to all nodes rather than an empty set"
+        );
     }
 
     #[test]

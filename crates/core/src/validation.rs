@@ -81,7 +81,12 @@ impl EpochBuckets {
     /// `num_buckets` buckets. Until segments are added, every sequence
     /// number is unrestricted.
     pub fn new(first_seq_nr: SeqNr, num_buckets: usize) -> Self {
-        EpochBuckets { first_seq_nr, num_buckets, seg_of_offset: Vec::new(), masks: Vec::new() }
+        EpochBuckets {
+            first_seq_nr,
+            num_buckets,
+            seg_of_offset: Vec::new(),
+            masks: Vec::new(),
+        }
     }
 
     /// Records one segment: all of `seq_nrs` may draw exactly from
@@ -190,7 +195,10 @@ impl RequestValidation {
     /// Known-client check (only meaningful when signatures are verified).
     fn check_known_client(&self, req: &Request) -> Result<()> {
         if self.verify_signatures && !self.registry.knows(Identity::Client(req.id.client)) {
-            return Err(Error::Unknown(format!("unknown client {:?}", req.id.client)));
+            return Err(Error::Unknown(format!(
+                "unknown client {:?}",
+                req.id.client
+            )));
         }
         Ok(())
     }
@@ -219,20 +227,27 @@ impl RequestValidation {
         self.check_known_client(req)?;
         if self.verify_signatures {
             let digest = request_digest(req);
-            self.registry.verify_client(req.id.client, &digest, &req.signature)?;
+            self.registry
+                .verify_client(req.id.client, &digest, &req.signature)?;
         }
         self.check_window_and_delivered(req)
     }
 
     /// Whether the request was already delivered.
     pub fn is_delivered(&self, id: &RequestId) -> bool {
-        self.delivered.get(&id.client).map(|d| d.contains(id.timestamp)).unwrap_or(false)
+        self.delivered
+            .get(&id.client)
+            .map(|d| d.contains(id.timestamp))
+            .unwrap_or(false)
     }
 
     /// Records the delivery of a request (prevents duplication across
     /// epochs).
     pub fn mark_delivered(&mut self, id: &RequestId) {
-        self.delivered.entry(id.client).or_default().mark(id.timestamp);
+        self.delivered
+            .entry(id.client)
+            .or_default()
+            .mark(id.timestamp);
     }
 
     /// Records that a request was included in an accepted proposal of the
@@ -270,7 +285,10 @@ impl ProposalValidator for RequestValidation {
         for req in requests {
             self.check_known_client(req)?;
             self.check_window_and_delivered(req)?;
-            if !self.epoch_buckets.allows(seq_nr, req.bucket(self.num_buckets)) {
+            if !self
+                .epoch_buckets
+                .allows(seq_nr, req.bucket(self.num_buckets))
+            {
                 return Err(Error::invalid(format!(
                     "request {:?} maps to bucket {:?} not assigned to sequence number {seq_nr}",
                     req.id,
@@ -299,12 +317,17 @@ impl ProposalValidator for RequestValidation {
         // cache hits.
         if self.verify_signatures {
             self.digest_scratch.clear();
-            self.digest_scratch.extend(requests.iter().map(request_digest));
+            self.digest_scratch
+                .extend(requests.iter().map(request_digest));
             let items: Vec<VerifyItem<'_>> = requests
                 .iter()
                 .zip(&self.digest_scratch)
                 .map(|(req, digest)| {
-                    (Identity::Client(req.id.client), &digest[..], &req.signature[..])
+                    (
+                        Identity::Client(req.id.client),
+                        &digest[..],
+                        &req.signature[..],
+                    )
                 })
                 .collect();
             for result in self.registry.verify_batch(&items) {
@@ -375,15 +398,25 @@ mod tests {
     #[test]
     fn watermark_window_enforced() {
         let mut v = validation(false);
-        assert!(v.validate_request(&Request::synthetic(ClientId(0), 127, 1)).is_ok());
-        assert!(v.validate_request(&Request::synthetic(ClientId(0), 128, 1)).is_err());
+        assert!(v
+            .validate_request(&Request::synthetic(ClientId(0), 127, 1))
+            .is_ok());
+        assert!(v
+            .validate_request(&Request::synthetic(ClientId(0), 128, 1))
+            .is_err());
         // Deliver a prefix, start a new epoch: the window slides.
         for t in 0..100u64 {
             v.mark_delivered(&RequestId::new(ClientId(0), t));
         }
         v.on_epoch_start(EpochBuckets::default());
-        assert!(v.validate_request(&Request::synthetic(ClientId(0), 200, 1)).is_ok());
-        assert!(v.validate_request(&Request::synthetic(ClientId(0), 50, 1)).is_err(), "below low watermark");
+        assert!(v
+            .validate_request(&Request::synthetic(ClientId(0), 200, 1))
+            .is_ok());
+        assert!(
+            v.validate_request(&Request::synthetic(ClientId(0), 50, 1))
+                .is_err(),
+            "below low watermark"
+        );
     }
 
     #[test]
@@ -393,7 +426,9 @@ mod tests {
         assert!(!v.is_delivered(&id));
         v.mark_delivered(&id);
         assert!(v.is_delivered(&id));
-        assert!(v.validate_request(&Request::synthetic(ClientId(1), 0, 1)).is_err());
+        assert!(v
+            .validate_request(&Request::synthetic(ClientId(1), 0, 1))
+            .is_err());
         // Out-of-order delivery collapses into the low watermark.
         v.mark_delivered(&RequestId::new(ClientId(1), 2));
         v.mark_delivered(&RequestId::new(ClientId(1), 1));
@@ -412,9 +447,13 @@ mod tests {
         v.on_epoch_start(table);
 
         // Accepted for the segment owning the request's bucket.
-        assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_ok());
+        assert!(v
+            .validate_proposal(0, &Batch::new(vec![req.clone()]))
+            .is_ok());
         // Re-proposing the same request in the same epoch is rejected.
-        assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_err());
+        assert!(v
+            .validate_proposal(0, &Batch::new(vec![req.clone()]))
+            .is_err());
         // A different request mapping to the wrong bucket is rejected.
         let other = Request::synthetic(ClientId(2), 9, 100);
         if other.bucket(16) != BucketId((bucket.0 + 1) % 16) {
@@ -434,7 +473,9 @@ mod tests {
     fn epoch_start_clears_per_epoch_state() {
         let mut v = validation(false);
         let req = Request::synthetic(ClientId(1), 1, 100);
-        assert!(v.validate_proposal(0, &Batch::new(vec![req.clone()])).is_ok());
+        assert!(v
+            .validate_proposal(0, &Batch::new(vec![req.clone()]))
+            .is_ok());
         assert_eq!(v.proposed_in_epoch(), 1);
         v.on_epoch_start(EpochBuckets::default());
         assert_eq!(v.proposed_in_epoch(), 0);
@@ -446,7 +487,11 @@ mod tests {
     #[test]
     fn signed_proposal_batch_verifies_and_rejects_tampering() {
         let mut v = validation(true);
-        let good = Batch::new(vec![signed_request(1, 1), signed_request(2, 1), signed_request(3, 1)]);
+        let good = Batch::new(vec![
+            signed_request(1, 1),
+            signed_request(2, 1),
+            signed_request(3, 1),
+        ]);
         assert!(v.validate_proposal(0, &good).is_ok());
 
         let mut bad = signed_request(1, 2);

@@ -40,7 +40,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, len: 0, buf: [0u8; 64], buf_len: 0 }
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// Feeds `data` into the hasher.
@@ -222,7 +227,10 @@ ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
     fn digest_parts_equals_concatenation() {
         let a = b"hello ";
         let b = b"world";
-        assert_eq!(Sha256::digest_parts(&[a, b]), Sha256::digest(b"hello world"));
+        assert_eq!(
+            Sha256::digest_parts(&[a, b]),
+            Sha256::digest(b"hello world")
+        );
     }
 
     #[test]

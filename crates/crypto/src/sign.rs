@@ -34,7 +34,13 @@
 //!    full `(identity, length-prefixed message, signature)` triple, so a bad
 //!    signature can never be cached as valid and a cached entry can never
 //!    vouch for a different message or a tampered signature (that would
-//!    require a SHA-256 collision).
+//!    require a SHA-256 collision). The cache is **bounded** by a
+//!    generation scheme (two witness generations per shard, rotated when
+//!    the configured cap — `ISS_SIG_CACHE_MAX`, default
+//!    [`DEFAULT_SIG_CACHE_MAX`] — fills; hot witnesses are promoted across
+//!    rotations), so multi-hour simulations hold ~2× the cap of 32-byte
+//!    witnesses at most. Eviction can only ever cost a recomputation,
+//!    never change a verification result.
 //! 3. [`SignatureRegistry::verify_batch`] — the cache check of (2) plus a
 //!    fan-out of the cache misses across a scoped `std::thread` pool sized
 //!    by `available_parallelism`. Results are collected positionally, so the
@@ -126,7 +132,11 @@ impl KeyPair {
     fn derive(identity: Identity, domain: &[u8], index: u64) -> Self {
         let secret = Sha256::digest_parts(&[domain, &index.to_le_bytes()]);
         let public = Sha256::digest(&secret);
-        KeyPair { identity, secret: SecretKey(secret), public: PublicKey(public) }
+        KeyPair {
+            identity,
+            secret: SecretKey(secret),
+            public: PublicKey(public),
+        }
     }
 
     /// Returns the public key.
@@ -145,15 +155,93 @@ impl KeyPair {
 /// with other registry users.
 const CACHE_SHARDS: usize = 16;
 
-/// Sharded set of verification witnesses (see the module docs): the SHA-256
-/// of `(identity, length-prefixed message, signature)` for every signature
-/// this process has successfully verified.
+/// Default witness cap of the verified-signature cache (see
+/// [`sig_cache_max`]): 2²⁰ ≈ 1M witnesses ≈ 32 MB of resident 32-byte
+/// hashes per generation, far above what a fig8-scale run accumulates but a
+/// hard bound for multi-hour simulations.
+pub const DEFAULT_SIG_CACHE_MAX: usize = 1 << 20;
+
+/// Resolves the process-wide witness cap: `ISS_SIG_CACHE_MAX` (a witness
+/// count; `0` is clamped to 1 per generation) or [`DEFAULT_SIG_CACHE_MAX`].
+/// Read once per process.
+pub fn sig_cache_max() -> usize {
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| parse_sig_cache_max(std::env::var("ISS_SIG_CACHE_MAX").ok().as_deref()))
+}
+
+/// Parses an `ISS_SIG_CACHE_MAX` value (separated from the env read so the
+/// parsing is unit-testable without mutating process state).
+pub fn parse_sig_cache_max(raw: Option<&str>) -> usize {
+    raw.and_then(|v| v.trim().parse().ok())
+        .unwrap_or(DEFAULT_SIG_CACHE_MAX)
+}
+
+/// One cache shard: two *generations* of witness sets. Inserts go to
+/// `current`; when `current` reaches the per-shard generation cap, it is
+/// rotated into `previous` and the old `previous` — the witnesses least
+/// recently confirmed — is dropped wholesale. Lookups probe both
+/// generations and promote `previous` hits into `current`, so hot witnesses
+/// survive rotations indefinitely while cold ones age out after two.
 #[derive(Default)]
+struct CacheShard {
+    current: HashSet<[u8; 32], FxBuildHasher>,
+    previous: HashSet<[u8; 32], FxBuildHasher>,
+}
+
+impl CacheShard {
+    /// Membership probe with promotion (see the struct docs).
+    fn contains(&mut self, witness: &[u8; 32], generation_cap: usize) -> bool {
+        if self.current.contains(witness) {
+            return true;
+        }
+        if self.previous.remove(witness) {
+            self.insert(*witness, generation_cap);
+            return true;
+        }
+        false
+    }
+
+    fn insert(&mut self, witness: [u8; 32], generation_cap: usize) {
+        if self.current.len() >= generation_cap && !self.current.contains(&witness) {
+            self.previous = std::mem::take(&mut self.current);
+        }
+        self.current.insert(witness);
+    }
+}
+
+/// Sharded, *bounded* set of verification witnesses (see the module docs):
+/// the SHA-256 of `(identity, length-prefixed message, signature)` for every
+/// signature this process has successfully verified, held in two
+/// generations per shard so the cache can never grow past ~2× the
+/// configured witness cap no matter how long the simulation runs.
+///
+/// Eviction is invisible to callers beyond wall-clock: a dropped witness
+/// just makes the next verification of that signature recompute the MAC —
+/// the *result* of every verification is identical with any cap (including
+/// a cap of one), which `tests/verify_equivalence.rs` asserts.
 struct VerifiedCache {
-    shards: [Mutex<HashSet<[u8; 32], FxBuildHasher>>; CACHE_SHARDS],
+    shards: [Mutex<CacheShard>; CACHE_SHARDS],
+    /// Per-shard, per-generation witness cap: the process-wide cap split
+    /// across the shards and the two generations.
+    generation_cap: usize,
+}
+
+impl Default for VerifiedCache {
+    fn default() -> Self {
+        Self::with_cap(sig_cache_max())
+    }
 }
 
 impl VerifiedCache {
+    /// Creates a cache bounded to roughly `cap` resident witnesses (exactly
+    /// `2 × CACHE_SHARDS × generation_cap` in the limit).
+    fn with_cap(cap: usize) -> Self {
+        VerifiedCache {
+            shards: std::array::from_fn(|_| Mutex::new(CacheShard::default())),
+            generation_cap: (cap / (2 * CACHE_SHARDS)).max(1),
+        }
+    }
+
     /// The collision-resistant cache key. The message is length-prefixed so
     /// `(message, signature)` boundaries are unambiguous, and the identity is
     /// domain-separated from the payload, so two distinct verification
@@ -178,26 +266,40 @@ impl VerifiedCache {
         h.finalize()
     }
 
-    fn shard(&self, witness: &[u8; 32]) -> &Mutex<HashSet<[u8; 32], FxBuildHasher>> {
+    fn shard(&self, witness: &[u8; 32]) -> &Mutex<CacheShard> {
         // The witness is a hash, so its first byte is already uniform.
         &self.shards[witness[0] as usize % CACHE_SHARDS]
     }
 
     fn contains(&self, witness: &[u8; 32]) -> bool {
-        self.shard(witness).lock().expect("cache shard lock").contains(witness)
+        self.shard(witness)
+            .lock()
+            .expect("cache shard lock")
+            .contains(witness, self.generation_cap)
     }
 
     fn insert(&self, witness: [u8; 32]) {
-        self.shard(&witness).lock().expect("cache shard lock").insert(witness);
+        self.shard(&witness)
+            .lock()
+            .expect("cache shard lock")
+            .insert(witness, self.generation_cap);
     }
 
     fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard lock").len()).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard lock");
+                shard.current.len() + shard.previous.len()
+            })
+            .sum()
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard lock").clear();
+            let mut shard = shard.lock().expect("cache shard lock");
+            shard.current.clear();
+            shard.previous.clear();
         }
     }
 }
@@ -235,6 +337,16 @@ impl SignatureRegistry {
         reg
     }
 
+    /// Replaces the verified-signature cache with a fresh one bounded to
+    /// roughly `cap` resident witnesses, detaching this registry (and
+    /// clones made *from now on*) from the previously shared cache. Tests
+    /// use tiny caps to force eviction; production uses the process-wide
+    /// [`sig_cache_max`] default.
+    pub fn with_cache_cap(mut self, cap: usize) -> Self {
+        self.cache = Arc::new(VerifiedCache::with_cap(cap));
+        self
+    }
+
     /// Registers a key pair.
     pub fn register(&mut self, kp: KeyPair) {
         self.keys.insert(kp.identity, (kp.public, kp.secret));
@@ -267,7 +379,9 @@ impl SignatureRegistry {
         if signature_bytes(secret, public, message).as_slice() == signature {
             Ok(())
         } else {
-            Err(Error::CryptoFailure(format!("invalid signature for {id:?}")))
+            Err(Error::CryptoFailure(format!(
+                "invalid signature for {id:?}"
+            )))
         }
     }
 
@@ -362,7 +476,10 @@ impl SignatureRegistry {
     /// implementation `verify_batch` is benchmarked and property-tested
     /// against.
     pub fn verify_batch_serial(&self, items: &[VerifyItem<'_>]) -> Vec<Result<()>> {
-        items.iter().map(|(id, m, s)| self.verify_uncached(*id, m, s)).collect()
+        items
+            .iter()
+            .map(|(id, m, s)| self.verify_uncached(*id, m, s))
+            .collect()
     }
 
     /// Worker-pool size for `misses` outstanding verifications: bounded by
@@ -372,7 +489,9 @@ impl SignatureRegistry {
         if misses < PARALLEL_VERIFY_MIN {
             return 1;
         }
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         // Keep at least PARALLEL_VERIFY_MIN/2 items per worker so chunks
         // stay coarse enough to amortize the spawn.
         cores.min(misses / (PARALLEL_VERIFY_MIN / 2)).max(1)
@@ -503,11 +622,107 @@ mod tests {
     }
 
     #[test]
+    fn sig_cache_max_parsing() {
+        assert_eq!(parse_sig_cache_max(None), DEFAULT_SIG_CACHE_MAX);
+        assert_eq!(parse_sig_cache_max(Some("4096")), 4096);
+        assert_eq!(parse_sig_cache_max(Some(" 64 ")), 64);
+        assert_eq!(
+            parse_sig_cache_max(Some("not-a-number")),
+            DEFAULT_SIG_CACHE_MAX
+        );
+        assert_eq!(parse_sig_cache_max(Some("")), DEFAULT_SIG_CACHE_MAX);
+        // 0 is accepted and clamped to one witness per shard generation.
+        let cache = VerifiedCache::with_cap(0);
+        assert_eq!(cache.generation_cap, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_never_changes_results() {
+        // A cap this small forces continuous rotation: every shard holds at
+        // most one witness per generation.
+        let reg = SignatureRegistry::with_processes(0, 8).with_cache_cap(CACHE_SHARDS * 2);
+        let messages: Vec<Vec<u8>> = (0..512u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let sigs: Vec<Vec<u8>> = (0..512u32)
+            .map(|i| {
+                let mut sig = KeyPair::for_client(ClientId(i % 8))
+                    .sign(&messages[i as usize])
+                    .to_vec();
+                if i % 3 == 0 {
+                    sig[(i as usize) % SIGNATURE_LEN] ^= 0x40; // corrupt every 3rd
+                }
+                sig
+            })
+            .collect();
+        let verify_all = |reg: &SignatureRegistry| -> Vec<bool> {
+            (0..512usize)
+                .map(|i| {
+                    reg.verify_client(ClientId(i as u32 % 8), &messages[i], &sigs[i])
+                        .is_ok()
+                })
+                .collect()
+        };
+        let oracle: Vec<bool> = (0..512usize)
+            .map(|i| {
+                reg.verify_uncached(
+                    Identity::Client(ClientId(i as u32 % 8)),
+                    &messages[i],
+                    &sigs[i],
+                )
+                .is_ok()
+            })
+            .collect();
+        // Three passes: cold, after heavy eviction churn, and again — the
+        // results must match the uncached oracle every time.
+        for pass in 0..3 {
+            assert_eq!(
+                verify_all(&reg),
+                oracle,
+                "pass {pass} diverged from the oracle"
+            );
+            // The resident witness count respects the two-generation bound.
+            assert!(
+                reg.verified_cache_len() <= 2 * CACHE_SHARDS * 2,
+                "cache grew past its bound: {}",
+                reg.verified_cache_len()
+            );
+        }
+    }
+
+    #[test]
+    fn hot_witnesses_survive_rotations_via_promotion() {
+        let reg = SignatureRegistry::with_processes(0, 4).with_cache_cap(CACHE_SHARDS * 4);
+        let hot_msg = b"hot".to_vec();
+        let hot_sig = KeyPair::for_client(ClientId(0)).sign(&hot_msg);
+        reg.verify_client(ClientId(0), &hot_msg, &hot_sig.0)
+            .unwrap();
+        // Churn through enough distinct witnesses to rotate every shard
+        // several times, touching the hot witness between batches.
+        for round in 0..8u32 {
+            for i in 0..64u32 {
+                let msg = (round * 64 + i).to_le_bytes().to_vec();
+                let sig = KeyPair::for_client(ClientId(1)).sign(&msg);
+                reg.verify_client(ClientId(1), &msg, &sig.0).unwrap();
+            }
+            reg.verify_client(ClientId(0), &hot_msg, &hot_sig.0)
+                .unwrap();
+        }
+        // Still verifies (and would even if evicted — the point of the
+        // companion test — but promotion keeps it resident and cheap).
+        reg.verify_client(ClientId(0), &hot_msg, &hot_sig.0)
+            .unwrap();
+        assert!(reg.verified_cache_len() <= 2 * CACHE_SHARDS * 4);
+    }
+
+    #[test]
     fn verify_batch_matches_serial_oracle_and_caches_successes() {
         let reg = SignatureRegistry::with_processes(0, 8);
         let messages: Vec<Vec<u8>> = (0..200u32).map(|i| i.to_le_bytes().to_vec()).collect();
         let mut sigs: Vec<Vec<u8>> = (0..200u32)
-            .map(|i| KeyPair::for_client(ClientId(i % 8)).sign(&messages[i as usize]).to_vec())
+            .map(|i| {
+                KeyPair::for_client(ClientId(i % 8))
+                    .sign(&messages[i as usize])
+                    .to_vec()
+            })
             .collect();
         // Corrupt every 7th signature.
         for (i, sig) in sigs.iter_mut().enumerate() {
@@ -516,7 +731,13 @@ mod tests {
             }
         }
         let items: Vec<VerifyItem<'_>> = (0..200usize)
-            .map(|i| (Identity::Client(ClientId(i as u32 % 8)), &messages[i][..], &sigs[i][..]))
+            .map(|i| {
+                (
+                    Identity::Client(ClientId(i as u32 % 8)),
+                    &messages[i][..],
+                    &sigs[i][..],
+                )
+            })
             .collect();
         let serial = reg.verify_batch_serial(&items);
         let batch = reg.verify_batch(&items);

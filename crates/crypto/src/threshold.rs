@@ -62,7 +62,11 @@ impl ThresholdScheme {
                 "invalid threshold {threshold} for {num_nodes} nodes"
             )));
         }
-        Ok(ThresholdScheme { num_nodes, threshold, domain: domain.to_vec() })
+        Ok(ThresholdScheme {
+            num_nodes,
+            threshold,
+            domain: domain.to_vec(),
+        })
     }
 
     fn share_key(&self, node: NodeId) -> [u8; 32] {
@@ -71,7 +75,10 @@ impl ThresholdScheme {
 
     /// Produces node `signer`'s share over `message`.
     pub fn sign_share(&self, signer: NodeId, message: &[u8]) -> ThresholdShare {
-        ThresholdShare { signer, mac: hmac_sha256(&self.share_key(signer), message) }
+        ThresholdShare {
+            signer,
+            mac: hmac_sha256(&self.share_key(signer), message),
+        }
     }
 
     /// Verifies a single share.
@@ -82,14 +89,21 @@ impl ThresholdScheme {
         if hmac_sha256(&self.share_key(share.signer), message) == share.mac {
             Ok(())
         } else {
-            Err(Error::CryptoFailure(format!("bad share from {:?}", share.signer)))
+            Err(Error::CryptoFailure(format!(
+                "bad share from {:?}",
+                share.signer
+            )))
         }
     }
 
     /// Aggregates shares into a threshold signature.
     ///
     /// Fails if fewer than `threshold` distinct valid shares are provided.
-    pub fn aggregate(&self, shares: &[ThresholdShare], message: &[u8]) -> Result<ThresholdSignature> {
+    pub fn aggregate(
+        &self,
+        shares: &[ThresholdShare],
+        message: &[u8],
+    ) -> Result<ThresholdSignature> {
         let mut signers: Vec<NodeId> = Vec::new();
         let mut aggregate = [0u8; 32];
         for share in shares {
@@ -235,7 +249,10 @@ mod tests {
     #[test]
     fn unknown_signer_rejected() {
         let s = scheme();
-        let share = ThresholdShare { signer: NodeId(9), mac: [0u8; 32] };
+        let share = ThresholdShare {
+            signer: NodeId(9),
+            mac: [0u8; 32],
+        };
         assert!(s.verify_share(&share, b"m").is_err());
     }
 }

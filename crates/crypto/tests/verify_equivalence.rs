@@ -154,4 +154,38 @@ proptest! {
             }
         }
     }
+
+    /// Cache eviction is invisible beyond wall-clock: under an absurdly
+    /// small witness cap — every insertion churns a shard generation — the
+    /// batched pipeline, the memoized single-shot tier and repeated
+    /// re-verification all still agree with the serial uncached oracle.
+    #[test]
+    fn eviction_never_changes_verification_results(
+        spec in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), 0u64..1000),
+            1..200,
+        ),
+        cap in 0usize..64,
+    ) {
+        let reg = SignatureRegistry::with_processes(2, KNOWN_CLIENTS as usize)
+            .with_cache_cap(cap);
+        let (requests, digests, sigs) = build_workload(&spec);
+        let items = items(&requests, &digests, &sigs);
+        let serial = reg.verify_batch_serial(&items);
+
+        // Batched, twice (the second pass mixes hits, promotions and
+        // re-verifications of evicted witnesses).
+        prop_assert_eq!(&reg.verify_batch(&items), &serial, "evicting cold run diverged");
+        prop_assert_eq!(&reg.verify_batch(&items), &serial, "evicting warm run diverged");
+
+        // Single-shot, in an order that maximizes inter-item churn.
+        for (i, (req, expected)) in requests.iter().zip(&serial).enumerate() {
+            let id = Identity::Client(req.id.client);
+            prop_assert_eq!(
+                reg.verify(id, &digests[i], &sigs[i]).is_ok(),
+                expected.is_ok(),
+                "single-shot under eviction diverged at item {}", i
+            );
+        }
+    }
 }

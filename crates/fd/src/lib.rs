@@ -67,7 +67,13 @@ impl FailureDetector {
             .iter()
             .map(|n| (*n, now + config.initial_timeout))
             .collect();
-        FailureDetector { config, monitored, timeout, deadline, suspected: HashSet::new() }
+        FailureDetector {
+            config,
+            monitored,
+            timeout,
+            deadline,
+            suspected: HashSet::new(),
+        }
     }
 
     /// The configured heartbeat interval (callers arm their own send timer).
@@ -93,7 +99,10 @@ impl FailureDetector {
         if !self.monitored.contains(&from) {
             return None;
         }
-        let timeout = *self.timeout.get(&from).unwrap_or(&self.config.initial_timeout);
+        let timeout = *self
+            .timeout
+            .get(&from)
+            .unwrap_or(&self.config.initial_timeout);
         self.deadline.insert(from, now + timeout);
         if self.suspected.remove(&from) {
             Some(FdEvent::Restore(from))
@@ -112,7 +121,10 @@ impl FailureDetector {
                 self.suspected.insert(node);
                 // Double the timeout so that, after GST, correct nodes stop
                 // being suspected (eventual weak accuracy).
-                let t = self.timeout.entry(node).or_insert(self.config.initial_timeout);
+                let t = self
+                    .timeout
+                    .entry(node)
+                    .or_insert(self.config.initial_timeout);
                 *t = Duration::from_micros(
                     (t.as_micros() * 2).min(self.config.max_timeout.as_micros()),
                 );
@@ -169,7 +181,9 @@ mod tests {
         assert_eq!(d.on_tick(Time::from_secs(2)).len(), 1);
         d.on_heartbeat(NodeId(0), Time::from_secs(3));
         // After restore, the timeout is 4s: a tick at +3.9s must not suspect.
-        assert!(d.on_tick(Time::from_secs(3) + Duration::from_millis(3_900)).is_empty());
+        assert!(d
+            .on_tick(Time::from_secs(3) + Duration::from_millis(3_900))
+            .is_empty());
         assert_eq!(d.on_tick(Time::from_secs(8)).len(), 1);
     }
 
@@ -228,6 +242,10 @@ mod tests {
     fn suspecting_is_idempotent_per_deadline() {
         let mut d = fd(1);
         assert_eq!(d.on_tick(Time::from_secs(5)).len(), 1);
-        assert_eq!(d.on_tick(Time::from_secs(5)).len(), 0, "no duplicate suspicion");
+        assert_eq!(
+            d.on_tick(Time::from_secs(5)).len(),
+            0,
+            "no duplicate suspicion"
+        );
     }
 }

@@ -24,7 +24,9 @@ pub struct HotStuffConfig {
 
 impl Default for HotStuffConfig {
     fn default() -> Self {
-        HotStuffConfig { pacemaker_timeout: Duration::from_secs(10) }
+        HotStuffConfig {
+            pacemaker_timeout: Duration::from_secs(10),
+        }
     }
 }
 
@@ -75,7 +77,10 @@ pub struct HotStuffInstance {
 impl HotStuffInstance {
     /// Creates a HotStuff instance for `my_id` over `segment`.
     pub fn new(my_id: NodeId, segment: Arc<Segment>, config: HotStuffConfig) -> Self {
-        let domain = format!("hotstuff-{}-{}", segment.instance.epoch, segment.instance.index);
+        let domain = format!(
+            "hotstuff-{}-{}",
+            segment.instance.epoch, segment.instance.index
+        );
         let scheme = ThresholdScheme::new(
             segment.nodes.len(),
             segment.strong_quorum(),
@@ -134,7 +139,10 @@ impl HotStuffInstance {
 
     fn arm_pacemaker(&mut self, ctx: &mut SbContext<'_>) {
         self.timer_generation += 1;
-        ctx.set_timer(TIMER_PACEMAKER + self.timer_generation, self.current_timeout);
+        ctx.set_timer(
+            TIMER_PACEMAKER + self.timer_generation,
+            self.current_timeout,
+        );
     }
 
     /// Leader: propose the next view if its justification (QC of the previous
@@ -167,11 +175,18 @@ impl HotStuffInstance {
                     }
                 }
             };
-            let block = HsBlock { view, seq_nr, batch, justify };
+            let block = HsBlock {
+                view,
+                seq_nr,
+                batch,
+                justify,
+            };
             let digest = block_digest(&block);
             self.blocks.insert(view, (block.clone(), digest));
             self.next_propose_view += 1;
-            ctx.broadcast(SbMsg::HotStuff(HotStuffMsg::Proposal { block: block.clone() }));
+            ctx.broadcast(SbMsg::HotStuff(HotStuffMsg::Proposal {
+                block: block.clone(),
+            }));
             // The leader votes for its own proposal.
             let share = self.scheme.sign_share(self.my_id, &digest);
             self.record_vote(view, digest, share, ctx);
@@ -191,7 +206,9 @@ impl HotStuffInstance {
             return;
         }
         // Ignore votes for unknown or mismatching blocks.
-        let Some((_, expected)) = self.blocks.get(&view) else { return };
+        let Some((_, expected)) = self.blocks.get(&view) else {
+            return;
+        };
         if *expected != digest || self.certified.contains_key(&view) {
             return;
         }
@@ -205,7 +222,11 @@ impl HotStuffInstance {
         shares.push(share);
         if shares.len() >= self.segment.strong_quorum() {
             if let Ok(signature) = self.scheme.aggregate(shares, &digest) {
-                let qc = QuorumCert { view, block: digest, signature: Some(signature) };
+                let qc = QuorumCert {
+                    view,
+                    block: digest,
+                    signature: Some(signature),
+                };
                 self.install_qc(qc, ctx);
                 self.try_propose(ctx);
             }
@@ -239,10 +260,16 @@ impl HotStuffInstance {
             }
         }
         // The first two views are decided once their three-chain completes.
-        if self.certified.contains_key(&1) && self.certified.contains_key(&2) && self.certified.contains_key(&3) {
+        if self.certified.contains_key(&1)
+            && self.certified.contains_key(&2)
+            && self.certified.contains_key(&3)
+        {
             self.decide(1, ctx);
         }
-        if self.certified.contains_key(&2) && self.certified.contains_key(&3) && self.certified.contains_key(&4) {
+        if self.certified.contains_key(&2)
+            && self.certified.contains_key(&3)
+            && self.certified.contains_key(&4)
+        {
             self.decide(2, ctx);
         }
     }
@@ -251,7 +278,9 @@ impl HotStuffInstance {
         if self.delivered_views.contains_key(&view) {
             return;
         }
-        let Some((block, _)) = self.blocks.get(&view) else { return };
+        let Some((block, _)) = self.blocks.get(&view) else {
+            return;
+        };
         let Some(seq_nr) = block.seq_nr else {
             self.delivered_views.insert(view, ());
             return; // dummy view, nothing to deliver
@@ -331,7 +360,11 @@ impl SbInstance for HotStuffInstance {
                     } else {
                         ctx.send(
                             leader,
-                            SbMsg::HotStuff(HotStuffMsg::Vote { view, block: digest, share }),
+                            SbMsg::HotStuff(HotStuffMsg::Vote {
+                                view,
+                                block: digest,
+                                share,
+                            }),
                         );
                     }
                 }
@@ -426,13 +459,20 @@ mod tests {
         })
     }
 
-    fn net(n: usize, leader: u32, seq_nrs: Vec<SeqNr>, timeout_ms: u64) -> LocalNet<HotStuffInstance> {
+    fn net(
+        n: usize,
+        leader: u32,
+        seq_nrs: Vec<SeqNr>,
+        timeout_ms: u64,
+    ) -> LocalNet<HotStuffInstance> {
         let instances = (0..n)
             .map(|i| {
                 HotStuffInstance::new(
                     NodeId(i as u32),
                     segment(n, leader, seq_nrs.clone()),
-                    HotStuffConfig { pacemaker_timeout: Duration::from_millis(timeout_ms) },
+                    HotStuffConfig {
+                        pacemaker_timeout: Duration::from_millis(timeout_ms),
+                    },
                 )
             })
             .collect();
@@ -507,7 +547,11 @@ mod tests {
         net.inject_message(
             NodeId(2),
             NodeId(0),
-            SbMsg::HotStuff(HotStuffMsg::Vote { view: 1, block: [0u8; 32], share }),
+            SbMsg::HotStuff(HotStuffMsg::Vote {
+                view: 1,
+                block: [0u8; 32],
+                share,
+            }),
         );
         net.run_messages();
         // Delivery still works correctly via the 2f+1 honest votes.
@@ -519,9 +563,20 @@ mod tests {
     fn proposals_from_non_leader_are_ignored() {
         let mut net = net(4, 0, vec![0], 10_000);
         net.init_all();
-        let block = HsBlock { view: 1, seq_nr: Some(0), batch: Some(batch(5)), justify: QuorumCert::genesis() };
+        let block = HsBlock {
+            view: 1,
+            seq_nr: Some(0),
+            batch: Some(batch(5)),
+            justify: QuorumCert::genesis(),
+        };
         for to in [0u32, 1, 3] {
-            net.inject_message(NodeId(2), NodeId(to), SbMsg::HotStuff(HotStuffMsg::Proposal { block: block.clone() }));
+            net.inject_message(
+                NodeId(2),
+                NodeId(to),
+                SbMsg::HotStuff(HotStuffMsg::Proposal {
+                    block: block.clone(),
+                }),
+            );
         }
         net.run_messages();
         for node in [0usize, 1, 3] {
@@ -555,13 +610,20 @@ mod tests {
         assert!(net.all_complete());
         net.assert_agreement();
         for (i, sn) in seq.iter().enumerate() {
-            assert_eq!(net.log_of(0).get(sn).unwrap().as_ref(), Some(&batch(i as u32)));
+            assert_eq!(
+                net.log_of(0).get(sn).unwrap().as_ref(),
+                Some(&batch(i as u32))
+            );
         }
     }
 
     #[test]
     fn view_to_seq_nr_mapping() {
-        let inst = HotStuffInstance::new(NodeId(0), segment(4, 0, vec![3, 7, 11]), HotStuffConfig::default());
+        let inst = HotStuffInstance::new(
+            NodeId(0),
+            segment(4, 0, vec![3, 7, 11]),
+            HotStuffConfig::default(),
+        );
         assert_eq!(inst.total_views(), 6);
         assert_eq!(inst.seq_nr_of_view(1), Some(3));
         assert_eq!(inst.seq_nr_of_view(3), Some(11));

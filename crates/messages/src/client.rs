@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn response_is_small() {
-        let msg = ClientMsg::Response { request: RequestId::new(ClientId(1), 2), seq_nr: 3 };
+        let msg = ClientMsg::Response {
+            request: RequestId::new(ClientId(1), 2),
+            seq_nr: 3,
+        };
         assert!(msg.wire_size() < 100);
         assert_eq!(msg.num_requests(), 0);
     }

@@ -26,7 +26,11 @@ pub struct QuorumCert {
 impl QuorumCert {
     /// The genesis certificate `QC0` a new segment instance starts from.
     pub fn genesis() -> Self {
-        QuorumCert { view: 0, block: [0u8; 32], signature: None }
+        QuorumCert {
+            view: 0,
+            block: [0u8; 32],
+            signature: None,
+        }
     }
 
     /// Approximate wire size, constant in the number of nodes up to the
@@ -101,9 +105,7 @@ impl HotStuffMsg {
     /// Number of client requests the message carries.
     pub fn num_requests(&self) -> usize {
         match self {
-            HotStuffMsg::Proposal { block } => {
-                block.batch.as_ref().map(Batch::len).unwrap_or(0)
-            }
+            HotStuffMsg::Proposal { block } => block.batch.as_ref().map(Batch::len).unwrap_or(0),
             _ => 0,
         }
     }
@@ -135,7 +137,12 @@ mod tests {
         assert!(msg.wire_size_for(4) > 8 * 500);
         assert_eq!(msg.num_requests(), 8);
         let dummy = HotStuffMsg::Proposal {
-            block: HsBlock { view: 2, seq_nr: None, batch: None, justify: QuorumCert::genesis() },
+            block: HsBlock {
+                view: 2,
+                seq_nr: None,
+                batch: None,
+                justify: QuorumCert::genesis(),
+            },
         };
         assert!(dummy.wire_size_for(4) < 200);
         assert_eq!(dummy.num_requests(), 0);
@@ -145,7 +152,11 @@ mod tests {
     fn vote_is_small_and_constant() {
         let scheme = ThresholdScheme::new(4, 3, b"t").unwrap();
         let share = scheme.sign_share(NodeId(1), b"block");
-        let msg = HotStuffMsg::Vote { view: 1, block: [0; 32], share };
+        let msg = HotStuffMsg::Vote {
+            view: 1,
+            block: [0; 32],
+            share,
+        };
         assert!(msg.wire_size_for(4) < 200);
         assert_eq!(msg.wire_size_for(4), msg.wire_size_for(128));
     }

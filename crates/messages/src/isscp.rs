@@ -129,6 +129,13 @@ mod tests {
 
     #[test]
     fn state_request_small() {
-        assert!(IssMsg::StateRequest { from_seq_nr: 0, to_seq_nr: 255 }.wire_size() < 64);
+        assert!(
+            IssMsg::StateRequest {
+                from_seq_nr: 0,
+                to_seq_nr: 255
+            }
+            .wire_size()
+                < 64
+        );
     }
 }

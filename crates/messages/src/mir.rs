@@ -72,7 +72,11 @@ mod tests {
             batch: Some(Batch::new(vec![Request::synthetic(ClientId(0), 0, 500); 4])),
             digest: [0; 32],
         };
-        let m = MirMsg::Pbft { epoch: 0, leader_idx: 1, inner: inner.clone() };
+        let m = MirMsg::Pbft {
+            epoch: 0,
+            leader_idx: 1,
+            inner: inner.clone(),
+        };
         assert!(m.wire_size() >= inner.wire_size());
         assert_eq!(m.num_requests(), 4);
     }
@@ -80,9 +84,20 @@ mod tests {
     #[test]
     fn epoch_change_messages_small() {
         assert!(
-            MirMsg::EpochChangeReq { next_epoch: 2, signature: vec![0u8; 64].into() }.wire_size()
+            MirMsg::EpochChangeReq {
+                next_epoch: 2,
+                signature: vec![0u8; 64].into()
+            }
+            .wire_size()
                 < 200
         );
-        assert!(MirMsg::NewEpoch { epoch: 2, config_digest: [0; 32] }.wire_size() < 100);
+        assert!(
+            MirMsg::NewEpoch {
+                epoch: 2,
+                config_digest: [0; 32]
+            }
+            .wire_size()
+                < 100
+        );
     }
 }

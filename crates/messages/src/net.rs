@@ -97,7 +97,10 @@ mod tests {
         PbftMsg::PrePrepare {
             view: 0,
             seq_nr: 0,
-            batch: Some(Batch::new(vec![Request::synthetic(ClientId(0), 0, 500); reqs])),
+            batch: Some(Batch::new(vec![
+                Request::synthetic(ClientId(0), 0, 500);
+                reqs
+            ])),
             digest: [0; 32],
         }
     }
@@ -105,7 +108,10 @@ mod tests {
     #[test]
     fn sb_wrapper_adds_instance_overhead() {
         let inner = SbMsg::Pbft(preprepare(4));
-        let wrapped = NetMsg::Sb { instance: InstanceId::new(0, 1), msg: inner.clone() };
+        let wrapped = NetMsg::Sb {
+            instance: InstanceId::new(0, 1),
+            msg: inner.clone(),
+        };
         assert_eq!(wrapped.wire_size(), 12 + inner.wire_size());
         assert_eq!(wrapped.num_requests(), 4);
     }
@@ -114,9 +120,18 @@ mod tests {
     fn all_variants_report_sizes() {
         let msgs = vec![
             NetMsg::Client(ClientMsg::Request(Request::synthetic(ClientId(0), 0, 500))),
-            NetMsg::Baseline(SbMsg::Raft(RaftMsg::VoteResponse { term: 0, granted: true })),
-            NetMsg::Iss(IssMsg::StateRequest { from_seq_nr: 0, to_seq_nr: 1 }),
-            NetMsg::Mir(MirMsg::NewEpoch { epoch: 0, config_digest: [0; 32] }),
+            NetMsg::Baseline(SbMsg::Raft(RaftMsg::VoteResponse {
+                term: 0,
+                granted: true,
+            })),
+            NetMsg::Iss(IssMsg::StateRequest {
+                from_seq_nr: 0,
+                to_seq_nr: 1,
+            }),
+            NetMsg::Mir(MirMsg::NewEpoch {
+                epoch: 0,
+                config_digest: [0; 32],
+            }),
             NetMsg::Sb {
                 instance: InstanceId::new(0, 0),
                 msg: SbMsg::HotStuff(HotStuffMsg::NewView {

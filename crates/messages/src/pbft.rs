@@ -87,10 +87,7 @@ impl PbftMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             PbftMsg::PrePrepare { batch, .. } => {
-                HEADER_WIRE
-                    + 16
-                    + DIGEST_WIRE
-                    + batch.as_ref().map(Batch::wire_size).unwrap_or(1)
+                HEADER_WIRE + 16 + DIGEST_WIRE + batch.as_ref().map(Batch::wire_size).unwrap_or(1)
             }
             PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => HEADER_WIRE + 16 + DIGEST_WIRE,
             PbftMsg::ViewChange { prepared, .. } => {
@@ -103,10 +100,12 @@ impl PbftMsg {
                         })
                         .sum::<usize>()
             }
-            PbftMsg::NewView { re_proposals, certificate, .. } => {
-                HEADER_WIRE
-                    + re_proposals.len() * (8 + DIGEST_WIRE)
-                    + certificate.len() * SIG_WIRE
+            PbftMsg::NewView {
+                re_proposals,
+                certificate,
+                ..
+            } => {
+                HEADER_WIRE + re_proposals.len() * (8 + DIGEST_WIRE) + certificate.len() * SIG_WIRE
             }
         }
     }
@@ -137,13 +136,27 @@ mod tests {
     use iss_types::{ClientId, Request};
 
     fn batch(n: usize) -> Batch {
-        Batch::new((0..n).map(|i| Request::synthetic(ClientId(i as u32), 0, 500)).collect())
+        Batch::new(
+            (0..n)
+                .map(|i| Request::synthetic(ClientId(i as u32), 0, 500))
+                .collect(),
+        )
     }
 
     #[test]
     fn preprepare_carries_batch_weight() {
-        let full = PbftMsg::PrePrepare { view: 0, seq_nr: 1, batch: Some(batch(10)), digest: [0; 32] };
-        let nil = PbftMsg::PrePrepare { view: 0, seq_nr: 1, batch: None, digest: [0; 32] };
+        let full = PbftMsg::PrePrepare {
+            view: 0,
+            seq_nr: 1,
+            batch: Some(batch(10)),
+            digest: [0; 32],
+        };
+        let nil = PbftMsg::PrePrepare {
+            view: 0,
+            seq_nr: 1,
+            batch: None,
+            digest: [0; 32],
+        };
         assert!(full.wire_size() > 10 * 500);
         assert!(nil.wire_size() < 200);
         assert_eq!(full.num_requests(), 10);
@@ -152,33 +165,67 @@ mod tests {
 
     #[test]
     fn votes_are_constant_size() {
-        let p = PbftMsg::Prepare { view: 3, seq_nr: 9, digest: [1; 32] };
-        let c = PbftMsg::Commit { view: 3, seq_nr: 9, digest: [1; 32] };
+        let p = PbftMsg::Prepare {
+            view: 3,
+            seq_nr: 9,
+            digest: [1; 32],
+        };
+        let c = PbftMsg::Commit {
+            view: 3,
+            seq_nr: 9,
+            digest: [1; 32],
+        };
         assert_eq!(p.wire_size(), c.wire_size());
         assert!(p.wire_size() < 100);
     }
 
     #[test]
     fn view_accessor() {
-        assert_eq!(PbftMsg::Prepare { view: 5, seq_nr: 0, digest: [0; 32] }.view(), 5);
         assert_eq!(
-            PbftMsg::ViewChange { new_view: 2, prepared: vec![], signature: Bytes::new() }.view(),
+            PbftMsg::Prepare {
+                view: 5,
+                seq_nr: 0,
+                digest: [0; 32]
+            }
+            .view(),
+            5
+        );
+        assert_eq!(
+            PbftMsg::ViewChange {
+                new_view: 2,
+                prepared: vec![],
+                signature: Bytes::new()
+            }
+            .view(),
             2
         );
         assert_eq!(
-            PbftMsg::NewView { view: 4, re_proposals: vec![], certificate: vec![] }.view(),
+            PbftMsg::NewView {
+                view: 4,
+                re_proposals: vec![],
+                certificate: vec![]
+            }
+            .view(),
             4
         );
     }
 
     #[test]
     fn view_change_size_grows_with_prepared_set() {
-        let empty =
-            PbftMsg::ViewChange { new_view: 1, prepared: vec![], signature: vec![0u8; 64].into() };
+        let empty = PbftMsg::ViewChange {
+            new_view: 1,
+            prepared: vec![],
+            signature: vec![0u8; 64].into(),
+        };
         let loaded = PbftMsg::ViewChange {
             new_view: 1,
             prepared: (0..8)
-                .map(|i| PreparedProof { seq_nr: i, view: 0, digest: [0; 32], batch: None })
+                .map(|i| PreparedProof {
+                    seq_nr: i,
+                    view: 0,
+                    digest: [0; 32],
+                    batch: None,
+                })
                 .collect(),
             signature: vec![0u8; 64].into(),
         };

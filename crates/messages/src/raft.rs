@@ -126,7 +126,10 @@ mod tests {
             entries: vec![RaftEntry {
                 term: 1,
                 seq_nr: 4,
-                batch: Some(Batch::new(vec![Request::synthetic(ClientId(0), 0, 500); 16])),
+                batch: Some(Batch::new(vec![
+                    Request::synthetic(ClientId(0), 0, 500);
+                    16
+                ])),
             }],
             leader_commit: 0,
         };
@@ -138,23 +141,62 @@ mod tests {
 
     #[test]
     fn control_messages_are_small() {
-        assert!(RaftMsg::AppendResponse { term: 1, success: true, match_index: 3 }.wire_size() < 64);
-        assert!(RaftMsg::RequestVote { term: 2, last_log_index: 0, last_log_term: 0 }.wire_size() < 64);
-        assert!(RaftMsg::VoteResponse { term: 2, granted: false }.wire_size() < 64);
+        assert!(
+            RaftMsg::AppendResponse {
+                term: 1,
+                success: true,
+                match_index: 3
+            }
+            .wire_size()
+                < 64
+        );
+        assert!(
+            RaftMsg::RequestVote {
+                term: 2,
+                last_log_index: 0,
+                last_log_term: 0
+            }
+            .wire_size()
+                < 64
+        );
+        assert!(
+            RaftMsg::VoteResponse {
+                term: 2,
+                granted: false
+            }
+            .wire_size()
+                < 64
+        );
     }
 
     #[test]
     fn term_accessor() {
-        assert_eq!(RaftMsg::VoteResponse { term: 9, granted: true }.term(), 9);
         assert_eq!(
-            RaftMsg::RequestVote { term: 3, last_log_index: 0, last_log_term: 0 }.term(),
+            RaftMsg::VoteResponse {
+                term: 9,
+                granted: true
+            }
+            .term(),
+            9
+        );
+        assert_eq!(
+            RaftMsg::RequestVote {
+                term: 3,
+                last_log_index: 0,
+                last_log_term: 0
+            }
+            .term(),
             3
         );
     }
 
     #[test]
     fn nil_entries_are_cheap() {
-        let e = RaftEntry { term: 1, seq_nr: 0, batch: None };
+        let e = RaftEntry {
+            term: 1,
+            seq_nr: 0,
+            batch: None,
+        };
         assert!(e.wire_size() < 32);
     }
 }

@@ -95,10 +95,22 @@ mod tests {
     #[test]
     fn control_messages_small() {
         for m in [
-            RefSbMsg::BrbEcho { seq_nr: 0, digest: [0; 32] },
-            RefSbMsg::BrbReady { seq_nr: 0, digest: [0; 32] },
-            RefSbMsg::Vote { seq_nr: 0, value: None },
-            RefSbMsg::Decide { seq_nr: 0, value: Some([1; 32]) },
+            RefSbMsg::BrbEcho {
+                seq_nr: 0,
+                digest: [0; 32],
+            },
+            RefSbMsg::BrbReady {
+                seq_nr: 0,
+                digest: [0; 32],
+            },
+            RefSbMsg::Vote {
+                seq_nr: 0,
+                value: None,
+            },
+            RefSbMsg::Decide {
+                seq_nr: 0,
+                value: Some([1; 32]),
+            },
             RefSbMsg::Heartbeat,
         ] {
             assert!(m.wire_size() < 100);

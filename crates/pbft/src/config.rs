@@ -15,14 +15,20 @@ pub struct PbftConfig {
 
 impl Default for PbftConfig {
     fn default() -> Self {
-        PbftConfig { view_change_timeout: Duration::from_secs(10), signed_view_change: true }
+        PbftConfig {
+            view_change_timeout: Duration::from_secs(10),
+            signed_view_change: true,
+        }
     }
 }
 
 impl PbftConfig {
     /// Configuration with a custom view-change timeout.
     pub fn with_timeout(timeout: Duration) -> Self {
-        PbftConfig { view_change_timeout: timeout, ..Self::default() }
+        PbftConfig {
+            view_change_timeout: timeout,
+            ..Self::default()
+        }
     }
 }
 

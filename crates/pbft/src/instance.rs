@@ -52,7 +52,11 @@ impl PbftInstance {
         keypair: KeyPair,
         registry: Arc<SignatureRegistry>,
     ) -> Self {
-        let slots = segment.seq_nrs.iter().map(|sn| (*sn, Slot::default())).collect();
+        let slots = segment
+            .seq_nrs
+            .iter()
+            .map(|sn| (*sn, Slot::default()))
+            .collect();
         let current_timeout = config.view_change_timeout;
         PbftInstance {
             my_id,
@@ -116,10 +120,19 @@ impl PbftInstance {
         bytes
     }
 
-    fn record_prepare(&mut self, sn: SeqNr, view: ViewNr, digest: Digest, from: NodeId, ctx: &mut SbContext<'_>) {
+    fn record_prepare(
+        &mut self,
+        sn: SeqNr,
+        view: ViewNr,
+        digest: Digest,
+        from: NodeId,
+        ctx: &mut SbContext<'_>,
+    ) {
         let quorum = self.quorum();
         let my_id = self.my_id;
-        let Some(slot) = self.slots.get_mut(&sn) else { return };
+        let Some(slot) = self.slots.get_mut(&sn) else {
+            return;
+        };
         if view != self.view || slot.digest() != Some(digest) {
             return;
         }
@@ -128,13 +141,26 @@ impl PbftInstance {
             slot.prepared = true;
             slot.prepared_view = view;
             slot.commits.insert(my_id);
-            ctx.broadcast(SbMsg::Pbft(PbftMsg::Commit { view, seq_nr: sn, digest }));
+            ctx.broadcast(SbMsg::Pbft(PbftMsg::Commit {
+                view,
+                seq_nr: sn,
+                digest,
+            }));
             self.check_committed(sn, ctx);
         }
     }
 
-    fn record_commit(&mut self, sn: SeqNr, view: ViewNr, digest: Digest, from: NodeId, ctx: &mut SbContext<'_>) {
-        let Some(slot) = self.slots.get_mut(&sn) else { return };
+    fn record_commit(
+        &mut self,
+        sn: SeqNr,
+        view: ViewNr,
+        digest: Digest,
+        from: NodeId,
+        ctx: &mut SbContext<'_>,
+    ) {
+        let Some(slot) = self.slots.get_mut(&sn) else {
+            return;
+        };
         if view != self.view || slot.digest() != Some(digest) {
             return;
         }
@@ -144,7 +170,9 @@ impl PbftInstance {
 
     fn check_committed(&mut self, sn: SeqNr, ctx: &mut SbContext<'_>) {
         let quorum = self.quorum();
-        let Some(slot) = self.slots.get_mut(&sn) else { return };
+        let Some(slot) = self.slots.get_mut(&sn) else {
+            return;
+        };
         if !slot.prepared || slot.commits.len() < quorum {
             return;
         }
@@ -199,7 +227,9 @@ impl PbftInstance {
         }
         let my_id = self.my_id;
         {
-            let Some(slot) = self.slots.get_mut(&sn) else { return };
+            let Some(slot) = self.slots.get_mut(&sn) else {
+                return;
+            };
             if slot.pre_prepared.is_some() {
                 return;
             }
@@ -209,7 +239,11 @@ impl PbftInstance {
             slot.prepares.insert(from);
             slot.prepares.insert(my_id);
         }
-        ctx.broadcast(SbMsg::Pbft(PbftMsg::Prepare { view, seq_nr: sn, digest }));
+        ctx.broadcast(SbMsg::Pbft(PbftMsg::Prepare {
+            view,
+            seq_nr: sn,
+            digest,
+        }));
         // Our own prepare may complete the quorum (e.g. n = 4 ⇒ 2f+1 = 3).
         self.record_prepare(sn, view, digest, my_id, ctx);
     }
@@ -237,13 +271,24 @@ impl PbftInstance {
             })
             .collect();
         let signature = if self.config.signed_view_change {
-            bytes::Bytes::from(self.keypair.sign(&Self::vc_signing_bytes(target, &prepared)).to_vec())
+            bytes::Bytes::from(
+                self.keypair
+                    .sign(&Self::vc_signing_bytes(target, &prepared))
+                    .to_vec(),
+            )
         } else {
             bytes::Bytes::new()
         };
-        let msg = PbftMsg::ViewChange { new_view: target, prepared: prepared.clone(), signature };
+        let msg = PbftMsg::ViewChange {
+            new_view: target,
+            prepared: prepared.clone(),
+            signature,
+        };
         ctx.broadcast(SbMsg::Pbft(msg));
-        self.view_changes.entry(target).or_default().insert(self.my_id, prepared);
+        self.view_changes
+            .entry(target)
+            .or_default()
+            .insert(self.my_id, prepared);
         // Exponential back-off of the view-change timeout.
         self.current_timeout = self.current_timeout.saturating_mul(2);
         self.arm_progress_timer(ctx);
@@ -251,7 +296,11 @@ impl PbftInstance {
     }
 
     fn maybe_install_view(&mut self, target: ViewNr, ctx: &mut SbContext<'_>) {
-        let count = self.view_changes.get(&target).map(HashMap::len).unwrap_or(0);
+        let count = self
+            .view_changes
+            .get(&target)
+            .map(HashMap::len)
+            .unwrap_or(0);
         if count < self.quorum() || self.view >= target {
             return;
         }
@@ -320,17 +369,29 @@ impl PbftInstance {
                 self.validated.insert(digest);
             }
             {
-                let Some(slot) = self.slots.get_mut(&sn) else { continue };
+                let Some(slot) = self.slots.get_mut(&sn) else {
+                    continue;
+                };
                 slot.pre_prepared = Some((digest, batch.clone()));
                 slot.pre_prepare_view = target;
                 slot.prepares.insert(my_id);
             }
-            ctx.broadcast(SbMsg::Pbft(PbftMsg::PrePrepare { view: target, seq_nr: sn, batch, digest }));
+            ctx.broadcast(SbMsg::Pbft(PbftMsg::PrePrepare {
+                view: target,
+                seq_nr: sn,
+                batch,
+                digest,
+            }));
             self.record_prepare(sn, target, digest, my_id, ctx);
         }
     }
 
-    fn install_view(&mut self, view: ViewNr, re_proposals: &[(SeqNr, Digest)], ctx: &mut SbContext<'_>) {
+    fn install_view(
+        &mut self,
+        view: ViewNr,
+        re_proposals: &[(SeqNr, Digest)],
+        ctx: &mut SbContext<'_>,
+    ) {
         self.view = view;
         self.changing_to = None;
         self.expected_digests = re_proposals.iter().copied().collect();
@@ -356,7 +417,12 @@ impl SbInstance for PbftInstance {
         if !self.segment.contains(seq_nr) {
             return;
         }
-        if self.slots.get(&seq_nr).map(|s| s.pre_prepared.is_some()).unwrap_or(true) {
+        if self
+            .slots
+            .get(&seq_nr)
+            .map(|s| s.pre_prepared.is_some())
+            .unwrap_or(true)
+        {
             return;
         }
         let digest = batch_digest(&batch);
@@ -381,16 +447,33 @@ impl SbInstance for PbftInstance {
     fn on_message(&mut self, from: NodeId, msg: SbMsg, ctx: &mut SbContext<'_>) {
         let SbMsg::Pbft(msg) = msg else { return };
         match msg {
-            PbftMsg::PrePrepare { view, seq_nr, batch, digest } => {
+            PbftMsg::PrePrepare {
+                view,
+                seq_nr,
+                batch,
+                digest,
+            } => {
                 self.accept_pre_prepare(from, view, seq_nr, batch, digest, ctx);
             }
-            PbftMsg::Prepare { view, seq_nr, digest } => {
+            PbftMsg::Prepare {
+                view,
+                seq_nr,
+                digest,
+            } => {
                 self.record_prepare(seq_nr, view, digest, from, ctx);
             }
-            PbftMsg::Commit { view, seq_nr, digest } => {
+            PbftMsg::Commit {
+                view,
+                seq_nr,
+                digest,
+            } => {
                 self.record_commit(seq_nr, view, digest, from, ctx);
             }
-            PbftMsg::ViewChange { new_view, prepared, signature } => {
+            PbftMsg::ViewChange {
+                new_view,
+                prepared,
+                signature,
+            } => {
                 if new_view <= self.view {
                     return;
                 }
@@ -409,15 +492,24 @@ impl SbInstance for PbftInstance {
                         }
                     }
                 }
-                self.view_changes.entry(new_view).or_default().insert(from, prepared);
+                self.view_changes
+                    .entry(new_view)
+                    .or_default()
+                    .insert(from, prepared);
                 let count = self.view_changes[&new_view].len();
                 // Join the view change once f+1 nodes ask for it.
-                if count >= self.segment.weak_quorum() && self.changing_to.is_none_or(|v| v < new_view) {
+                if count >= self.segment.weak_quorum()
+                    && self.changing_to.is_none_or(|v| v < new_view)
+                {
                     self.start_view_change(new_view, ctx);
                 }
                 self.maybe_install_view(new_view, ctx);
             }
-            PbftMsg::NewView { view, re_proposals, certificate } => {
+            PbftMsg::NewView {
+                view,
+                re_proposals,
+                certificate,
+            } => {
                 if view <= self.view || from != self.primary_of(view) {
                     return;
                 }
@@ -508,7 +600,10 @@ mod tests {
         net.assert_agreement();
         for node in 0..4 {
             for sn in 0..3u64 {
-                assert_eq!(net.log_of(node).get(&sn).unwrap().as_ref(), Some(&batch(sn as u32)));
+                assert_eq!(
+                    net.log_of(node).get(&sn).unwrap().as_ref(),
+                    Some(&batch(sn as u32))
+                );
             }
         }
     }
@@ -524,7 +619,12 @@ mod tests {
             net.inject_message(
                 NodeId(3),
                 NodeId(to),
-                SbMsg::Pbft(PbftMsg::PrePrepare { view: 0, seq_nr: 0, batch: Some(b.clone()), digest }),
+                SbMsg::Pbft(PbftMsg::PrePrepare {
+                    view: 0,
+                    seq_nr: 0,
+                    batch: Some(b.clone()),
+                    digest,
+                }),
             );
         }
         net.run_messages();
@@ -643,7 +743,11 @@ mod tests {
         }
         net.run_messages();
         for node in 0..4 {
-            assert_eq!(net.instances[node].view(), 0, "forged view change must not advance the view");
+            assert_eq!(
+                net.instances[node].view(),
+                0,
+                "forged view change must not advance the view"
+            );
         }
     }
 

@@ -75,7 +75,11 @@ impl RaftInstance {
     /// The election phase is skipped: the segment leader starts as the Raft
     /// leader of term 1 (Section 4.2.3).
     pub fn new(my_id: NodeId, segment: Arc<Segment>, config: RaftConfig) -> Self {
-        let role = if my_id == segment.leader { Role::Leader } else { Role::Follower };
+        let role = if my_id == segment.leader {
+            Role::Leader
+        } else {
+            Role::Follower
+        };
         let election_window = (config.election_timeout_min, config.election_timeout_max);
         RaftInstance {
             my_id,
@@ -121,7 +125,10 @@ impl RaftInstance {
 
     fn arm_heartbeat_timer(&mut self, ctx: &mut SbContext<'_>) {
         self.heartbeat_generation += 1;
-        ctx.set_timer(TIMER_HEARTBEAT + self.heartbeat_generation, self.config.heartbeat_interval);
+        ctx.set_timer(
+            TIMER_HEARTBEAT + self.heartbeat_generation,
+            self.config.heartbeat_interval,
+        );
     }
 
     /// Leader: move pending batches into the log in segment order.
@@ -144,7 +151,11 @@ impl RaftInstance {
     fn fill_with_nil(&mut self) {
         while self.log.len() < self.segment.seq_nrs.len() {
             let next_sn = self.segment.seq_nrs[self.log.len()];
-            self.log.push(RaftEntry { term: self.term, seq_nr: next_sn, batch: None });
+            self.log.push(RaftEntry {
+                term: self.term,
+                seq_nr: next_sn,
+                batch: None,
+            });
         }
     }
 
@@ -162,7 +173,10 @@ impl RaftInstance {
             let entries: Vec<RaftEntry> = self.log.get(from_idx..).unwrap_or(&[]).to_vec();
             let prev_index = matched;
             let prev_term = if prev_index >= 0 {
-                self.log.get(prev_index as usize).map(|e| e.term).unwrap_or(0)
+                self.log
+                    .get(prev_index as usize)
+                    .map(|e| e.term)
+                    .unwrap_or(0)
             } else {
                 0
             };
@@ -277,7 +291,13 @@ impl SbInstance for RaftInstance {
     fn on_message(&mut self, from: NodeId, msg: SbMsg, ctx: &mut SbContext<'_>) {
         let SbMsg::Raft(msg) = msg else { return };
         match msg {
-            RaftMsg::AppendEntries { term, prev_index, prev_term, entries, leader_commit } => {
+            RaftMsg::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => {
                 if term < self.term {
                     ctx.send(
                         from,
@@ -301,7 +321,10 @@ impl SbInstance for RaftInstance {
                 let matches = if prev < 0 {
                     true
                 } else {
-                    self.log.get(prev as usize).map(|e| e.term == prev_term).unwrap_or(false)
+                    self.log
+                        .get(prev as usize)
+                        .map(|e| e.term == prev_term)
+                        .unwrap_or(false)
                 };
                 if !matches {
                     ctx.send(
@@ -348,7 +371,11 @@ impl SbInstance for RaftInstance {
                     }),
                 );
             }
-            RaftMsg::AppendResponse { term, success, match_index } => {
+            RaftMsg::AppendResponse {
+                term,
+                success,
+                match_index,
+            } => {
                 if self.role != Role::Leader || term > self.term {
                     return;
                 }
@@ -365,9 +392,19 @@ impl SbInstance for RaftInstance {
                     self.match_index.entry(from).or_insert(-1);
                 }
             }
-            RaftMsg::RequestVote { term, last_log_index, last_log_term } => {
+            RaftMsg::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => {
                 if term <= self.term {
-                    ctx.send(from, SbMsg::Raft(RaftMsg::VoteResponse { term: self.term, granted: false }));
+                    ctx.send(
+                        from,
+                        SbMsg::Raft(RaftMsg::VoteResponse {
+                            term: self.term,
+                            granted: false,
+                        }),
+                    );
                     return;
                 }
                 self.term = term;
@@ -403,21 +440,26 @@ impl SbInstance for RaftInstance {
                 // retransmission of anything not yet acknowledged; continues
                 // until every follower has the full segment (Section 4.2.3).
                 self.absorb_pending();
-                let all_matched = self
-                    .segment
-                    .nodes
-                    .iter()
-                    .filter(|n| **n != self.my_id)
-                    .all(|n| *self.match_index.get(n).unwrap_or(&-1) + 1 >= self.segment.seq_nrs.len() as i64);
+                let all_matched =
+                    self.segment
+                        .nodes
+                        .iter()
+                        .filter(|n| **n != self.my_id)
+                        .all(|n| {
+                            *self.match_index.get(n).unwrap_or(&-1) + 1
+                                >= self.segment.seq_nrs.len() as i64
+                        });
                 if !(self.is_complete() && all_matched) {
                     self.replicate(ctx);
                     self.arm_heartbeat_timer(ctx);
                 }
             }
         } else if token == TIMER_ELECTION + self.election_generation
-            && self.role != Role::Leader && !self.is_complete() {
-                self.start_election(ctx);
-            }
+            && self.role != Role::Leader
+            && !self.is_complete()
+        {
+            self.start_election(ctx);
+        }
     }
 
     fn on_suspect(&mut self, node: NodeId, ctx: &mut SbContext<'_>) {
@@ -459,7 +501,13 @@ mod tests {
             election_timeout_max: Duration::from_millis(election_ms * 2),
         };
         let instances = (0..n)
-            .map(|i| RaftInstance::new(NodeId(i as u32), segment(n, leader, seq_nrs.clone()), config))
+            .map(|i| {
+                RaftInstance::new(
+                    NodeId(i as u32),
+                    segment(n, leader, seq_nrs.clone()),
+                    config,
+                )
+            })
             .collect();
         LocalNet::new(instances)
     }
@@ -480,7 +528,10 @@ mod tests {
         net.assert_agreement();
         for node in 0..3 {
             for sn in 0..3u64 {
-                assert_eq!(net.log_of(node).get(&sn).unwrap().as_ref(), Some(&batch(sn as u32)));
+                assert_eq!(
+                    net.log_of(node).get(&sn).unwrap().as_ref(),
+                    Some(&batch(sn as u32))
+                );
             }
         }
     }
@@ -560,7 +611,11 @@ mod tests {
                 term: 0,
                 prev_index: 0,
                 prev_term: 0,
-                entries: vec![RaftEntry { term: 0, seq_nr: 0, batch: Some(batch(5)) }],
+                entries: vec![RaftEntry {
+                    term: 0,
+                    seq_nr: 0,
+                    batch: Some(batch(5)),
+                }],
                 leader_commit: 1,
             }),
         );

@@ -62,7 +62,12 @@ pub struct SbContext<'a> {
 impl<'a> SbContext<'a> {
     /// Creates a context.
     pub fn new(now: Time, validator: &'a mut dyn ProposalValidator, rng: &'a mut StdRng) -> Self {
-        SbContext { now, validator, rng, actions: Vec::new() }
+        SbContext {
+            now,
+            validator,
+            rng,
+            actions: Vec::new(),
+        }
     }
 
     /// Sends a message to one node.
@@ -159,7 +164,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut ctx = SbContext::new(Time::from_secs(1), &mut v, &mut rng);
         assert!(ctx.is_empty());
-        ctx.send(NodeId(1), SbMsg::Reference(iss_messages::RefSbMsg::Heartbeat));
+        ctx.send(
+            NodeId(1),
+            SbMsg::Reference(iss_messages::RefSbMsg::Heartbeat),
+        );
         ctx.broadcast(SbMsg::Reference(iss_messages::RefSbMsg::Heartbeat));
         ctx.deliver(3, None);
         ctx.deliver(4, Some(Batch::empty()));
@@ -170,8 +178,20 @@ mod tests {
         let actions = ctx.take_actions();
         assert!(matches!(actions[0], SbAction::Send { to: NodeId(1), .. }));
         assert!(matches!(actions[1], SbAction::Broadcast(_)));
-        assert!(matches!(actions[2], SbAction::Deliver { seq_nr: 3, batch: None }));
-        assert!(matches!(actions[3], SbAction::Deliver { seq_nr: 4, batch: Some(_) }));
+        assert!(matches!(
+            actions[2],
+            SbAction::Deliver {
+                seq_nr: 3,
+                batch: None
+            }
+        ));
+        assert!(matches!(
+            actions[3],
+            SbAction::Deliver {
+                seq_nr: 4,
+                batch: Some(_)
+            }
+        ));
         assert!(matches!(actions[4], SbAction::SetTimer { token: 1, .. }));
         assert!(matches!(actions[5], SbAction::CancelTimer { token: 1 }));
         assert!(matches!(actions[6], SbAction::Suspect(NodeId(2))));

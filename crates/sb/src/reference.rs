@@ -102,7 +102,12 @@ impl ReferenceSb {
     }
 
     fn maybe_ready(&mut self, sn: SeqNr, digest: Digest, ctx: &mut SbContext<'_>) {
-        if self.echoes.get(&(sn, digest)).map(HashSet::len).unwrap_or(0) >= self.quorum()
+        if self
+            .echoes
+            .get(&(sn, digest))
+            .map(HashSet::len)
+            .unwrap_or(0)
+            >= self.quorum()
             && !self.ready_sent.contains(&sn)
         {
             self.send_ready(sn, digest, ctx);
@@ -398,7 +403,10 @@ mod tests {
             net.inject_message(
                 NodeId(2),
                 NodeId(to),
-                SbMsg::Reference(RefSbMsg::BrbSend { seq_nr: 0, batch: forged.clone() }),
+                SbMsg::Reference(RefSbMsg::BrbSend {
+                    seq_nr: 0,
+                    batch: forged.clone(),
+                }),
             );
         }
         net.run_messages();

@@ -51,7 +51,9 @@ impl<I: SbInstance> LocalNet<I> {
         let n = instances.len();
         LocalNet {
             instances,
-            validators: (0..n).map(|_| Box::new(AcceptAll) as Box<dyn ProposalValidator>).collect(),
+            validators: (0..n)
+                .map(|_| Box::new(AcceptAll) as Box<dyn ProposalValidator>)
+                .collect(),
             queue: VecDeque::new(),
             timers: Vec::new(),
             timer_seq: 0,
@@ -255,4 +257,25 @@ impl<I: SbInstance> LocalNet<I> {
 /// Convenience: a default duration used by tests that need "some" delay.
 pub fn short_delay() -> Duration {
     Duration::from_millis(100)
+}
+
+/// An inert [`SbInstance`]: ignores every callback and never completes.
+///
+/// Used by tests and benchmarks that exercise the *embedding*'s bookkeeping
+/// (instance storage, dispatch, timer routing) without paying for a real
+/// ordering protocol behind it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSb;
+
+impl SbInstance for NullSb {
+    fn init(&mut self, _ctx: &mut SbContext<'_>) {}
+    fn propose(&mut self, _seq_nr: SeqNr, _batch: Batch, _ctx: &mut SbContext<'_>) {}
+    fn on_message(&mut self, _from: NodeId, _msg: SbMsg, _ctx: &mut SbContext<'_>) {}
+    fn on_timer(&mut self, _token: u64, _ctx: &mut SbContext<'_>) {}
+    fn is_complete(&self) -> bool {
+        false
+    }
+    fn delivered_count(&self) -> usize {
+        0
+    }
 }

@@ -37,7 +37,9 @@ pub struct RejectAll;
 
 impl ProposalValidator for RejectAll {
     fn validate_proposal(&mut self, seq_nr: SeqNr, _batch: &Batch) -> Result<()> {
-        Err(iss_types::Error::invalid(format!("proposal for {seq_nr} rejected by RejectAll")))
+        Err(iss_types::Error::invalid(format!(
+            "proposal for {seq_nr} rejected by RejectAll"
+        )))
     }
 }
 

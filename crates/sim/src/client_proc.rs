@@ -55,7 +55,10 @@ impl ClientProcess {
         while self.submitted < due {
             let request = self.factory.next_request();
             let target = self.leaders.target_for(&request.id);
-            ctx.send(Addr::Node(target), NetMsg::Client(ClientMsg::Request(request)));
+            ctx.send(
+                Addr::Node(target),
+                NetMsg::Client(ClientMsg::Request(request)),
+            );
             self.submitted += 1;
         }
     }
@@ -127,7 +130,9 @@ mod tests {
         for n in 0..4u32 {
             rt.add_process(
                 Addr::Node(NodeId(n)),
-                Box::new(CountingNode { count: Rc::clone(&count) }),
+                Box::new(CountingNode {
+                    count: Rc::clone(&count),
+                }),
             );
         }
         let schedule = OpenLoopSchedule::new(2, 200.0, Time::ZERO);

@@ -5,15 +5,13 @@
 use crate::client_proc::ClientProcess;
 use crate::factories::{make_factory, Protocol};
 use crate::metrics::{metrics_handle, MetricsHandle, MetricsSink};
-use iss_core::{IssNode, Mode, NodeOptions, StragglerBehavior};
+use iss_core::{IssNode, Mode, NodeOptions, ReferenceNodeState, StragglerBehavior};
 use iss_crypto::SignatureRegistry;
 use iss_messages::NetMsg;
 use iss_simnet::fault::CrashSchedule;
 use iss_simnet::process::Addr;
 use iss_simnet::{CpuModel, Runtime, RuntimeConfig};
-use iss_types::{
-    ClientId, Duration, IssConfig, LeaderPolicyKind, NodeId, ProtocolKind, Time,
-};
+use iss_types::{ClientId, Duration, IssConfig, LeaderPolicyKind, NodeId, ProtocolKind, Time};
 use iss_workload::OpenLoopSchedule;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -63,6 +61,11 @@ pub struct ClusterSpec {
     pub respond_to_clients: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Run the nodes on [`iss_core::ReferenceNodeState`] (the `HashMap`
+    /// oracle) instead of the dense [`iss_core::EpochState`] arena.
+    /// Equivalence tests run the same spec both ways and assert
+    /// bit-identical reports.
+    pub reference_node_state: bool,
 }
 
 impl ClusterSpec {
@@ -82,6 +85,7 @@ impl ClusterSpec {
             stragglers: Vec::new(),
             respond_to_clients: false,
             seed: 42,
+            reference_node_state: false,
         }
     }
 
@@ -179,9 +183,11 @@ impl Deployment {
     /// Builds the deployment described by `spec`.
     pub fn build(spec: ClusterSpec) -> Self {
         let config = spec.iss_config();
-        let registry = Arc::new(SignatureRegistry::with_processes(spec.num_nodes, spec.num_clients));
-        let schedule =
-            OpenLoopSchedule::new(spec.num_clients, spec.total_rate, Time::ZERO);
+        let registry = Arc::new(SignatureRegistry::with_processes(
+            spec.num_nodes,
+            spec.num_clients,
+        ));
+        let schedule = OpenLoopSchedule::new(spec.num_clients, spec.total_rate, Time::ZERO);
 
         // Observer: the highest-numbered node that neither crashes nor lags.
         let crashed: Vec<NodeId> = spec.crashes.iter().map(|(n, _)| *n).collect();
@@ -203,7 +209,8 @@ impl Deployment {
             // The paper attributes ISS-PBFT's edge over Mir-BFT to more
             // careful concurrency handling; model it as a per-request
             // processing overhead.
-            runtime_config.cpu.per_request = runtime_config.cpu.per_request.saturating_mul(13).div(10);
+            runtime_config.cpu.per_request =
+                runtime_config.cpu.per_request.saturating_mul(13).div(10);
         }
         let mut crash_schedule = CrashSchedule::none();
         for (node, timing) in &spec.crashes {
@@ -228,8 +235,19 @@ impl Deployment {
             }
             let factory = make_factory(spec.protocol, &config, Arc::clone(&registry));
             let sink = Rc::new(RefCell::new(MetricsSink::new(Rc::clone(&metrics))));
-            let node = IssNode::new(node_id, opts, factory, Arc::clone(&registry), sink);
-            runtime.add_process(Addr::Node(node_id), Box::new(node));
+            if spec.reference_node_state {
+                let node = IssNode::<ReferenceNodeState>::with_state(
+                    node_id,
+                    opts,
+                    factory,
+                    Arc::clone(&registry),
+                    sink,
+                );
+                runtime.add_process(Addr::Node(node_id), Box::new(node));
+            } else {
+                let node = IssNode::new(node_id, opts, factory, Arc::clone(&registry), sink);
+                runtime.add_process(Addr::Node(node_id), Box::new(node));
+            }
         }
 
         let stop_at = Time::ZERO + spec.duration;
@@ -246,7 +264,11 @@ impl Deployment {
             runtime.add_process(Addr::Client(*c), Box::new(client));
         }
 
-        Deployment { runtime, metrics, spec }
+        Deployment {
+            runtime,
+            metrics,
+            spec,
+        }
     }
 
     /// Runs the deployment for the configured duration and summarizes it.
@@ -299,7 +321,11 @@ mod tests {
     fn iss_pbft_cluster_delivers_requests() {
         let report = run_cluster(small_spec(Protocol::Pbft));
         assert!(report.delivered > 1000, "delivered {}", report.delivered);
-        assert!(report.throughput > 100.0, "throughput {}", report.throughput);
+        assert!(
+            report.throughput > 100.0,
+            "throughput {}",
+            report.throughput
+        );
         assert!(report.mean_latency > Duration::ZERO);
         assert!(report.messages_sent > 0);
     }
@@ -327,8 +353,14 @@ mod tests {
         let spec = small_spec(Protocol::Pbft);
         let epoch = spec.expected_epoch_duration();
         assert_eq!(epoch, Duration::from_secs(8));
-        assert_eq!(spec.crash_time(CrashTiming::EpochStart), Time::from_millis(500));
+        assert_eq!(
+            spec.crash_time(CrashTiming::EpochStart),
+            Time::from_millis(500)
+        );
         assert!(spec.crash_time(CrashTiming::EpochEnd) > Time::from_secs(7));
-        assert_eq!(spec.crash_time(CrashTiming::At(Time::from_secs(3))), Time::from_secs(3));
+        assert_eq!(
+            spec.crash_time(CrashTiming::At(Time::from_secs(3))),
+            Time::from_secs(3)
+        );
     }
 }

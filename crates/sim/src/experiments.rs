@@ -24,14 +24,24 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { node_counts: &[4, 8, 16, 32], duration_secs: 25, load_factor: 1.0, fault_nodes: 16 }
+        Scale {
+            node_counts: &[4, 8, 16, 32],
+            duration_secs: 25,
+            load_factor: 1.0,
+            fault_nodes: 16,
+        }
     }
 }
 
 impl Scale {
     /// A very small scale for CI / smoke tests.
     pub fn quick() -> Self {
-        Scale { node_counts: &[4, 8], duration_secs: 12, load_factor: 0.5, fault_nodes: 8 }
+        Scale {
+            node_counts: &[4, 8],
+            duration_secs: 12,
+            load_factor: 0.5,
+            fault_nodes: 8,
+        }
     }
 
     /// The paper's scale (4 to 128 nodes, 32-node fault experiments,
@@ -61,13 +71,27 @@ fn saturating_rate(nodes: usize, iss: bool, load_factor: f64) -> f64 {
     // Offered load high enough to saturate the deployment: the batch-rate
     // ceiling is 32 b/s × 2048 req ≈ 65 kreq/s for ISS; single-leader
     // deployments saturate far below that.
-    let base = if iss { 70_000.0_f64.min(6_000.0 * nodes as f64) } else { 24_000.0 / (nodes as f64).sqrt() };
+    let base = if iss {
+        70_000.0_f64.min(6_000.0 * nodes as f64)
+    } else {
+        24_000.0 / (nodes as f64).sqrt()
+    };
     base * load_factor
 }
 
-fn spec_for(series: &str, protocol: Protocol, mode: Mode, nodes: usize, scale: Scale) -> ClusterSpec {
+fn spec_for(
+    series: &str,
+    protocol: Protocol,
+    mode: Mode,
+    nodes: usize,
+    scale: Scale,
+) -> ClusterSpec {
     let iss = mode != Mode::SingleLeader;
-    let mut spec = ClusterSpec::new(protocol, nodes, saturating_rate(nodes, iss, scale.load_factor));
+    let mut spec = ClusterSpec::new(
+        protocol,
+        nodes,
+        saturating_rate(nodes, iss, scale.load_factor),
+    );
     spec.mode = mode;
     spec.duration = Duration::from_secs(scale.duration_secs);
     spec.warmup = Duration::from_secs(scale.duration_secs / 3);
@@ -148,7 +172,11 @@ pub struct PolicyLatency {
 }
 
 fn fault_spec(scale: Scale, policy: LeaderPolicyKind) -> ClusterSpec {
-    let mut spec = ClusterSpec::new(Protocol::Pbft, scale.fault_nodes, 16_400.0 * scale.load_factor);
+    let mut spec = ClusterSpec::new(
+        Protocol::Pbft,
+        scale.fault_nodes,
+        16_400.0 * scale.load_factor,
+    );
     spec.policy = policy;
     spec.duration = Duration::from_secs(scale.duration_secs.max(20));
     spec.warmup = Duration::from_secs(2);
@@ -159,8 +187,15 @@ fn fault_spec(scale: Scale, policy: LeaderPolicyKind) -> ClusterSpec {
 /// epoch-start / epoch-end crash (32 nodes, 16.4 kreq/s in the paper).
 pub fn figure7(scale: Scale) -> Vec<PolicyLatency> {
     let mut rows = Vec::new();
-    for policy in [LeaderPolicyKind::Simple, LeaderPolicyKind::Backoff, LeaderPolicyKind::Blacklist] {
-        for (label, timing) in [("epoch-start", CrashTiming::EpochStart), ("epoch-end", CrashTiming::EpochEnd)] {
+    for policy in [
+        LeaderPolicyKind::Simple,
+        LeaderPolicyKind::Backoff,
+        LeaderPolicyKind::Blacklist,
+    ] {
+        for (label, timing) in [
+            ("epoch-start", CrashTiming::EpochStart),
+            ("epoch-end", CrashTiming::EpochEnd),
+        ] {
             let mut spec = fault_spec(scale, policy);
             spec.crashes = vec![(NodeId(0), timing)];
             let report = run_cluster(spec);
@@ -196,7 +231,10 @@ pub fn figure8(scale: Scale) -> Vec<CrashLatencyPoint> {
     let mut rows = Vec::new();
     let durations: Vec<u64> = vec![scale.duration_secs / 2, scale.duration_secs];
     for faults in [0usize, 1, 2] {
-        for (label, timing) in [("epoch-start", CrashTiming::EpochStart), ("epoch-end", CrashTiming::EpochEnd)] {
+        for (label, timing) in [
+            ("epoch-start", CrashTiming::EpochStart),
+            ("epoch-end", CrashTiming::EpochEnd),
+        ] {
             if faults == 0 && label == "epoch-end" {
                 continue; // f=0 has a single series in the paper
             }
@@ -219,11 +257,7 @@ pub fn figure8(scale: Scale) -> Vec<CrashLatencyPoint> {
 }
 
 /// Figure 9 (ISS) / Figure 10 (Mir-BFT): throughput over time with one crash.
-pub fn throughput_timeline(
-    mode: Mode,
-    timing: CrashTiming,
-    scale: Scale,
-) -> Report {
+pub fn throughput_timeline(mode: Mode, timing: CrashTiming, scale: Scale) -> Report {
     let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
     spec.mode = mode;
     spec.crashes = vec![(NodeId(0), timing)];
@@ -233,7 +267,11 @@ pub fn throughput_timeline(
 /// Figure 11: latency over throughput with 0/1/5/10 Byzantine stragglers.
 pub fn figure11(scale: Scale) -> Vec<LatencyThroughputPoint> {
     let mut points = Vec::new();
-    let straggler_counts: &[usize] = if scale.fault_nodes >= 32 { &[0, 1, 5, 10] } else { &[0, 1, 2] };
+    let straggler_counts: &[usize] = if scale.fault_nodes >= 32 {
+        &[0, 1, 5, 10]
+    } else {
+        &[0, 1, 2]
+    };
     for &count in straggler_counts {
         for fraction in [0.5, 1.0] {
             let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
@@ -263,16 +301,32 @@ mod tests {
 
     #[test]
     fn figure5_quick_shape_iss_beats_single_leader() {
-        let tiny = Scale { node_counts: &[4], duration_secs: 12, load_factor: 0.3, fault_nodes: 4 };
+        let tiny = Scale {
+            node_counts: &[4],
+            duration_secs: 12,
+            load_factor: 0.3,
+            fault_nodes: 4,
+        };
         // Only compare the two PBFT series to keep the test fast.
         let iss = run_cluster(spec_for("ISS-PBFT", Protocol::Pbft, Mode::Iss, 4, tiny));
-        let single = run_cluster(spec_for("PBFT", Protocol::Pbft, Mode::SingleLeader, 4, tiny));
+        let single = run_cluster(spec_for(
+            "PBFT",
+            Protocol::Pbft,
+            Mode::SingleLeader,
+            4,
+            tiny,
+        ));
         assert!(iss.delivered > 0 && single.delivered > 0);
     }
 
     #[test]
     fn crash_timeline_has_epoch_transitions() {
-        let tiny = Scale { node_counts: &[4], duration_secs: 20, load_factor: 0.2, fault_nodes: 4 };
+        let tiny = Scale {
+            node_counts: &[4],
+            duration_secs: 20,
+            load_factor: 0.2,
+            fault_nodes: 4,
+        };
         let report = throughput_timeline(Mode::Iss, CrashTiming::EpochStart, tiny);
         assert!(!report.timeline.is_empty());
         assert!(report.delivered > 0);

@@ -70,7 +70,9 @@ impl OrdererFactory for HotStuffFactory {
         Box::new(HotStuffInstance::new(
             my_id,
             segment,
-            HotStuffConfig { pacemaker_timeout: self.pacemaker_timeout },
+            HotStuffConfig {
+                pacemaker_timeout: self.pacemaker_timeout,
+            },
         ))
     }
 
@@ -153,7 +155,12 @@ mod tests {
     fn all_factories_create_instances() {
         let registry = Arc::new(SignatureRegistry::with_processes(4, 0));
         let config = IssConfig::pbft(4);
-        for protocol in [Protocol::Pbft, Protocol::HotStuff, Protocol::Raft, Protocol::Reference] {
+        for protocol in [
+            Protocol::Pbft,
+            Protocol::HotStuff,
+            Protocol::Raft,
+            Protocol::Reference,
+        ] {
             let factory = make_factory(protocol, &config, Arc::clone(&registry));
             let inst = factory.create(NodeId(1), Arc::new(segment()));
             assert!(!inst.is_complete());

@@ -32,12 +32,19 @@ pub struct Metrics {
 impl Metrics {
     /// Creates metrics for a run observed at `observer`.
     pub fn new(observer: NodeId, schedule: Option<OpenLoopSchedule>) -> Self {
-        Metrics { observer, schedule, ..Default::default() }
+        Metrics {
+            observer,
+            schedule,
+            ..Default::default()
+        }
     }
 
     /// Total requests delivered at the observer node.
     pub fn observer_delivered(&self) -> u64 {
-        self.delivered_per_node.get(&self.observer).copied().unwrap_or(0)
+        self.delivered_per_node
+            .get(&self.observer)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Average delivered throughput at the observer over `[from, until)`.
@@ -68,7 +75,13 @@ impl MetricsSink {
 }
 
 impl DeliverySink for MetricsSink {
-    fn on_request_delivered(&mut self, node: NodeId, request: &Request, _request_seq_nr: u64, now: Time) {
+    fn on_request_delivered(
+        &mut self,
+        node: NodeId,
+        request: &Request,
+        _request_seq_nr: u64,
+        now: Time,
+    ) {
         let mut m = self.metrics.borrow_mut();
         *m.delivered_per_node.entry(node).or_insert(0) += 1;
         if node == m.observer {

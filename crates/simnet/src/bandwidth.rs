@@ -135,7 +135,11 @@ impl InterfaceState {
         let client_if = is_client_traffic(from, to);
         let ser = cfg.serialization_delay(size, client_if);
         let in_free = self.slot(to, client_if, false);
-        let start = if *in_free > arrival { *in_free } else { arrival };
+        let start = if *in_free > arrival {
+            *in_free
+        } else {
+            arrival
+        };
         let done = start + ser;
         *in_free = done;
         done

@@ -39,12 +39,20 @@ impl CpuModel {
 
     /// Cost model for CFT deployments where client signatures are disabled.
     pub fn testbed_no_sigs() -> Self {
-        CpuModel { per_request: Duration::from_micros(6), ..Self::testbed() }
+        CpuModel {
+            per_request: Duration::from_micros(6),
+            ..Self::testbed()
+        }
     }
 
     /// A zero-cost model (unit tests).
     pub fn free() -> Self {
-        CpuModel { cores: 1, per_message: Duration::ZERO, per_request: Duration::ZERO, per_byte_ns: 0.0 }
+        CpuModel {
+            cores: 1,
+            per_message: Duration::ZERO,
+            per_request: Duration::ZERO,
+            per_byte_ns: 0.0,
+        }
     }
 
     /// Cost of handling one message that carries `num_requests` requests and
@@ -91,7 +99,9 @@ impl CpuState {
     /// Creates an idle CPU with `cores` cores.
     pub fn new(cores: usize) -> Self {
         // All-zero is trivially a valid heap.
-        CpuState { heap: vec![Time::ZERO; cores.max(1)] }
+        CpuState {
+            heap: vec![Time::ZERO; cores.max(1)],
+        }
     }
 
     /// Schedules a unit of work of length `cost` arriving at `arrival`;
@@ -150,7 +160,9 @@ pub struct ReferenceCpuState {
 impl ReferenceCpuState {
     /// Creates an idle CPU with `cores` cores.
     pub fn new(cores: usize) -> Self {
-        ReferenceCpuState { core_free_at: vec![Time::ZERO; cores.max(1)] }
+        ReferenceCpuState {
+            core_free_at: vec![Time::ZERO; cores.max(1)],
+        }
     }
 
     /// Scan-based scheduling: first idle core by index, else the full

@@ -217,7 +217,8 @@ impl<M> EventQueue<M> {
             self.wheel[idx].push(event);
             self.occupied[idx / 64] |= 1u64 << (idx % 64);
         } else {
-            self.overflow.insert((event.at.as_micros(), event.seq), event.kind);
+            self.overflow
+                .insert((event.at.as_micros(), event.seq), event.kind);
         }
     }
 
@@ -247,7 +248,11 @@ impl<M> EventQueue<M> {
             let near = std::mem::replace(&mut self.overflow, far);
             for ((at_us, seq), kind) in near {
                 let idx = ((at_us >> SLOT_BITS) - self.window_start_slot) as usize;
-                self.wheel[idx].push(Event { at: Time::from_micros(at_us), seq, kind });
+                self.wheel[idx].push(Event {
+                    at: Time::from_micros(at_us),
+                    seq,
+                    kind,
+                });
                 self.occupied[idx / 64] |= 1u64 << (idx % 64);
             }
         }
@@ -291,7 +296,10 @@ impl<M> Default for ReferenceQueue<M> {
 impl<M> ReferenceQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        ReferenceQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules an event at time `at`.
@@ -330,12 +338,29 @@ mod tests {
     #[test]
     fn events_pop_in_time_order() {
         let mut q: EventQueue<u32> = EventQueue::new();
-        q.push(Time::from_millis(20), EventKind::Start { addr: Addr::Node(NodeId(2)) });
-        q.push(Time::from_millis(10), EventKind::Start { addr: Addr::Node(NodeId(1)) });
-        q.push(Time::from_millis(30), EventKind::Start { addr: Addr::Node(NodeId(3)) });
+        q.push(
+            Time::from_millis(20),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(2)),
+            },
+        );
+        q.push(
+            Time::from_millis(10),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(1)),
+            },
+        );
+        q.push(
+            Time::from_millis(30),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(3)),
+            },
+        );
         assert_eq!(q.len(), 3);
         assert_eq!(q.peek_time(), Some(Time::from_millis(10)));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_micros()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
         assert_eq!(order, vec![10_000, 20_000, 30_000]);
         assert!(q.is_empty());
     }
@@ -344,8 +369,22 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut q: EventQueue<u32> = EventQueue::new();
         let t = Time::from_millis(5);
-        q.push(t, EventKind::Timer { addr: Addr::Node(NodeId(0)), id: TimerId(1), kind: 1 });
-        q.push(t, EventKind::Timer { addr: Addr::Node(NodeId(0)), id: TimerId(2), kind: 2 });
+        q.push(
+            t,
+            EventKind::Timer {
+                addr: Addr::Node(NodeId(0)),
+                id: TimerId(1),
+                kind: 1,
+            },
+        );
+        q.push(
+            t,
+            EventKind::Timer {
+                addr: Addr::Node(NodeId(0)),
+                id: TimerId(2),
+                kind: 2,
+            },
+        );
         let first = q.pop().unwrap();
         let second = q.pop().unwrap();
         match (first.kind, second.kind) {
@@ -360,10 +399,27 @@ mod tests {
     fn far_future_events_take_the_overflow_path() {
         let mut q: EventQueue<u32> = EventQueue::new();
         // Far beyond the wheel window (window is ~4.2 s).
-        q.push(Time::from_secs(30), EventKind::Start { addr: Addr::Node(NodeId(1)) });
-        q.push(Time::from_secs(10), EventKind::Start { addr: Addr::Node(NodeId(0)) });
-        q.push(Time::from_millis(1), EventKind::Start { addr: Addr::Node(NodeId(2)) });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_micros()).collect();
+        q.push(
+            Time::from_secs(30),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(1)),
+            },
+        );
+        q.push(
+            Time::from_secs(10),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(0)),
+            },
+        );
+        q.push(
+            Time::from_millis(1),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(2)),
+            },
+        );
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
         assert_eq!(order, vec![1_000, 10_000_000, 30_000_000]);
     }
 
@@ -375,8 +431,18 @@ mod tests {
         let mut r: ReferenceQueue<u32> = ReferenceQueue::new();
         for i in 0..4u64 {
             let t = Time::from_millis(i * 2_800);
-            q.push(t, EventKind::Start { addr: Addr::Node(NodeId(i as u32)) });
-            r.push(t, EventKind::Start { addr: Addr::Node(NodeId(i as u32)) });
+            q.push(
+                t,
+                EventKind::Start {
+                    addr: Addr::Node(NodeId(i as u32)),
+                },
+            );
+            r.push(
+                t,
+                EventKind::Start {
+                    addr: Addr::Node(NodeId(i as u32)),
+                },
+            );
         }
         let mut popped = Vec::new();
         while let Some(e) = q.pop() {
@@ -387,8 +453,18 @@ mod tests {
                 // Two follow-ups: one near, one past the horizon.
                 for delay in [150u64, 5_100_000] {
                     let t = e.at + iss_types::Duration::from_micros(delay);
-                    q.push(t, EventKind::Start { addr: Addr::Node(NodeId(9)) });
-                    r.push(t, EventKind::Start { addr: Addr::Node(NodeId(9)) });
+                    q.push(
+                        t,
+                        EventKind::Start {
+                            addr: Addr::Node(NodeId(9)),
+                        },
+                    );
+                    r.push(
+                        t,
+                        EventKind::Start {
+                            addr: Addr::Node(NodeId(9)),
+                        },
+                    );
                 }
             }
         }
@@ -399,12 +475,27 @@ mod tests {
     #[test]
     fn zero_delay_pushes_pop_before_later_events() {
         let mut q: EventQueue<u32> = EventQueue::new();
-        q.push(Time::from_millis(10), EventKind::Start { addr: Addr::Node(NodeId(0)) });
-        q.push(Time::from_millis(20), EventKind::Start { addr: Addr::Node(NodeId(1)) });
+        q.push(
+            Time::from_millis(10),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(0)),
+            },
+        );
+        q.push(
+            Time::from_millis(20),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(1)),
+            },
+        );
         let first = q.pop().unwrap();
         assert_eq!(first.at, Time::from_millis(10));
         // Self-send at the current time must come before the 20 ms event.
-        q.push(Time::from_millis(10), EventKind::Start { addr: Addr::Node(NodeId(2)) });
+        q.push(
+            Time::from_millis(10),
+            EventKind::Start {
+                addr: Addr::Node(NodeId(2)),
+            },
+        );
         assert_eq!(q.pop().unwrap().at, Time::from_millis(10));
         assert_eq!(q.pop().unwrap().at, Time::from_millis(20));
     }

@@ -148,7 +148,11 @@ mod tests {
         // Same-group traffic unaffected.
         assert!(!p.blocks(a, Addr::Node(NodeId(1)), Time::from_millis(1500)));
         // Client traffic unaffected.
-        assert!(!p.blocks(a, Addr::Client(iss_types::ClientId(0)), Time::from_millis(1500)));
+        assert!(!p.blocks(
+            a,
+            Addr::Client(iss_types::ClientId(0)),
+            Time::from_millis(1500)
+        ));
     }
 
     #[test]
@@ -164,10 +168,26 @@ mod tests {
             pre_gst_drop_probability: 0.1,
             gst: Time::from_secs(3),
         };
-        assert!(cfg.drops(Addr::Node(NodeId(1)), Addr::Node(NodeId(0)), Time::from_secs(6)));
-        assert!(cfg.drops(Addr::Node(NodeId(0)), Addr::Node(NodeId(1)), Time::from_secs(6)));
-        assert!(cfg.drops(Addr::Node(NodeId(0)), Addr::Node(NodeId(2)), Time::from_millis(500)));
-        assert!(!cfg.drops(Addr::Node(NodeId(0)), Addr::Node(NodeId(2)), Time::from_secs(2)));
+        assert!(cfg.drops(
+            Addr::Node(NodeId(1)),
+            Addr::Node(NodeId(0)),
+            Time::from_secs(6)
+        ));
+        assert!(cfg.drops(
+            Addr::Node(NodeId(0)),
+            Addr::Node(NodeId(1)),
+            Time::from_secs(6)
+        ));
+        assert!(cfg.drops(
+            Addr::Node(NodeId(0)),
+            Addr::Node(NodeId(2)),
+            Time::from_millis(500)
+        ));
+        assert!(!cfg.drops(
+            Addr::Node(NodeId(0)),
+            Addr::Node(NodeId(2)),
+            Time::from_secs(2)
+        ));
         assert!(cfg.lossy_at(Time::from_secs(1)));
         assert!(!cfg.lossy_at(Time::from_secs(4)));
         assert!(!FaultConfig::none().drops(

@@ -111,7 +111,13 @@ impl<'a, M> Context<'a, M> {
         rng: &'a mut StdRng,
     ) -> Self {
         debug_assert!(actions.is_empty());
-        Context { now, self_addr, timers, actions, rng }
+        Context {
+            now,
+            self_addr,
+            timers,
+            actions,
+            rng,
+        }
     }
 
     /// Current virtual time.
@@ -225,7 +231,13 @@ mod tests {
         // Send and SetTimer are buffered; the cancellation retired the slab
         // slot directly instead of queueing an action.
         assert_eq!(actions.len(), 2);
-        assert!(matches!(actions[0], Action::Send { to: Addr::Node(NodeId(1)), .. }));
+        assert!(matches!(
+            actions[0],
+            Action::Send {
+                to: Addr::Node(NodeId(1)),
+                ..
+            }
+        ));
         assert!(matches!(actions[1], Action::SetTimer { kind: 7, .. }));
         assert!(!timers.is_live(t));
     }
@@ -253,7 +265,14 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(sends, vec![Addr::Node(NodeId(1)), Addr::Node(NodeId(2)), Addr::Node(NodeId(3))]);
+        assert_eq!(
+            sends,
+            vec![
+                Addr::Node(NodeId(1)),
+                Addr::Node(NodeId(2)),
+                Addr::Node(NodeId(3))
+            ]
+        );
     }
 
     #[test]
@@ -261,8 +280,13 @@ mod tests {
         let mut timers = TimerSlab::new();
         let mut actions = Vec::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx: Context<'_, Msg> =
-            Context::new(Time::ZERO, Addr::Node(NodeId(0)), &mut timers, &mut actions, &mut rng);
+        let mut ctx: Context<'_, Msg> = Context::new(
+            Time::ZERO,
+            Addr::Node(NodeId(0)),
+            &mut timers,
+            &mut actions,
+            &mut rng,
+        );
         let a = ctx.set_timer(Duration::from_millis(1), 0);
         let b = ctx.set_timer(Duration::from_millis(1), 0);
         assert_ne!(a, b);

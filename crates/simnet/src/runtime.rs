@@ -269,7 +269,8 @@ impl<M: Payload> Runtime<M> {
                     None => self.now,
                 };
                 if completion > self.now {
-                    self.queue.push(completion, EventKind::Invoke { from, to, msg });
+                    self.queue
+                        .push(completion, EventKind::Invoke { from, to, msg });
                 } else {
                     self.invoke(to, |process, ctx| process.on_message(from, msg, ctx));
                 }
@@ -320,8 +321,13 @@ impl<M: Payload> Runtime<M> {
         let mut actions = std::mem::take(&mut self.action_buf);
         {
             let entry = &mut self.procs[slot];
-            let mut ctx =
-                Context::new(self.now, addr, &mut self.timers, &mut actions, &mut self.rng);
+            let mut ctx = Context::new(
+                self.now,
+                addr,
+                &mut self.timers,
+                &mut actions,
+                &mut self.rng,
+            );
             f(entry.process.as_mut(), &mut ctx);
         }
         self.apply_actions(addr, &mut actions);
@@ -334,8 +340,14 @@ impl<M: Payload> Runtime<M> {
             match action {
                 Action::Send { to, msg } => self.send(source, to, msg),
                 Action::SetTimer { id, delay, kind } => {
-                    self.queue
-                        .push(self.now + delay, EventKind::Timer { addr: source, id, kind });
+                    self.queue.push(
+                        self.now + delay,
+                        EventKind::Timer {
+                            addr: source,
+                            id,
+                            kind,
+                        },
+                    );
                 }
             }
         }
@@ -361,23 +373,29 @@ impl<M: Payload> Runtime<M> {
 
         // Local delivery (a process sending to itself) skips the network.
         if from == to {
-            self.queue.push(self.now, EventKind::Deliver { from, to, msg });
+            self.queue
+                .push(self.now, EventKind::Deliver { from, to, msg });
             return;
         }
 
-        let (sent_at, _) = self
-            .interfaces
-            .schedule(&self.config.bandwidth, self.now, from, to, size);
+        let (sent_at, _) =
+            self.interfaces
+                .schedule(&self.config.bandwidth, self.now, from, to, size);
         let base_latency = self.config.topology.latency(from, to);
         let jitter = if self.jitter_us > 0 {
             Duration::from_micros(sample_jitter_us(&mut self.rng, self.jitter_us))
         } else {
             Duration::ZERO
         };
-        let arrival = self
-            .interfaces
-            .receive(&self.config.bandwidth, sent_at + base_latency + jitter, from, to, size);
-        self.queue.push(arrival, EventKind::Deliver { from, to, msg });
+        let arrival = self.interfaces.receive(
+            &self.config.bandwidth,
+            sent_at + base_latency + jitter,
+            from,
+            to,
+            size,
+        );
+        self.queue
+            .push(arrival, EventKind::Deliver { from, to, msg });
     }
 }
 
@@ -419,7 +437,13 @@ mod tests {
             self.log.borrow_mut().push((ctx.now(), self.id, msg.hops));
             if msg.hops < self.max_hops {
                 let next = NodeId((self.id.0 + 1) % self.n);
-                ctx.send(Addr::Node(next), Ping { hops: msg.hops + 1, size: msg.size });
+                ctx.send(
+                    Addr::Node(next),
+                    Ping {
+                        hops: msg.hops + 1,
+                        size: msg.size,
+                    },
+                );
             }
         }
         fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Context<'_, Ping>) {}
@@ -427,17 +451,18 @@ mod tests {
 
     type PingLog = Rc<RefCell<Vec<(Time, NodeId, u32)>>>;
 
-    fn ring_runtime(
-        config: RuntimeConfig,
-        n: u32,
-        max_hops: u32,
-    ) -> (Runtime<Ping>, PingLog) {
+    fn ring_runtime(config: RuntimeConfig, n: u32, max_hops: u32) -> (Runtime<Ping>, PingLog) {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut rt = Runtime::new(config);
         for i in 0..n {
             rt.add_process(
                 Addr::Node(NodeId(i)),
-                Box::new(RingNode { id: NodeId(i), n, max_hops, log: Rc::clone(&log) }),
+                Box::new(RingNode {
+                    id: NodeId(i),
+                    n,
+                    max_hops,
+                    log: Rc::clone(&log),
+                }),
             );
         }
         (rt, log)
@@ -500,7 +525,10 @@ mod tests {
         let end_ideal = log_ideal.borrow().last().map(|(t, _, _)| *t).unwrap();
         let end_wan = log_wan.borrow().last().map(|(t, _, _)| *t).unwrap();
         assert!(end_wan > end_ideal, "WAN must be slower than the ideal LAN");
-        assert!(end_wan >= Time::from_millis(100), "4 cross-continent hops take >100ms");
+        assert!(
+            end_wan >= Time::from_millis(100),
+            "4 cross-continent hops take >100ms"
+        );
     }
 
     /// A process that arms and cancels timers.
@@ -525,7 +553,12 @@ mod tests {
     fn cancelled_timers_do_not_fire() {
         let fired = Rc::new(RefCell::new(Vec::new()));
         let mut rt: Runtime<Ping> = Runtime::new(RuntimeConfig::ideal());
-        rt.add_process(Addr::Node(NodeId(0)), Box::new(TimerNode { fired: Rc::clone(&fired) }));
+        rt.add_process(
+            Addr::Node(NodeId(0)),
+            Box::new(TimerNode {
+                fired: Rc::clone(&fired),
+            }),
+        );
         rt.run_until(Time::from_secs(1));
         assert_eq!(*fired.borrow(), vec![1, 3]);
         assert_eq!(rt.stats().timers_fired, 2);
@@ -587,7 +620,12 @@ mod tests {
         let times = Rc::new(RefCell::new(Vec::new()));
         let mut rt: Runtime<Ping> = Runtime::new(cfg);
         rt.add_process(Addr::Node(NodeId(0)), Box::new(Burst));
-        rt.add_process(Addr::Node(NodeId(1)), Box::new(Sink { times: Rc::clone(&times) }));
+        rt.add_process(
+            Addr::Node(NodeId(1)),
+            Box::new(Sink {
+                times: Rc::clone(&times),
+            }),
+        );
         rt.run_until(Time::from_secs(1));
         let times = times.borrow();
         assert_eq!(times.len(), 3);

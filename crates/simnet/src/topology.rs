@@ -70,7 +70,11 @@ impl Topology {
                 }
             }
         }
-        Topology { latency_us, jitter_us: 2_000, names: WAN16_NAMES.to_vec() }
+        Topology {
+            latency_us,
+            jitter_us: 2_000,
+            names: WAN16_NAMES.to_vec(),
+        }
     }
 
     /// A single-datacenter (LAN) topology with the given one-way latency.
@@ -90,7 +94,11 @@ impl Topology {
         for (i, row) in latency_us.iter_mut().enumerate() {
             row[i] = us / 10;
         }
-        Topology { latency_us, jitter_us: us / 20, names: vec!["dc"; num_dcs] }
+        Topology {
+            latency_us,
+            jitter_us: us / 20,
+            names: vec!["dc"; num_dcs],
+        }
     }
 
     /// Number of datacenters.

@@ -40,9 +40,15 @@ fn draw_time(rng: &mut StdRng, anchor: Time, prev: Time) -> Time {
         // Typical network/CPU distance: well inside the wheel window.
         40..=74 => anchor + iss_types::Duration::from_micros(rng.gen_range(0u64..200_000)),
         // Protocol-timer distance: beyond the ~1 s window → overflow tier.
-        75..=94 => anchor + iss_types::Duration::from_micros(rng.gen_range(1_000_000u64..8_000_000)),
+        75..=94 => {
+            anchor + iss_types::Duration::from_micros(rng.gen_range(1_000_000u64..8_000_000))
+        }
         // Behind the anchor (the queue must still order it correctly).
-        _ => Time::from_micros(anchor.as_micros().saturating_sub(rng.gen_range(0u64..1_000))),
+        _ => Time::from_micros(
+            anchor
+                .as_micros()
+                .saturating_sub(rng.gen_range(0u64..1_000)),
+        ),
     }
 }
 
@@ -67,16 +73,22 @@ fn wheel_pops_identical_sequences_to_reference_heap() {
                 for _ in 0..n {
                     let id = next_ident;
                     next_ident += 1;
-                    wheel.push(at, EventKind::Deliver {
-                        from: Addr::Node(NodeId(0)),
-                        to: Addr::Node(NodeId(1)),
-                        msg: id,
-                    });
-                    heap.push(at, EventKind::Deliver {
-                        from: Addr::Node(NodeId(0)),
-                        to: Addr::Node(NodeId(1)),
-                        msg: id,
-                    });
+                    wheel.push(
+                        at,
+                        EventKind::Deliver {
+                            from: Addr::Node(NodeId(0)),
+                            to: Addr::Node(NodeId(1)),
+                            msg: id,
+                        },
+                    );
+                    heap.push(
+                        at,
+                        EventKind::Deliver {
+                            from: Addr::Node(NodeId(0)),
+                            to: Addr::Node(NodeId(1)),
+                            msg: id,
+                        },
+                    );
                 }
             } else {
                 assert_eq!(wheel.peek_time(), heap.peek_time(), "seed {seed}");
@@ -126,7 +138,14 @@ fn timer_slab_matches_tombstone_model() {
                     let id = slab.allocate();
                     let at = now + iss_types::Duration::from_micros(rng.gen_range(0u64..3_000_000));
                     tag += 1;
-                    queue.push(at, EventKind::Timer { addr: Addr::Node(NodeId(0)), id, kind: tag });
+                    queue.push(
+                        at,
+                        EventKind::Timer {
+                            addr: Addr::Node(NodeId(0)),
+                            id,
+                            kind: tag,
+                        },
+                    );
                     armed.push(id);
                 }
                 // Cancel a random armed handle (possibly already fired).

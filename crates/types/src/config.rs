@@ -240,7 +240,9 @@ impl IssConfig {
             ));
         }
         if self.max_batch_size == 0 {
-            return Err(crate::error::Error::config("max_batch_size must be positive"));
+            return Err(crate::error::Error::config(
+                "max_batch_size must be positive",
+            ));
         }
         if self.min_epoch_length == 0 {
             return Err(crate::error::Error::config(
@@ -358,6 +360,9 @@ mod tests {
     #[test]
     fn all_nodes_enumeration() {
         let c = IssConfig::pbft(4);
-        assert_eq!(c.all_nodes(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            c.all_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 }

@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn byte_tail_is_hashed() {
         // Slices that differ only in a non-word-aligned tail must not collide.
-        assert_ne!(hash_of(&[0u8; 9][..]), hash_of(&[0u8, 0, 0, 0, 0, 0, 0, 0, 1][..]));
+        assert_ne!(
+            hash_of(&[0u8; 9][..]),
+            hash_of(&[0u8, 0, 0, 0, 0, 0, 0, 0, 1][..])
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@ use std::fmt;
 ///
 /// Nodes are numbered `0..n` as in the paper's round-robin formulas
 /// (e.g. the bucket assignment of Section 2.4).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -44,9 +42,7 @@ impl From<usize> for NodeId {
 ///
 /// The paper represents the client identifier as an integer associated with
 /// the client's public key (Section 3.7); we do the same.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ClientId(pub u32);
 
 impl ClientId {
@@ -85,9 +81,7 @@ pub type EpochNr = u64;
 pub type ViewNr = u64;
 
 /// Bucket number in `0..numBuckets` (Section 2.4).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BucketId(pub u32);
 
 impl BucketId {
@@ -109,9 +103,7 @@ impl fmt::Debug for BucketId {
 /// Every protocol message carries the instance identifier of the SB instance
 /// it belongs to so that a node can dispatch it to the right state machine
 /// (or buffer it if the epoch has not started locally yet).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct InstanceId {
     /// Epoch this instance belongs to.
     pub epoch: EpochNr,
@@ -140,9 +132,7 @@ impl fmt::Debug for InstanceId {
 /// stale handle — one whose generation no longer matches the slot — can be
 /// rejected in O(1) without keeping a tombstone set. Code that treats the
 /// handle as a plain opaque `u64` keeps working unchanged.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
 pub struct TimerId(pub u64);
 
 impl TimerId {

@@ -238,14 +238,21 @@ pub struct Batch {
 impl Batch {
     /// Creates a batch from a list of requests.
     pub fn new(requests: Vec<Request>) -> Self {
-        Batch { inner: Arc::new(BatchInner { requests, digest: OnceLock::new() }) }
+        Batch {
+            inner: Arc::new(BatchInner {
+                requests,
+                digest: OnceLock::new(),
+            }),
+        }
     }
 
     /// The empty batch (used for heartbeat proposals and HotStuff dummy
     /// blocks). All empty batches share one allocation.
     pub fn empty() -> Self {
         static EMPTY: OnceLock<Arc<BatchInner>> = OnceLock::new();
-        Batch { inner: Arc::clone(EMPTY.get_or_init(|| Arc::new(BatchInner::default()))) }
+        Batch {
+            inner: Arc::clone(EMPTY.get_or_init(|| Arc::new(BatchInner::default()))),
+        }
     }
 
     /// The requests in proposal order.
@@ -265,7 +272,11 @@ impl Batch {
 
     /// Approximate wire size of the batch in bytes.
     pub fn wire_size(&self) -> usize {
-        8 + self.requests().iter().map(Request::wire_size).sum::<usize>()
+        8 + self
+            .requests()
+            .iter()
+            .map(Request::wire_size)
+            .sum::<usize>()
     }
 
     /// Returns the identifiers of all requests in the batch.
@@ -282,7 +293,10 @@ impl Batch {
     /// per batch (clones share the memo). The hash function lives in
     /// `iss-crypto`; this cell only stores the result.
     pub fn digest_or_init(&self, compute: impl FnOnce(&[Request]) -> BatchDigest) -> BatchDigest {
-        *self.inner.digest.get_or_init(|| compute(&self.inner.requests))
+        *self
+            .inner
+            .digest
+            .get_or_init(|| compute(&self.inner.requests))
     }
 
     /// Whether two batches are the same handle (share storage). Used as an
@@ -397,7 +411,11 @@ mod tests {
 
     #[test]
     fn batch_clone_is_a_refcount_bump() {
-        let b = Batch::new((0..64u32).map(|i| Request::synthetic(ClientId(i), 0, 100)).collect());
+        let b = Batch::new(
+            (0..64u32)
+                .map(|i| Request::synthetic(ClientId(i), 0, 100))
+                .collect(),
+        );
         let c = b.clone();
         assert!(b.ptr_eq(&c));
         assert_eq!(b, c);

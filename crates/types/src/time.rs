@@ -9,15 +9,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in microseconds since the start of the run.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(pub u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Duration(pub u64);
 
 impl Time {
@@ -197,7 +193,10 @@ mod tests {
 
     #[test]
     fn scaling() {
-        assert_eq!(Duration::from_millis(10).saturating_mul(3), Duration::from_millis(30));
+        assert_eq!(
+            Duration::from_millis(10).saturating_mul(3),
+            Duration::from_millis(30)
+        );
         assert_eq!(Duration::from_millis(10).div(2), Duration::from_millis(5));
         assert_eq!(Duration(u64::MAX).saturating_mul(2), Duration(u64::MAX));
     }

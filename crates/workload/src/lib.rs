@@ -34,7 +34,12 @@ pub struct OpenLoopSchedule {
 impl OpenLoopSchedule {
     /// Creates a schedule with the paper's default payload size.
     pub fn new(num_clients: usize, total_rate: f64, start: Time) -> Self {
-        OpenLoopSchedule { num_clients, total_rate, payload_size: 500, start }
+        OpenLoopSchedule {
+            num_clients,
+            total_rate,
+            payload_size: 500,
+            start,
+        }
     }
 
     /// Rate of a single client in requests per second.

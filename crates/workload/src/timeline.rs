@@ -41,12 +41,7 @@ impl ThroughputTimeline {
         let from_bin = (from.as_micros() / 1_000_000) as usize;
         let until_bin = until.as_micros().div_ceil(1_000_000) as usize;
         let span = until_bin.saturating_sub(from_bin).max(1);
-        let sum: u64 = self
-            .bins
-            .iter()
-            .skip(from_bin)
-            .take(span)
-            .sum();
+        let sum: u64 = self.bins.iter().skip(from_bin).take(span).sum();
         sum as f64 / span as f64
     }
 
@@ -86,7 +81,10 @@ mod tests {
         }
         assert!((t.average_between(Time::ZERO, Time::from_secs(10)) - 80.0).abs() < 1e-9);
         assert_eq!(t.zero_bins_between(Time::ZERO, Time::from_secs(10)), 2);
-        assert_eq!(t.zero_bins_between(Time::from_secs(6), Time::from_secs(10)), 0);
+        assert_eq!(
+            t.zero_bins_between(Time::from_secs(6), Time::from_secs(10)),
+            0
+        );
     }
 
     #[test]

@@ -21,8 +21,14 @@ fn main() {
         let report = Deployment::build(spec).run();
         println!("--- leader policy: {} ---", policy.name());
         println!("  delivered requests:      {}", report.delivered);
-        println!("  mean latency:            {:.2} s", report.mean_latency.as_secs_f64());
-        println!("  95th-percentile latency: {:.2} s", report.p95_latency.as_secs_f64());
+        println!(
+            "  mean latency:            {:.2} s",
+            report.mean_latency.as_secs_f64()
+        );
+        println!(
+            "  95th-percentile latency: {:.2} s",
+            report.p95_latency.as_secs_f64()
+        );
         println!("  nil (⊥) log entries:     {}", report.nil_committed);
         println!(
             "  epochs completed:        {} (epoch ends at {:?} s)",

@@ -11,7 +11,9 @@ use iss::sim::{ClusterSpec, Deployment, Protocol};
 use iss::types::Duration;
 
 fn main() {
-    println!("ISS with three different Sequenced Broadcast implementations (8 nodes, 4 kreq/s offered):");
+    println!(
+        "ISS with three different Sequenced Broadcast implementations (8 nodes, 4 kreq/s offered):"
+    );
     for protocol in [Protocol::Pbft, Protocol::HotStuff, Protocol::Raft] {
         let mut spec = ClusterSpec::new(protocol, 8, 4_000.0);
         spec.duration = Duration::from_secs(20);

@@ -22,11 +22,26 @@ fn main() {
     println!();
     println!("results over {} simulated seconds:", 20);
     println!("  delivered requests (observer node): {}", report.delivered);
-    println!("  average throughput:                 {:.1} req/s", report.throughput);
-    println!("  mean end-to-end latency:            {:.3} s", report.mean_latency.as_secs_f64());
-    println!("  95th-percentile latency:            {:.3} s", report.p95_latency.as_secs_f64());
-    println!("  protocol messages sent:             {}", report.messages_sent);
-    println!("  epochs completed:                   {}", report.epochs.len());
+    println!(
+        "  average throughput:                 {:.1} req/s",
+        report.throughput
+    );
+    println!(
+        "  mean end-to-end latency:            {:.3} s",
+        report.mean_latency.as_secs_f64()
+    );
+    println!(
+        "  95th-percentile latency:            {:.3} s",
+        report.p95_latency.as_secs_f64()
+    );
+    println!(
+        "  protocol messages sent:             {}",
+        report.messages_sent
+    );
+    println!(
+        "  epochs completed:                   {}",
+        report.epochs.len()
+    );
     println!();
     println!("per-second throughput at the observer node:");
     for (second, tput) in report.timeline.iter().enumerate() {

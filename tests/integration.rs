@@ -21,15 +21,28 @@ fn base_spec(protocol: Protocol, nodes: usize, rate: f64) -> ClusterSpec {
 fn iss_pbft_smr_delivers_and_all_correct_nodes_agree_on_volume() {
     let mut deployment = Deployment::build(base_spec(Protocol::Pbft, 4, 400.0));
     let report = deployment.run();
-    assert!(report.delivered > 500, "observer delivered only {}", report.delivered);
+    assert!(
+        report.delivered > 500,
+        "observer delivered only {}",
+        report.delivered
+    );
     assert!(report.mean_latency > Duration::ZERO);
     // Totality (coarse check): every node delivered the same number of
     // requests because they assemble the same log.
     let metrics = deployment.metrics.borrow();
     let counts: Vec<u64> = (0..4u32)
-        .map(|n| metrics.delivered_per_node.get(&NodeId(n)).copied().unwrap_or(0))
+        .map(|n| {
+            metrics
+                .delivered_per_node
+                .get(&NodeId(n))
+                .copied()
+                .unwrap_or(0)
+        })
         .collect();
-    assert!(counts.iter().all(|c| *c == counts[0]), "per-node deliveries differ: {counts:?}");
+    assert!(
+        counts.iter().all(|c| *c == counts[0]),
+        "per-node deliveries differ: {counts:?}"
+    );
 }
 
 #[test]
@@ -82,7 +95,10 @@ fn epoch_start_crash_preserves_liveness_with_blacklist() {
     // keep advancing (⊥ fills the crashed leader's slots in epoch 0).
     assert!(report.delivered > 300, "delivered {}", report.delivered);
     assert!(!report.epochs.is_empty(), "no epoch ever completed");
-    assert!(report.nil_committed > 0, "the crashed leader's slots must be filled with ⊥");
+    assert!(
+        report.nil_committed > 0,
+        "the crashed leader's slots must be filled with ⊥"
+    );
 }
 
 #[test]

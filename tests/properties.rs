@@ -227,11 +227,20 @@ fn batch_digest_is_a_cache_hit_once_computed() {
     use iss::crypto::batch_digest;
 
     let batch = Batch::new(
-        (0..512u32).map(|i| Request::new(ClientId(i), 0, vec![i as u8; 500])).collect(),
+        (0..512u32)
+            .map(|i| Request::new(ClientId(i), 0, vec![i as u8; 500]))
+            .collect(),
     );
-    assert!(batch.cached_digest().is_none(), "no digest before first use");
+    assert!(
+        batch.cached_digest().is_none(),
+        "no digest before first use"
+    );
     let first = batch_digest(&batch);
-    assert_eq!(batch.cached_digest(), Some(&first), "digest memoized after first use");
+    assert_eq!(
+        batch.cached_digest(),
+        Some(&first),
+        "digest memoized after first use"
+    );
     // A clone shares the memo, and repeated calls return the cached value
     // without recomputing (observable through the shared OnceLock cell).
     let clone = batch.clone();

@@ -41,7 +41,11 @@ pub struct Bytes {
 impl Bytes {
     /// Creates an empty buffer (no allocation).
     pub fn new() -> Self {
-        Bytes { data: empty_arc(), off: 0, len: 0 }
+        Bytes {
+            data: empty_arc(),
+            off: 0,
+            len: 0,
+        }
     }
 
     /// Creates a buffer by copying `data` (the one unavoidable copy when
@@ -82,14 +86,22 @@ impl Bytes {
             Bound::Unbounded => self.len,
         };
         assert!(start <= end && end <= self.len, "slice out of bounds");
-        Bytes { data: Arc::clone(&self.data), off: self.off + start, len: end - start }
+        Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
+        }
     }
 
     /// Splits the buffer at `at`: returns the first `at` bytes and leaves the
     /// rest in `self`. O(1), both halves share the allocation.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len, "split_to out of bounds");
-        let head = Bytes { data: Arc::clone(&self.data), off: self.off, len: at };
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off,
+            len: at,
+        };
         self.off += at;
         self.len -= at;
         head
@@ -133,7 +145,11 @@ impl Borrow<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
-        Bytes { data: Arc::from(v), off: 0, len }
+        Bytes {
+            data: Arc::from(v),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -226,7 +242,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with room for `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { buf: Vec::with_capacity(cap) }
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of written bytes.

@@ -64,7 +64,8 @@ pub fn dump_baselines() {
     if results.is_empty() {
         return;
     }
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns_per_iter\",\n  \"benchmarks\": {\n");
+    let mut out =
+        String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns_per_iter\",\n  \"benchmarks\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
@@ -146,7 +147,13 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&name.into(), self.sample_size, self.measurement_time, None, f);
+        run_benchmark(
+            &name.into(),
+            self.sample_size,
+            self.measurement_time,
+            None,
+            f,
+        );
         self
     }
 }
@@ -185,7 +192,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.into());
-        run_benchmark(&full, self.sample_size, self.measurement_time, self.throughput, f);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -256,10 +269,15 @@ fn run_benchmark<F>(
 {
     // Calibrate: find an iteration count whose sample takes roughly
     // measurement_time / sample_size.
-    let target = measurement_time.div_f64(sample_size as f64).max(Duration::from_micros(200));
+    let target = measurement_time
+        .div_f64(sample_size as f64)
+        .max(Duration::from_micros(200));
     let mut iters: u64 = 1;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= target || iters >= 1 << 24 {
             break;
@@ -274,7 +292,10 @@ fn run_benchmark<F>(
 
     let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }

@@ -165,7 +165,7 @@ pub mod option {
 
 pub mod prelude {
     //! The usual glob import.
-    pub use crate::{any, proptest, prop_assert, prop_assert_eq, prop_assert_ne, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
     pub use rand::Rng as _;
 }
 
@@ -235,8 +235,12 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (a, b) = (&$a, &$b);
         if *a == *b {
-            return ::std::result::Result::Err(format!("assertion failed: {} != {} (both {:?})",
-                               stringify!($a), stringify!($b), a));
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
         }
     }};
 }
