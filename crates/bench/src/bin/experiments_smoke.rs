@@ -1,5 +1,7 @@
 //! Experiment-matrix smoke: iterates every scripted experiment besides
-//! figure 8 (figures 5, 6, 7, 11 and 12) at quick scale and asserts the
+//! figure 8 (figures 5, 6, 7, 11 and 12) at quick scale, plus the
+//! beyond-the-paper Scenario-API shapes (bursty workload, Zipf-skewed
+//! workload, heal-after-partition, lossy-link window), and asserts the
 //! output is non-empty and shape-sane, so CI exercises the full scenario
 //! matrix instead of the fig8 path only.
 //!
@@ -12,7 +14,10 @@
 //! the benchmark scale); set `ISS_SCALE` explicitly to override.
 
 use iss_bench::scale_from_env;
-use iss_sim::experiments::{figure11, figure12, figure5, figure6, figure7, Scale};
+use iss_sim::experiments::{
+    figure11, figure12, figure5, figure6, figure7, scenario_bursty, scenario_lossy_window,
+    scenario_partition_heal, scenario_skewed, Scale,
+};
 use iss_sim::Protocol;
 
 fn scale() -> Scale {
@@ -148,6 +153,80 @@ fn main() -> std::process::ExitCode {
     check(
         f12.timeline.iter().sum::<u64>() > 0,
         "figure12 timeline carries the deliveries",
+        &mut failures,
+    );
+
+    // Beyond-the-paper scenarios (Scenario API): a bursty workload must
+    // leave visibly idle seconds between bursts.
+    let bursty = scenario_bursty(scale);
+    println!(
+        "scenario bursty: {} delivered over {} timeline buckets",
+        bursty.delivered,
+        bursty.timeline.len()
+    );
+    check(
+        bursty.delivered > 0,
+        "bursty delivers traffic",
+        &mut failures,
+    );
+    let peak = bursty.timeline.iter().copied().max().unwrap_or(0);
+    check(
+        peak > 0 && bursty.timeline.iter().any(|b| *b < peak / 4),
+        "bursty timeline alternates busy and near-idle seconds",
+        &mut failures,
+    );
+
+    // Zipf-skewed per-client rates still make it through the buckets.
+    let skewed = scenario_skewed(scale);
+    println!("scenario skewed: {} delivered", skewed.delivered);
+    check(
+        skewed.delivered > 0,
+        "skewed delivers traffic",
+        &mut failures,
+    );
+    check(
+        finite_nonneg(skewed.mean_latency.as_secs_f64()),
+        "skewed latency finite",
+        &mut failures,
+    );
+
+    // Heal-after-partition: the partition must actually drop traffic, the
+    // 3-of-4 quorum keeps committing, and deliveries continue after heal.
+    let partition = scenario_partition_heal(scale);
+    println!(
+        "scenario partition-heal: {} delivered, {} dropped",
+        partition.delivered, partition.messages_dropped
+    );
+    check(
+        partition.delivered > 0,
+        "partition-heal delivers traffic",
+        &mut failures,
+    );
+    check(
+        partition.messages_dropped > 0,
+        "partition drops cross-group traffic",
+        &mut failures,
+    );
+    check(
+        partition.timeline.iter().skip(20).sum::<u64>() > 0,
+        "deliveries resume after the heal and view change",
+        &mut failures,
+    );
+
+    // Lossy-link window: loss is injected, yet the run completes.
+    let lossy = scenario_lossy_window(scale);
+    println!(
+        "scenario lossy-window: {} delivered, {} dropped",
+        lossy.delivered, lossy.messages_dropped
+    );
+    check(
+        lossy.delivered > 0,
+        "lossy window delivers traffic",
+        &mut failures,
+    );
+    check(
+        lossy.messages_dropped > 0,
+        "lossy window drops messages",
         &mut failures,
     );
 

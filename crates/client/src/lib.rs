@@ -12,23 +12,22 @@ use iss_types::{BucketId, ClientId, EpochNr, NodeId, ReqTimestamp, Request, Requ
 use std::collections::{HashMap, HashSet};
 
 /// Builds signed (or unsigned) requests for one client with increasing
-/// timestamps.
+/// timestamps. Payload sizes are chosen per request by the caller (the
+/// workload schedule decides them), not baked into the factory.
 pub struct RequestFactory {
     client: ClientId,
     keypair: KeyPair,
     sign: bool,
-    payload_size: u32,
     next_timestamp: ReqTimestamp,
 }
 
 impl RequestFactory {
-    /// Creates a factory for `client` producing `payload_size`-byte requests.
-    pub fn new(client: ClientId, payload_size: u32, sign: bool) -> Self {
+    /// Creates a factory for `client`.
+    pub fn new(client: ClientId, sign: bool) -> Self {
         RequestFactory {
             client,
             keypair: KeyPair::for_client(client),
             sign,
-            payload_size,
             next_timestamp: 0,
         }
     }
@@ -38,11 +37,12 @@ impl RequestFactory {
         self.next_timestamp
     }
 
-    /// Produces the next request (synthetic payload of the configured size).
-    pub fn next_request(&mut self) -> Request {
+    /// Produces the next request with a synthetic payload of `payload_size`
+    /// bytes.
+    pub fn next_request(&mut self, payload_size: u32) -> Request {
         let t = self.next_timestamp;
         self.next_timestamp += 1;
-        let req = Request::synthetic(self.client, t, self.payload_size);
+        let req = Request::synthetic(self.client, t, payload_size);
         if self.sign {
             let digest = request_digest(&req);
             let sig = self.keypair.sign(&digest).to_vec();
@@ -185,13 +185,14 @@ mod tests {
 
     #[test]
     fn request_factory_signs_and_increments() {
-        let mut f = RequestFactory::new(ClientId(3), 500, true);
-        let a = f.next_request();
-        let b = f.next_request();
+        let mut f = RequestFactory::new(ClientId(3), true);
+        let a = f.next_request(500);
+        let b = f.next_request(750);
         assert_eq!(a.id.timestamp, 0);
         assert_eq!(b.id.timestamp, 1);
         assert_eq!(f.next_timestamp(), 2);
         assert_eq!(a.payload_size, 500);
+        assert_eq!(b.payload_size, 750);
         let registry = SignatureRegistry::with_processes(0, 4);
         registry
             .verify_client(ClientId(3), &request_digest(&a), &a.signature)
@@ -200,8 +201,8 @@ mod tests {
 
     #[test]
     fn unsigned_factory_leaves_signature_empty() {
-        let mut f = RequestFactory::new(ClientId(0), 100, false);
-        assert!(f.next_request().signature.is_empty());
+        let mut f = RequestFactory::new(ClientId(0), false);
+        assert!(f.next_request(100).signature.is_empty());
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! The simulated client process: an open-loop load generator that routes
-//! each request to the leader currently owning its bucket (Section 4.3).
+//! The simulated client process: a load generator driven by a [`Workload`]
+//! schedule that routes each request to the leader currently owning its
+//! bucket (Section 4.3).
 
 use iss_client::{LeaderTable, RequestFactory};
 use iss_messages::{ClientMsg, NetMsg};
 use iss_simnet::process::{Addr, Context, Process};
 use iss_types::{ClientId, Duration, NodeId, Time, TimerId};
-use iss_workload::OpenLoopSchedule;
+use iss_workload::Workload;
+use std::rc::Rc;
 
 /// Tick granularity of the generator: several requests may be emitted per
 /// tick to keep the event count manageable at high rates.
@@ -15,7 +17,7 @@ const TICK: Duration = Duration(10_000); // 10 ms
 pub struct ClientProcess {
     id: ClientId,
     factory: RequestFactory,
-    schedule: OpenLoopSchedule,
+    workload: Rc<dyn Workload>,
     leaders: LeaderTable,
     submitted: u64,
     /// Stop submitting after this time (lets the run drain).
@@ -25,10 +27,10 @@ pub struct ClientProcess {
 }
 
 impl ClientProcess {
-    /// Creates a client.
+    /// Creates a client driven by `workload`.
     pub fn new(
         id: ClientId,
-        schedule: OpenLoopSchedule,
+        workload: Rc<dyn Workload>,
         nodes: Vec<NodeId>,
         num_buckets: usize,
         quorum: usize,
@@ -37,8 +39,8 @@ impl ClientProcess {
     ) -> Self {
         ClientProcess {
             id,
-            factory: RequestFactory::new(id, schedule.payload_size, sign),
-            schedule,
+            factory: RequestFactory::new(id, sign),
+            workload,
             leaders: LeaderTable::new(nodes, num_buckets, quorum),
             submitted: 0,
             stop_at,
@@ -51,9 +53,12 @@ impl ClientProcess {
         if now < self.stop_at {
             ctx.set_timer(TICK, 0);
         }
-        let due = self.schedule.due_by(now);
+        let due = self.workload.due_by(self.id, now);
         while self.submitted < due {
-            let request = self.factory.next_request();
+            let size = self
+                .workload
+                .payload_size(self.id, self.factory.next_timestamp());
+            let request = self.factory.next_request(size);
             let target = self.leaders.target_for(&request.id);
             ctx.send(
                 Addr::Node(target),
@@ -106,42 +111,47 @@ mod tests {
     use super::*;
     use iss_simnet::{Runtime, RuntimeConfig};
     use iss_types::Time;
+    use iss_workload::{Bursty, OpenLoop, PayloadDist};
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    /// A node stub that counts received client requests.
+    /// A node stub that counts received client requests (and their bytes).
     struct CountingNode {
         count: Rc<RefCell<u64>>,
+        sizes: Rc<RefCell<Vec<u32>>>,
     }
     impl Process<NetMsg> for CountingNode {
         fn on_start(&mut self, _ctx: &mut Context<'_, NetMsg>) {}
         fn on_message(&mut self, _from: Addr, msg: NetMsg, _ctx: &mut Context<'_, NetMsg>) {
-            if matches!(msg, NetMsg::Client(ClientMsg::Request(_))) {
+            if let NetMsg::Client(ClientMsg::Request(req)) = msg {
                 *self.count.borrow_mut() += 1;
+                self.sizes.borrow_mut().push(req.payload_size);
             }
         }
         fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Context<'_, NetMsg>) {}
     }
 
-    #[test]
-    fn client_submits_at_the_configured_rate() {
+    type Counters = (Rc<RefCell<u64>>, Rc<RefCell<Vec<u32>>>);
+
+    fn counting_runtime(workload: Rc<dyn Workload>, clients: u32) -> (Runtime<NetMsg>, Counters) {
         let count = Rc::new(RefCell::new(0u64));
+        let sizes = Rc::new(RefCell::new(Vec::new()));
         let mut rt: Runtime<NetMsg> = Runtime::new(RuntimeConfig::ideal());
         for n in 0..4u32 {
             rt.add_process(
                 Addr::Node(NodeId(n)),
                 Box::new(CountingNode {
                     count: Rc::clone(&count),
+                    sizes: Rc::clone(&sizes),
                 }),
             );
         }
-        let schedule = OpenLoopSchedule::new(2, 200.0, Time::ZERO);
-        for c in 0..2u32 {
+        for c in 0..clients {
             rt.add_process(
                 Addr::Client(ClientId(c)),
                 Box::new(ClientProcess::new(
                     ClientId(c),
-                    schedule,
+                    Rc::clone(&workload),
                     (0..4).map(NodeId).collect(),
                     64,
                     1,
@@ -150,9 +160,50 @@ mod tests {
                 )),
             );
         }
+        (rt, (count, sizes))
+    }
+
+    #[test]
+    fn client_submits_at_the_configured_rate() {
+        let workload: Rc<dyn Workload> = Rc::new(OpenLoop::new(2, 200.0, Time::ZERO));
+        let (mut rt, (count, sizes)) = counting_runtime(workload, 2);
         rt.run_until(Time::from_secs(2));
         // 200 req/s aggregate for ~2 s ≈ 400 requests (within tick rounding).
         let received = *count.borrow();
         assert!((380..=400).contains(&received), "received {received}");
+        assert!(sizes.borrow().iter().all(|s| *s == 500));
+    }
+
+    #[test]
+    fn bursty_client_is_silent_during_off_windows() {
+        let workload: Rc<dyn Workload> = Rc::new(Bursty::new(
+            1,
+            100.0,
+            Duration::from_secs(1),
+            Duration::from_secs(2),
+        ));
+        let (mut rt, (count, _)) = counting_runtime(workload, 1);
+        rt.run_until(Time::from_millis(2900));
+        // One 1-s burst at 100 req/s, then silence until t=3 s.
+        let received = *count.borrow();
+        assert!((90..=101).contains(&received), "received {received}");
+    }
+
+    #[test]
+    fn client_applies_the_payload_distribution() {
+        let workload: Rc<dyn Workload> = Rc::new(
+            OpenLoop::new(1, 100.0, Time::ZERO)
+                .with_payload(PayloadDist::Uniform { min: 100, max: 900 })
+                .with_seed(11),
+        );
+        let (mut rt, (_, sizes)) = counting_runtime(Rc::clone(&workload), 1);
+        rt.run_until(Time::from_secs(1));
+        let sizes = sizes.borrow();
+        assert!(!sizes.is_empty());
+        assert!(sizes.iter().all(|s| (100..=900).contains(s)));
+        // And they match what the workload predicts per timestamp.
+        for (ts, size) in sizes.iter().enumerate() {
+            assert_eq!(*size, workload.payload_size(ClientId(0), ts as u64));
+        }
     }
 }

@@ -1,35 +1,38 @@
-//! Cluster construction and execution: builds an n-node ISS (or baseline)
-//! deployment with open-loop clients on the simulated WAN, runs it for a
-//! configured duration and produces a [`Report`].
+//! Deployment construction and execution: materializes a [`Scenario`] into
+//! an n-node ISS (or baseline) deployment with simulated clients on the
+//! configured topology, runs it for the scenario's window and produces a
+//! [`Report`]. Also home of the legacy flat [`ClusterSpec`], kept as a thin
+//! compatibility veneer that lowers onto the Scenario API.
 
 use crate::client_proc::ClientProcess;
 use crate::factories::{make_factory, Protocol};
 use crate::metrics::{metrics_handle, MetricsHandle, MetricsSink};
+use crate::scenario::{
+    expected_epoch_duration_for, iss_config_for, FaultPlan, RunWindow, Scenario, TopologySpec,
+};
 use iss_core::{IssNode, Mode, NodeOptions, ReferenceNodeState, StragglerBehavior};
 use iss_crypto::SignatureRegistry;
 use iss_messages::NetMsg;
 use iss_simnet::fault::CrashSchedule;
 use iss_simnet::process::Addr;
 use iss_simnet::{CpuModel, Runtime, RuntimeConfig};
-use iss_types::{ClientId, Duration, IssConfig, LeaderPolicyKind, NodeId, ProtocolKind, Time};
-use iss_workload::OpenLoopSchedule;
+use iss_types::{ClientId, Duration, IssConfig, LeaderPolicyKind, NodeId, Time};
+use iss_workload::OpenLoop;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-/// When a crash fault is injected (Section 6.4.1).
-#[derive(Clone, Copy, Debug)]
-pub enum CrashTiming {
-    /// At the beginning of the first epoch.
-    EpochStart,
-    /// Just before the leader would propose the last sequence number of its
-    /// segment in the first epoch.
-    EpochEnd,
-    /// At an explicit time.
-    At(Time),
-}
+pub use crate::scenario::CrashTiming;
 
-/// Full description of one experiment run.
+/// Legacy flat description of one experiment run.
+///
+/// This is a compatibility veneer over the composable [`Scenario`] API: it
+/// describes the paper's default shape only (uniform open-loop workload on
+/// the 16-datacenter WAN, crash/straggler faults) and lowers onto a
+/// [`Scenario`] via [`ClusterSpec::lower`]. The lowering is locked
+/// byte-identical to the equivalent builder-made scenario by
+/// `tests/scenario_lowering.rs`. New experiment shapes should build a
+/// [`Scenario`] directly.
 #[derive(Clone, Debug)]
 pub struct ClusterSpec {
     /// Ordering protocol.
@@ -101,48 +104,47 @@ impl ClusterSpec {
         self
     }
 
+    /// Lowers the flat spec onto the composable [`Scenario`] API: the
+    /// open-loop workload the spec implies, the WAN topology, and the
+    /// crash/straggler lists folded into one [`FaultPlan`].
+    pub fn lower(&self) -> Scenario {
+        let mut faults = FaultPlan::none();
+        for (node, at) in &self.crashes {
+            faults = faults.crash(*node, *at);
+        }
+        for node in &self.stragglers {
+            faults = faults.straggler(*node);
+        }
+        Scenario {
+            stack: crate::scenario::ProtocolStack {
+                protocol: self.protocol,
+                mode: self.mode,
+                policy: self.policy,
+            },
+            num_nodes: self.num_nodes,
+            workload: Rc::new(OpenLoop::new(self.num_clients, self.total_rate, Time::ZERO)),
+            topology: TopologySpec::Wan16,
+            faults,
+            window: RunWindow {
+                duration: self.duration,
+                warmup: self.warmup,
+                drain: self.drain,
+            },
+            respond_to_clients: self.respond_to_clients,
+            seed: self.seed,
+            reference_node_state: self.reference_node_state,
+        }
+    }
+
     /// The ISS configuration (Table 1 preset adapted for simulation).
     pub fn iss_config(&self) -> IssConfig {
-        let kind = match self.protocol {
-            Protocol::Pbft | Protocol::Reference => ProtocolKind::Pbft,
-            Protocol::HotStuff => ProtocolKind::HotStuff,
-            Protocol::Raft => ProtocolKind::Raft,
-        };
-        let mut config = IssConfig::preset(kind, self.num_nodes).with_policy(self.policy);
-        // Client authenticity is charged through the CPU cost model in the
-        // simulator instead of computing real signatures on the host
-        // (see DESIGN.md, substitutions).
-        config.client_signatures = false;
-        // The open-loop generator is not throttled by watermarks.
-        config.client_watermark_window = 1 << 30;
-        config
+        iss_config_for(self.protocol, self.num_nodes, self.policy)
     }
 
     /// The epoch duration implied by the configuration (used to time
     /// epoch-start / epoch-end crash faults).
     pub fn expected_epoch_duration(&self) -> Duration {
-        let config = self.iss_config();
-        let leaders = match self.mode {
-            Mode::SingleLeader => 1,
-            _ => self.num_nodes,
-        };
-        match config.batch_rate {
-            Some(rate) => Duration::from_secs_f64(config.epoch_length(leaders) as f64 / rate),
-            None => Duration::from_secs_f64(config.epoch_length(leaders) as f64 * 0.1),
-        }
-    }
-
-    fn crash_time(&self, timing: CrashTiming) -> Time {
-        match timing {
-            CrashTiming::At(t) => t,
-            CrashTiming::EpochStart => Time::from_millis(500),
-            CrashTiming::EpochEnd => {
-                let epoch = self.expected_epoch_duration();
-                // Just before the last proposals of the first epoch.
-                let back_off = epoch.div(16).max(Duration::from_millis(200));
-                Time::from_micros(epoch.as_micros().saturating_sub(back_off.as_micros()))
-            }
-        }
+        expected_epoch_duration_for(&self.iss_config(), self.mode, self.num_nodes)
     }
 }
 
@@ -152,8 +154,8 @@ pub struct Deployment {
     pub runtime: Runtime<NetMsg>,
     /// Shared metrics.
     pub metrics: MetricsHandle,
-    /// The specification the deployment was built from.
-    pub spec: ClusterSpec,
+    /// The scenario the deployment was built from.
+    pub scenario: Scenario,
 }
 
 /// Summary of one run.
@@ -177,35 +179,62 @@ pub struct Report {
     pub messages_sent: u64,
     /// Total bytes sent in the run.
     pub bytes_sent: u64,
+    /// Messages dropped by crashes, partitions or probabilistic loss.
+    pub messages_dropped: u64,
 }
 
 impl Deployment {
-    /// Builds the deployment described by `spec`.
-    pub fn build(spec: ClusterSpec) -> Self {
-        let config = spec.iss_config();
+    /// Builds the deployment described by `scenario`.
+    pub fn new(scenario: Scenario) -> Self {
+        let config = scenario.iss_config();
+        let num_clients = scenario.num_clients();
         let registry = Arc::new(SignatureRegistry::with_processes(
-            spec.num_nodes,
-            spec.num_clients,
+            scenario.num_nodes,
+            num_clients,
         ));
-        let schedule = OpenLoopSchedule::new(spec.num_clients, spec.total_rate, Time::ZERO);
+        let workload = Rc::clone(&scenario.workload);
 
-        // Observer: the highest-numbered node that neither crashes nor lags.
-        let crashed: Vec<NodeId> = spec.crashes.iter().map(|(n, _)| *n).collect();
-        let observer = (0..spec.num_nodes as u32)
+        // Observer: the highest-numbered node that neither crashes nor lags,
+        // preferring nodes outside the minority side of every scheduled
+        // partition — a cut-off replica delivers nothing while partitioned
+        // (and takes a protocol timeout to catch up after heal), so it would
+        // silently report the stalled side instead of the committing quorum.
+        let crashes = scenario.faults.crashes();
+        let crashed: Vec<NodeId> = crashes.iter().map(|(n, _)| *n).collect();
+        let stragglers = scenario.faults.stragglers();
+        let isolated: Vec<NodeId> = scenario
+            .faults
+            .partitions()
+            .iter()
+            .flat_map(|p| match p.group_a.len().cmp(&p.group_b.len()) {
+                std::cmp::Ordering::Less => p.group_a.clone(),
+                std::cmp::Ordering::Greater => p.group_b.clone(),
+                std::cmp::Ordering::Equal => Vec::new(),
+            })
+            .collect();
+        let healthy = |n: &NodeId| !crashed.contains(n) && !stragglers.contains(n);
+        let observer = (0..scenario.num_nodes as u32)
             .rev()
             .map(NodeId)
-            .find(|n| !crashed.contains(n) && !spec.stragglers.contains(n))
+            .find(|n| healthy(n) && !isolated.contains(n))
+            .or_else(|| {
+                (0..scenario.num_nodes as u32)
+                    .rev()
+                    .map(NodeId)
+                    .find(healthy)
+            })
             .unwrap_or(NodeId(0));
-        let metrics = metrics_handle(observer, Some(schedule));
+        let metrics = metrics_handle(observer, Some(Rc::clone(&workload)));
 
-        // Simulated testbed.
+        // Simulated testbed on the scenario's topology.
         let mut runtime_config = RuntimeConfig::testbed();
-        runtime_config.seed = spec.seed;
-        runtime_config.cpu = match spec.protocol {
+        runtime_config.topology = scenario.topology.build();
+        runtime_config.seed = scenario.seed;
+        runtime_config.cpu = match scenario.stack.protocol {
             Protocol::Raft => CpuModel::testbed_no_sigs(),
             _ => CpuModel::testbed(),
         };
-        if spec.mode == Mode::Mir {
+        if scenario.stack.mode == Mode::Mir {
             // The paper attributes ISS-PBFT's edge over Mir-BFT to more
             // careful concurrency handling; model it as a per-request
             // processing overhead.
@@ -213,29 +242,31 @@ impl Deployment {
                 runtime_config.cpu.per_request.saturating_mul(13).div(10);
         }
         let mut crash_schedule = CrashSchedule::none();
-        for (node, timing) in &spec.crashes {
-            crash_schedule = crash_schedule.crash(*node, spec.crash_time(*timing));
+        for (node, timing) in &crashes {
+            crash_schedule = crash_schedule.crash(*node, scenario.crash_time(*timing));
         }
         runtime_config.faults.crashes = crash_schedule;
+        runtime_config.faults.partitions = scenario.faults.partitions();
+        runtime_config.faults.loss_windows = scenario.faults.loss_windows();
 
         let mut runtime: Runtime<NetMsg> = Runtime::new(runtime_config);
-        let clients: Vec<ClientId> = (0..spec.num_clients as u32).map(ClientId).collect();
+        let clients: Vec<ClientId> = (0..num_clients as u32).map(ClientId).collect();
 
-        for n in 0..spec.num_nodes as u32 {
+        for n in 0..scenario.num_nodes as u32 {
             let node_id = NodeId(n);
             let mut opts = NodeOptions::new(config.clone());
-            opts.mode = spec.mode;
-            opts.respond_to_clients = spec.respond_to_clients;
+            opts.mode = scenario.stack.mode;
+            opts.respond_to_clients = scenario.respond_to_clients;
             opts.announce_buckets = true;
             opts.clients = clients.clone();
-            if spec.stragglers.contains(&node_id) {
+            if stragglers.contains(&node_id) {
                 opts.straggler = Some(StragglerBehavior {
                     proposal_interval: config.epoch_change_timeout.div(2),
                 });
             }
-            let factory = make_factory(spec.protocol, &config, Arc::clone(&registry));
+            let factory = make_factory(scenario.stack.protocol, &config, Arc::clone(&registry));
             let sink = Rc::new(RefCell::new(MetricsSink::new(Rc::clone(&metrics))));
-            if spec.reference_node_state {
+            if scenario.reference_node_state {
                 let node = IssNode::<ReferenceNodeState>::with_state(
                     node_id,
                     opts,
@@ -250,11 +281,11 @@ impl Deployment {
             }
         }
 
-        let stop_at = Time::ZERO + spec.duration;
+        let stop_at = Time::ZERO + scenario.window.duration;
         for c in &clients {
             let client = ClientProcess::new(
                 *c,
-                schedule,
+                Rc::clone(&workload),
                 config.all_nodes(),
                 config.num_buckets(),
                 config.f() + 1,
@@ -267,20 +298,27 @@ impl Deployment {
         Deployment {
             runtime,
             metrics,
-            spec,
+            scenario,
         }
+    }
+
+    /// Builds the deployment described by the legacy flat `spec` by lowering
+    /// it onto the Scenario API.
+    pub fn build(spec: ClusterSpec) -> Self {
+        Deployment::new(spec.lower())
     }
 
     /// Runs the deployment for the configured duration and summarizes it.
     pub fn run(&mut self) -> Report {
-        let end = Time::ZERO + self.spec.duration;
+        let window = self.scenario.window;
+        let end = Time::ZERO + window.duration;
         // Run past the submission cutoff so the last proposals settle.
         // Throughput is averaged over [warmup, duration] only; latency
         // samples, delivery counts and message/byte totals deliberately
         // include the drain window, so late deliveries of pre-cutoff
         // requests are observed instead of truncated.
-        self.runtime.run_until(end + self.spec.drain);
-        let warm = Time::ZERO + self.spec.warmup;
+        self.runtime.run_until(end + window.drain);
+        let warm = Time::ZERO + window.warmup;
         let stats = self.runtime.stats();
         let mut m = self.metrics.borrow_mut();
         let throughput = m.average_throughput(warm, end);
@@ -296,18 +334,25 @@ impl Deployment {
             nil_committed: m.nil_committed,
             messages_sent: stats.messages_sent,
             bytes_sent: stats.bytes_sent,
+            messages_dropped: stats.messages_dropped,
         }
     }
 }
 
-/// Convenience: build and run in one call.
+/// Convenience: build and run a legacy flat spec in one call.
 pub fn run_cluster(spec: ClusterSpec) -> Report {
     Deployment::build(spec).run()
+}
+
+/// Convenience: build and run a scenario in one call.
+pub fn run_scenario(scenario: Scenario) -> Report {
+    Deployment::new(scenario).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::FaultEvent;
 
     fn small_spec(protocol: Protocol) -> ClusterSpec {
         let mut spec = ClusterSpec::new(protocol, 4, 400.0);
@@ -353,14 +398,111 @@ mod tests {
         let spec = small_spec(Protocol::Pbft);
         let epoch = spec.expected_epoch_duration();
         assert_eq!(epoch, Duration::from_secs(8));
+        let scenario = spec.lower();
         assert_eq!(
-            spec.crash_time(CrashTiming::EpochStart),
+            scenario.crash_time(CrashTiming::EpochStart),
             Time::from_millis(500)
         );
-        assert!(spec.crash_time(CrashTiming::EpochEnd) > Time::from_secs(7));
+        assert!(scenario.crash_time(CrashTiming::EpochEnd) > Time::from_secs(7));
         assert_eq!(
-            spec.crash_time(CrashTiming::At(Time::from_secs(3))),
+            scenario.crash_time(CrashTiming::At(Time::from_secs(3))),
             Time::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn lowering_preserves_every_spec_field() {
+        let mut spec = small_spec(Protocol::HotStuff).mir();
+        spec.policy = LeaderPolicyKind::Backoff;
+        spec.crashes = vec![(NodeId(1), CrashTiming::EpochStart)];
+        spec.stragglers = vec![NodeId(2)];
+        spec.respond_to_clients = true;
+        spec.seed = 99;
+        spec.reference_node_state = true;
+        let s = spec.lower();
+        assert_eq!(s.stack.protocol, Protocol::HotStuff);
+        assert_eq!(s.stack.mode, Mode::Mir);
+        assert!(matches!(s.stack.policy, LeaderPolicyKind::Backoff));
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_clients(), 4);
+        assert!(matches!(s.topology, TopologySpec::Wan16));
+        assert_eq!(s.faults.crashes().len(), 1);
+        assert_eq!(s.faults.stragglers(), vec![NodeId(2)]);
+        assert!(s.faults.partitions().is_empty());
+        assert!(s.faults.loss_windows().is_empty());
+        assert_eq!(s.window.duration, spec.duration);
+        assert_eq!(s.window.warmup, spec.warmup);
+        assert_eq!(s.window.drain, spec.drain);
+        assert!(s.respond_to_clients);
+        assert_eq!(s.seed, 99);
+        assert!(s.reference_node_state);
+        assert!(matches!(
+            s.faults.events[0],
+            FaultEvent::Crash {
+                node: NodeId(1),
+                at: CrashTiming::EpochStart
+            }
+        ));
+    }
+
+    #[test]
+    fn partition_scenario_drops_and_heals() {
+        // Cut node 0 off from the rest between t=3s and t=6s; the remaining
+        // 3-of-4 quorum (including the observer) keeps committing.
+        let scenario = Scenario::builder(Protocol::Pbft, 4)
+            .open_loop(4, 400.0)
+            .duration(Duration::from_secs(12))
+            .warmup(Duration::from_secs(2))
+            .partition(
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+                vec![NodeId(0)],
+                Time::from_secs(3),
+                Time::from_secs(6),
+            )
+            .build();
+        let report = run_scenario(scenario);
+        assert!(report.delivered > 500, "delivered {}", report.delivered);
+        assert!(
+            report.messages_dropped > 0,
+            "the partition must actually drop traffic"
+        );
+    }
+
+    #[test]
+    fn observer_avoids_the_minority_side_of_a_partition() {
+        let scenario = Scenario::builder(Protocol::Pbft, 4)
+            .open_loop(4, 400.0)
+            .partition(
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(3)],
+                Time::from_secs(3),
+                Time::from_secs(6),
+            )
+            .build();
+        let deployment = Deployment::new(scenario);
+        assert_eq!(
+            deployment.metrics.borrow().observer,
+            NodeId(2),
+            "the cut-off node 3 must not be the observer"
+        );
+        // Without partitions the highest node is chosen, as before.
+        let plain = Deployment::new(Scenario::builder(Protocol::Pbft, 4).build());
+        assert_eq!(plain.metrics.borrow().observer, NodeId(3));
+    }
+
+    #[test]
+    fn lossy_window_scenario_still_delivers() {
+        let scenario = Scenario::builder(Protocol::Pbft, 4)
+            .open_loop(4, 400.0)
+            .duration(Duration::from_secs(12))
+            .warmup(Duration::from_secs(2))
+            .lossy_window(0.05, Time::from_secs(2), Time::from_secs(5))
+            .build();
+        let report = run_scenario(scenario);
+        assert!(report.delivered > 500, "delivered {}", report.delivered);
+        assert!(
+            report.messages_dropped > 0,
+            "5% loss over 3 s must drop something"
         );
     }
 }

@@ -1,13 +1,15 @@
 //! One experiment function per table / figure of the paper's evaluation
-//! (Section 6). Every function takes a [`Scale`] so the same code can run as
-//! a quick smoke test (`Scale::quick()`), at the default benchmark scale
+//! (Section 6), plus beyond-the-paper scenario smokes, all expressed as
+//! [`Scenario`]s. Every function takes a [`Scale`] so the same code can run
+//! as a quick smoke test (`Scale::quick()`), at the default benchmark scale
 //! (`Scale::default()`), or at paper scale (`Scale::paper()`, hours of
 //! simulated traffic).
 
-use crate::cluster::{run_cluster, ClusterSpec, CrashTiming, Report};
+use crate::cluster::{run_scenario, Report};
 use crate::factories::Protocol;
+use crate::scenario::{CrashTiming, Scenario, ScenarioBuilder};
 use iss_core::Mode;
-use iss_types::{Duration, LeaderPolicyKind, NodeId};
+use iss_types::{Duration, LeaderPolicyKind, NodeId, Time};
 
 /// Scaling knobs for the experiments.
 #[derive(Clone, Copy, Debug)]
@@ -79,24 +81,23 @@ fn saturating_rate(nodes: usize, iss: bool, load_factor: f64) -> f64 {
     base * load_factor
 }
 
-fn spec_for(
+/// The scalability-sweep scenario shape shared by figures 5 and 6: the
+/// paper's 16-client open loop at `total_rate`, seeded per (series, size).
+fn scenario_for(
     series: &str,
     protocol: Protocol,
     mode: Mode,
     nodes: usize,
+    total_rate: f64,
     scale: Scale,
-) -> ClusterSpec {
-    let iss = mode != Mode::SingleLeader;
-    let mut spec = ClusterSpec::new(
-        protocol,
-        nodes,
-        saturating_rate(nodes, iss, scale.load_factor),
-    );
-    spec.mode = mode;
-    spec.duration = Duration::from_secs(scale.duration_secs);
-    spec.warmup = Duration::from_secs(scale.duration_secs / 3);
-    spec.seed = 7 + nodes as u64 + series.len() as u64;
-    spec
+) -> Scenario {
+    Scenario::builder(protocol, nodes)
+        .mode(mode)
+        .open_loop(16, total_rate)
+        .duration(Duration::from_secs(scale.duration_secs))
+        .warmup(Duration::from_secs(scale.duration_secs / 3))
+        .seed(7 + nodes as u64 + series.len() as u64)
+        .build()
 }
 
 /// Figure 5: peak throughput vs. number of nodes for ISS-{PBFT, HotStuff,
@@ -114,7 +115,8 @@ pub fn figure5(scale: Scale) -> Vec<ScalabilityPoint> {
     ];
     for (name, protocol, mode) in series {
         for &nodes in scale.node_counts {
-            let report = run_cluster(spec_for(name, protocol, mode, nodes, scale));
+            let rate = saturating_rate(nodes, mode != Mode::SingleLeader, scale.load_factor);
+            let report = run_scenario(scenario_for(name, protocol, mode, nodes, rate, scale));
             points.push(ScalabilityPoint {
                 series: name.to_string(),
                 nodes,
@@ -144,9 +146,9 @@ pub fn figure6(protocol: Protocol, scale: Scale) -> Vec<LatencyThroughputPoint> 
         for (label, mode) in [("ISS", Mode::Iss), ("single-leader", Mode::SingleLeader)] {
             let saturation = saturating_rate(nodes, mode != Mode::SingleLeader, scale.load_factor);
             for fraction in [0.25, 0.5, 0.75, 1.0] {
-                let mut spec = spec_for(label, protocol, mode, nodes, scale);
-                spec.total_rate = saturation * fraction;
-                let report = run_cluster(spec);
+                let scenario =
+                    scenario_for(label, protocol, mode, nodes, saturation * fraction, scale);
+                let report = run_scenario(scenario);
                 points.push(LatencyThroughputPoint {
                     series: format!("{label}-{} {nodes} nodes", protocol.name()),
                     kreq_per_sec: report.throughput / 1000.0,
@@ -171,16 +173,15 @@ pub struct PolicyLatency {
     pub p95_secs: f64,
 }
 
-fn fault_spec(scale: Scale, policy: LeaderPolicyKind) -> ClusterSpec {
-    let mut spec = ClusterSpec::new(
-        Protocol::Pbft,
-        scale.fault_nodes,
-        16_400.0 * scale.load_factor,
-    );
-    spec.policy = policy;
-    spec.duration = Duration::from_secs(scale.duration_secs.max(20));
-    spec.warmup = Duration::from_secs(2);
-    spec
+/// The fault-experiment scenario shape (figures 7–12): `fault_nodes`
+/// replicas at `rate_factor` × the paper's 16.4 kreq/s, 2 s warm-up. The
+/// caller appends the fault plan.
+fn fault_scenario(scale: Scale, policy: LeaderPolicyKind, rate_factor: f64) -> ScenarioBuilder {
+    Scenario::builder(Protocol::Pbft, scale.fault_nodes)
+        .policy(policy)
+        .open_loop(16, 16_400.0 * scale.load_factor * rate_factor)
+        .duration(Duration::from_secs(scale.duration_secs.max(20)))
+        .warmup(Duration::from_secs(2))
 }
 
 /// Figure 7: impact of the leader-selection policy on latency under a single
@@ -196,9 +197,10 @@ pub fn figure7(scale: Scale) -> Vec<PolicyLatency> {
             ("epoch-start", CrashTiming::EpochStart),
             ("epoch-end", CrashTiming::EpochEnd),
         ] {
-            let mut spec = fault_spec(scale, policy);
-            spec.crashes = vec![(NodeId(0), timing)];
-            let report = run_cluster(spec);
+            let scenario = fault_scenario(scale, policy, 1.0)
+                .crash(NodeId(0), timing)
+                .build();
+            let report = run_scenario(scenario);
             rows.push(PolicyLatency {
                 policy: policy.name().to_string(),
                 timing: label.to_string(),
@@ -239,10 +241,12 @@ pub fn figure8(scale: Scale) -> Vec<CrashLatencyPoint> {
                 continue; // f=0 has a single series in the paper
             }
             for &duration in &durations {
-                let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
-                spec.duration = Duration::from_secs(duration);
-                spec.crashes = (0..faults).map(|i| (NodeId(i as u32), timing)).collect();
-                let report = run_cluster(spec);
+                let mut builder = fault_scenario(scale, LeaderPolicyKind::Blacklist, 1.0)
+                    .duration(Duration::from_secs(duration));
+                for i in 0..faults {
+                    builder = builder.crash(NodeId(i as u32), timing);
+                }
+                let report = run_scenario(builder.build());
                 rows.push(CrashLatencyPoint {
                     faults,
                     timing: label.to_string(),
@@ -258,10 +262,11 @@ pub fn figure8(scale: Scale) -> Vec<CrashLatencyPoint> {
 
 /// Figure 9 (ISS) / Figure 10 (Mir-BFT): throughput over time with one crash.
 pub fn throughput_timeline(mode: Mode, timing: CrashTiming, scale: Scale) -> Report {
-    let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
-    spec.mode = mode;
-    spec.crashes = vec![(NodeId(0), timing)];
-    run_cluster(spec)
+    let scenario = fault_scenario(scale, LeaderPolicyKind::Blacklist, 1.0)
+        .mode(mode)
+        .crash(NodeId(0), timing)
+        .build();
+    run_scenario(scenario)
 }
 
 /// Figure 11: latency over throughput with 0/1/5/10 Byzantine stragglers.
@@ -274,10 +279,11 @@ pub fn figure11(scale: Scale) -> Vec<LatencyThroughputPoint> {
     };
     for &count in straggler_counts {
         for fraction in [0.5, 1.0] {
-            let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
-            spec.total_rate *= fraction;
-            spec.stragglers = (0..count).map(|i| NodeId(i as u32)).collect();
-            let report = run_cluster(spec);
+            let mut builder = fault_scenario(scale, LeaderPolicyKind::Blacklist, fraction);
+            for i in 0..count {
+                builder = builder.straggler(NodeId(i as u32));
+            }
+            let report = run_scenario(builder.build());
             points.push(LatencyThroughputPoint {
                 series: format!("{count} stragglers"),
                 kreq_per_sec: report.throughput / 1000.0,
@@ -290,9 +296,86 @@ pub fn figure11(scale: Scale) -> Vec<LatencyThroughputPoint> {
 
 /// Figure 12: throughput over time with one Byzantine straggler.
 pub fn figure12(scale: Scale) -> Report {
-    let mut spec = fault_spec(scale, LeaderPolicyKind::Blacklist);
-    spec.stragglers = vec![NodeId(0)];
-    run_cluster(spec)
+    let scenario = fault_scenario(scale, LeaderPolicyKind::Blacklist, 1.0)
+        .straggler(NodeId(0))
+        .build();
+    run_scenario(scenario)
+}
+
+// ---------------------------------------------------------------------------
+// Beyond-the-paper scenarios (new workload / fault shapes the Scenario API
+// opens up; exercised by the `experiments_smoke` CI binary).
+// ---------------------------------------------------------------------------
+
+/// Bursty on/off load on a small ISS-PBFT cluster: 3 s bursts separated by
+/// 3 s of silence, so the throughput timeline alternates between busy and
+/// idle seconds.
+pub fn scenario_bursty(scale: Scale) -> Report {
+    let duration = scale.duration_secs.max(12);
+    run_scenario(
+        Scenario::builder(Protocol::Pbft, 4)
+            .bursty(
+                8,
+                2_000.0 * scale.load_factor,
+                Duration::from_secs(3),
+                Duration::from_secs(3),
+            )
+            .duration(Duration::from_secs(duration))
+            .warmup(Duration::from_secs(2))
+            .build(),
+    )
+}
+
+/// Zipf-skewed per-client rates on a small ISS-PBFT cluster (a few heavy
+/// hitters dominate the request space).
+pub fn scenario_skewed(scale: Scale) -> Report {
+    let duration = scale.duration_secs.max(12);
+    run_scenario(
+        Scenario::builder(Protocol::Pbft, 4)
+            .skewed(8, 1_200.0 * scale.load_factor, 1.2)
+            .duration(Duration::from_secs(duration))
+            .warmup(Duration::from_secs(2))
+            .build(),
+    )
+}
+
+/// A minority partition that heals: node 0 is cut off from the other three
+/// replicas between t=3 s and t=6 s, then communication resumes. The
+/// partitioned node leads segments, so in-order delivery stalls until the
+/// view-change / epoch-change machinery replaces it (≈10 s timeouts);
+/// the run is long enough (≥24 s) to observe the full
+/// stall → heal → recover arc at the observer.
+pub fn scenario_partition_heal(scale: Scale) -> Report {
+    let duration = scale.duration_secs.max(24);
+    run_scenario(
+        Scenario::builder(Protocol::Pbft, 4)
+            .open_loop(8, 800.0 * scale.load_factor)
+            .duration(Duration::from_secs(duration))
+            .warmup(Duration::from_secs(2))
+            .partition(
+                vec![NodeId(1), NodeId(2), NodeId(3)],
+                vec![NodeId(0)],
+                Time::from_secs(3),
+                Time::from_secs(6),
+            )
+            .build(),
+    )
+}
+
+/// A lossy-link window: 10% of all messages sent between t=2 s and t=5 s
+/// are dropped, after which the network is clean again. Like the partition
+/// scenario, lost proposals can stall segments until the ≈10 s protocol
+/// timeouts fire, so the run is long enough to observe recovery.
+pub fn scenario_lossy_window(scale: Scale) -> Report {
+    let duration = scale.duration_secs.max(24);
+    run_scenario(
+        Scenario::builder(Protocol::Pbft, 4)
+            .open_loop(8, 800.0 * scale.load_factor)
+            .duration(Duration::from_secs(duration))
+            .warmup(Duration::from_secs(2))
+            .lossy_window(0.1, Time::from_secs(2), Time::from_secs(5))
+            .build(),
+    )
 }
 
 #[cfg(test)]
@@ -308,12 +391,22 @@ mod tests {
             fault_nodes: 4,
         };
         // Only compare the two PBFT series to keep the test fast.
-        let iss = run_cluster(spec_for("ISS-PBFT", Protocol::Pbft, Mode::Iss, 4, tiny));
-        let single = run_cluster(spec_for(
+        let rate_iss = saturating_rate(4, true, tiny.load_factor);
+        let iss = run_scenario(scenario_for(
+            "ISS-PBFT",
+            Protocol::Pbft,
+            Mode::Iss,
+            4,
+            rate_iss,
+            tiny,
+        ));
+        let rate_single = saturating_rate(4, false, tiny.load_factor);
+        let single = run_scenario(scenario_for(
             "PBFT",
             Protocol::Pbft,
             Mode::SingleLeader,
             4,
+            rate_single,
             tiny,
         ));
         assert!(iss.delivered > 0 && single.delivered > 0);
@@ -330,5 +423,12 @@ mod tests {
         let report = throughput_timeline(Mode::Iss, CrashTiming::EpochStart, tiny);
         assert!(!report.timeline.is_empty());
         assert!(report.delivered > 0);
+    }
+
+    #[test]
+    fn partition_heal_scenario_recovers() {
+        let report = scenario_partition_heal(Scale::quick());
+        assert!(report.delivered > 0);
+        assert!(report.messages_dropped > 0, "partition must drop traffic");
     }
 }

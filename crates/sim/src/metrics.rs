@@ -3,7 +3,7 @@
 
 use iss_core::DeliverySink;
 use iss_types::{EpochNr, NodeId, Request, SeqNr, Time};
-use iss_workload::{LatencyStats, OpenLoopSchedule, ThroughputTimeline};
+use iss_workload::{LatencyStats, ThroughputTimeline, Workload};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -23,18 +23,19 @@ pub struct Metrics {
     pub batches_committed: u64,
     /// ⊥ entries committed at the observer node.
     pub nil_committed: u64,
-    /// The submission schedule used to recompute request submit times.
-    pub schedule: Option<OpenLoopSchedule>,
+    /// The workload whose (deterministic) schedule is used to recompute
+    /// request submit times.
+    pub workload: Option<Rc<dyn Workload>>,
     /// The node whose deliveries feed the timeline and latency statistics.
     pub observer: NodeId,
 }
 
 impl Metrics {
     /// Creates metrics for a run observed at `observer`.
-    pub fn new(observer: NodeId, schedule: Option<OpenLoopSchedule>) -> Self {
+    pub fn new(observer: NodeId, workload: Option<Rc<dyn Workload>>) -> Self {
         Metrics {
             observer,
-            schedule,
+            workload,
             ..Default::default()
         }
     }
@@ -57,8 +58,8 @@ impl Metrics {
 pub type MetricsHandle = Rc<RefCell<Metrics>>;
 
 /// Creates a fresh shared metrics handle.
-pub fn metrics_handle(observer: NodeId, schedule: Option<OpenLoopSchedule>) -> MetricsHandle {
-    Rc::new(RefCell::new(Metrics::new(observer, schedule)))
+pub fn metrics_handle(observer: NodeId, workload: Option<Rc<dyn Workload>>) -> MetricsHandle {
+    Rc::new(RefCell::new(Metrics::new(observer, workload)))
 }
 
 /// The [`DeliverySink`] installed into every node, funnelling observations
@@ -86,8 +87,8 @@ impl DeliverySink for MetricsSink {
         *m.delivered_per_node.entry(node).or_insert(0) += 1;
         if node == m.observer {
             m.timeline.record(now, 1);
-            if let Some(schedule) = m.schedule {
-                let submitted = schedule.submit_time(request.id.client, request.id.timestamp);
+            if let Some(workload) = m.workload.clone() {
+                let submitted = workload.submit_time(request.id.client, request.id.timestamp);
                 m.latency.record(now.saturating_since(submitted));
             }
         }
@@ -115,10 +116,11 @@ impl DeliverySink for MetricsSink {
 mod tests {
     use super::*;
     use iss_types::{ClientId, Duration};
+    use iss_workload::OpenLoop;
 
     #[test]
     fn sink_records_observer_only_series() {
-        let schedule = OpenLoopSchedule::new(1, 100.0, Time::ZERO);
+        let schedule: Rc<dyn Workload> = Rc::new(OpenLoop::new(1, 100.0, Time::ZERO));
         let handle = metrics_handle(NodeId(1), Some(schedule));
         let mut sink = MetricsSink::new(Rc::clone(&handle));
         let req = Request::synthetic(ClientId(0), 0, 500);
@@ -142,7 +144,7 @@ mod tests {
     fn latency_uses_schedule_submit_time() {
         // Request #10 of a 100 req/s client is submitted at 100 ms; delivered
         // at 350 ms → latency 250 ms.
-        let schedule = OpenLoopSchedule::new(1, 100.0, Time::ZERO);
+        let schedule: Rc<dyn Workload> = Rc::new(OpenLoop::new(1, 100.0, Time::ZERO));
         let handle = metrics_handle(NodeId(0), Some(schedule));
         let mut sink = MetricsSink::new(Rc::clone(&handle));
         let req = Request::synthetic(ClientId(0), 10, 500);

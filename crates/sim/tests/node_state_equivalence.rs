@@ -35,6 +35,10 @@ fn assert_identical(dense: &Report, reference: &Report, label: &str) {
         "{label}: byte count diverged"
     );
     assert_eq!(
+        dense.messages_dropped, reference.messages_dropped,
+        "{label}: drop count diverged"
+    );
+    assert_eq!(
         dense.throughput.to_bits(),
         reference.throughput.to_bits(),
         "{label}: throughput diverged"

@@ -1,0 +1,118 @@
+//! Lockstep equivalence of the `ClusterSpec` compatibility veneer and the
+//! Scenario API: a flat spec lowered via [`ClusterSpec::lower`] and the
+//! equivalent scenario assembled by hand through [`Scenario::builder`] must
+//! produce *bit-identical* reports — same delivered count, same per-second
+//! timeline, same epoch transition times, same message/byte/drop totals,
+//! same latency statistics down to the f64 bits. The veneer is pure
+//! plumbing; any observable drift between the two surfaces is a bug.
+
+use iss_sim::cluster::{run_cluster, run_scenario, ClusterSpec, CrashTiming, Report};
+use iss_sim::{Protocol, Scenario};
+use iss_types::{Duration, NodeId};
+
+fn assert_identical(lowered: &Report, built: &Report, label: &str) {
+    assert_eq!(
+        lowered.delivered, built.delivered,
+        "{label}: delivered diverged"
+    );
+    assert_eq!(
+        lowered.timeline, built.timeline,
+        "{label}: timeline diverged"
+    );
+    assert_eq!(
+        lowered.epochs, built.epochs,
+        "{label}: epoch transitions diverged"
+    );
+    assert_eq!(
+        lowered.nil_committed, built.nil_committed,
+        "{label}: nil commits diverged"
+    );
+    assert_eq!(
+        lowered.messages_sent, built.messages_sent,
+        "{label}: message count diverged"
+    );
+    assert_eq!(
+        lowered.bytes_sent, built.bytes_sent,
+        "{label}: byte count diverged"
+    );
+    assert_eq!(
+        lowered.messages_dropped, built.messages_dropped,
+        "{label}: drop count diverged"
+    );
+    assert_eq!(
+        lowered.throughput.to_bits(),
+        built.throughput.to_bits(),
+        "{label}: throughput diverged"
+    );
+    assert_eq!(
+        lowered.mean_latency, built.mean_latency,
+        "{label}: mean latency diverged"
+    );
+    assert_eq!(
+        lowered.p95_latency, built.p95_latency,
+        "{label}: p95 latency diverged"
+    );
+}
+
+#[test]
+fn fault_free_lowering_is_byte_identical_to_the_builder_path() {
+    let mut spec = ClusterSpec::new(Protocol::Pbft, 4, 600.0);
+    spec.duration = Duration::from_secs(12);
+    spec.warmup = Duration::from_secs(2);
+    spec.num_clients = 4;
+    spec.seed = 77;
+
+    let scenario = Scenario::builder(Protocol::Pbft, 4)
+        .open_loop(4, 600.0)
+        .duration(Duration::from_secs(12))
+        .warmup(Duration::from_secs(2))
+        .seed(77)
+        .build();
+
+    let lowered = run_cluster(spec);
+    let built = run_scenario(scenario);
+    assert!(
+        lowered.delivered > 0,
+        "the run must actually deliver requests"
+    );
+    assert_identical(&lowered, &built, "fault-free pbft n=4");
+}
+
+#[test]
+fn crashy_straggler_lowering_is_byte_identical_to_the_builder_path() {
+    let mut spec = ClusterSpec::new(Protocol::Pbft, 4, 500.0);
+    spec.duration = Duration::from_secs(16);
+    spec.warmup = Duration::from_secs(2);
+    spec.num_clients = 4;
+    spec.crashes = vec![(NodeId(0), CrashTiming::EpochStart)];
+    spec.stragglers = vec![NodeId(1)];
+
+    let scenario = Scenario::builder(Protocol::Pbft, 4)
+        .open_loop(4, 500.0)
+        .duration(Duration::from_secs(16))
+        .warmup(Duration::from_secs(2))
+        .crash(NodeId(0), CrashTiming::EpochStart)
+        .straggler(NodeId(1))
+        .build();
+
+    let lowered = run_cluster(spec);
+    let built = run_scenario(scenario);
+    assert!(
+        lowered.delivered > 0,
+        "the crashy run must still deliver requests"
+    );
+    assert_identical(&lowered, &built, "epoch-start crash + straggler n=4");
+}
+
+#[test]
+fn lowering_round_trips_through_deployment_build() {
+    // `Deployment::build` *is* the lowering — run the same spec through both
+    // entry points and compare reports bitwise.
+    let mut spec = ClusterSpec::new(Protocol::Raft, 4, 400.0);
+    spec.duration = Duration::from_secs(10);
+    spec.warmup = Duration::from_secs(2);
+    spec.num_clients = 4;
+    let via_build = run_cluster(spec.clone());
+    let via_lower = run_scenario(spec.lower());
+    assert_identical(&via_build, &via_lower, "raft n=4 build vs lower");
+}

@@ -76,6 +76,29 @@ impl Partition {
     }
 }
 
+/// A window of probabilistic message loss.
+///
+/// While active, every message accepted for transmission is dropped with
+/// the given probability — a time-bounded generalization of the pre-GST
+/// loss model that lets experiments schedule lossy episodes anywhere in a
+/// run (and lets several windows with different severities coexist).
+#[derive(Clone, Copy, Debug)]
+pub struct LossWindow {
+    /// Probability of dropping a message sent inside the window.
+    pub probability: f64,
+    /// Start of the window (inclusive).
+    pub from: Time,
+    /// End of the window (exclusive); loss stops at this time.
+    pub until: Time,
+}
+
+impl LossWindow {
+    /// Whether the window is active at `now`.
+    pub fn active(&self, now: Time) -> bool {
+        self.probability > 0.0 && now >= self.from && now < self.until
+    }
+}
+
 /// Complete fault configuration for a run.
 #[derive(Clone, Debug, Default)]
 pub struct FaultConfig {
@@ -87,6 +110,8 @@ pub struct FaultConfig {
     pub pre_gst_drop_probability: f64,
     /// Global stabilization time; after this no message is dropped.
     pub gst: Time,
+    /// Scheduled windows of probabilistic loss (independent of `gst`).
+    pub loss_windows: Vec<LossWindow>,
 }
 
 impl FaultConfig {
@@ -112,9 +137,29 @@ impl FaultConfig {
         self.partitions.iter().any(|p| p.blocks(from, to, now))
     }
 
-    /// Whether probabilistic loss applies at `now`.
+    /// Whether probabilistic loss applies at `now` (pre-GST asynchrony or a
+    /// scheduled loss window).
     pub fn lossy_at(&self, now: Time) -> bool {
-        self.pre_gst_drop_probability > 0.0 && now < self.gst
+        (self.pre_gst_drop_probability > 0.0 && now < self.gst)
+            || self.loss_windows.iter().any(|w| w.active(now))
+    }
+
+    /// The drop probability in force at `now`: the strongest of the pre-GST
+    /// probability and every active loss window (so overlapping windows
+    /// degrade to the worst one instead of compounding, which keeps a
+    /// window's effect independent of how the schedule was sliced).
+    pub fn drop_probability(&self, now: Time) -> f64 {
+        let mut p = if now < self.gst {
+            self.pre_gst_drop_probability
+        } else {
+            0.0
+        };
+        for w in &self.loss_windows {
+            if w.active(now) {
+                p = p.max(w.probability);
+            }
+        }
+        p
     }
 }
 
@@ -167,6 +212,7 @@ mod tests {
             }],
             pre_gst_drop_probability: 0.1,
             gst: Time::from_secs(3),
+            loss_windows: Vec::new(),
         };
         assert!(cfg.drops(
             Addr::Node(NodeId(1)),
@@ -195,5 +241,52 @@ mod tests {
             Addr::Node(NodeId(1)),
             Time::ZERO
         ));
+    }
+
+    #[test]
+    fn loss_windows_bound_probabilistic_loss_in_time() {
+        let cfg = FaultConfig {
+            loss_windows: vec![
+                LossWindow {
+                    probability: 0.2,
+                    from: Time::from_secs(2),
+                    until: Time::from_secs(5),
+                },
+                LossWindow {
+                    probability: 0.6,
+                    from: Time::from_secs(4),
+                    until: Time::from_secs(6),
+                },
+            ],
+            ..FaultConfig::none()
+        };
+        assert!(!cfg.lossy_at(Time::from_secs(1)));
+        assert!(cfg.lossy_at(Time::from_secs(2)));
+        assert!(cfg.lossy_at(Time::from_millis(5500)));
+        assert!(!cfg.lossy_at(Time::from_secs(6)), "windows heal at `until`");
+        assert_eq!(cfg.drop_probability(Time::from_secs(1)), 0.0);
+        assert_eq!(cfg.drop_probability(Time::from_secs(3)), 0.2);
+        // Overlap takes the worst window, not the product.
+        assert_eq!(cfg.drop_probability(Time::from_millis(4500)), 0.6);
+        assert_eq!(cfg.drop_probability(Time::from_millis(5500)), 0.6);
+    }
+
+    #[test]
+    fn loss_windows_combine_with_pre_gst_loss() {
+        let cfg = FaultConfig {
+            pre_gst_drop_probability: 0.5,
+            gst: Time::from_secs(3),
+            loss_windows: vec![LossWindow {
+                probability: 0.1,
+                from: Time::from_secs(2),
+                until: Time::from_secs(10),
+            }],
+            ..FaultConfig::none()
+        };
+        // Before GST the stronger pre-GST probability wins.
+        assert_eq!(cfg.drop_probability(Time::from_millis(2500)), 0.5);
+        // After GST only the window applies.
+        assert_eq!(cfg.drop_probability(Time::from_secs(5)), 0.1);
+        assert!(cfg.lossy_at(Time::from_secs(5)));
     }
 }

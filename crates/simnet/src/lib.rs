@@ -73,7 +73,7 @@ pub mod topology;
 pub use bandwidth::BandwidthConfig;
 pub use cpu::CpuModel;
 pub use event::{EventQueue, ReferenceQueue};
-pub use fault::{CrashSchedule, FaultConfig, Partition};
+pub use fault::{CrashSchedule, FaultConfig, LossWindow, Partition};
 pub use process::{Addr, Context, Payload, Process};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats};
 pub use timer::TimerSlab;

@@ -140,7 +140,8 @@ impl<M: Payload> Runtime<M> {
         let rng = StdRng::seed_from_u64(config.seed);
         let crash_faults = !config.faults.crashes.is_empty();
         let drop_faults = crash_faults || !config.faults.partitions.is_empty();
-        let lossy_faults = config.faults.pre_gst_drop_probability > 0.0;
+        let lossy_faults =
+            config.faults.pre_gst_drop_probability > 0.0 || !config.faults.loss_windows.is_empty();
         let jitter_us = config.topology.jitter_us;
         Runtime {
             config,
@@ -359,10 +360,13 @@ impl<M: Payload> Runtime<M> {
             self.stats.messages_dropped += 1;
             return;
         }
-        // Probabilistic loss before GST (models asynchrony before stabilization).
+        // Probabilistic loss: pre-GST asynchrony or a scheduled loss window.
+        // The RNG is only drawn while loss is actually in force, so runs
+        // whose loss schedule never activates keep a bit-identical
+        // jitter/drop stream to a loss-free configuration.
         if self.lossy_faults
             && self.config.faults.lossy_at(self.now)
-            && sample_unit(&mut self.rng) < self.config.faults.pre_gst_drop_probability
+            && sample_unit(&mut self.rng) < self.config.faults.drop_probability(self.now)
         {
             self.stats.messages_dropped += 1;
             return;
@@ -578,6 +582,83 @@ mod tests {
                 assert_eq!(sample_jitter_us(&mut a, max_us), b.gen_range(0..=max_us));
             }
         }
+    }
+
+    #[test]
+    fn loss_window_drops_during_the_window_and_heals_after() {
+        use crate::fault::LossWindow;
+
+        /// Node 0 pings node 1 every 10 ms; node 1 counts arrivals by second.
+        struct Pinger;
+        impl Process<Ping> for Pinger {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                ctx.set_timer(Duration::from_millis(10), 0);
+            }
+            fn on_message(&mut self, _f: Addr, _m: Ping, _c: &mut Context<'_, Ping>) {}
+            fn on_timer(&mut self, _i: TimerId, _k: u64, ctx: &mut Context<'_, Ping>) {
+                ctx.send(Addr::Node(NodeId(1)), Ping { hops: 0, size: 10 });
+                ctx.set_timer(Duration::from_millis(10), 0);
+            }
+        }
+        struct Counter {
+            by_second: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Process<Ping> for Counter {
+            fn on_start(&mut self, _ctx: &mut Context<'_, Ping>) {}
+            fn on_message(&mut self, _f: Addr, _m: Ping, ctx: &mut Context<'_, Ping>) {
+                let s = (ctx.now().as_micros() / 1_000_000) as usize;
+                let mut v = self.by_second.borrow_mut();
+                if v.len() <= s {
+                    v.resize(s + 1, 0);
+                }
+                v[s] += 1;
+            }
+            fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<'_, Ping>) {}
+        }
+
+        let mut cfg = RuntimeConfig::ideal();
+        cfg.faults.loss_windows = vec![LossWindow {
+            probability: 1.0,
+            from: Time::from_secs(2),
+            until: Time::from_secs(4),
+        }];
+        let counts = Rc::new(RefCell::new(Vec::new()));
+        let mut rt: Runtime<Ping> = Runtime::new(cfg);
+        rt.add_process(Addr::Node(NodeId(0)), Box::new(Pinger));
+        rt.add_process(
+            Addr::Node(NodeId(1)),
+            Box::new(Counter {
+                by_second: Rc::clone(&counts),
+            }),
+        );
+        rt.run_until(Time::from_secs(6));
+        let counts = counts.borrow();
+        // ~100 pings/s outside the window, none inside, traffic resumes
+        // after the heal.
+        assert!(counts[1] > 90, "second 1 carried {}", counts[1]);
+        assert_eq!(counts[2], 0, "window must drop everything");
+        assert_eq!(counts[3], 0, "window must drop everything");
+        assert!(counts[5] > 90, "second 5 must heal, carried {}", counts[5]);
+        assert!(rt.stats().messages_dropped >= 190);
+    }
+
+    #[test]
+    fn inactive_loss_window_leaves_the_schedule_bit_identical() {
+        use crate::fault::LossWindow;
+        // A window scheduled after the run's horizon never activates, so the
+        // jitter RNG stream — and therefore the whole schedule — must match
+        // the no-window run exactly.
+        let (mut plain, log_plain) = ring_runtime(RuntimeConfig::testbed(), 4, 12);
+        let mut cfg = RuntimeConfig::testbed();
+        cfg.faults.loss_windows = vec![LossWindow {
+            probability: 0.9,
+            from: Time::from_secs(3600),
+            until: Time::from_secs(7200),
+        }];
+        let (mut windowed, log_windowed) = ring_runtime(cfg, 4, 12);
+        plain.run_until(Time::from_secs(30));
+        windowed.run_until(Time::from_secs(30));
+        assert_eq!(*log_plain.borrow(), *log_windowed.borrow());
     }
 
     #[test]

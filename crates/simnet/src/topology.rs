@@ -101,6 +101,29 @@ impl Topology {
         }
     }
 
+    /// A topology from an explicit one-way latency matrix (µs).
+    ///
+    /// `latency_us[a][b]` is the one-way latency from datacenter `a` to
+    /// datacenter `b`; the matrix must be square and non-empty. Participants
+    /// are placed round-robin across the datacenters, as in the built-in
+    /// topologies.
+    pub fn custom(latency_us: Vec<Vec<u64>>, jitter_us: u64) -> Self {
+        assert!(
+            !latency_us.is_empty(),
+            "custom topology needs >= 1 datacenter"
+        );
+        assert!(
+            latency_us.iter().all(|row| row.len() == latency_us.len()),
+            "custom latency matrix must be square"
+        );
+        let names = vec!["custom"; latency_us.len()];
+        Topology {
+            latency_us,
+            jitter_us,
+            names,
+        }
+    }
+
     /// Number of datacenters.
     pub fn num_datacenters(&self) -> usize {
         self.latency_us.len()
@@ -185,6 +208,36 @@ mod tests {
         assert_eq!(uni.num_datacenters(), 4);
         let cross = uni.latency(Addr::Node(NodeId(0)), Addr::Node(NodeId(1)));
         assert_eq!(cross, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn custom_matrix_topology() {
+        // A 3-DC "dumbbell": DCs 0 and 1 are close, DC 2 is far from both.
+        let t = Topology::custom(
+            vec![
+                vec![300, 1_000, 80_000],
+                vec![1_000, 300, 80_000],
+                vec![80_000, 80_000, 300],
+            ],
+            500,
+        );
+        assert_eq!(t.num_datacenters(), 3);
+        // Nodes 0, 1, 2 land on DCs 0, 1, 2 (round robin).
+        assert_eq!(
+            t.latency(Addr::Node(NodeId(0)), Addr::Node(NodeId(1))),
+            Duration::from_millis(1)
+        );
+        assert_eq!(
+            t.latency(Addr::Node(NodeId(0)), Addr::Node(NodeId(2))),
+            Duration::from_millis(80)
+        );
+        assert_eq!(t.jitter_us, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn custom_matrix_must_be_square() {
+        let _ = Topology::custom(vec![vec![1, 2], vec![3]], 0);
     }
 
     #[test]

@@ -1,76 +1,128 @@
-//! Workload generation helpers and measurement containers used by the
-//! evaluation harness: open-loop rate schedules, latency statistics and
+//! Workload generation and measurement containers used by the evaluation
+//! harness: the [`Workload`] trait with its built-in generators (open-loop,
+//! bursty, ramp, skewed), payload-size distributions, latency statistics and
 //! per-second throughput time series.
+//!
+//! # The `Workload` trait
+//!
+//! A workload is a *deterministic, recomputable* submission schedule: the
+//! submission time and payload size of request `timestamp` of any client are
+//! pure functions of `(client, timestamp)` (plus the workload's own
+//! parameters and seed). This has two consequences the harness relies on:
+//!
+//! * **Latency without bookkeeping** — the metrics sink recomputes the
+//!   submission time of a delivered request from its identifier instead of
+//!   remembering every in-flight request.
+//! * **Determinism by seed** — two runs of the same scenario produce the
+//!   same submission sequence, which is what makes whole-run byte-identity
+//!   (the determinism CI gate) possible at all.
+//!
+//! The trait is object-safe: the experiment harness stores scenarios'
+//! workloads as `Rc<dyn Workload>`.
 
+pub mod generators;
 pub mod stats;
 pub mod timeline;
 
+pub use generators::{Bursty, OpenLoop, Ramp, Skewed};
 pub use stats::LatencyStats;
 pub use timeline::ThroughputTimeline;
 
-use iss_types::{ClientId, Duration, ReqTimestamp, Time};
+use iss_types::{ClientId, ReqTimestamp, Time};
 
-/// An open-loop, fixed-rate submission schedule for a set of clients.
-///
-/// Each client submits `per_client_rate` requests per second with evenly
-/// spaced inter-arrival times, matching the paper's load generation (16
-/// client machines × 16 clients submitting 500-byte requests). Because the
-/// schedule is deterministic, the submission time of any request can be
-/// recomputed from its identifier, which lets the metrics sink compute
-/// end-to-end latency without remembering every in-flight request.
-#[derive(Clone, Copy, Debug)]
-pub struct OpenLoopSchedule {
-    /// Number of clients.
-    pub num_clients: usize,
-    /// Aggregate request rate (requests per second across all clients).
-    pub total_rate: f64,
-    /// Payload size in bytes (the paper uses 500, the average Bitcoin
-    /// transaction size).
-    pub payload_size: u32,
-    /// Time at which submission starts.
-    pub start: Time,
+/// An object-safe, deterministic request-submission schedule for a set of
+/// clients (see the crate docs for the determinism contract).
+pub trait Workload: std::fmt::Debug {
+    /// Number of clients this workload drives.
+    fn num_clients(&self) -> usize;
+
+    /// How many requests `client` should have submitted by `now`.
+    ///
+    /// Monotonically non-decreasing in `now`; the client process submits
+    /// the difference between this and its submitted count at every tick.
+    fn due_by(&self, client: ClientId, now: Time) -> u64;
+
+    /// The submission time of request `timestamp` of `client`.
+    ///
+    /// Must be consistent with [`Workload::due_by`]: request `k` is due by
+    /// `now` exactly when `submit_time(client, k) <= now` (modulo the
+    /// floating-point floor at the window edge), and non-decreasing in
+    /// `timestamp`.
+    fn submit_time(&self, client: ClientId, timestamp: ReqTimestamp) -> Time;
+
+    /// Payload size in bytes of request `timestamp` of `client`.
+    fn payload_size(&self, client: ClientId, timestamp: ReqTimestamp) -> u32;
 }
 
-impl OpenLoopSchedule {
-    /// Creates a schedule with the paper's default payload size.
-    pub fn new(num_clients: usize, total_rate: f64, start: Time) -> Self {
-        OpenLoopSchedule {
-            num_clients,
-            total_rate,
-            payload_size: 500,
-            start,
+const _OBJECT_SAFE: fn(&dyn Workload) = |_| {};
+
+/// A deterministic payload-size distribution.
+///
+/// Sizes are a pure function of `(seed, client, timestamp)` so the same
+/// request always gets the same size — across runs, across the generator and
+/// the metrics side, and across both ends of a lowered compatibility spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadDist {
+    /// Every request carries exactly this many bytes (the paper uses 500,
+    /// the average Bitcoin transaction size).
+    Fixed(u32),
+    /// Sizes drawn uniformly from `min..=max`.
+    Uniform {
+        /// Smallest payload.
+        min: u32,
+        /// Largest payload (inclusive).
+        max: u32,
+    },
+    /// Mostly `small` payloads with a deterministic fraction of `large`
+    /// ones (roughly one in `large_every`), modelling occasional bulky
+    /// transactions.
+    Bimodal {
+        /// The common payload size.
+        small: u32,
+        /// The occasional large payload size.
+        large: u32,
+        /// Approximate period of large payloads (must be non-zero).
+        large_every: u64,
+    },
+}
+
+impl PayloadDist {
+    /// The paper's default: fixed 500-byte payloads.
+    pub const DEFAULT: PayloadDist = PayloadDist::Fixed(500);
+
+    /// The size of request `timestamp` of `client` under this distribution.
+    pub fn size_for(&self, seed: u64, client: ClientId, timestamp: ReqTimestamp) -> u32 {
+        match *self {
+            PayloadDist::Fixed(size) => size,
+            PayloadDist::Uniform { min, max } => {
+                let (lo, hi) = (min.min(max), min.max(max));
+                let span = (hi - lo) as u64 + 1;
+                lo + (mix(seed, client, timestamp) % span) as u32
+            }
+            PayloadDist::Bimodal {
+                small,
+                large,
+                large_every,
+            } => {
+                if mix(seed, client, timestamp).is_multiple_of(large_every.max(1)) {
+                    large
+                } else {
+                    small
+                }
+            }
         }
     }
+}
 
-    /// Rate of a single client in requests per second.
-    pub fn per_client_rate(&self) -> f64 {
-        self.total_rate / self.num_clients.max(1) as f64
-    }
-
-    /// Interval between two consecutive requests of one client.
-    pub fn per_client_interval(&self) -> Duration {
-        let rate = self.per_client_rate();
-        if rate <= 0.0 {
-            Duration::from_secs(3600)
-        } else {
-            Duration::from_secs_f64(1.0 / rate)
-        }
-    }
-
-    /// The (deterministic) submission time of request `timestamp` of any
-    /// client.
-    pub fn submit_time(&self, _client: ClientId, timestamp: ReqTimestamp) -> Time {
-        self.start + Duration::from_secs_f64(timestamp as f64 / self.per_client_rate().max(1e-9))
-    }
-
-    /// How many requests a client should have submitted by `now`.
-    pub fn due_by(&self, now: Time) -> u64 {
-        if now < self.start {
-            return 0;
-        }
-        let elapsed = (now - self.start).as_secs_f64();
-        (elapsed * self.per_client_rate()).floor() as u64
-    }
+/// SplitMix64 finalizer over `(seed, client, timestamp)` — the deterministic
+/// "randomness" behind payload sizing and the skewed-rate permutation.
+pub(crate) fn mix(seed: u64, client: ClientId, timestamp: ReqTimestamp) -> u64 {
+    let mut z = seed
+        .wrapping_add((client.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(timestamp.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -78,34 +130,43 @@ mod tests {
     use super::*;
 
     #[test]
-    fn schedule_rates_and_intervals() {
-        let s = OpenLoopSchedule::new(16, 1600.0, Time::ZERO);
-        assert!((s.per_client_rate() - 100.0).abs() < 1e-9);
-        assert_eq!(s.per_client_interval(), Duration::from_millis(10));
-        assert_eq!(s.payload_size, 500);
+    fn fixed_payloads_are_constant() {
+        let d = PayloadDist::Fixed(500);
+        assert_eq!(d.size_for(1, ClientId(0), 0), 500);
+        assert_eq!(d.size_for(99, ClientId(7), 12345), 500);
     }
 
     #[test]
-    fn submit_time_is_recomputable() {
-        let s = OpenLoopSchedule::new(4, 400.0, Time::from_secs(2));
-        // 100 req/s per client → request #50 at 2.5 s.
-        assert_eq!(s.submit_time(ClientId(0), 50), Time::from_millis(2500));
-        assert_eq!(s.submit_time(ClientId(3), 0), Time::from_secs(2));
+    fn uniform_payloads_stay_in_range_and_are_deterministic() {
+        let d = PayloadDist::Uniform { min: 100, max: 900 };
+        let mut distinct = std::collections::HashSet::new();
+        for ts in 0..200 {
+            let a = d.size_for(42, ClientId(3), ts);
+            let b = d.size_for(42, ClientId(3), ts);
+            assert_eq!(a, b, "same (seed, client, ts) must give the same size");
+            assert!((100..=900).contains(&a), "size {a} out of range");
+            distinct.insert(a);
+        }
+        assert!(distinct.len() > 20, "uniform sizes should actually vary");
+        // A different seed reshuffles sizes.
+        assert!(
+            (0..200).any(|ts| d.size_for(42, ClientId(3), ts) != d.size_for(43, ClientId(3), ts))
+        );
     }
 
     #[test]
-    fn due_by_counts_elapsed_requests() {
-        let s = OpenLoopSchedule::new(1, 100.0, Time::from_secs(1));
-        assert_eq!(s.due_by(Time::ZERO), 0);
-        assert_eq!(s.due_by(Time::from_secs(1)), 0);
-        assert_eq!(s.due_by(Time::from_millis(1500)), 50);
-        assert_eq!(s.due_by(Time::from_secs(3)), 200);
-    }
-
-    #[test]
-    fn zero_rate_is_safe() {
-        let s = OpenLoopSchedule::new(4, 0.0, Time::ZERO);
-        assert_eq!(s.due_by(Time::from_secs(100)), 0);
-        assert!(s.per_client_interval() >= Duration::from_secs(3600));
+    fn bimodal_payloads_mix_small_and_large() {
+        let d = PayloadDist::Bimodal {
+            small: 200,
+            large: 4_000,
+            large_every: 10,
+        };
+        let sizes: Vec<u32> = (0..500).map(|ts| d.size_for(7, ClientId(0), ts)).collect();
+        let large = sizes.iter().filter(|s| **s == 4_000).count();
+        assert!(sizes.iter().all(|s| *s == 200 || *s == 4_000));
+        assert!(
+            (10..=120).contains(&large),
+            "≈1 in 10 large, got {large}/500"
+        );
     }
 }

@@ -9,15 +9,17 @@
 //! ```
 
 use iss::core::Mode;
-use iss::sim::{ClusterSpec, Deployment, Protocol};
+use iss::sim::{Protocol, Scenario};
 use iss::types::Duration;
 
 fn run(label: &str, mode: Mode, nodes: usize, offered: f64) -> f64 {
-    let mut spec = ClusterSpec::new(Protocol::Pbft, nodes, offered);
-    spec.mode = mode;
-    spec.duration = Duration::from_secs(16);
-    spec.warmup = Duration::from_secs(6);
-    let report = Deployment::build(spec).run();
+    let report = Scenario::builder(Protocol::Pbft, nodes)
+        .mode(mode)
+        .open_loop(16, offered)
+        .duration(Duration::from_secs(16))
+        .warmup(Duration::from_secs(6))
+        .build()
+        .run();
     println!(
         "  {label:<14} n={nodes:<3} offered {:>7.0} tx/s  delivered {:>8.1} tx/s  mean latency {:>5.2} s",
         offered,

@@ -1,13 +1,14 @@
 //! Run the same workload over all three ordering protocols multiplexed by
 //! ISS (PBFT, HotStuff and Raft) and compare throughput and latency — the
 //! modularity pitch of the paper: ISS is protocol-agnostic, anything that can
-//! implement Sequenced Broadcast plugs in.
+//! implement Sequenced Broadcast plugs in. With the Scenario API the
+//! protocol is one axis of the scenario; everything else stays fixed.
 //!
 //! ```sh
 //! cargo run --release --example protocol_comparison
 //! ```
 
-use iss::sim::{ClusterSpec, Deployment, Protocol};
+use iss::sim::{Protocol, Scenario};
 use iss::types::Duration;
 
 fn main() {
@@ -15,10 +16,12 @@ fn main() {
         "ISS with three different Sequenced Broadcast implementations (8 nodes, 4 kreq/s offered):"
     );
     for protocol in [Protocol::Pbft, Protocol::HotStuff, Protocol::Raft] {
-        let mut spec = ClusterSpec::new(protocol, 8, 4_000.0);
-        spec.duration = Duration::from_secs(20);
-        spec.warmup = Duration::from_secs(8);
-        let report = Deployment::build(spec).run();
+        let report = Scenario::builder(protocol, 8)
+            .open_loop(16, 4_000.0)
+            .duration(Duration::from_secs(20))
+            .warmup(Duration::from_secs(8))
+            .build()
+            .run();
         println!(
             "  ISS-{:<9} throughput {:>8.1} req/s   mean latency {:>5.2} s   p95 {:>5.2} s   messages {:>9}",
             protocol.name(),

@@ -1,23 +1,26 @@
-//! Quickstart: run a small ISS-PBFT deployment on the simulated WAN and
-//! print what it did.
+//! Quickstart: build a small ISS-PBFT scenario with the Scenario API, run
+//! it on the simulated WAN and print what it did.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use iss::sim::{ClusterSpec, Deployment, Protocol};
+use iss::sim::{Protocol, Scenario};
 use iss::types::Duration;
 
 fn main() {
-    // 4 replicas spread over 4 continents, 16 clients submitting 500-byte
-    // requests at 1000 req/s in aggregate.
-    let mut spec = ClusterSpec::new(Protocol::Pbft, 4, 1_000.0);
-    spec.duration = Duration::from_secs(20);
-    spec.warmup = Duration::from_secs(5);
+    // A scenario is Protocol stack × Workload × Topology × FaultPlan ×
+    // RunWindow. Here: 4 ISS-PBFT replicas spread over 4 continents, 16
+    // open-loop clients submitting 500-byte requests at 1000 req/s in
+    // aggregate, no faults, 20 simulated seconds with a 5 s warm-up.
+    let scenario = Scenario::builder(Protocol::Pbft, 4)
+        .open_loop(16, 1_000.0)
+        .duration(Duration::from_secs(20))
+        .warmup(Duration::from_secs(5))
+        .build();
 
     println!("building a 4-node ISS-PBFT cluster on the simulated 16-datacenter WAN…");
-    let mut deployment = Deployment::build(spec);
-    let report = deployment.run();
+    let report = scenario.run();
 
     println!();
     println!("results over {} simulated seconds:", 20);

@@ -24,18 +24,33 @@
 //!
 //! ## Quick start
 //!
+//! Experiments are described by the composable **Scenario API** —
+//! `Scenario = Protocol stack × Workload × Topology × FaultPlan ×
+//! RunWindow` — so new experiment shapes are data, not new code paths:
+//!
 //! ```
-//! use iss::sim::{ClusterSpec, Deployment, Protocol};
+//! use iss::sim::{Protocol, Scenario};
 //! use iss::types::Duration;
 //!
 //! // A 4-node ISS-PBFT deployment on the simulated 16-datacenter WAN,
-//! // 400 requests/s of offered load, run for 10 simulated seconds.
-//! let mut spec = ClusterSpec::new(Protocol::Pbft, 4, 400.0);
-//! spec.duration = Duration::from_secs(10);
-//! spec.warmup = Duration::from_secs(2);
-//! let report = Deployment::build(spec).run();
+//! // 4 open-loop clients offering 400 requests/s, run for 10 simulated
+//! // seconds.
+//! let report = Scenario::builder(Protocol::Pbft, 4)
+//!     .open_loop(4, 400.0)
+//!     .duration(Duration::from_secs(10))
+//!     .warmup(Duration::from_secs(2))
+//!     .build()
+//!     .run();
 //! assert!(report.delivered > 0);
 //! ```
+//!
+//! Beyond the paper's uniform open loop, `iss::workload` provides bursty
+//! on/off traffic, linearly ramping load and Zipf-skewed per-client rates
+//! (plus payload-size distributions), and the scenario's `FaultPlan`
+//! unifies crashes, Byzantine stragglers, healing partitions and
+//! lossy-link windows; see `iss::sim::scenario` for the full surface. The
+//! legacy flat `ClusterSpec` survives as a veneer that lowers onto a
+//! `Scenario`.
 
 pub use iss_client as client;
 pub use iss_core as core;
