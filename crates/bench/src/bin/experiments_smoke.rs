@@ -15,10 +15,11 @@
 
 use iss_bench::scale_from_env;
 use iss_sim::experiments::{
-    figure11, figure12, figure5, figure6, figure7, scenario_bursty, scenario_lossy_window,
-    scenario_partition_heal, scenario_skewed, Scale,
+    figure11, figure12, figure5, figure6, figure7, scenario_bursty, scenario_crash_restart,
+    scenario_lossy_window, scenario_partition_heal, scenario_skewed, Scale,
 };
 use iss_sim::Protocol;
+use iss_types::NodeId;
 
 fn scale() -> Scale {
     if std::env::var("ISS_SCALE").is_err() {
@@ -229,6 +230,46 @@ fn main() -> std::process::ExitCode {
         "lossy window drops messages",
         &mut failures,
     );
+
+    // Crash-restart recovery: the rebooted node must come back through the
+    // durable-storage path (WAL replay and/or snapshot chunks) and catch up
+    // in well under the ≈10 s epoch-change timeout a snapshot-less rejoin
+    // would wait out.
+    let restart = scenario_crash_restart(scale);
+    println!(
+        "scenario crash-restart: {} delivered, {} recovery event(s)",
+        restart.delivered,
+        restart.recoveries.len()
+    );
+    check(
+        restart.delivered > 0,
+        "crash-restart delivers traffic",
+        &mut failures,
+    );
+    let recovery = restart.recoveries.iter().find(|r| r.node == NodeId(1));
+    check(
+        recovery.is_some(),
+        "restarted node records a completed recovery",
+        &mut failures,
+    );
+    if let Some(recovery) = recovery {
+        println!(
+            "  node 1 replayed {} WAL entries, {} snapshot chunk(s), caught up in {:.3} s",
+            recovery.entries_replayed,
+            recovery.snapshot_chunks,
+            recovery.time_to_catch_up().as_secs_f64()
+        );
+        check(
+            recovery.entries_replayed > 0 || recovery.snapshot_chunks > 0,
+            "recovery used the durable-storage path",
+            &mut failures,
+        );
+        check(
+            recovery.time_to_catch_up() < iss_types::Duration::from_secs(2),
+            "catch-up well under the epoch-change timeout",
+            &mut failures,
+        );
+    }
 
     if failures > 0 {
         eprintln!("experiment-matrix smoke: {failures} check(s) failed");

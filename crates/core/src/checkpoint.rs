@@ -152,6 +152,19 @@ impl CheckpointManager {
         None
     }
 
+    /// Installs an externally obtained stable checkpoint (loaded from a
+    /// durable snapshot on reboot, or received — and verified — over the
+    /// snapshot fast path). The caller is responsible for having verified
+    /// the proof; see [`CheckpointManager::verify_stable_proof`].
+    pub fn install_stable(&mut self, stable: StableCheckpoint) {
+        let epoch = stable.epoch;
+        self.max_seq_nrs.entry(epoch).or_insert(stable.max_seq_nr);
+        self.stable.insert(epoch, stable);
+        if self.latest_stable.is_none_or(|e| epoch > e) {
+            self.latest_stable = Some(epoch);
+        }
+    }
+
     /// The most recent stable checkpoint, if any.
     pub fn latest_stable(&self) -> Option<&StableCheckpoint> {
         self.latest_stable.and_then(|e| self.stable.get(&e))

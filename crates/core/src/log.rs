@@ -78,6 +78,17 @@ impl IssLog {
         self.first_undelivered
     }
 
+    /// Whether every committed entry has been delivered — no committed
+    /// position is stranded above an undelivered gap. A recovering node uses
+    /// this as its catch-up criterion: once a live commit gets delivered
+    /// with nothing stranded, delivery has reached the cluster's frontier.
+    pub fn fully_delivered(&self) -> bool {
+        self.entries
+            .range(self.first_undelivered..)
+            .next()
+            .is_none()
+    }
+
     /// Total number of requests delivered so far.
     pub fn total_delivered(&self) -> u64 {
         self.total_delivered
@@ -113,6 +124,20 @@ impl IssLog {
         last: SeqNr,
     ) -> impl Iterator<Item = (SeqNr, &CommittedEntry)> {
         self.entries.range(first..=last).map(|(sn, e)| (*sn, e))
+    }
+
+    /// Re-anchors the delivery state at a checkpoint snapshot boundary:
+    /// everything below `first_undelivered` is considered delivered, and
+    /// `total_delivered` requests were delivered getting there (Equation-2
+    /// numbering resumes from that count). Used when rebooting from durable
+    /// storage or installing a snapshot received over state transfer; only
+    /// moves forward.
+    pub fn restore_delivery_state(&mut self, first_undelivered: SeqNr, total_delivered: u64) {
+        if first_undelivered < self.first_undelivered {
+            return;
+        }
+        self.first_undelivered = first_undelivered;
+        self.total_delivered = total_delivered;
     }
 
     /// Drops entries with sequence numbers strictly below `below` that have

@@ -41,22 +41,27 @@
 //! and the timer population.
 
 use crate::buckets::BucketQueues;
-use crate::checkpoint::CheckpointManager;
+use crate::checkpoint::{CheckpointManager, StableCheckpoint};
 use crate::epoch::EpochConfig;
 use crate::log::IssLog;
 use crate::orderer::OrdererFactory;
 use crate::policy::LeaderPolicy;
 use crate::state::{EpochState, InstanceSlot, NodeState};
 use crate::validation::{EpochBuckets, RequestValidation};
-use iss_crypto::{KeyPair, SignatureRegistry};
+use bytes::{Bytes, BytesMut};
+use iss_crypto::{Digest, KeyPair, SignatureRegistry};
+use iss_messages::codec::{decode_log, encode_log};
 use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg};
 use iss_sb::{SbAction, SbContext, SbInstance};
 use iss_simnet::process::{Addr, Context, Process};
+use iss_storage::record::{decode_policy, encode_policy, PolicyState, Snapshot, WalRecord};
+use iss_storage::Storage;
 use iss_types::{
     Batch, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr, Time,
     TimerId,
 };
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -64,6 +69,9 @@ use std::sync::Arc;
 const KIND_PROPOSE: u64 = 1;
 const KIND_INSTANCE: u64 = 2;
 const KIND_MIR_EPOCH: u64 = 3;
+
+/// Size of one snapshot chunk on the state-transfer fast path.
+const SNAPSHOT_CHUNK_BYTES: usize = 64 << 10;
 
 /// Deployment mode.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -101,6 +109,20 @@ pub trait DeliverySink {
     fn on_batch_committed(&mut self, node: NodeId, seq_nr: SeqNr, batch_size: usize, now: Time);
     /// The node advanced to a new epoch.
     fn on_epoch_advanced(&mut self, node: NodeId, epoch: EpochNr, now: Time);
+    /// The node booted from durable state or detected it had fallen behind
+    /// and entered recovery.
+    fn on_recovery_started(&mut self, _node: NodeId, _now: Time) {}
+    /// The node finished catching up: `entries_replayed` log entries came
+    /// from its WAL, `snapshot_chunks` snapshot chunks arrived over the
+    /// state-transfer fast path.
+    fn on_recovery_completed(
+        &mut self,
+        _node: NodeId,
+        _entries_replayed: u64,
+        _snapshot_chunks: u64,
+        _now: Time,
+    ) {
+    }
 }
 
 /// A sink that ignores everything.
@@ -178,8 +200,47 @@ pub struct IssNode<S: NodeState = EpochState> {
     // Mir mode: waiting for the epoch primary's NEW-EPOCH message.
     mir_waiting: bool,
 
+    // Durable persistence and recovery (the WAL + snapshot subsystem).
+    /// Durable backend, if this deployment persists the node's log. Shared
+    /// (`Rc`) so a simulated restart can hand the same storage to the next
+    /// incarnation.
+    storage: Option<Rc<dyn Storage>>,
+    /// Per finished epoch: `totalDelivered` at the cut and the policy state
+    /// right after `on_epoch_end` — everything a snapshot needs beyond the
+    /// stable checkpoint itself.
+    snapshot_meta: HashMap<EpochNr, (u64, PolicyState)>,
+    /// Epoch of the last snapshot persisted to `storage`.
+    last_snapshot_epoch: Option<EpochNr>,
+    /// In-progress catch-up bookkeeping (`None` when fully caught up).
+    recovery: Option<RecoveryProgress>,
+    /// Reassembly buffer for an incoming chunked snapshot.
+    incoming_snapshot: Option<SnapshotAssembly>,
+
     /// Suspicions reported by the ordering protocol instances (diagnostics).
     pub suspicions: Vec<(EpochNr, NodeId)>,
+}
+
+/// Catch-up bookkeeping between recovery start and completion.
+#[derive(Clone, Copy, Debug, Default)]
+struct RecoveryProgress {
+    /// Whether `on_recovery_started` was already emitted.
+    announced: bool,
+    /// Log entries restored from the WAL at boot.
+    entries_replayed: u64,
+    /// Snapshot chunks received over the fast path.
+    snapshot_chunks: u64,
+}
+
+/// An incoming chunked snapshot being reassembled.
+struct SnapshotAssembly {
+    epoch: EpochNr,
+    max_seq_nr: SeqNr,
+    root: Digest,
+    proof: Vec<(NodeId, Bytes)>,
+    total_delivered: u64,
+    policy: Bytes,
+    data: Vec<u8>,
+    total_len: u32,
 }
 
 impl IssNode<EpochState> {
@@ -245,8 +306,34 @@ impl<S: NodeState + Default> IssNode<S> {
             next_proposal: 0,
             last_proposal_at: Time::ZERO,
             mir_waiting: false,
+            storage: None,
+            snapshot_meta: HashMap::new(),
+            last_snapshot_epoch: None,
+            recovery: None,
+            incoming_snapshot: None,
             suspicions: Vec::new(),
         }
+    }
+
+    /// Creates a node backed by durable storage, recovering whatever the
+    /// storage holds: the latest checkpoint snapshot re-anchors the log and
+    /// the policy, and the WAL suffix is replayed *silently* (delivery is a
+    /// deterministic function of the committed set, so replay restores the
+    /// exact pre-crash delivery state without re-emitting sink events or
+    /// client responses). On an empty storage this is an ordinary cold boot
+    /// that additionally persists from the first commit on.
+    pub fn with_storage(
+        my_id: NodeId,
+        opts: NodeOptions,
+        factory: Box<dyn OrdererFactory>,
+        registry: Arc<SignatureRegistry>,
+        sink: Rc<RefCell<dyn DeliverySink>>,
+        storage: Rc<dyn Storage>,
+    ) -> Self {
+        let mut node = Self::with_state(my_id, opts, factory, registry, sink);
+        node.storage = Some(Rc::clone(&storage));
+        node.replay_from_storage(&*storage);
+        node
     }
 }
 
@@ -276,6 +363,423 @@ impl<S: NodeState> IssNode<S> {
     /// Number of requests waiting in this node's bucket queues.
     pub fn pending_requests(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Whether the node is currently catching up (testing / diagnostics).
+    pub fn is_recovering(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Restores log, policy and checkpoint state from `storage` (see
+    /// [`IssNode::with_storage`]).
+    fn replay_from_storage(&mut self, storage: &dyn Storage) {
+        let Ok(recovered) = storage.recover() else {
+            return;
+        };
+        let mut replayed = 0u64;
+        if let Some(snap) = &recovered.snapshot {
+            self.policy
+                .restore_records(&snap.policy.penalties, &snap.policy.failures);
+            self.log
+                .restore_delivery_state(snap.max_seq_nr + 1, snap.total_delivered);
+            self.checkpoints.install_stable(StableCheckpoint {
+                epoch: snap.epoch,
+                max_seq_nr: snap.max_seq_nr,
+                root: snap.root,
+                proof: snap
+                    .proof
+                    .iter()
+                    .map(|(n, s)| (*n, Bytes::from(s.clone())))
+                    .collect(),
+            });
+            self.snapshot_meta
+                .insert(snap.epoch, (snap.total_delivered, snap.policy.clone()));
+            self.last_snapshot_epoch = Some(snap.epoch);
+            // Re-anchor the epoch sequence at the snapshot boundary; the
+            // restored policy yields the same leadersets the live cluster
+            // computed for this epoch.
+            self.current_epoch = snap.epoch + 1;
+            let leaders = Self::leaders_for(&self.opts, &self.policy, self.current_epoch);
+            self.epoch = EpochConfig::build(
+                &self.opts.config,
+                self.current_epoch,
+                snap.max_seq_nr + 1,
+                leaders,
+            );
+        }
+        // Silent WAL replay: no sink events, no client responses — those
+        // happened before the crash.
+        for record in &recovered.wal {
+            let WalRecord::Committed {
+                seq_nr,
+                leader,
+                batch,
+            } = record;
+            if !self.log.commit(*seq_nr, batch.clone(), *leader) {
+                continue;
+            }
+            replayed += 1;
+            match batch {
+                Some(b) => {
+                    for req in b.requests() {
+                        self.validation.mark_delivered(&req.id);
+                    }
+                }
+                None => self.policy.record_nil_delivery(*leader, *seq_nr),
+            }
+        }
+        let _ = self.log.deliver_ready();
+        self.fast_forward_epochs();
+        if recovered.snapshot.is_some() || replayed > 0 {
+            self.recovery = Some(RecoveryProgress {
+                announced: false,
+                entries_replayed: replayed,
+                snapshot_chunks: 0,
+            });
+        }
+    }
+
+    /// Advances through epochs whose full range is already committed,
+    /// without network traffic or sink events (used after WAL replay, where
+    /// the cluster already went through these transitions).
+    fn fast_forward_epochs(&mut self) {
+        loop {
+            let first = self.epoch.first_seq_nr;
+            let last = self.epoch.max_seq_nr();
+            if !self.log.range_complete(first, last) {
+                return;
+            }
+            self.policy.on_epoch_end((first, last));
+            self.capture_snapshot_meta();
+            self.current_epoch += 1;
+            let leaders = Self::leaders_for(&self.opts, &self.policy, self.current_epoch);
+            self.epoch = EpochConfig::build(
+                &self.opts.config,
+                self.current_epoch,
+                self.epoch.next_first_seq_nr(),
+                leaders,
+            );
+        }
+    }
+
+    /// Captures what a snapshot of the *current* (just-finished) epoch needs
+    /// beyond the stable checkpoint. Must run right after
+    /// `policy.on_epoch_end`, while `firstUndelivered == max(Sn(e)) + 1` —
+    /// at that moment `totalDelivered` is exactly the request count through
+    /// the checkpoint.
+    fn capture_snapshot_meta(&mut self) {
+        let (penalties, failures) = self.policy.export_records();
+        self.snapshot_meta.insert(
+            self.current_epoch,
+            (
+                self.log.total_delivered(),
+                PolicyState {
+                    penalties,
+                    failures,
+                },
+            ),
+        );
+        // Only the recent epochs can still be served or snapshotted.
+        let keep_from = self.current_epoch.saturating_sub(2);
+        self.snapshot_meta.retain(|e, _| *e >= keep_from);
+    }
+
+    /// Appends a committed entry to the WAL, if this node persists.
+    fn persist_commit(&mut self, sn: SeqNr, leader: NodeId, batch: &Option<Batch>) {
+        if let Some(storage) = &self.storage {
+            let _ = storage.append(&WalRecord::Committed {
+                seq_nr: sn,
+                leader,
+                batch: batch.clone(),
+            });
+        }
+    }
+
+    /// Persists a snapshot at a newly stable checkpoint and prunes the WAL
+    /// below it.
+    fn maybe_persist_snapshot(&mut self, stable: &StableCheckpoint) {
+        let Some(storage) = &self.storage else {
+            return;
+        };
+        if self.last_snapshot_epoch.is_some_and(|e| e >= stable.epoch) {
+            return;
+        }
+        // Snapshot only what this node has actually delivered through.
+        if self.log.first_undelivered() <= stable.max_seq_nr {
+            return;
+        }
+        let Some((total_delivered, policy)) = self.snapshot_meta.get(&stable.epoch) else {
+            return;
+        };
+        let snapshot = Snapshot {
+            epoch: stable.epoch,
+            max_seq_nr: stable.max_seq_nr,
+            root: stable.root,
+            proof: stable.proof.iter().map(|(n, s)| (*n, s.to_vec())).collect(),
+            total_delivered: *total_delivered,
+            policy: policy.clone(),
+        };
+        if storage.save_snapshot(&snapshot).is_ok() {
+            let _ = storage.prune_below(stable.max_seq_nr + 1);
+            self.last_snapshot_epoch = Some(stable.epoch);
+        }
+    }
+
+    /// Marks the node as recovering (idempotent) and emits
+    /// `on_recovery_started` once.
+    fn enter_recovery(&mut self, now: Time) {
+        let progress = self.recovery.get_or_insert_with(RecoveryProgress::default);
+        if !progress.announced {
+            progress.announced = true;
+            self.sink.borrow_mut().on_recovery_started(self.my_id, now);
+        }
+    }
+
+    /// Emits `on_recovery_completed` if a recovery was in progress.
+    fn finish_recovery(&mut self, now: Time) {
+        if let Some(progress) = self.recovery.take() {
+            self.sink.borrow_mut().on_recovery_completed(
+                self.my_id,
+                progress.entries_replayed,
+                progress.snapshot_chunks,
+                now,
+            );
+        }
+    }
+
+    /// Broadcasts a snapshot request for everything at or above this node's
+    /// delivery head (the reconnect fast path, Section 3.5 state transfer
+    /// generalized to checkpoint snapshots).
+    fn request_snapshot(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.enter_recovery(ctx.now());
+        let msg = NetMsg::Iss(IssMsg::SnapshotRequest {
+            from_seq_nr: self.log.first_undelivered(),
+        });
+        for node in &self.all_nodes {
+            if *node != self.my_id {
+                ctx.send(Addr::Node(*node), msg.clone());
+            }
+        }
+    }
+
+    /// A checkpoint just became stable on this node: persist a snapshot, and
+    /// detect whether the cluster has moved past us (reconnect fast path).
+    fn on_checkpoint_stable(&mut self, stable: StableCheckpoint, ctx: &mut Context<'_, NetMsg>) {
+        self.maybe_persist_snapshot(&stable);
+        // A quorum finished an epoch we have not even started (e.g. the far
+        // side of a healed partition), or — while already catching up — the
+        // checkpoint now covers our delivery gap: fetch the snapshot instead
+        // of waiting out epoch-change timeouts.
+        let covers_our_gap =
+            self.recovery.is_some() && stable.max_seq_nr >= self.log.first_undelivered();
+        if stable.epoch > self.current_epoch || covers_our_gap {
+            self.request_snapshot(ctx);
+        }
+    }
+
+    /// Serves a snapshot request: the latest stable checkpoint plus every
+    /// retained log entry from the requester's head through the checkpoint,
+    /// chunked so reassembly is independent of message size limits.
+    fn serve_snapshot_request(
+        &mut self,
+        to: NodeId,
+        from_seq_nr: SeqNr,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        let Some(stable) = self.checkpoints.latest_stable() else {
+            return;
+        };
+        if from_seq_nr > stable.max_seq_nr {
+            return; // requester is not behind our stable state
+        }
+        let Some((total_delivered, policy)) = self.snapshot_meta.get(&stable.epoch) else {
+            return;
+        };
+        // The served range must be contiguous: a gap (entries pruned below
+        // our own snapshot cut) would stall the requester's delivery.
+        let entries: Vec<(SeqNr, Option<Batch>)> = self
+            .log
+            .range(from_seq_nr, stable.max_seq_nr)
+            .map(|(sn, e)| (sn, e.batch.clone()))
+            .collect();
+        if entries.len() as u64 != stable.max_seq_nr - from_seq_nr + 1 {
+            return;
+        }
+        let data = Bytes::from(encode_log(&entries));
+        let policy_bytes = {
+            let mut buf = BytesMut::new();
+            encode_policy(policy, &mut buf);
+            buf.freeze()
+        };
+        let (epoch, max_seq_nr, root, proof) = (
+            stable.epoch,
+            stable.max_seq_nr,
+            stable.root,
+            stable.proof.clone(),
+        );
+        let total_delivered = *total_delivered;
+        let total_len = data.len() as u32;
+        let mut offset = 0usize;
+        loop {
+            let end = (offset + SNAPSHOT_CHUNK_BYTES).min(data.len());
+            let done = end == data.len();
+            ctx.send(
+                Addr::Node(to),
+                NetMsg::Iss(IssMsg::SnapshotChunk {
+                    epoch,
+                    max_seq_nr,
+                    root,
+                    proof: proof.clone(),
+                    total_delivered,
+                    policy: policy_bytes.clone(),
+                    offset: offset as u32,
+                    total_len,
+                    data: data.slice(offset..end),
+                    done,
+                }),
+            );
+            if done {
+                return;
+            }
+            offset = end;
+        }
+    }
+
+    /// Reassembles an incoming snapshot chunk; installs the snapshot when
+    /// the final chunk arrives.
+    #[allow(clippy::too_many_arguments)]
+    fn on_snapshot_chunk(
+        &mut self,
+        from: NodeId,
+        epoch: EpochNr,
+        max_seq_nr: SeqNr,
+        root: Digest,
+        proof: Vec<(NodeId, Bytes)>,
+        total_delivered: u64,
+        policy: Bytes,
+        offset: u32,
+        total_len: u32,
+        data: Bytes,
+        done: bool,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        // Already caught up past this snapshot (e.g. a second peer's stream).
+        if epoch < self.current_epoch || max_seq_nr < self.log.first_undelivered() {
+            return;
+        }
+        if offset == 0 {
+            self.incoming_snapshot = Some(SnapshotAssembly {
+                epoch,
+                max_seq_nr,
+                root,
+                proof,
+                total_delivered,
+                policy,
+                data: Vec::with_capacity(total_len as usize),
+                total_len,
+            });
+        }
+        let Some(assembly) = self.incoming_snapshot.as_mut() else {
+            return;
+        };
+        if assembly.epoch != epoch || assembly.data.len() != offset as usize {
+            return; // out-of-order or interleaved stream; wait for a restart
+        }
+        assembly.data.extend_from_slice(&data);
+        if let Some(progress) = self.recovery.as_mut() {
+            progress.snapshot_chunks += 1;
+        }
+        if !done || assembly.data.len() != assembly.total_len as usize {
+            return;
+        }
+        let assembly = self.incoming_snapshot.take().expect("checked above");
+        self.install_snapshot(from, assembly, ctx);
+    }
+
+    /// Verifies and installs a fully reassembled snapshot: commits the
+    /// transferred entries (with *normal* delivery — they are new to this
+    /// node), adopts the policy state at the cut, fast-forwards the epoch to
+    /// just past the checkpoint, and asks the serving peer for the log
+    /// suffix beyond it.
+    fn install_snapshot(
+        &mut self,
+        from: NodeId,
+        assembly: SnapshotAssembly,
+        ctx: &mut Context<'_, NetMsg>,
+    ) {
+        if !self.checkpoints.verify_stable_proof(
+            assembly.epoch,
+            assembly.max_seq_nr,
+            &assembly.root,
+            &assembly.proof,
+        ) {
+            return;
+        }
+        let Ok(entries) = decode_log(&assembly.data) else {
+            return;
+        };
+        let Ok(policy) = decode_policy(&mut assembly.policy.clone()) else {
+            return;
+        };
+        for (sn, batch) in &entries {
+            let leader = self.state.leader_of(*sn).unwrap_or(NodeId(0));
+            if self.log.commit(*sn, batch.clone(), leader) {
+                self.persist_commit(*sn, leader, batch);
+                if let Some(b) = batch {
+                    for req in b.requests() {
+                        self.buckets.remove(&req.id);
+                        self.validation.mark_delivered(&req.id);
+                    }
+                }
+            }
+        }
+        self.deliver_ready(ctx);
+        if self.log.first_undelivered() <= assembly.max_seq_nr {
+            return; // served range had a hole we could not close; keep waiting
+        }
+        // Adopt the cluster's view at the cut: the policy state determines
+        // future leadersets, the stable checkpoint unlocks GC and serving.
+        self.policy
+            .restore_records(&policy.penalties, &policy.failures);
+        let stable = StableCheckpoint {
+            epoch: assembly.epoch,
+            max_seq_nr: assembly.max_seq_nr,
+            root: assembly.root,
+            proof: assembly.proof,
+        };
+        self.checkpoints.install_stable(stable.clone());
+        self.snapshot_meta
+            .insert(assembly.epoch, (assembly.total_delivered, policy));
+        self.maybe_persist_snapshot(&stable);
+        if assembly.epoch >= self.current_epoch {
+            // Jump straight past the checkpoint. Dropping the stale arenas
+            // first lets `begin_epoch` open a non-successor epoch.
+            self.state
+                .gc(assembly.epoch + 1, Some(assembly.max_seq_nr + 1));
+            self.current_epoch = assembly.epoch + 1;
+            self.sink
+                .borrow_mut()
+                .on_epoch_advanced(self.my_id, self.current_epoch, ctx.now());
+            let leaders = Self::leaders_for(&self.opts, &self.policy, self.current_epoch);
+            self.epoch = EpochConfig::build(
+                &self.opts.config,
+                self.current_epoch,
+                assembly.max_seq_nr + 1,
+                leaders,
+            );
+            self.setup_epoch_instances(ctx);
+        }
+        // Recovery is NOT finished yet: the cluster's frontier is past the
+        // checkpoint just installed. The next live commit that gets
+        // delivered with nothing stranded completes it (`on_sb_deliver`).
+        // Fetch whatever the serving peer ordered beyond the checkpoint.
+        ctx.send(
+            Addr::Node(from),
+            NetMsg::Iss(IssMsg::StateRequest {
+                from_seq_nr: self.log.first_undelivered(),
+                to_seq_nr: self.epoch.max_seq_nr(),
+            }),
+        );
     }
 
     /// The interval between this leader's proposals, derived from the
@@ -424,6 +928,7 @@ impl<S: NodeState> IssNode<S> {
         if !self.log.commit(sn, batch.clone(), leader) {
             return; // already committed (e.g. via state transfer)
         }
+        self.persist_commit(sn, leader, &batch);
         match &batch {
             Some(b) => {
                 for req in b.requests() {
@@ -450,6 +955,33 @@ impl<S: NodeState> IssNode<S> {
             ctx.now(),
         );
         self.deliver_ready(ctx);
+        // A recovering node is caught up the moment a *live* commit gets
+        // delivered with nothing stranded behind a gap: delivery has reached
+        // the cluster's frontier. (Deliveries during snapshot install do not
+        // count — the frontier is past the checkpoint being installed.)
+        // While the gap persists, chase it: ask the gap head's leader for
+        // the delivered prefix we are missing. Each live commit re-triggers
+        // the request, so the transfer succeeds as soon as some peer has
+        // delivered past our gap; the recovery window bounds the chatter.
+        if self.recovery.is_some() {
+            if self.log.fully_delivered() {
+                self.finish_recovery(ctx.now());
+            } else {
+                let head = self.log.first_undelivered();
+                let target = self
+                    .state
+                    .leader_of(head)
+                    .filter(|l| *l != self.my_id)
+                    .unwrap_or(NodeId((self.my_id.0 + 1) % self.all_nodes.len() as u32));
+                ctx.send(
+                    Addr::Node(target),
+                    NetMsg::Iss(IssMsg::StateRequest {
+                        from_seq_nr: head,
+                        to_seq_nr: sn,
+                    }),
+                );
+            }
+        }
         self.maybe_finish_epoch(ctx);
     }
 
@@ -494,8 +1026,14 @@ impl<S: NodeState> IssNode<S> {
                 ctx.send(Addr::Node(*node), NetMsg::Iss(msg.clone()));
             }
         }
-        // Update the leader policy with the epoch's outcome.
+        // Update the leader policy with the epoch's outcome, and capture the
+        // snapshot metadata for the epoch while `totalDelivered` is exactly
+        // the request count through the checkpoint.
         self.policy.on_epoch_end((first, last));
+        self.capture_snapshot_meta();
+        // Completing an epoch the ordinary way means any pending catch-up is
+        // over (the node kept pace without needing a snapshot).
+        self.finish_recovery(ctx.now());
 
         match self.opts.mode {
             Mode::Mir => {
@@ -634,13 +1172,16 @@ impl<S: NodeState> IssNode<S> {
                 if let Some(slot) = self.state.slot_of(instance) {
                     self.drive(slot, ctx, |inst, sb| inst.on_message(node, msg, sb));
                 } else if instance.epoch > self.current_epoch {
-                    // We have fallen behind: ask the sender for the missing
-                    // log entries (state transfer, Section 3.5).
+                    // We have fallen behind: take the snapshot fast path —
+                    // the sender serves its latest stable checkpoint plus
+                    // the retained log suffix, which catches us up without
+                    // waiting out epoch-change timeouts (Section 3.5
+                    // generalized to checkpoint snapshots).
+                    self.enter_recovery(ctx.now());
                     ctx.send(
                         Addr::Node(node),
-                        NetMsg::Iss(IssMsg::StateRequest {
+                        NetMsg::Iss(IssMsg::SnapshotRequest {
                             from_seq_nr: self.log.first_undelivered(),
-                            to_seq_nr: self.epoch.max_seq_nr(),
                         }),
                     );
                 }
@@ -652,8 +1193,12 @@ impl<S: NodeState> IssNode<S> {
                 signature,
             }) => {
                 if let Some(node) = from.as_node() {
-                    self.checkpoints
-                        .on_checkpoint(node, epoch, max_seq_nr, root, signature);
+                    if let Some(stable) = self
+                        .checkpoints
+                        .on_checkpoint(node, epoch, max_seq_nr, root, signature)
+                    {
+                        self.on_checkpoint_stable(stable, ctx);
+                    }
                 }
             }
             NetMsg::Iss(IssMsg::StateRequest {
@@ -661,10 +1206,18 @@ impl<S: NodeState> IssNode<S> {
                 to_seq_nr,
             }) => {
                 let Some(node) = from.as_node() else { return };
-                let Some(stable) = self.checkpoints.latest_stable() else {
+                // Serve the delivered contiguous prefix: everything this
+                // node has itself delivered is backed by an SB quorum (a
+                // production implementation would attach the per-entry
+                // commit certificates; the simulator does not model forged
+                // state transfer). Serving past the last stable checkpoint
+                // is what lets a rebooted replica close a mid-epoch gap
+                // without waiting out view-change timeouts.
+                let delivered_head = self.log.first_undelivered();
+                if delivered_head == 0 {
                     return;
-                };
-                let last = to_seq_nr.min(stable.max_seq_nr);
+                }
+                let last = to_seq_nr.min(delivered_head - 1);
                 if from_seq_nr > last {
                     return;
                 }
@@ -678,13 +1231,24 @@ impl<S: NodeState> IssNode<S> {
                         batch: e.batch.clone(),
                     })
                     .collect();
+                // The checkpoint anchor is advisory for the receiver (it
+                // trusts the quorum behind the entries, see above); absent a
+                // stable checkpoint the anchor fields are zeroed.
+                let (epoch, root, proof) = match self.checkpoints.latest_stable() {
+                    Some(stable) => (
+                        stable.epoch,
+                        stable.root,
+                        stable.proof.iter().map(|(_, s)| s.clone()).collect(),
+                    ),
+                    None => (0, [0u8; 32], Vec::new()),
+                };
                 ctx.send(
                     Addr::Node(node),
                     NetMsg::Iss(IssMsg::StateResponse {
-                        epoch: stable.epoch,
+                        epoch,
                         entries,
-                        root: stable.root,
-                        proof: stable.proof.iter().map(|(_, s)| s.clone()).collect(),
+                        root,
+                        proof,
                     }),
                 );
             }
@@ -695,6 +1259,7 @@ impl<S: NodeState> IssNode<S> {
                 for entry in entries {
                     let leader = self.state.leader_of(entry.seq_nr).unwrap_or(NodeId(0));
                     if self.log.commit(entry.seq_nr, entry.batch.clone(), leader) {
+                        self.persist_commit(entry.seq_nr, leader, &entry.batch);
                         if let Some(b) = &entry.batch {
                             for req in b.requests() {
                                 self.buckets.remove(&req.id);
@@ -705,6 +1270,40 @@ impl<S: NodeState> IssNode<S> {
                 }
                 self.deliver_ready(ctx);
                 self.maybe_finish_epoch(ctx);
+            }
+            NetMsg::Iss(IssMsg::SnapshotRequest { from_seq_nr }) => {
+                if let Some(node) = from.as_node() {
+                    self.serve_snapshot_request(node, from_seq_nr, ctx);
+                }
+            }
+            NetMsg::Iss(IssMsg::SnapshotChunk {
+                epoch,
+                max_seq_nr,
+                root,
+                proof,
+                total_delivered,
+                policy,
+                offset,
+                total_len,
+                data,
+                done,
+            }) => {
+                if let Some(node) = from.as_node() {
+                    self.on_snapshot_chunk(
+                        node,
+                        epoch,
+                        max_seq_nr,
+                        root,
+                        proof,
+                        total_delivered,
+                        policy,
+                        offset,
+                        total_len,
+                        data,
+                        done,
+                        ctx,
+                    );
+                }
             }
             NetMsg::Mir(MirMsg::NewEpoch { epoch, .. }) => {
                 if self.opts.mode == Mode::Mir
@@ -723,6 +1322,11 @@ impl<S: NodeState> Process<NetMsg> for IssNode<S> {
     fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
         self.setup_epoch_instances(ctx);
         ctx.set_timer(self.proposal_interval(), KIND_PROPOSE);
+        if self.recovery.is_some() {
+            // Rebooted from durable state: immediately ask the cluster for
+            // everything we missed while down (reconnect fast path).
+            self.request_snapshot(ctx);
+        }
     }
 
     fn on_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {

@@ -132,6 +132,41 @@ impl LeaderPolicy {
     pub fn kind(&self) -> LeaderPolicyKind {
         self.kind
     }
+
+    /// Exports the mutable policy state — BACKOFF penalties and
+    /// `lastFailure` records — sorted by node for a deterministic encoding
+    /// (checkpoint snapshots embed this so a restarted or catching-up node
+    /// computes the same leadersets as everyone else).
+    #[allow(clippy::type_complexity)]
+    pub fn export_records(&self) -> (Vec<(NodeId, i64)>, Vec<(NodeId, SeqNr)>) {
+        let mut penalties: Vec<(NodeId, i64)> =
+            self.penalty.iter().map(|(n, p)| (*n, *p)).collect();
+        penalties.sort();
+        let mut failures: Vec<(NodeId, SeqNr)> = self
+            .failures
+            .iter()
+            .filter_map(|(n, r)| r.last_failure.map(|sn| (*n, sn)))
+            .collect();
+        failures.sort();
+        (penalties, failures)
+    }
+
+    /// Replaces the mutable policy state with previously exported records
+    /// (the inverse of [`LeaderPolicy::export_records`]).
+    pub fn restore_records(&mut self, penalties: &[(NodeId, i64)], failures: &[(NodeId, SeqNr)]) {
+        self.penalty = penalties.iter().copied().collect();
+        self.failures = failures
+            .iter()
+            .map(|(n, sn)| {
+                (
+                    *n,
+                    FailureRecord {
+                        last_failure: Some(*sn),
+                    },
+                )
+            })
+            .collect();
+    }
 }
 
 #[cfg(test)]

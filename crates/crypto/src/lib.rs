@@ -27,12 +27,14 @@
 //!      through the cache, and a cached entry can never vouch for a
 //!      different message or signature short of a SHA-256 collision;
 //!   2. `SignatureRegistry::verify_batch` — fans cache misses across a
-//!      scoped `std::thread` pool sized by `available_parallelism`, with
-//!      positional result collection. Determinism argument: workers only
-//!      compute `verify_uncached`, a pure function of the item, into
-//!      disjoint slots of a pre-sized buffer, so the returned vector is
-//!      bit-identical to the serial oracle for every pool size (including
-//!      1); thread scheduling can change wall-clock time, never outcomes;
+//!      long-lived worker pool sized by `available_parallelism` (threads are
+//!      spawned once per process and fed through a submission queue; the
+//!      caller helps), with positional result collection. Determinism
+//!      argument: workers only compute `verify_uncached`, a pure function of
+//!      the item, into disjoint slots of a pre-sized buffer, so the returned
+//!      vector is bit-identical to the serial oracle for every pool size
+//!      (including 1); thread scheduling can change wall-clock time, never
+//!      outcomes;
 //!   3. `SignatureRegistry::verify_uncached` / `verify_batch_serial` — the
 //!      serial MAC-recomputation oracle the other tiers are property-tested
 //!      against (`tests/verify_equivalence.rs`) and that the `perf_smoke`

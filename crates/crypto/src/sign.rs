@@ -42,23 +42,31 @@
 //!    witnesses at most. Eviction can only ever cost a recomputation,
 //!    never change a verification result.
 //! 3. [`SignatureRegistry::verify_batch`] — the cache check of (2) plus a
-//!    fan-out of the cache misses across a scoped `std::thread` pool sized
-//!    by `available_parallelism`. Results are collected positionally, so the
-//!    output is bit-identical to the serial oracle regardless of worker
-//!    count or interleaving: parallelism changes wall-clock, never outcomes.
+//!    fan-out of the cache misses across a **long-lived worker pool** sized
+//!    by `available_parallelism`. The pool threads are spawned once per
+//!    process (lazily, on the first batch large enough to parallelize) and
+//!    then fed through a submission queue, so a batch pays two mutex
+//!    operations and a condvar wake instead of a `thread::spawn`/`join`
+//!    round-trip per call — the spawn cost is what previously made the
+//!    parallel path *slower* than serial for fig-scale batches. Workers
+//!    claim fixed strides of the miss list with an atomic cursor and write
+//!    results positionally, so the output is bit-identical to the serial
+//!    oracle regardless of worker count or interleaving: parallelism
+//!    changes wall-clock, never outcomes.
 
 use crate::hmac::hmac_sha256;
 use crate::sha256::Sha256;
 use iss_types::{ClientId, Error, FxBuildHasher, NodeId, Result};
-use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Byte length of a signature (matches the 64-byte ECDSA P-256 signatures of
 /// the paper for wire-size accounting).
 pub const SIGNATURE_LEN: usize = 64;
 
 /// Below this many cache misses [`SignatureRegistry::verify_batch`] verifies
-/// serially: spawning threads costs more than the MACs they would compute.
+/// serially: waking pool workers costs more than the MACs they would compute.
 pub const PARALLEL_VERIFY_MIN: usize = 64;
 
 /// A signing identity: either a replica or a client.
@@ -308,6 +316,150 @@ impl VerifiedCache {
 /// `(signer, message, signature bytes)`.
 pub type VerifyItem<'a> = (Identity, &'a [u8], &'a [u8]);
 
+/// Items claimed per atomic-cursor grab in the verification pool. Coarse
+/// enough to amortize the claim, fine enough that a straggler worker never
+/// holds more than ~a quarter of a [`PARALLEL_VERIFY_MIN`]-sized batch.
+const POOL_STRIDE: usize = 16;
+
+/// One batch-verification job on the pool queue.
+///
+/// The raw pointers reference the submitting `verify_batch` call's stack
+/// frame (its item slice, miss-index list, and output buffer) with the
+/// lifetimes erased. That is sound because the submitter blocks on
+/// [`BatchJob::wait`] — a latch that opens only after every item has been
+/// verified and its result written — before any of the pointed-to storage
+/// can go away, and because workers never dereference the pointers again
+/// once the claim cursor is exhausted.
+struct BatchJob {
+    registry: *const SignatureRegistry,
+    items: *const VerifyItem<'static>,
+    misses: *const usize,
+    misses_len: usize,
+    out: *mut Result<()>,
+    /// Next miss-list position to claim (strided).
+    cursor: AtomicUsize,
+    /// Items not yet verified; the latch [`BatchJob::wait`] blocks on.
+    /// A mutex (not an atomic) so the decrement-to-zero and the condvar
+    /// signal are a single critical section.
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+// SAFETY: the raw pointers are only dereferenced between submission and the
+// latch opening, during which the submitter keeps the referenced storage
+// alive and does not touch the output buffer (see the struct docs). Disjoint
+// strides write disjoint output slots; the shared `SignatureRegistry` read
+// through `registry` is `Sync` (its interior mutability is the mutex-sharded
+// witness cache).
+unsafe impl Send for BatchJob {}
+unsafe impl Sync for BatchJob {}
+
+impl BatchJob {
+    /// Claims strides of the miss list until the cursor is exhausted,
+    /// verifying each claimed item and writing its result positionally.
+    /// Called by pool workers and by the submitting thread itself (the
+    /// caller helps, so a batch never waits for a busy pool).
+    fn run(&self) {
+        loop {
+            let start = self.cursor.fetch_add(POOL_STRIDE, Ordering::Relaxed);
+            if start >= self.misses_len {
+                return;
+            }
+            let end = (start + POOL_STRIDE).min(self.misses_len);
+            for k in start..end {
+                // SAFETY: `k < misses_len`, strides are disjoint, and the
+                // submitter keeps the storage alive (see the struct docs).
+                unsafe {
+                    let i = *self.misses.add(k);
+                    let (id, message, signature) = *self.items.add(i);
+                    *self.out.add(k) = (*self.registry).verify_uncached(id, message, signature);
+                }
+            }
+            let mut remaining = self.remaining.lock().expect("verify job latch");
+            *remaining -= end - start;
+            if *remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every item of the job has been verified. The mutex
+    /// handoff also publishes the workers' result writes to the waiter.
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("verify job latch");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("verify job latch");
+        }
+    }
+}
+
+/// The process-wide verification worker pool: long-lived threads blocked on
+/// a submission queue. Spawned lazily by the first batch that wants
+/// parallelism and never torn down (the threads idle on the condvar and die
+/// with the process), so steady-state batches pay queue operations instead
+/// of thread spawns.
+struct VerifyPool {
+    queue: Mutex<VecDeque<Arc<BatchJob>>>,
+    ready: Condvar,
+    /// Number of worker threads (excluding submitting callers).
+    threads: usize,
+}
+
+impl VerifyPool {
+    /// The pool, spawning its threads on first use: one per core minus the
+    /// submitting caller's, and at least one so the pooled path exists (and
+    /// stays testable) on single-core machines.
+    fn global() -> &'static VerifyPool {
+        static POOL: OnceLock<&'static VerifyPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .saturating_sub(1)
+                .max(1);
+            let pool: &'static VerifyPool = Box::leak(Box::new(VerifyPool {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                threads,
+            }));
+            for w in 0..threads {
+                std::thread::Builder::new()
+                    .name(format!("iss-verify-{w}"))
+                    .spawn(move || pool.worker_loop())
+                    .expect("spawn verification worker");
+            }
+            pool
+        })
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("verify pool queue");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = self.ready.wait(queue).expect("verify pool queue");
+                }
+            };
+            job.run();
+        }
+    }
+
+    /// Enqueues `handles` references to `job`, waking that many workers. A
+    /// worker that dequeues the job after its cursor is exhausted returns
+    /// immediately, so over-submission is harmless.
+    fn submit(&self, job: &Arc<BatchJob>, handles: usize) {
+        let mut queue = self.queue.lock().expect("verify pool queue");
+        for _ in 0..handles {
+            queue.push_back(Arc::clone(job));
+        }
+        drop(queue);
+        self.ready.notify_all();
+    }
+}
+
 /// Registry of public keys (and, in this simulation substitute, the secrets
 /// needed to recompute MACs during verification). Plays the role of the PKI,
 /// and carries the process-wide verified-signature cache (shared by every
@@ -403,19 +555,21 @@ impl SignatureRegistry {
     ///
     /// Every item is first checked against the verified-signature cache; the
     /// misses are verified with [`Self::verify_uncached`], fanned out across
-    /// a scoped `std::thread` worker pool sized by `available_parallelism`
-    /// when there are at least [`PARALLEL_VERIFY_MIN`] of them. Results are
-    /// written positionally — `result[i]` always corresponds to `items[i]`
-    /// and is identical to what the serial oracle returns, regardless of
-    /// worker count. Successful verifications are added to the cache.
+    /// the process-wide long-lived worker pool (plus the calling thread,
+    /// which helps) when there are at least [`PARALLEL_VERIFY_MIN`] of them.
+    /// Results are written positionally — `result[i]` always corresponds to
+    /// `items[i]` and is identical to what the serial oracle returns,
+    /// regardless of worker count. Successful verifications are added to the
+    /// cache.
     pub fn verify_batch(&self, items: &[VerifyItem<'_>]) -> Vec<Result<()>> {
         self.verify_batch_with_workers(items, None)
     }
 
-    /// [`Self::verify_batch`] with an explicit worker-pool size. `None`
-    /// sizes the pool automatically (`available_parallelism`, serial below
-    /// the miss threshold); `Some(n)` forces `n` workers regardless of the
-    /// machine, which tests and benchmarks use to exercise the scoped-thread
+    /// [`Self::verify_batch`] with an explicit degree of parallelism. `None`
+    /// sizes it automatically (`available_parallelism`, serial below the
+    /// miss threshold); `Some(n)` forces `n` participating threads (the
+    /// caller plus `n − 1` pool workers, capped by the pool size) regardless
+    /// of the machine, which tests and benchmarks use to exercise the pooled
     /// path deterministically even on single-core runners.
     pub fn verify_batch_with_workers(
         &self,
@@ -437,23 +591,25 @@ impl SignatureRegistry {
             .map(|n| n.clamp(1, misses.len().max(1)))
             .unwrap_or_else(|| Self::verify_workers(misses.len()));
         if workers > 1 {
-            // Positional collection: each worker owns one chunk of the miss
-            // list and the matching chunk of an output buffer, so the result
-            // order is independent of thread scheduling.
             let mut miss_results: Vec<Result<()>> = vec![Ok(()); misses.len()];
-            let chunk = misses.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                for (idx_chunk, out_chunk) in
-                    misses.chunks(chunk).zip(miss_results.chunks_mut(chunk))
-                {
-                    scope.spawn(move || {
-                        for (slot, &i) in out_chunk.iter_mut().zip(idx_chunk) {
-                            let (id, message, signature) = items[i];
-                            *slot = self.verify_uncached(id, message, signature);
-                        }
-                    });
-                }
+            let job = Arc::new(BatchJob {
+                registry: self as *const SignatureRegistry,
+                items: items.as_ptr() as *const VerifyItem<'static>,
+                misses: misses.as_ptr(),
+                misses_len: misses.len(),
+                out: miss_results.as_mut_ptr(),
+                cursor: AtomicUsize::new(0),
+                remaining: Mutex::new(misses.len()),
+                done: Condvar::new(),
             });
+            let pool = VerifyPool::global();
+            pool.submit(&job, (workers - 1).min(pool.threads));
+            // The caller helps drain the cursor, then blocks on the latch:
+            // the borrows behind the job's raw pointers stay live until
+            // every result is in, and the latch's mutex publishes the
+            // workers' writes to this thread.
+            job.run();
+            job.wait();
             for (&i, result) in misses.iter().zip(miss_results) {
                 results[i] = result;
             }
@@ -482,9 +638,9 @@ impl SignatureRegistry {
             .collect()
     }
 
-    /// Worker-pool size for `misses` outstanding verifications: bounded by
-    /// the machine's `available_parallelism`, and 1 (serial) below the
-    /// [`PARALLEL_VERIFY_MIN`] threshold where thread spawn cost dominates.
+    /// Degree of parallelism for `misses` outstanding verifications: bounded
+    /// by the machine's `available_parallelism`, and 1 (serial) below the
+    /// [`PARALLEL_VERIFY_MIN`] threshold where the pool wake-up dominates.
     fn verify_workers(misses: usize) -> usize {
         if misses < PARALLEL_VERIFY_MIN {
             return 1;
@@ -492,8 +648,8 @@ impl SignatureRegistry {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        // Keep at least PARALLEL_VERIFY_MIN/2 items per worker so chunks
-        // stay coarse enough to amortize the spawn.
+        // Keep at least PARALLEL_VERIFY_MIN/2 items per participant so each
+        // wakes for a meaningful amount of work.
         cores.min(misses / (PARALLEL_VERIFY_MIN / 2)).max(1)
     }
 

@@ -6,7 +6,7 @@
 
 use crate::{DIGEST_WIRE, HEADER_WIRE, SIG_WIRE};
 use bytes::Bytes;
-use iss_types::{Batch, EpochNr, SeqNr};
+use iss_types::{Batch, EpochNr, NodeId, SeqNr};
 
 /// Digest type alias (32 bytes).
 pub type Digest = [u8; 32];
@@ -63,6 +63,43 @@ pub enum IssMsg {
         /// The 2f+1 signatures forming the stable checkpoint π(e).
         proof: Vec<Bytes>,
     },
+    /// Request for a checkpoint snapshot, sent by a replica that detects it
+    /// is behind a stable checkpoint (after a reboot or a healed partition):
+    /// "serve me your latest stable snapshot plus whatever log entries at or
+    /// above `from_seq_nr` you still retain."
+    SnapshotRequest {
+        /// First sequence number the requester has not delivered.
+        from_seq_nr: SeqNr,
+    },
+    /// One chunk of a checkpoint snapshot (the `InstallSnapshot` shape:
+    /// checkpoint metadata repeated per chunk, plus an `offset`/`done`
+    /// window into the snapshot payload, so chunks can arrive and be
+    /// reassembled independently).
+    SnapshotChunk {
+        /// Epoch of the serving node's latest stable checkpoint.
+        epoch: EpochNr,
+        /// Highest sequence number covered by the checkpoint.
+        max_seq_nr: SeqNr,
+        /// Merkle root of the checkpoint.
+        root: Digest,
+        /// Checkpoint certificate: `(signer, signature)` from ≥ 2f+1 nodes.
+        proof: Vec<(NodeId, Bytes)>,
+        /// Requests delivered through `max_seq_nr` (Equation-2 numbering,
+        /// so an installing replica resumes request numbering correctly).
+        total_delivered: u64,
+        /// Leader-policy state at the checkpoint cut (opaque; encoded with
+        /// `iss_storage::record`'s policy codec).
+        policy: Bytes,
+        /// Byte offset of `data` within the snapshot payload.
+        offset: u32,
+        /// Total length of the snapshot payload in bytes.
+        total_len: u32,
+        /// This chunk of the payload (encoded log entries the server still
+        /// retains at or above the requested sequence number).
+        data: Bytes,
+        /// Whether this is the final chunk.
+        done: bool,
+    },
 }
 
 impl IssMsg {
@@ -76,6 +113,22 @@ impl IssMsg {
                     + DIGEST_WIRE
                     + entries.iter().map(LogEntry::wire_size).sum::<usize>()
                     + proof.len() * SIG_WIRE
+            }
+            IssMsg::SnapshotRequest { .. } => HEADER_WIRE + 8,
+            IssMsg::SnapshotChunk {
+                proof,
+                policy,
+                data,
+                ..
+            } => {
+                HEADER_WIRE
+                    + 16 // epoch + max_seq_nr
+                    + DIGEST_WIRE
+                    + proof.len() * (4 + SIG_WIRE)
+                    + 8 // total_delivered
+                    + policy.len()
+                    + 9 // offset + total_len + done
+                    + data.len()
             }
         }
     }
@@ -125,6 +178,33 @@ mod tests {
         };
         assert!(m.wire_size() > 4 * 8 * 500);
         assert_eq!(m.num_requests(), 32);
+    }
+
+    #[test]
+    fn snapshot_chunk_wire_size_scales_with_payload() {
+        let chunk = |data_len: usize| IssMsg::SnapshotChunk {
+            epoch: 2,
+            max_seq_nr: 511,
+            root: [7; 32],
+            proof: (0..3)
+                .map(|i| (NodeId(i), Bytes::from(vec![0u8; 64])))
+                .collect(),
+            total_delivered: 4_096,
+            policy: Bytes::from(vec![0u8; 40]),
+            offset: 0,
+            total_len: data_len as u32,
+            data: Bytes::from(vec![0u8; data_len]),
+            done: true,
+        };
+        let small = chunk(0).wire_size();
+        let big = chunk(64 << 10).wire_size();
+        assert_eq!(big - small, 64 << 10);
+        assert!(small > HEADER_WIRE + 3 * SIG_WIRE);
+        assert_eq!(chunk(128).num_requests(), 0);
+        assert!(
+            IssMsg::SnapshotRequest { from_seq_nr: 9 }.wire_size() < 64,
+            "snapshot requests are tiny"
+        );
     }
 
     #[test]

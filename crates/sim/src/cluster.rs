@@ -6,7 +6,7 @@
 
 use crate::client_proc::ClientProcess;
 use crate::factories::{make_factory, Protocol};
-use crate::metrics::{metrics_handle, MetricsHandle, MetricsSink};
+use crate::metrics::{metrics_handle, MetricsHandle, MetricsSink, RecoveryEvent};
 use crate::scenario::{
     expected_epoch_duration_for, iss_config_for, FaultPlan, RunWindow, Scenario, TopologySpec,
 };
@@ -14,8 +14,9 @@ use iss_core::{IssNode, Mode, NodeOptions, ReferenceNodeState, StragglerBehavior
 use iss_crypto::SignatureRegistry;
 use iss_messages::NetMsg;
 use iss_simnet::fault::CrashSchedule;
-use iss_simnet::process::Addr;
+use iss_simnet::process::{Addr, Process};
 use iss_simnet::{CpuModel, Runtime, RuntimeConfig};
+use iss_storage::{MemStorage, Storage};
 use iss_types::{ClientId, Duration, IssConfig, LeaderPolicyKind, NodeId, Time};
 use iss_workload::OpenLoop;
 use std::cell::RefCell;
@@ -181,6 +182,10 @@ pub struct Report {
     pub bytes_sent: u64,
     /// Messages dropped by crashes, partitions or probabilistic loss.
     pub messages_dropped: u64,
+    /// Completed recoveries (crash-restarts rebooting from durable storage,
+    /// reconnect fast paths), with time-to-catch-up, WAL entries replayed
+    /// and snapshot chunks transferred.
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl Deployment {
@@ -200,7 +205,14 @@ impl Deployment {
         // (and takes a protocol timeout to catch up after heal), so it would
         // silently report the stalled side instead of the committing quorum.
         let crashes = scenario.faults.crashes();
-        let crashed: Vec<NodeId> = crashes.iter().map(|(n, _)| *n).collect();
+        let crash_restarts = scenario.faults.crash_restarts();
+        // A restarting node spends part of the run down and catching up, so
+        // it is just as unsuitable an observer as a permanently crashed one.
+        let crashed: Vec<NodeId> = crashes
+            .iter()
+            .map(|(n, _)| *n)
+            .chain(crash_restarts.iter().map(|(n, _, _)| *n))
+            .collect();
         let stragglers = scenario.faults.stragglers();
         let isolated: Vec<NodeId> = scenario
             .faults
@@ -245,6 +257,10 @@ impl Deployment {
         for (node, timing) in &crashes {
             crash_schedule = crash_schedule.crash(*node, scenario.crash_time(*timing));
         }
+        for (node, timing, down_for) in &crash_restarts {
+            let down = scenario.crash_time(*timing);
+            crash_schedule = crash_schedule.crash_restart(*node, down, down + *down_for);
+        }
         runtime_config.faults.crashes = crash_schedule;
         runtime_config.faults.partitions = scenario.faults.partitions();
         runtime_config.faults.loss_windows = scenario.faults.loss_windows();
@@ -264,20 +280,37 @@ impl Deployment {
                     proposal_interval: config.epoch_change_timeout.div(2),
                 });
             }
-            let factory = make_factory(scenario.stack.protocol, &config, Arc::clone(&registry));
-            let sink = Rc::new(RefCell::new(MetricsSink::new(Rc::clone(&metrics))));
+            // A restarting node gets durable (simulated in-memory) storage
+            // and a reboot scheduled at the end of its down window; everyone
+            // else runs storage-free, exactly as before.
+            let restart_window = crash_restarts.iter().find(|(id, _, _)| *id == node_id).map(
+                |(_, timing, down_for)| {
+                    let down = scenario.crash_time(*timing);
+                    (down, down + *down_for)
+                },
+            );
             if scenario.reference_node_state {
-                let node = IssNode::<ReferenceNodeState>::with_state(
+                Self::add_node::<ReferenceNodeState>(
+                    &mut runtime,
+                    &scenario,
                     node_id,
                     opts,
-                    factory,
-                    Arc::clone(&registry),
-                    sink,
+                    &config,
+                    &registry,
+                    &metrics,
+                    restart_window,
                 );
-                runtime.add_process(Addr::Node(node_id), Box::new(node));
             } else {
-                let node = IssNode::new(node_id, opts, factory, Arc::clone(&registry), sink);
-                runtime.add_process(Addr::Node(node_id), Box::new(node));
+                Self::add_node::<iss_core::EpochState>(
+                    &mut runtime,
+                    &scenario,
+                    node_id,
+                    opts,
+                    &config,
+                    &registry,
+                    &metrics,
+                    restart_window,
+                );
             }
         }
 
@@ -300,6 +333,57 @@ impl Deployment {
             metrics,
             scenario,
         }
+    }
+
+    /// Registers one replica, wiring up durable storage and a scheduled
+    /// reboot when the fault plan restarts it (`restart_window` is its
+    /// `(down, up)` interval). The rebooted incarnation is built at restart
+    /// time from the same shared storage, so it recovers exactly what the
+    /// pre-crash incarnation persisted.
+    #[allow(clippy::too_many_arguments)]
+    fn add_node<S: iss_core::NodeState + Default + 'static>(
+        runtime: &mut Runtime<NetMsg>,
+        scenario: &Scenario,
+        node_id: NodeId,
+        opts: NodeOptions,
+        config: &IssConfig,
+        registry: &Arc<SignatureRegistry>,
+        metrics: &MetricsHandle,
+        restart_window: Option<(Time, Time)>,
+    ) {
+        let factory = make_factory(scenario.stack.protocol, config, Arc::clone(registry));
+        let sink = Rc::new(RefCell::new(MetricsSink::new(Rc::clone(metrics))));
+        let Some((_down_at, up_at)) = restart_window else {
+            let node = IssNode::<S>::with_state(node_id, opts, factory, Arc::clone(registry), sink);
+            runtime.add_process(Addr::Node(node_id), Box::new(node));
+            return;
+        };
+        let storage: Rc<MemStorage> = Rc::new(MemStorage::new());
+        let node = IssNode::<S>::with_storage(
+            node_id,
+            opts.clone(),
+            factory,
+            Arc::clone(registry),
+            sink,
+            Rc::clone(&storage) as Rc<dyn Storage>,
+        );
+        runtime.add_process(Addr::Node(node_id), Box::new(node));
+        let protocol = scenario.stack.protocol;
+        let config = config.clone();
+        let registry = Arc::clone(registry);
+        let metrics = Rc::clone(metrics);
+        runtime.schedule_restart(Addr::Node(node_id), up_at, move || {
+            let factory = make_factory(protocol, &config, Arc::clone(&registry));
+            let sink = Rc::new(RefCell::new(MetricsSink::new(metrics)));
+            Box::new(IssNode::<S>::with_storage(
+                node_id,
+                opts,
+                factory,
+                registry,
+                sink,
+                storage as Rc<dyn Storage>,
+            )) as Box<dyn Process<NetMsg>>
+        });
     }
 
     /// Builds the deployment described by the legacy flat `spec` by lowering
@@ -335,6 +419,7 @@ impl Deployment {
             messages_sent: stats.messages_sent,
             bytes_sent: stats.bytes_sent,
             messages_dropped: stats.messages_dropped,
+            recoveries: m.recoveries.clone(),
         }
     }
 }

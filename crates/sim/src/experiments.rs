@@ -362,6 +362,30 @@ pub fn scenario_partition_heal(scale: Scale) -> Report {
     )
 }
 
+/// A crash-restart: node 1 crashes at t=3 s, stays down for 12 s, then
+/// reboots from its durable storage (checkpoint snapshot + WAL replay),
+/// fetches a peer snapshot over the reconnect fast path and rejoins under
+/// the same identity. The down window is long enough for the cluster to
+/// resolve the crashed leader's segment (⊥ via view change) and stabilize
+/// the epoch checkpoint, so the reboot demonstrates the fast path proper:
+/// catch-up takes well under a second of virtual time, instead of the ≈10 s
+/// epoch-change timeout a snapshot-less rejoin would wait out.
+pub fn scenario_crash_restart(scale: Scale) -> Report {
+    let duration = scale.duration_secs.max(24);
+    run_scenario(
+        Scenario::builder(Protocol::Pbft, 4)
+            .open_loop(8, 800.0 * scale.load_factor)
+            .duration(Duration::from_secs(duration))
+            .warmup(Duration::from_secs(2))
+            .crash_restart(
+                NodeId(1),
+                CrashTiming::At(Time::from_secs(3)),
+                Duration::from_secs(12),
+            )
+            .build(),
+    )
+}
+
 /// A lossy-link window: 10% of all messages sent between t=2 s and t=5 s
 /// are dropped, after which the network is clean again. Like the partition
 /// scenario, lost proposals can stall segments until the ≈10 s protocol
@@ -430,5 +454,28 @@ mod tests {
         let report = scenario_partition_heal(Scale::quick());
         assert!(report.delivered > 0);
         assert!(report.messages_dropped > 0, "partition must drop traffic");
+    }
+
+    #[test]
+    fn crash_restart_scenario_catches_up_fast() {
+        let report = scenario_crash_restart(Scale::quick());
+        assert!(report.delivered > 0);
+        assert!(report.messages_dropped > 0, "the crash must drop traffic");
+        let recovery = report
+            .recoveries
+            .iter()
+            .find(|r| r.node == NodeId(1))
+            .expect("the restarted node must complete recovery");
+        assert!(
+            recovery.entries_replayed > 0 || recovery.snapshot_chunks > 0,
+            "recovery must restore state from the WAL or a peer snapshot"
+        );
+        // The reconnect fast path must beat the ≈10 s epoch-change timeout
+        // by a wide margin.
+        assert!(
+            recovery.time_to_catch_up() < Duration::from_secs(2),
+            "caught up in {:?}",
+            recovery.time_to_catch_up()
+        );
     }
 }

@@ -1,12 +1,93 @@
 //! Metrics collection: throughput time series, latency statistics and
 //! progress counters, shared between the harness and the node processes.
+//!
+//! Beyond measurement, the sink doubles as a cluster-wide safety checker:
+//! every delivery from every node flows through it, so it is the one place
+//! that can assert the two invariants a correct SMR run must uphold —
+//! *agreement* (all delivered logs are prefixes of one another, checked via
+//! the global request sequence number of Equation 2) and *no duplicate
+//! delivery* (a node never delivers the same request twice, in particular
+//! not across a crash-restart from durable storage). Violations panic; the
+//! checker never prints, so deterministic experiment stdout is unaffected.
 
 use iss_core::DeliverySink;
 use iss_types::{EpochNr, NodeId, Request, SeqNr, Time};
 use iss_workload::{LatencyStats, ThroughputTimeline, Workload};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+
+/// One completed catch-up (crash-restart recovery or reconnect fast path).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryEvent {
+    /// The recovering node.
+    pub node: NodeId,
+    /// When the node entered recovery (boot from storage, or the moment it
+    /// detected it had fallen behind).
+    pub started_at: Time,
+    /// When the node was fully caught up again.
+    pub completed_at: Time,
+    /// Log entries restored from the WAL at boot.
+    pub entries_replayed: u64,
+    /// Snapshot chunks received over the state-transfer fast path.
+    pub snapshot_chunks: u64,
+}
+
+impl RecoveryEvent {
+    /// Virtual time from recovery start to full catch-up.
+    pub fn time_to_catch_up(&self) -> iss_types::Duration {
+        self.completed_at.saturating_since(self.started_at)
+    }
+}
+
+/// Cluster-wide safety invariants, fed by every delivery (see module docs).
+#[derive(Default)]
+struct SafetyInvariants {
+    /// Global request sequence number (Equation 2) → hash of the request id
+    /// delivered there by the first node to reach that position. Any later
+    /// node delivering a different request at the same position breaks
+    /// agreement.
+    assigned: HashMap<u64, u64>,
+    /// Per node: hashes of every request id the node delivered. A repeat
+    /// insert is a duplicate delivery (e.g. re-delivery after a restart).
+    seen: HashMap<NodeId, HashSet<u64>>,
+}
+
+impl SafetyInvariants {
+    fn check_delivery(&mut self, node: NodeId, request: &Request, request_seq_nr: u64) {
+        let id = request.id;
+        // FNV-1a over (client, timestamp): collisions are negligible for
+        // checking, and hashing keeps the per-run footprint at 8 bytes per
+        // delivered request instead of the full id.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in id
+            .client
+            .0
+            .to_le_bytes()
+            .into_iter()
+            .chain(id.timestamp.to_le_bytes())
+        {
+            h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        match self.assigned.get(&request_seq_nr) {
+            Some(prev) => assert_eq!(
+                *prev, h,
+                "agreement violation: node {node:?} delivered a different request \
+                 at global sequence number {request_seq_nr} than an earlier node"
+            ),
+            None => {
+                self.assigned.insert(request_seq_nr, h);
+            }
+        }
+        assert!(
+            self.seen.entry(node).or_default().insert(h),
+            "duplicate delivery: node {node:?} delivered request {id:?} twice \
+             (client {:?}, timestamp {})",
+            id.client,
+            id.timestamp
+        );
+    }
+}
 
 /// Aggregated measurements of one run.
 #[derive(Default)]
@@ -23,11 +104,17 @@ pub struct Metrics {
     pub batches_committed: u64,
     /// ⊥ entries committed at the observer node.
     pub nil_committed: u64,
+    /// Completed recoveries, in completion order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Nodes currently in recovery and when they entered it.
+    pub recovery_started: HashMap<NodeId, Time>,
     /// The workload whose (deterministic) schedule is used to recompute
     /// request submit times.
     pub workload: Option<Rc<dyn Workload>>,
     /// The node whose deliveries feed the timeline and latency statistics.
     pub observer: NodeId,
+    /// Safety-invariant state (always on; panics on violation).
+    invariants: SafetyInvariants,
 }
 
 impl Metrics {
@@ -80,10 +167,11 @@ impl DeliverySink for MetricsSink {
         &mut self,
         node: NodeId,
         request: &Request,
-        _request_seq_nr: u64,
+        request_seq_nr: u64,
         now: Time,
     ) {
         let mut m = self.metrics.borrow_mut();
+        m.invariants.check_delivery(node, request, request_seq_nr);
         *m.delivered_per_node.entry(node).or_insert(0) += 1;
         if node == m.observer {
             m.timeline.record(now, 1);
@@ -109,6 +197,29 @@ impl DeliverySink for MetricsSink {
         if node == m.observer {
             m.epochs.push((epoch, now));
         }
+    }
+
+    fn on_recovery_started(&mut self, node: NodeId, now: Time) {
+        let mut m = self.metrics.borrow_mut();
+        m.recovery_started.entry(node).or_insert(now);
+    }
+
+    fn on_recovery_completed(
+        &mut self,
+        node: NodeId,
+        entries_replayed: u64,
+        snapshot_chunks: u64,
+        now: Time,
+    ) {
+        let mut m = self.metrics.borrow_mut();
+        let started_at = m.recovery_started.remove(&node).unwrap_or(now);
+        m.recoveries.push(RecoveryEvent {
+            node,
+            started_at,
+            completed_at: now,
+            entries_replayed,
+            snapshot_chunks,
+        });
     }
 }
 
@@ -150,5 +261,66 @@ mod tests {
         let req = Request::synthetic(ClientId(0), 10, 500);
         sink.on_request_delivered(NodeId(0), &req, 0, Time::from_millis(350));
         assert_eq!(handle.borrow().latency.mean(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn recovery_events_pair_start_and_completion() {
+        let handle = metrics_handle(NodeId(0), None);
+        let mut sink = MetricsSink::new(Rc::clone(&handle));
+        sink.on_recovery_started(NodeId(1), Time::from_secs(6));
+        // Re-entering recovery keeps the earliest start.
+        sink.on_recovery_started(NodeId(1), Time::from_secs(7));
+        sink.on_recovery_completed(NodeId(1), 120, 3, Time::from_millis(6_500));
+
+        let m = handle.borrow();
+        assert_eq!(m.recoveries.len(), 1);
+        let r = m.recoveries[0];
+        assert_eq!(r.node, NodeId(1));
+        assert_eq!(r.entries_replayed, 120);
+        assert_eq!(r.snapshot_chunks, 3);
+        assert_eq!(r.time_to_catch_up(), Duration::from_millis(500));
+        assert!(m.recovery_started.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "agreement violation")]
+    fn conflicting_delivery_at_same_position_panics() {
+        let handle = metrics_handle(NodeId(0), None);
+        let mut sink = MetricsSink::new(Rc::clone(&handle));
+        sink.on_request_delivered(
+            NodeId(0),
+            &Request::synthetic(ClientId(0), 0, 16),
+            7,
+            Time::ZERO,
+        );
+        sink.on_request_delivered(
+            NodeId(1),
+            &Request::synthetic(ClientId(1), 0, 16),
+            7,
+            Time::ZERO,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate delivery")]
+    fn redelivering_a_request_on_the_same_node_panics() {
+        let handle = metrics_handle(NodeId(0), None);
+        let mut sink = MetricsSink::new(Rc::clone(&handle));
+        let req = Request::synthetic(ClientId(0), 4, 16);
+        sink.on_request_delivered(NodeId(0), &req, 10, Time::ZERO);
+        sink.on_request_delivered(NodeId(0), &req, 11, Time::from_millis(1));
+    }
+
+    #[test]
+    fn matching_deliveries_across_nodes_pass_the_checker() {
+        let handle = metrics_handle(NodeId(0), None);
+        let mut sink = MetricsSink::new(Rc::clone(&handle));
+        for node in 0..3 {
+            for ts in 0..50 {
+                let req = Request::synthetic(ClientId(ts as u32 % 4), ts, 16);
+                sink.on_request_delivered(NodeId(node), &req, ts, Time::ZERO);
+            }
+        }
+        assert_eq!(handle.borrow().delivered_per_node.len(), 3);
     }
 }

@@ -16,8 +16,9 @@
 //!   distributions.
 //! * [`TopologySpec`] — *where* the deployment runs: the paper's
 //!   16-datacenter WAN, a LAN, a uniform mesh, or a custom latency matrix.
-//! * [`FaultPlan`] — one unified schedule of crashes, Byzantine stragglers,
-//!   timed partitions (with heal) and lossy-link windows.
+//! * [`FaultPlan`] — one unified schedule of crashes (permanent or with a
+//!   restart from durable storage), Byzantine stragglers, timed partitions
+//!   (with heal) and lossy-link windows.
 //! * [`RunWindow`] — how long the run lasts, how much of it is warm-up, and
 //!   how long the post-cutoff drain is.
 //!
@@ -131,12 +132,25 @@ impl Default for RunWindow {
 /// One entry of a [`FaultPlan`].
 #[derive(Clone, Debug)]
 pub enum FaultEvent {
-    /// `node` crashes at the given timing and never recovers.
+    /// `node` crashes at the given timing and stays down for the rest of the
+    /// run (schedule a [`FaultEvent::CrashRestart`] instead for a node that
+    /// comes back).
     Crash {
         /// The crashing node.
         node: NodeId,
         /// When the crash happens.
         at: CrashTiming,
+    },
+    /// `node` crashes at the given timing, stays down for `down_for`, then
+    /// reboots from its durable storage (WAL + latest checkpoint snapshot),
+    /// replays its log and rejoins the cluster under the same identity.
+    CrashRestart {
+        /// The crashing node.
+        node: NodeId,
+        /// When the crash happens.
+        at: CrashTiming,
+        /// How long the node stays down before rebooting.
+        down_for: Duration,
     },
     /// `node` behaves as a Byzantine straggler for the whole run
     /// (Section 6.4.2: proposes as late and as little as possible).
@@ -190,9 +204,17 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    /// Adds a crash of `node` at `at`.
+    /// Adds a crash of `node` at `at` (permanent: the node stays down).
     pub fn crash(mut self, node: NodeId, at: CrashTiming) -> Self {
         self.events.push(FaultEvent::Crash { node, at });
+        self
+    }
+
+    /// Adds a crash of `node` at `at` followed by a reboot from durable
+    /// storage `down_for` later.
+    pub fn crash_restart(mut self, node: NodeId, at: CrashTiming, down_for: Duration) -> Self {
+        self.events
+            .push(FaultEvent::CrashRestart { node, at, down_for });
         self
     }
 
@@ -229,12 +251,23 @@ impl FaultPlan {
         self
     }
 
-    /// The scheduled crashes, in plan order.
+    /// The scheduled permanent crashes, in plan order.
     pub fn crashes(&self) -> Vec<(NodeId, CrashTiming)> {
         self.events
             .iter()
             .filter_map(|e| match e {
                 FaultEvent::Crash { node, at } => Some((*node, *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The scheduled crash-restarts, in plan order.
+    pub fn crash_restarts(&self) -> Vec<(NodeId, CrashTiming, Duration)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CrashRestart { node, at, down_for } => Some((*node, *at, *down_for)),
                 _ => None,
             })
             .collect()
@@ -485,9 +518,16 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Schedules a crash of `node` at `at`.
+    /// Schedules a permanent crash of `node` at `at`.
     pub fn crash(mut self, node: NodeId, at: CrashTiming) -> Self {
         self.scenario.faults = self.scenario.faults.crash(node, at);
+        self
+    }
+
+    /// Schedules a crash of `node` at `at` with a reboot from durable
+    /// storage `down_for` later.
+    pub fn crash_restart(mut self, node: NodeId, at: CrashTiming, down_for: Duration) -> Self {
+        self.scenario.faults = self.scenario.faults.crash_restart(node, at, down_for);
         self
     }
 

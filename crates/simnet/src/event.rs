@@ -51,10 +51,21 @@ pub enum EventKind<M> {
         id: TimerId,
         /// Opaque tag supplied when the timer was armed.
         kind: u64,
+        /// Incarnation of the process when the timer was armed; a restarted
+        /// process has a higher incarnation, so pre-crash timers firing after
+        /// the restart are dropped rather than leaking into the new life.
+        incarnation: u32,
     },
     /// Invoke `on_start` of a process (used at time zero).
     Start {
         /// The process to start.
+        addr: Addr,
+    },
+    /// Replace the process at `addr` with a freshly built one and start it
+    /// (crash-restart fault injection; scheduled by
+    /// [`crate::Runtime::schedule_restart`]).
+    Restart {
+        /// The process to restart.
         addr: Addr,
     },
     /// Invoke the message handler after the receiver's CPU becomes free
@@ -375,6 +386,7 @@ mod tests {
                 addr: Addr::Node(NodeId(0)),
                 id: TimerId(1),
                 kind: 1,
+                incarnation: 0,
             },
         );
         q.push(
@@ -383,6 +395,7 @@ mod tests {
                 addr: Addr::Node(NodeId(0)),
                 id: TimerId(2),
                 kind: 2,
+                incarnation: 0,
             },
         );
         let first = q.pop().unwrap();

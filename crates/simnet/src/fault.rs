@@ -10,10 +10,22 @@ use crate::process::Addr;
 use iss_types::{NodeId, Time};
 use std::collections::HashMap;
 
-/// When a node stops participating.
+/// When a node stops participating — and, for crash-restart faults, when it
+/// comes back.
+///
+/// A plain [`CrashSchedule::crash`] is permanent at the *network* level: the
+/// node neither sends nor receives from `at` on. A
+/// [`CrashSchedule::crash_restart`] entry is an interval `[at, up)`: during
+/// the downtime the node is dead exactly like a crashed one, and from `up`
+/// on delivery and timers heal automatically (the runtime additionally
+/// replaces the process itself at `up` via
+/// [`crate::Runtime::schedule_restart`], so the new incarnation reboots
+/// from its durable storage rather than resuming with in-memory state).
 #[derive(Clone, Debug, Default)]
 pub struct CrashSchedule {
-    crash_at: HashMap<NodeId, Time>,
+    /// Per node: downtime start, and the restart time for crash-restart
+    /// entries (`None` = crashed forever).
+    crash_at: HashMap<NodeId, (Time, Option<Time>)>,
 }
 
 impl CrashSchedule {
@@ -22,15 +34,24 @@ impl CrashSchedule {
         Self::default()
     }
 
-    /// Schedules `node` to crash at `at`.
+    /// Schedules `node` to crash at `at` and never come back.
     pub fn crash(mut self, node: NodeId, at: Time) -> Self {
-        self.crash_at.insert(node, at);
+        self.crash_at.insert(node, (at, None));
         self
     }
 
-    /// Whether `node` has crashed by time `now`.
+    /// Schedules `node` to crash at `at` and restart at `up`.
+    pub fn crash_restart(mut self, node: NodeId, at: Time, up: Time) -> Self {
+        debug_assert!(up > at, "restart must come after the crash");
+        self.crash_at.insert(node, (at, Some(up)));
+        self
+    }
+
+    /// Whether `node` is down at time `now`.
     pub fn is_crashed(&self, node: NodeId, now: Time) -> bool {
-        self.crash_at.get(&node).is_some_and(|t| now >= *t)
+        self.crash_at
+            .get(&node)
+            .is_some_and(|(down, up)| now >= *down && up.is_none_or(|u| now < u))
     }
 
     /// Whether the schedule contains no crashes at all (lets the runtime
@@ -39,9 +60,21 @@ impl CrashSchedule {
         self.crash_at.is_empty()
     }
 
-    /// The set of nodes that ever crash.
+    /// The set of nodes that ever crash (including ones that restart).
     pub fn crashed_nodes(&self) -> Vec<NodeId> {
         let mut v: Vec<_> = self.crash_at.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The `(node, restart time)` pairs of crash-restart entries, sorted by
+    /// node.
+    pub fn restarts(&self) -> Vec<(NodeId, Time)> {
+        let mut v: Vec<_> = self
+            .crash_at
+            .iter()
+            .filter_map(|(&n, &(_, up))| up.map(|u| (n, u)))
+            .collect();
         v.sort();
         v
     }
@@ -174,6 +207,24 @@ mod tests {
         assert!(s.is_crashed(NodeId(3), Time::from_secs(10)));
         assert!(!s.is_crashed(NodeId(1), Time::from_secs(100)));
         assert_eq!(s.crashed_nodes(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn crash_restart_is_an_interval_not_a_point() {
+        let s = CrashSchedule::none()
+            .crash(NodeId(1), Time::from_secs(3))
+            .crash_restart(NodeId(2), Time::from_secs(5), Time::from_secs(8));
+        // Down exactly during [5, 8).
+        assert!(!s.is_crashed(NodeId(2), Time::from_millis(4_999)));
+        assert!(s.is_crashed(NodeId(2), Time::from_secs(5)));
+        assert!(s.is_crashed(NodeId(2), Time::from_millis(7_999)));
+        assert!(!s.is_crashed(NodeId(2), Time::from_secs(8)));
+        assert!(!s.is_crashed(NodeId(2), Time::from_secs(100)));
+        // A plain crash stays down forever.
+        assert!(s.is_crashed(NodeId(1), Time::from_secs(100)));
+        assert_eq!(s.crashed_nodes(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(s.restarts(), vec![(NodeId(2), Time::from_secs(8))]);
+        assert!(CrashSchedule::none().restarts().is_empty());
     }
 
     #[test]

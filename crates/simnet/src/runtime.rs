@@ -86,10 +86,16 @@ pub struct RuntimeStats {
 struct ProcEntry<M: Payload> {
     process: Box<dyn Process<M>>,
     cpu: Option<CpuState>,
+    /// Bumped on every crash-restart replacement; timers armed by an older
+    /// incarnation fail the stamp comparison and are dropped.
+    incarnation: u32,
 }
 
 /// Sentinel in the id → slot tables for "no process registered".
 const NO_SLOT: u32 = u32::MAX;
+
+/// Deferred constructor for a crash-restart replacement process.
+type ProcessBuilder<M> = Box<dyn FnOnce() -> Box<dyn Process<M>>>;
 
 /// Uniform draw from `[0, 1)` — inlined replica of the vendored
 /// `rng.gen::<f64>()` (53-bit mantissa), so the drop-sampling stream is
@@ -121,6 +127,9 @@ pub struct Runtime<M: Payload> {
     /// Reusable action buffer handed to every `Context` (empty between
     /// invocations).
     action_buf: Vec<Action<M>>,
+    /// Replacement processes for scheduled crash-restarts, consumed when the
+    /// matching [`EventKind::Restart`] event fires.
+    pending_restarts: Vec<(Addr, ProcessBuilder<M>)>,
     now: Time,
     rng: StdRng,
     stats: RuntimeStats,
@@ -152,6 +161,7 @@ impl<M: Payload> Runtime<M> {
             interfaces: InterfaceState::new(),
             timers: TimerSlab::new(),
             action_buf: Vec::new(),
+            pending_restarts: Vec::new(),
             now: Time::ZERO,
             rng,
             stats: RuntimeStats::default(),
@@ -177,7 +187,11 @@ impl<M: Payload> Runtime<M> {
         }
         if table[idx] == NO_SLOT {
             table[idx] = self.procs.len() as u32;
-            self.procs.push(ProcEntry { process, cpu });
+            self.procs.push(ProcEntry {
+                process,
+                cpu,
+                incarnation: 0,
+            });
         } else {
             // Re-registration replaces the process (and resets its CPU).
             let entry = &mut self.procs[table[idx] as usize];
@@ -185,6 +199,29 @@ impl<M: Payload> Runtime<M> {
             entry.cpu = cpu;
         }
         self.queue.push(Time::ZERO, EventKind::Start { addr });
+    }
+
+    /// Schedules the process at `addr` to be replaced at virtual time `at` by
+    /// a process built on the spot by `builder`, modelling a crash-restart:
+    /// the old in-memory state is discarded, the CPU is reset, the process
+    /// incarnation is bumped (so timers armed before the crash cannot fire
+    /// into the new life), and the replacement's `on_start` runs at `at`.
+    ///
+    /// The builder runs at restart time, so handles it captures (e.g. an
+    /// `Rc<dyn Storage>` shared with the crashed instance) observe everything
+    /// the old incarnation persisted before going down. Pair with
+    /// [`crate::fault::CrashSchedule::crash_restart`] so the network treats
+    /// the node as dead during the same downtime interval.
+    pub fn schedule_restart<F>(&mut self, addr: Addr, at: Time, builder: F)
+    where
+        F: FnOnce() -> Box<dyn Process<M>> + 'static,
+    {
+        assert!(
+            self.slot_of(addr).is_some(),
+            "cannot schedule a restart for an unregistered process"
+        );
+        self.pending_restarts.push((addr, Box::new(builder)));
+        self.queue.push(at, EventKind::Restart { addr });
     }
 
     /// Slot of the process registered under `addr`, if any.
@@ -283,7 +320,12 @@ impl<M: Payload> Runtime<M> {
                 }
                 self.invoke(to, |process, ctx| process.on_message(from, msg, ctx));
             }
-            EventKind::Timer { addr, id, kind } => {
+            EventKind::Timer {
+                addr,
+                id,
+                kind,
+                incarnation,
+            } => {
                 // O(1) liveness check: a cancelled (or superseded) handle
                 // fails the generation match and is dropped here.
                 if !self.timers.retire(id) {
@@ -292,8 +334,28 @@ impl<M: Payload> Runtime<M> {
                 if self.addr_crashed(addr) {
                     return;
                 }
+                // A timer armed before a crash must not fire into the
+                // restarted incarnation.
+                if self
+                    .slot_of(addr)
+                    .is_some_and(|slot| self.procs[slot].incarnation != incarnation)
+                {
+                    return;
+                }
                 self.stats.timers_fired += 1;
                 self.invoke(addr, |process, ctx| process.on_timer(id, kind, ctx));
+            }
+            EventKind::Restart { addr } => {
+                let Some(pos) = self.pending_restarts.iter().position(|(a, _)| *a == addr) else {
+                    return;
+                };
+                let (_, builder) = self.pending_restarts.remove(pos);
+                let slot = self.slot_of(addr).expect("restart target is registered");
+                let entry = &mut self.procs[slot];
+                entry.process = builder();
+                entry.cpu = addr.is_node().then(|| CpuState::new(self.config.cpu.cores));
+                entry.incarnation += 1;
+                self.invoke(addr, |process, ctx| process.on_start(ctx));
             }
         }
     }
@@ -337,6 +399,10 @@ impl<M: Payload> Runtime<M> {
     }
 
     fn apply_actions(&mut self, source: Addr, actions: &mut Vec<Action<M>>) {
+        let incarnation = self
+            .slot_of(source)
+            .map(|slot| self.procs[slot].incarnation)
+            .unwrap_or(0);
         for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => self.send(source, to, msg),
@@ -347,6 +413,7 @@ impl<M: Payload> Runtime<M> {
                             addr: source,
                             id,
                             kind,
+                            incarnation,
                         },
                     );
                 }
@@ -659,6 +726,113 @@ mod tests {
         plain.run_until(Time::from_secs(30));
         windowed.run_until(Time::from_secs(30));
         assert_eq!(*log_plain.borrow(), *log_windowed.borrow());
+    }
+
+    /// Counts deliveries per second and arms a long timer at start; used by
+    /// the crash-restart tests below.
+    struct RestartProbe {
+        label: u32,
+        arrivals: Rc<RefCell<Vec<(Time, u32)>>>,
+        timer_fires: Rc<RefCell<Vec<(Time, u32)>>>,
+    }
+    impl Process<Ping> for RestartProbe {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            // A long timer armed by this incarnation: if the process is
+            // replaced before it fires, the stamp check must drop it.
+            ctx.set_timer(Duration::from_secs(4), self.label as u64);
+        }
+        fn on_message(&mut self, _f: Addr, _m: Ping, ctx: &mut Context<'_, Ping>) {
+            self.arrivals.borrow_mut().push((ctx.now(), self.label));
+        }
+        fn on_timer(&mut self, _i: TimerId, _k: u64, ctx: &mut Context<'_, Ping>) {
+            self.timer_fires.borrow_mut().push((ctx.now(), self.label));
+        }
+    }
+
+    /// Node 0 pings node 1 every 100 ms forever.
+    struct SteadyPinger;
+    impl Process<Ping> for SteadyPinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(Duration::from_millis(100), 0);
+        }
+        fn on_message(&mut self, _f: Addr, _m: Ping, _c: &mut Context<'_, Ping>) {}
+        fn on_timer(&mut self, _i: TimerId, _k: u64, ctx: &mut Context<'_, Ping>) {
+            ctx.send(Addr::Node(NodeId(1)), Ping { hops: 0, size: 10 });
+            ctx.set_timer(Duration::from_millis(100), 0);
+        }
+    }
+
+    #[test]
+    fn restarted_process_receives_again_with_fresh_state() {
+        let mut cfg = RuntimeConfig::ideal();
+        cfg.faults.crashes =
+            CrashSchedule::none().crash_restart(NodeId(1), Time::from_secs(2), Time::from_secs(3));
+        let arrivals = Rc::new(RefCell::new(Vec::new()));
+        let timer_fires = Rc::new(RefCell::new(Vec::new()));
+        let mut rt: Runtime<Ping> = Runtime::new(cfg);
+        rt.add_process(Addr::Node(NodeId(0)), Box::new(SteadyPinger));
+        rt.add_process(
+            Addr::Node(NodeId(1)),
+            Box::new(RestartProbe {
+                label: 1,
+                arrivals: Rc::clone(&arrivals),
+                timer_fires: Rc::clone(&timer_fires),
+            }),
+        );
+        let (a2, t2) = (Rc::clone(&arrivals), Rc::clone(&timer_fires));
+        rt.schedule_restart(Addr::Node(NodeId(1)), Time::from_secs(3), move || {
+            Box::new(RestartProbe {
+                label: 2,
+                arrivals: a2,
+                timer_fires: t2,
+            })
+        });
+        rt.run_until(Time::from_secs(5));
+
+        let arrivals = arrivals.borrow();
+        // The first incarnation received during [0, 2); nothing arrived
+        // during the downtime [2, 3); the second incarnation receives from 3.
+        assert!(arrivals
+            .iter()
+            .any(|&(t, l)| l == 1 && t < Time::from_secs(2)));
+        assert!(
+            !arrivals
+                .iter()
+                .any(|&(t, _)| t >= Time::from_secs(2) && t < Time::from_secs(3)),
+            "no delivery during downtime"
+        );
+        assert!(arrivals
+            .iter()
+            .any(|&(t, l)| l == 2 && t >= Time::from_secs(3)));
+        assert!(
+            !arrivals
+                .iter()
+                .any(|&(t, l)| l == 1 && t >= Time::from_secs(3)),
+            "old incarnation must not see post-restart traffic"
+        );
+        // The old incarnation's 4 s timer (armed at 0) must not fire into
+        // the new life; the new incarnation's own timer (armed at 3, fires
+        // at 7) is beyond the horizon.
+        assert!(
+            timer_fires.borrow().is_empty(),
+            "pre-crash timer leaked: {:?}",
+            timer_fires.borrow()
+        );
+        assert!(rt.stats().messages_dropped >= 9, "downtime drops pings");
+    }
+
+    #[test]
+    fn runs_without_restarts_are_bit_identical_to_before() {
+        // A schedule with no restart entries exercises exactly the same
+        // event stream as one with a restart scheduled beyond the horizon.
+        let (mut plain, log_plain) = ring_runtime(RuntimeConfig::testbed(), 4, 12);
+        let (mut scheduled, log_scheduled) = ring_runtime(RuntimeConfig::testbed(), 4, 12);
+        scheduled.schedule_restart(Addr::Node(NodeId(2)), Time::from_secs(3600), || {
+            Box::new(SteadyPinger)
+        });
+        plain.run_until(Time::from_secs(30));
+        scheduled.run_until(Time::from_secs(30));
+        assert_eq!(*log_plain.borrow(), *log_scheduled.borrow());
     }
 
     #[test]

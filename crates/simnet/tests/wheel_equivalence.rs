@@ -21,7 +21,7 @@ fn ident(kind: &EventKind<u64>) -> u64 {
     match kind {
         EventKind::Deliver { msg, .. } | EventKind::Invoke { msg, .. } => *msg,
         EventKind::Timer { kind, .. } => *kind,
-        EventKind::Start { addr } => match addr {
+        EventKind::Start { addr } | EventKind::Restart { addr } => match addr {
             Addr::Node(n) => n.0 as u64,
             Addr::Client(c) => c.0 as u64,
         },
@@ -144,6 +144,7 @@ fn timer_slab_matches_tombstone_model() {
                             addr: Addr::Node(NodeId(0)),
                             id,
                             kind: tag,
+                            incarnation: 0,
                         },
                     );
                     armed.push(id);

@@ -22,6 +22,8 @@ pub enum Error {
     LimitExceeded(String),
     /// Configuration is inconsistent or unsupported.
     Config(String),
+    /// An I/O operation (durable storage) failed.
+    Io(String),
 }
 
 impl Error {
@@ -51,6 +53,7 @@ impl fmt::Display for Error {
             Error::InvalidState(m) => write!(f, "invalid state: {m}"),
             Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
         }
     }
 }
