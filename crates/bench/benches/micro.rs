@@ -250,7 +250,8 @@ fn bench_validate_proposal(c: &mut Criterion) {
     group.bench_function("validate_proposal_2048", |b| {
         b.iter_batched(
             || {
-                let mut v = RequestValidation::new(Arc::clone(&registry), false, num_buckets, 128);
+                let mut v =
+                    RequestValidation::new(Arc::clone(&registry), false, num_buckets, 128, 4096);
                 let mut table = EpochBuckets::new(0, num_buckets);
                 table.add_segment(&[0], &all_buckets);
                 v.on_epoch_start(table);

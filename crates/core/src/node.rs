@@ -57,7 +57,7 @@ use iss_simnet::process::{Addr, Context, Process};
 use iss_storage::record::{decode_policy, encode_policy, PolicyState, Snapshot, WalRecord};
 use iss_storage::Storage;
 use iss_types::{
-    Batch, ClientId, Duration, EpochNr, InstanceId, IssConfig, NodeId, Request, SeqNr, Time,
+    Batch, ClientId, Duration, EpochNr, Error, InstanceId, IssConfig, NodeId, Request, SeqNr, Time,
     TimerId,
 };
 use std::cell::RefCell;
@@ -109,6 +109,21 @@ pub trait DeliverySink {
     fn on_batch_committed(&mut self, node: NodeId, seq_nr: SeqNr, batch_size: usize, now: Time);
     /// The node advanced to a new epoch.
     fn on_epoch_advanced(&mut self, node: NodeId, epoch: EpochNr, now: Time);
+    /// The node rejected an incoming client request at intake validation
+    /// (bad signature, watermark violation, replay, unknown client). Default
+    /// no-op: only adversarial-scenario metrics care.
+    fn on_request_rejected(
+        &mut self,
+        _node: NodeId,
+        _request: &Request,
+        _error: &Error,
+        _now: Time,
+    ) {
+    }
+    /// The node's validation refused to vote for `count` proposals since the
+    /// last report (malformed, oversized, duplicated or replay-carrying
+    /// batches from a misbehaving leader). Default no-op.
+    fn on_proposal_rejected(&mut self, _node: NodeId, _count: u64, _now: Time) {}
     /// The node booted from durable state or detected it had fallen behind
     /// and entered recovery.
     fn on_recovery_started(&mut self, _node: NodeId, _now: Time) {}
@@ -218,6 +233,10 @@ pub struct IssNode<S: NodeState = EpochState> {
 
     /// Suspicions reported by the ordering protocol instances (diagnostics).
     pub suspicions: Vec<(EpochNr, NodeId)>,
+
+    /// Proposal rejections already forwarded to the sink (the validation
+    /// counter is cumulative; this tracks the delta reported so far).
+    reported_proposal_rejections: u64,
 }
 
 /// Catch-up bookkeeping between recovery start and completion.
@@ -274,6 +293,7 @@ impl<S: NodeState + Default> IssNode<S> {
             config.client_signatures,
             config.num_buckets(),
             config.client_watermark_window,
+            config.max_batch_size,
         );
         let policy = LeaderPolicy::new(
             config.leader_policy,
@@ -312,6 +332,7 @@ impl<S: NodeState + Default> IssNode<S> {
             recovery: None,
             incoming_snapshot: None,
             suspicions: Vec::new(),
+            reported_proposal_rejections: 0,
         }
     }
 
@@ -859,6 +880,14 @@ impl<S: NodeState> IssNode<S> {
             sb_ctx.take_actions()
         };
         self.state.restore_instance(slot, instance);
+        let rejected = self.validation.rejected_proposals();
+        if rejected > self.reported_proposal_rejections {
+            let delta = rejected - self.reported_proposal_rejections;
+            self.reported_proposal_rejections = rejected;
+            self.sink
+                .borrow_mut()
+                .on_proposal_rejected(self.my_id, delta, ctx.now());
+        }
         self.apply_sb_actions(slot, instance_id, actions, ctx);
     }
 
@@ -1161,11 +1190,17 @@ impl<S: NodeState> IssNode<S> {
 
     fn on_net_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
         match msg {
-            NetMsg::Client(ClientMsg::Request(req)) => {
-                if self.validation.validate_request(&req).is_ok() {
+            NetMsg::Client(ClientMsg::Request(req)) => match self.validation.validate_request(&req)
+            {
+                Ok(()) => {
                     self.buckets.add(req);
                 }
-            }
+                Err(e) => {
+                    self.sink
+                        .borrow_mut()
+                        .on_request_rejected(self.my_id, &req, &e, ctx.now());
+                }
+            },
             NetMsg::Client(_) => {}
             NetMsg::Sb { instance, msg } => {
                 let Some(node) = from.as_node() else { return };

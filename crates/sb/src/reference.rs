@@ -12,9 +12,11 @@
 //! values. This is sufficient for every scenario exercised here (correct
 //! sender, crashed/quiet sender, suspected-then-restored sender); a sender
 //! that *equivocates* within BRB is blocked by BRB consistency before the
-//! vote round, but a fully Byzantine-resilient decision under split votes
-//! would require the view-change machinery that the production protocols
-//! provide.
+//! vote round — no conflicting digest can gather a 2f+1 echo quorum, so the
+//! instance starves until suspicion resolves it to ⊥ (exercised by the
+//! `equivocating_sender_is_blocked_by_brb_and_resolves_to_nil` test below) —
+//! but a fully Byzantine-resilient decision under split votes would require
+//! the view-change machinery that the production protocols provide.
 
 use crate::instance::{SbContext, SbInstance};
 use iss_crypto::{batch_digest, Digest};
@@ -416,6 +418,55 @@ mod tests {
                 "node {node} must not deliver a batch sb-cast by a non-sender"
             );
         }
+    }
+
+    #[test]
+    fn equivocating_sender_is_blocked_by_brb_and_resolves_to_nil() {
+        // The designated sender (node 0) equivocates: it sb-casts batch A to
+        // node 1 and a conflicting batch B to nodes 2 and 3 for the same
+        // sequence number. BRB consistency blocks both: digest(A) gathers one
+        // echo and digest(B) two, so neither reaches the 2f+1 = 3 echo
+        // quorum, no ready forms, and no correct node brb-delivers or votes
+        // for a batch.
+        let mut net = net(4, 0, vec![0]);
+        net.crash(0);
+        net.init_all();
+        let (a, b) = (batch(1), batch(2));
+        assert_ne!(batch_digest(&a), batch_digest(&b));
+        net.inject_message(
+            NodeId(0),
+            NodeId(1),
+            SbMsg::Reference(RefSbMsg::BrbSend {
+                seq_nr: 0,
+                batch: a,
+            }),
+        );
+        for to in [2u32, 3] {
+            net.inject_message(
+                NodeId(0),
+                NodeId(to),
+                SbMsg::Reference(RefSbMsg::BrbSend {
+                    seq_nr: 0,
+                    batch: b.clone(),
+                }),
+            );
+        }
+        net.run_messages();
+        for node in 1..4 {
+            assert!(
+                net.log_of(node).is_empty(),
+                "node {node} must not deliver either equivocated batch"
+            );
+        }
+        // The ◇S(bz) detector eventually suspects the stalled sender; the
+        // abort path votes ⊥ and the three correct nodes form a ⊥ quorum.
+        net.suspect_everywhere(NodeId(0));
+        net.run_messages();
+        for node in 1..4 {
+            assert_eq!(net.log_of(node).get(&0), Some(&None), "resolved via ⊥");
+            assert!(net.instances[node].is_complete());
+        }
+        net.assert_agreement();
     }
 
     #[test]

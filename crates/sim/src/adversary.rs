@@ -1,0 +1,861 @@
+//! The adversary-injection subsystem: actively malicious behaviors for
+//! replicas and clients, driven by a seed-deterministic [`AdversaryPlan`].
+//!
+//! ISS's headline claim (Stathakopoulou et al., EuroSys 2022; extended
+//! version arXiv 2203.05681) is safety *and* liveness under Byzantine
+//! replicas and clients. The benign [`crate::FaultPlan`] (crashes,
+//! stragglers, partitions, loss) cannot exercise that claim, so this module
+//! adds the malicious half of the fault model:
+//!
+//! * **Equivocating SB leader** — proposes *conflicting* batches for the
+//!   same sequence number to different followers. Defended by the quorum
+//!   intersection of the SB protocols (PBFT prepare certificates, BRB
+//!   echo/ready consistency): no conflicting batch can gather 2f+1 votes,
+//!   the instance stalls, and the epoch-change timeout resolves it to ⊥.
+//! * **Censoring leader** — silently drops every incoming client request
+//!   mapping to one bucket. Defended by bucket rotation (Section 4.3):
+//!   the bucket is reassigned to a different leader every epoch, and the
+//!   client re-submits outstanding requests when it learns the new
+//!   assignment, bounding censorship latency to a constant number of epochs.
+//! * **Duplicate / replaying client** — re-sends fresh and long-delivered
+//!   requests. Defended by idempotent bucket queues and the client watermark
+//!   / delivered-set checks of `RequestValidation` (Section 3.7), which
+//!   classify cross-epoch re-submissions as [`iss_types::Error::Replayed`].
+//! * **Malformed / oversized proposer** — emits batches with in-batch
+//!   duplicates or more requests than `max_batch_size`. Defended by
+//!   proposal validation on every follower (Section 4.2, design
+//!   principle 3): the proposal is rejected before any per-request work and
+//!   the instance resolves to ⊥ like a crashed leader's.
+//! * **Byzantine client with conflicting requests** — submits two payloads
+//!   under one request id to different replicas. Defended by the
+//!   bucket-to-segment partitioning (one bucket is proposable by exactly one
+//!   segment per epoch) plus the per-epoch proposed/delivered sets, so at
+//!   most one variant is ever delivered.
+//!
+//! Mechanically, a [`Behavior`] wraps a node's (or client's) callbacks via
+//! [`AdversarialProcess`]: inbound messages can be dropped, and every
+//! outbound send buffered by the inner process is rewritten through the
+//! behavior using [`iss_simnet::process::Context::rewrite_sends_since`] —
+//! dropped, mutated, or multiplied per destination. Behaviors draw no
+//! randomness: every decision is a function of (destination, epoch, local
+//! counters), so runs stay bit-deterministic under a fixed seed.
+//!
+//! The liveness side of the claim is checked by [`evaluate_gates`], which
+//! turns the run's delivery record into an [`AdversaryReport`]:
+//! censorship-bounded latency (every censored-bucket request delivered
+//! within ≤ 2 epochs of its bucket rotating to a correct leader), epoch
+//! progress under leader misbehavior, and the per-node rejected-request
+//! counters. The agreement and no-duplicate-delivery invariants stay
+//! always-on in [`crate::metrics::MetricsSink`] and panic on violation.
+
+use crate::metrics::Metrics;
+use crate::scenario::Scenario;
+use iss_core::BucketAssignment;
+use iss_crypto::batch_digest;
+use iss_messages::{ClientMsg, NetMsg, PbftMsg, RefSbMsg, SbMsg};
+use iss_simnet::process::{Addr, Context, Process};
+use iss_types::{Batch, BucketId, ClientId, EpochNr, NodeId, Request, RequestId, Time, TimerId};
+use std::collections::VecDeque;
+
+/// How a malformed proposer corrupts its batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MalformedKind {
+    /// The batch carries the same request twice (rejected by in-batch
+    /// duplicate detection).
+    DuplicateInBatch,
+    /// The batch carries more requests than `max_batch_size` (rejected by
+    /// the size cap before any per-request work).
+    Oversized,
+}
+
+/// One entry of an [`AdversaryPlan`].
+#[derive(Clone, Debug)]
+pub enum AdversaryEvent {
+    /// `node` proposes conflicting batches to different followers for every
+    /// proposal in epochs `[from_epoch, until_epoch)`.
+    EquivocatingLeader {
+        /// The equivocating replica.
+        node: NodeId,
+        /// First epoch of the attack window (inclusive).
+        from_epoch: EpochNr,
+        /// End of the attack window (exclusive).
+        until_epoch: EpochNr,
+    },
+    /// `node` drops every incoming client request mapping to `bucket`, for
+    /// the whole run.
+    CensoringLeader {
+        /// The censoring replica.
+        node: NodeId,
+        /// The censored bucket.
+        bucket: BucketId,
+    },
+    /// `node` corrupts every batch it proposes in epochs `[from_epoch,
+    /// until_epoch)`.
+    MalformedProposals {
+        /// The misbehaving replica.
+        node: NodeId,
+        /// The corruption applied.
+        kind: MalformedKind,
+        /// First epoch of the attack window (inclusive).
+        from_epoch: EpochNr,
+        /// End of the attack window (exclusive).
+        until_epoch: EpochNr,
+    },
+    /// `client` submits a conflicting copy (same request id, different
+    /// payload) of every request to a second replica.
+    ByzantineClient {
+        /// The misbehaving client.
+        client: ClientId,
+    },
+    /// `client` re-sends every 4th request immediately and replays an old
+    /// (typically long-delivered) request every 8th submission.
+    DuplicatingClient {
+        /// The misbehaving client.
+        client: ClientId,
+    },
+}
+
+/// The adversarial dimension of a scenario: a schedule of actively malicious
+/// node and client behaviors, pure data like [`crate::FaultPlan`]. An empty
+/// plan wires up nothing at all — deployments with `AdversaryPlan::none()`
+/// are byte-identical to pre-adversary builds.
+#[derive(Clone, Debug, Default)]
+pub struct AdversaryPlan {
+    /// The scheduled adversarial behaviors, in insertion order.
+    pub events: Vec<AdversaryEvent>,
+}
+
+impl AdversaryPlan {
+    /// The attack-free plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules no adversarial behavior at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Makes `node` an equivocating leader during `[from_epoch, until_epoch)`.
+    pub fn equivocating_leader(
+        mut self,
+        node: NodeId,
+        from_epoch: EpochNr,
+        until_epoch: EpochNr,
+    ) -> Self {
+        self.events.push(AdversaryEvent::EquivocatingLeader {
+            node,
+            from_epoch,
+            until_epoch,
+        });
+        self
+    }
+
+    /// Makes `node` censor every request of `bucket` for the whole run.
+    pub fn censoring_leader(mut self, node: NodeId, bucket: BucketId) -> Self {
+        self.events
+            .push(AdversaryEvent::CensoringLeader { node, bucket });
+        self
+    }
+
+    /// Makes `node` propose malformed batches during `[from_epoch,
+    /// until_epoch)`.
+    pub fn malformed_proposals(
+        mut self,
+        node: NodeId,
+        kind: MalformedKind,
+        from_epoch: EpochNr,
+        until_epoch: EpochNr,
+    ) -> Self {
+        self.events.push(AdversaryEvent::MalformedProposals {
+            node,
+            kind,
+            from_epoch,
+            until_epoch,
+        });
+        self
+    }
+
+    /// Makes `client` submit conflicting same-id requests to two replicas.
+    pub fn byzantine_client(mut self, client: ClientId) -> Self {
+        self.events.push(AdversaryEvent::ByzantineClient { client });
+        self
+    }
+
+    /// Makes `client` duplicate fresh requests and replay delivered ones.
+    pub fn duplicating_client(mut self, client: ClientId) -> Self {
+        self.events
+            .push(AdversaryEvent::DuplicatingClient { client });
+        self
+    }
+
+    /// Every replica with at least one adversarial behavior, deduplicated,
+    /// in plan order. These nodes are excluded from observer selection and
+    /// do not count as "correct" owners for the censorship liveness gate.
+    pub fn adversarial_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = Vec::new();
+        for e in &self.events {
+            let n = match e {
+                AdversaryEvent::EquivocatingLeader { node, .. } => *node,
+                AdversaryEvent::CensoringLeader { node, .. } => *node,
+                AdversaryEvent::MalformedProposals { node, .. } => *node,
+                _ => continue,
+            };
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        nodes
+    }
+
+    /// The censoring leaders with their censored buckets, in plan order.
+    pub fn censors(&self) -> Vec<(NodeId, BucketId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                AdversaryEvent::CensoringLeader { node, bucket } => Some((*node, *bucket)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The behavior for `node`, if the plan gives it one. `num_nodes`,
+    /// `num_buckets` and `max_batch_size` parameterize the attacks.
+    pub fn node_behavior(
+        &self,
+        node: NodeId,
+        num_nodes: usize,
+        num_buckets: usize,
+        max_batch_size: usize,
+    ) -> Option<NodeAdversary> {
+        let mut adv = NodeAdversary {
+            node,
+            num_nodes,
+            num_buckets,
+            max_batch_size,
+            equivocate: None,
+            censor: None,
+            malformed: None,
+        };
+        let mut any = false;
+        for e in &self.events {
+            match e {
+                AdversaryEvent::EquivocatingLeader {
+                    node: n,
+                    from_epoch,
+                    until_epoch,
+                } if *n == node => {
+                    adv.equivocate = Some((*from_epoch, *until_epoch));
+                    any = true;
+                }
+                AdversaryEvent::CensoringLeader { node: n, bucket } if *n == node => {
+                    adv.censor = Some(*bucket);
+                    any = true;
+                }
+                AdversaryEvent::MalformedProposals {
+                    node: n,
+                    kind,
+                    from_epoch,
+                    until_epoch,
+                } if *n == node => {
+                    adv.malformed = Some((*kind, *from_epoch, *until_epoch));
+                    any = true;
+                }
+                _ => {}
+            }
+        }
+        any.then_some(adv)
+    }
+
+    /// The behavior for `client`, if the plan gives it one.
+    pub fn client_behavior(&self, client: ClientId, num_nodes: usize) -> Option<ClientAdversary> {
+        let mut conflict = false;
+        let mut duplicate_replay = false;
+        for e in &self.events {
+            match e {
+                AdversaryEvent::ByzantineClient { client: c } if *c == client => conflict = true,
+                AdversaryEvent::DuplicatingClient { client: c } if *c == client => {
+                    duplicate_replay = true;
+                }
+                _ => {}
+            }
+        }
+        (conflict || duplicate_replay).then_some(ClientAdversary {
+            num_nodes,
+            conflict,
+            duplicate_replay,
+            history: VecDeque::new(),
+            sent: 0,
+        })
+    }
+}
+
+/// An adversarial wrapper around a process's I/O. Implementations must be
+/// deterministic: no randomness, no wall clock — decisions are functions of
+/// the message, the destination and local counters only.
+pub trait Behavior {
+    /// Inbound filter: return `false` to silently drop the message before
+    /// the wrapped process sees it. Default: deliver everything.
+    fn on_inbound(&mut self, _now: Time, _from: Addr, _msg: &NetMsg) -> bool {
+        true
+    }
+
+    /// Outbound rewrite: called once per send the wrapped process buffered.
+    /// Whatever is passed to `emit` replaces the original send — emit zero
+    /// times to drop it, several times to multiply or equivocate.
+    fn on_outbound(&mut self, now: Time, to: Addr, msg: NetMsg, emit: &mut dyn FnMut(Addr, NetMsg));
+}
+
+/// A [`Process`] wrapper applying a [`Behavior`] to an inner process's
+/// traffic. The inner process is unmodified and unaware — the same replica
+/// and client implementations run in honest and adversarial deployments.
+pub struct AdversarialProcess {
+    inner: Box<dyn Process<NetMsg>>,
+    behavior: Box<dyn Behavior>,
+}
+
+impl AdversarialProcess {
+    /// Wraps `inner` with `behavior`.
+    pub fn new(inner: Box<dyn Process<NetMsg>>, behavior: Box<dyn Behavior>) -> Self {
+        AdversarialProcess { inner, behavior }
+    }
+
+    fn rewrite(&mut self, mark: usize, ctx: &mut Context<'_, NetMsg>) {
+        let behavior = &mut self.behavior;
+        let now = ctx.now();
+        ctx.rewrite_sends_since(mark, |to, msg, emit| {
+            behavior.on_outbound(now, to, msg, emit)
+        });
+    }
+}
+
+impl Process<NetMsg> for AdversarialProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let mark = ctx.mark();
+        self.inner.on_start(ctx);
+        self.rewrite(mark, ctx);
+    }
+
+    fn on_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        if !self.behavior.on_inbound(ctx.now(), from, &msg) {
+            return;
+        }
+        let mark = ctx.mark();
+        self.inner.on_message(from, msg, ctx);
+        self.rewrite(mark, ctx);
+    }
+
+    fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<'_, NetMsg>) {
+        let mark = ctx.mark();
+        self.inner.on_timer(id, kind, ctx);
+        self.rewrite(mark, ctx);
+    }
+}
+
+/// The combined node-side adversary: any subset of {equivocation, censoring,
+/// malformed proposals} on one replica (one node can play several roles, so
+/// the combined-attack acceptance scenario stays within f = 1).
+pub struct NodeAdversary {
+    node: NodeId,
+    num_nodes: usize,
+    num_buckets: usize,
+    max_batch_size: usize,
+    equivocate: Option<(EpochNr, EpochNr)>,
+    censor: Option<BucketId>,
+    malformed: Option<(MalformedKind, EpochNr, EpochNr)>,
+}
+
+/// A batch with the last request removed — a *conflicting* proposal for the
+/// same sequence number (different digest, same origin).
+fn conflicting_variant(batch: &Batch) -> Batch {
+    let requests = batch.requests();
+    Batch::new(requests[..requests.len() - 1].to_vec())
+}
+
+/// A batch corrupted per `kind`; `None` when the original is empty (nothing
+/// to duplicate or pad with).
+fn malformed_variant(batch: &Batch, kind: MalformedKind, max_batch_size: usize) -> Option<Batch> {
+    let requests = batch.requests();
+    if requests.is_empty() {
+        return None;
+    }
+    let corrupted = match kind {
+        MalformedKind::DuplicateInBatch => {
+            let mut reqs = requests.to_vec();
+            reqs.push(requests[0].clone());
+            reqs
+        }
+        MalformedKind::Oversized => {
+            let mut reqs = Vec::with_capacity(max_batch_size + 1);
+            while reqs.len() <= max_batch_size {
+                reqs.extend_from_slice(requests);
+            }
+            reqs.truncate(max_batch_size + 1);
+            reqs
+        }
+    };
+    Some(Batch::new(corrupted))
+}
+
+impl NodeAdversary {
+    /// Whether this send is a proposal the equivocator splits: the immediate
+    /// successor of the adversary keeps the original, everyone else gets the
+    /// conflicting variant. At n = 4 this yields a 2-vs-2 split *including
+    /// the leader itself*, so neither side can reach a 2f+1 certificate and
+    /// the instance must resolve via the timeout/⊥ path.
+    fn gets_original(&self, to: NodeId) -> bool {
+        (to.0 as usize + self.num_nodes - self.node.0 as usize) % self.num_nodes == 1
+    }
+}
+
+impl Behavior for NodeAdversary {
+    fn on_inbound(&mut self, _now: Time, _from: Addr, msg: &NetMsg) -> bool {
+        let Some(censored) = self.censor else {
+            return true;
+        };
+        match msg {
+            NetMsg::Client(ClientMsg::Request(req)) => req.id.bucket(self.num_buckets) != censored,
+            _ => true,
+        }
+    }
+
+    fn on_outbound(
+        &mut self,
+        _now: Time,
+        to: Addr,
+        msg: NetMsg,
+        emit: &mut dyn FnMut(Addr, NetMsg),
+    ) {
+        let NetMsg::Sb { instance, msg: sb } = &msg else {
+            emit(to, msg);
+            return;
+        };
+        let epoch = instance.epoch;
+        let in_window = |w: Option<(EpochNr, EpochNr)>| {
+            w.is_some_and(|(from, until)| epoch >= from && epoch < until)
+        };
+        // Equivocation: per-destination conflicting proposals.
+        if in_window(self.equivocate) {
+            let target = to.as_node();
+            match (sb, target) {
+                (
+                    SbMsg::Pbft(PbftMsg::PrePrepare {
+                        view,
+                        seq_nr,
+                        batch: Some(batch),
+                        ..
+                    }),
+                    Some(node),
+                ) if !batch.is_empty() && !self.gets_original(node) => {
+                    let variant = conflicting_variant(batch);
+                    let digest = batch_digest(&variant);
+                    emit(
+                        to,
+                        NetMsg::Sb {
+                            instance: *instance,
+                            msg: SbMsg::Pbft(PbftMsg::PrePrepare {
+                                view: *view,
+                                seq_nr: *seq_nr,
+                                batch: Some(variant),
+                                digest,
+                            }),
+                        },
+                    );
+                    return;
+                }
+                (SbMsg::Reference(RefSbMsg::BrbSend { seq_nr, batch }), Some(node))
+                    if !batch.is_empty() && !self.gets_original(node) =>
+                {
+                    emit(
+                        to,
+                        NetMsg::Sb {
+                            instance: *instance,
+                            msg: SbMsg::Reference(RefSbMsg::BrbSend {
+                                seq_nr: *seq_nr,
+                                batch: conflicting_variant(batch),
+                            }),
+                        },
+                    );
+                    return;
+                }
+                _ => {}
+            }
+        }
+        // Malformed proposals: the same corrupted batch to every follower.
+        if let Some((kind, _, _)) = self.malformed {
+            if in_window(self.malformed.map(|(_, f, u)| (f, u))) {
+                match sb {
+                    SbMsg::Pbft(PbftMsg::PrePrepare {
+                        view,
+                        seq_nr,
+                        batch: Some(batch),
+                        ..
+                    }) => {
+                        if let Some(variant) = malformed_variant(batch, kind, self.max_batch_size) {
+                            let digest = batch_digest(&variant);
+                            emit(
+                                to,
+                                NetMsg::Sb {
+                                    instance: *instance,
+                                    msg: SbMsg::Pbft(PbftMsg::PrePrepare {
+                                        view: *view,
+                                        seq_nr: *seq_nr,
+                                        batch: Some(variant),
+                                        digest,
+                                    }),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                    SbMsg::Reference(RefSbMsg::BrbSend { seq_nr, batch }) => {
+                        if let Some(variant) = malformed_variant(batch, kind, self.max_batch_size) {
+                            emit(
+                                to,
+                                NetMsg::Sb {
+                                    instance: *instance,
+                                    msg: SbMsg::Reference(RefSbMsg::BrbSend {
+                                        seq_nr: *seq_nr,
+                                        batch: variant,
+                                    }),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        emit(to, msg);
+    }
+}
+
+/// Number of requests the duplicating client keeps for replays.
+const REPLAY_HISTORY: usize = 64;
+
+/// The combined client-side adversary: conflicting same-id requests and/or
+/// duplicate + replayed submissions.
+pub struct ClientAdversary {
+    num_nodes: usize,
+    conflict: bool,
+    duplicate_replay: bool,
+    /// Recent requests with their original targets, for replays.
+    history: VecDeque<(Addr, Request)>,
+    /// Requests observed from the wrapped client (drives the deterministic
+    /// every-Nth duplication/replay schedule).
+    sent: u64,
+}
+
+impl Behavior for ClientAdversary {
+    fn on_outbound(
+        &mut self,
+        _now: Time,
+        to: Addr,
+        msg: NetMsg,
+        emit: &mut dyn FnMut(Addr, NetMsg),
+    ) {
+        let NetMsg::Client(ClientMsg::Request(req)) = &msg else {
+            emit(to, msg);
+            return;
+        };
+        let req = req.clone();
+        emit(to, msg);
+        if self.conflict {
+            // Same request id, different payload — a conflicting "signing"
+            // of the request — to a second replica. Both copies map to the
+            // same bucket (the bucket is a function of the id alone), so the
+            // bucket-to-segment partitioning guarantees at most one variant
+            // is delivered.
+            let twin = Request::synthetic(req.id.client, req.id.timestamp, req.payload_size + 1);
+            let other = match to {
+                Addr::Node(n) => Addr::Node(NodeId((n.0 + 1) % self.num_nodes as u32)),
+                other => other,
+            };
+            emit(other, NetMsg::Client(ClientMsg::Request(twin)));
+        }
+        if self.duplicate_replay {
+            self.sent += 1;
+            if self.sent.is_multiple_of(4) {
+                // Immediate duplicate of the fresh request.
+                emit(to, NetMsg::Client(ClientMsg::Request(req.clone())));
+            }
+            if self.sent.is_multiple_of(8) {
+                // Replay the oldest request still in the history window —
+                // by now typically delivered, so replicas classify it as
+                // `Error::Replayed` and bump their rejection counters.
+                if let Some((old_to, old_req)) = self.history.front() {
+                    emit(*old_to, NetMsg::Client(ClientMsg::Request(old_req.clone())));
+                }
+            }
+            self.history.push_back((to, req));
+            if self.history.len() > REPLAY_HISTORY {
+                self.history.pop_front();
+            }
+        }
+    }
+}
+
+/// How many epochs after its bucket rotates to a correct leader a censored
+/// request may take to be delivered (the acceptance bound of the
+/// censorship-liveness gate).
+pub const CENSORSHIP_EPOCH_BOUND: u64 = 2;
+
+/// The adversarial-run verdict computed by [`evaluate_gates`] and attached
+/// to [`crate::Report`] when the scenario has a non-empty plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdversaryReport {
+    /// Total client requests rejected at intake validation, summed over
+    /// nodes.
+    pub rejected_total: u64,
+    /// Rejections classified as replays ([`iss_types::Error::Replayed`]).
+    pub replayed_total: u64,
+    /// Proposals the correct followers refused to vote for (malformed,
+    /// oversized, or duplicate-carrying batches), summed over nodes.
+    pub rejected_proposals_total: u64,
+    /// Censored-bucket requests whose delivery deadline materialized inside
+    /// the run (the gate's sample size).
+    pub censored_checked: u64,
+    /// Of those, requests delivered within [`CENSORSHIP_EPOCH_BOUND`] epochs
+    /// of their bucket rotating to a correct leader.
+    pub censored_within_bound: u64,
+    /// Of those, requests that missed the bound (must be 0 for the gate to
+    /// pass).
+    pub censored_missed: u64,
+    /// Epoch transitions observed at the observer node (epoch-change
+    /// progress under leader misbehavior).
+    pub epoch_advances: u64,
+}
+
+impl AdversaryReport {
+    /// Whether the censorship-bounded-latency gate passed (trivially true
+    /// when the plan censors nothing).
+    pub fn censorship_gate_ok(&self) -> bool {
+        self.censored_missed == 0
+    }
+}
+
+/// Computes the liveness-gate verdict for an adversarial run.
+///
+/// The censorship gate assumes the Simple leader policy (every node leads
+/// every epoch), which makes bucket ownership statically computable:
+/// `owner(b, e) = nodes[(b + e) mod n]` (see
+/// [`iss_core::BucketAssignment::compute`]). For every request of a censored
+/// bucket the gate finds the first epoch `e_rot` — starting at or after the
+/// request's submission — whose owner is a correct (non-adversarial) node,
+/// and requires delivery at the observer before epoch `e_rot + 2` begins.
+/// Requests whose deadline epoch never started inside the run (the tail) are
+/// skipped, not failed.
+pub fn evaluate_gates(scenario: &Scenario, metrics: &Metrics) -> AdversaryReport {
+    let plan = &scenario.adversary;
+    let mut report = AdversaryReport {
+        rejected_total: metrics.rejected_per_node.values().sum(),
+        replayed_total: metrics.replayed_per_node.values().sum(),
+        rejected_proposals_total: metrics.rejected_proposals_per_node.values().sum(),
+        epoch_advances: metrics.epochs.len() as u64,
+        ..Default::default()
+    };
+    let censors = plan.censors();
+    if censors.is_empty() {
+        return report;
+    }
+
+    let config = scenario.iss_config();
+    let num_buckets = config.num_buckets();
+    let all_nodes = config.all_nodes();
+    let adversarial = plan.adversarial_nodes();
+
+    // Observer epoch start times: epoch 0 starts at t=0, later epochs when
+    // the observer announced the transition.
+    let mut epoch_starts: Vec<(EpochNr, Time)> = vec![(0, Time::ZERO)];
+    epoch_starts.extend(metrics.epochs.iter().copied());
+    epoch_starts.sort_by_key(|(e, _)| *e);
+    epoch_starts.dedup_by_key(|(e, _)| *e);
+    let start_of = |epoch: EpochNr| -> Option<Time> {
+        epoch_starts
+            .binary_search_by_key(&epoch, |(e, _)| *e)
+            .ok()
+            .map(|i| epoch_starts[i].1)
+    };
+    let max_epoch = epoch_starts.last().map(|(e, _)| *e).unwrap_or(0);
+
+    // Per-epoch bucket owners under the Simple policy (all nodes lead every
+    // epoch), matching what the replicas themselves compute.
+    let owner_of = |bucket: BucketId, epoch: EpochNr| -> NodeId {
+        let assignment = BucketAssignment::compute(epoch, num_buckets, &all_nodes, &all_nodes);
+        assignment
+            .bucket_owners(&all_nodes)
+            .into_iter()
+            .find(|(b, _)| *b == bucket)
+            .map(|(_, n)| n)
+            .unwrap_or(all_nodes[(bucket.index() + epoch as usize) % all_nodes.len()])
+    };
+
+    let stop_at = Time::ZERO + scenario.window.duration;
+    for (_, bucket) in censors {
+        // Cache the rotation schedule of this bucket across observed epochs.
+        let owners: Vec<NodeId> = (0..=max_epoch).map(|e| owner_of(bucket, e)).collect();
+        for c in 0..scenario.num_clients() as u32 {
+            let client = ClientId(c);
+            let submitted = scenario.workload.due_by(client, stop_at);
+            for t in 0..submitted {
+                let id = RequestId::new(client, t);
+                if id.bucket(num_buckets) != bucket {
+                    continue;
+                }
+                let submit = scenario.workload.submit_time(client, t);
+                // First epoch at/after submission owned by a correct node.
+                let e_rot = (0..=max_epoch).find(|&e| {
+                    start_of(e).is_some_and(|s| s >= submit)
+                        && !adversarial.contains(&owners[e as usize])
+                });
+                let Some(e_rot) = e_rot else { continue };
+                let Some(deadline) = start_of(e_rot + CENSORSHIP_EPOCH_BOUND) else {
+                    continue; // deadline epoch never started: tail, skip
+                };
+                report.censored_checked += 1;
+                match metrics.delivered_at.get(&id) {
+                    Some(&at) if at <= deadline => report.censored_within_bound += 1,
+                    _ => report.censored_missed += 1,
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_and_accessors() {
+        let plan = AdversaryPlan::none()
+            .equivocating_leader(NodeId(0), 1, 2)
+            .censoring_leader(NodeId(0), BucketId(3))
+            .malformed_proposals(NodeId(2), MalformedKind::Oversized, 1, 3)
+            .byzantine_client(ClientId(5))
+            .duplicating_client(ClientId(6));
+        assert!(!plan.is_empty());
+        assert!(AdversaryPlan::none().is_empty());
+        assert_eq!(plan.adversarial_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(plan.censors(), vec![(NodeId(0), BucketId(3))]);
+        // Node 0 combines two roles in one behavior; node 1 has none.
+        let b = plan.node_behavior(NodeId(0), 4, 16, 64).unwrap();
+        assert_eq!(b.equivocate, Some((1, 2)));
+        assert_eq!(b.censor, Some(BucketId(3)));
+        assert!(b.malformed.is_none());
+        assert!(plan.node_behavior(NodeId(1), 4, 16, 64).is_none());
+        assert!(plan.client_behavior(ClientId(5), 4).unwrap().conflict);
+        assert!(
+            plan.client_behavior(ClientId(6), 4)
+                .unwrap()
+                .duplicate_replay
+        );
+        assert!(plan.client_behavior(ClientId(7), 4).is_none());
+    }
+
+    #[test]
+    fn equivocator_splits_two_versus_two() {
+        // At n=4, whoever the adversary is, exactly one follower keeps the
+        // original; with the leader itself that is a 2-2 split.
+        for leader in 0..4u32 {
+            let plan = AdversaryPlan::none().equivocating_leader(NodeId(leader), 0, 1);
+            let adv = plan.node_behavior(NodeId(leader), 4, 16, 64).unwrap();
+            let originals: Vec<u32> = (0..4)
+                .filter(|&n| n != leader && adv.gets_original(NodeId(n)))
+                .collect();
+            assert_eq!(originals, vec![(leader + 1) % 4]);
+        }
+    }
+
+    #[test]
+    fn censor_drops_only_the_censored_bucket() {
+        let plan = AdversaryPlan::none().censoring_leader(NodeId(0), BucketId(0));
+        let mut adv = plan.node_behavior(NodeId(0), 4, 16, 64).unwrap();
+        let from = Addr::Client(ClientId(0));
+        // Find one request per bucket-class deterministically.
+        let mut kept = 0;
+        let mut dropped = 0;
+        for t in 0..64u64 {
+            let req = Request::synthetic(ClientId(0), t, 100);
+            let censored = req.id.bucket(16) == BucketId(0);
+            let msg = NetMsg::Client(ClientMsg::Request(req));
+            let delivered = adv.on_inbound(Time::ZERO, from, &msg);
+            assert_eq!(delivered, !censored);
+            if delivered {
+                kept += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        assert!(kept > 0 && dropped > 0, "kept {kept}, dropped {dropped}");
+    }
+
+    #[test]
+    fn malformed_variants_are_actually_malformed() {
+        let reqs: Vec<Request> = (0..3)
+            .map(|c| Request::synthetic(ClientId(c), 0, 64))
+            .collect();
+        let batch = Batch::new(reqs);
+        let dup = malformed_variant(&batch, MalformedKind::DuplicateInBatch, 64).unwrap();
+        assert_eq!(dup.len(), 4);
+        assert_eq!(dup.requests()[0].id, dup.requests()[3].id);
+        let big = malformed_variant(&batch, MalformedKind::Oversized, 64).unwrap();
+        assert_eq!(big.len(), 65);
+        assert!(malformed_variant(&Batch::new(vec![]), MalformedKind::Oversized, 64).is_none());
+    }
+
+    #[test]
+    fn conflicting_variant_differs_in_digest() {
+        let reqs: Vec<Request> = (0..3)
+            .map(|c| Request::synthetic(ClientId(c), 0, 64))
+            .collect();
+        let batch = Batch::new(reqs);
+        let variant = conflicting_variant(&batch);
+        assert_eq!(variant.len(), 2);
+        assert_ne!(batch_digest(&batch), batch_digest(&variant));
+    }
+
+    #[test]
+    fn client_adversary_emits_conflicting_twin_to_next_node() {
+        let plan = AdversaryPlan::none().byzantine_client(ClientId(1));
+        let mut adv = plan.client_behavior(ClientId(1), 4).unwrap();
+        let req = Request::synthetic(ClientId(1), 0, 100);
+        let mut out: Vec<(Addr, NetMsg)> = Vec::new();
+        adv.on_outbound(
+            Time::ZERO,
+            Addr::Node(NodeId(3)),
+            NetMsg::Client(ClientMsg::Request(req)),
+            &mut |to, msg| out.push((to, msg)),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, Addr::Node(NodeId(3)));
+        assert_eq!(out[1].0, Addr::Node(NodeId(0)), "wraps to the next node");
+        let (NetMsg::Client(ClientMsg::Request(a)), NetMsg::Client(ClientMsg::Request(b))) =
+            (&out[0].1, &out[1].1)
+        else {
+            panic!("both emissions must be requests");
+        };
+        assert_eq!(a.id, b.id, "same request id");
+        assert_ne!(a.payload_size, b.payload_size, "conflicting payloads");
+    }
+
+    #[test]
+    fn duplicating_client_schedule_is_deterministic() {
+        let plan = AdversaryPlan::none().duplicating_client(ClientId(0));
+        let mut adv = plan.client_behavior(ClientId(0), 4).unwrap();
+        let mut emissions = 0usize;
+        for t in 0..16u64 {
+            let req = Request::synthetic(ClientId(0), t, 100);
+            adv.on_outbound(
+                Time::ZERO,
+                Addr::Node(NodeId(0)),
+                NetMsg::Client(ClientMsg::Request(req)),
+                &mut |_, _| emissions += 1,
+            );
+        }
+        // 16 originals + 4 duplicates (every 4th) + 2 replays (every 8th).
+        assert_eq!(emissions, 16 + 4 + 2);
+    }
+}

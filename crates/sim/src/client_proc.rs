@@ -2,11 +2,12 @@
 //! schedule that routes each request to the leader currently owning its
 //! bucket (Section 4.3).
 
-use iss_client::{LeaderTable, RequestFactory};
+use iss_client::{LeaderTable, RequestFactory, ResponseTracker};
 use iss_messages::{ClientMsg, NetMsg};
 use iss_simnet::process::{Addr, Context, Process};
-use iss_types::{ClientId, Duration, NodeId, Time, TimerId};
+use iss_types::{ClientId, Duration, NodeId, Request, RequestId, Time, TimerId};
 use iss_workload::Workload;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Tick granularity of the generator: several requests may be emitted per
@@ -24,6 +25,17 @@ pub struct ClientProcess {
     stop_at: Time,
     /// Number of responses received (only meaningful when nodes respond).
     pub responses: u64,
+    /// Whether the client re-submits unanswered requests when the bucket
+    /// assignment rotates (the paper's client-side censorship defense,
+    /// Section 4.3: a censored bucket reaches a correct leader within a
+    /// bounded number of epochs, and the client re-targets it there).
+    retransmit: bool,
+    /// Requests not yet answered by an `f+1` quorum, with the announcement
+    /// generation they were last sent in (0 = before any accepted
+    /// announcement). Only populated when `retransmit` is on.
+    outstanding: HashMap<RequestId, (Request, u64)>,
+    /// Quorum tracker for responses (drives `outstanding` removal).
+    tracker: ResponseTracker,
 }
 
 impl ClientProcess {
@@ -45,6 +57,46 @@ impl ClientProcess {
             submitted: 0,
             stop_at,
             responses: 0,
+            retransmit: false,
+            outstanding: HashMap::new(),
+            tracker: ResponseTracker::new(quorum),
+        }
+    }
+
+    /// Enables re-submission of unanswered requests on every accepted bucket
+    /// rotation. Requires the nodes to respond to clients (the deployment
+    /// forces responses on whenever a censoring leader is scheduled).
+    pub fn with_retransmission(mut self) -> Self {
+        self.retransmit = true;
+        self
+    }
+
+    /// The announcement generation: 0 before any accepted announcement,
+    /// `epoch + 1` afterwards.
+    fn generation(&self) -> u64 {
+        self.leaders.accepted_epoch().map_or(0, |e| e + 1)
+    }
+
+    /// Re-sends every outstanding request not yet sent in the current
+    /// generation, routed through the (new) bucket assignment. Iteration is
+    /// sorted by request id so the event schedule stays deterministic.
+    fn retransmit_outstanding(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        let generation = self.generation();
+        let mut stale: Vec<RequestId> = self
+            .outstanding
+            .iter()
+            .filter(|(_, (_, last))| *last < generation)
+            .map(|(id, _)| *id)
+            .collect();
+        stale.sort_unstable();
+        for id in stale {
+            let target = self.leaders.target_for(&id);
+            let (request, last) = self.outstanding.get_mut(&id).expect("stale id present");
+            *last = generation;
+            ctx.send(
+                Addr::Node(target),
+                NetMsg::Client(ClientMsg::Request(request.clone())),
+            );
         }
     }
 
@@ -60,6 +112,10 @@ impl ClientProcess {
                 .payload_size(self.id, self.factory.next_timestamp());
             let request = self.factory.next_request(size);
             let target = self.leaders.target_for(&request.id);
+            if self.retransmit {
+                self.outstanding
+                    .insert(request.id, (request.clone(), self.generation()));
+            }
             ctx.send(
                 Addr::Node(target),
                 NetMsg::Client(ClientMsg::Request(request)),
@@ -74,16 +130,26 @@ impl Process<NetMsg> for ClientProcess {
         ctx.set_timer(TICK, 0);
     }
 
-    fn on_message(&mut self, from: Addr, msg: NetMsg, _ctx: &mut Context<'_, NetMsg>) {
+    fn on_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
         let NetMsg::Client(msg) = msg else { return };
         match &msg {
             ClientMsg::BucketLeaders { .. } => {
                 if let Some(node) = from.as_node() {
-                    self.leaders.on_announcement(node, &msg);
+                    let accepted_new_epoch = self.leaders.on_announcement(node, &msg);
+                    if self.retransmit && accepted_new_epoch {
+                        self.retransmit_outstanding(ctx);
+                    }
                 }
             }
-            ClientMsg::Response { .. } => {
+            ClientMsg::Response { request, seq_nr } => {
                 self.responses += 1;
+                if self.retransmit {
+                    if let Some(node) = from.as_node() {
+                        if self.tracker.on_response(node, *request, *seq_nr).is_some() {
+                            self.outstanding.remove(request);
+                        }
+                    }
+                }
             }
             ClientMsg::Request(_) => {}
         }
@@ -187,6 +253,91 @@ mod tests {
         // One 1-s burst at 100 req/s, then silence until t=3 s.
         let received = *count.borrow();
         assert!((90..=101).contains(&received), "received {received}");
+    }
+
+    /// A node stub that counts requests, optionally answers them, and
+    /// announces an epoch-1 bucket rotation at t = 1 s.
+    struct AnnouncingNode {
+        respond: bool,
+        count: Rc<RefCell<u64>>,
+    }
+    impl Process<NetMsg> for AnnouncingNode {
+        fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+            ctx.set_timer(Duration::from_secs(1), 0);
+        }
+        fn on_message(&mut self, from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+            if let NetMsg::Client(ClientMsg::Request(req)) = msg {
+                *self.count.borrow_mut() += 1;
+                if self.respond {
+                    ctx.send(
+                        from,
+                        NetMsg::Client(ClientMsg::Response {
+                            request: req.id,
+                            seq_nr: 0,
+                        }),
+                    );
+                }
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, _kind: u64, ctx: &mut Context<'_, NetMsg>) {
+            ctx.send(
+                Addr::Client(ClientId(0)),
+                NetMsg::Client(ClientMsg::BucketLeaders {
+                    epoch: 1,
+                    leaders: (0..64)
+                        .map(|b| (iss_types::BucketId(b), NodeId(0)))
+                        .collect(),
+                }),
+            );
+        }
+    }
+
+    fn retransmission_run(respond: bool) -> u64 {
+        let count = Rc::new(RefCell::new(0u64));
+        let mut rt: Runtime<NetMsg> = Runtime::new(RuntimeConfig::ideal());
+        rt.add_process(
+            Addr::Node(NodeId(0)),
+            Box::new(AnnouncingNode {
+                respond,
+                count: Rc::clone(&count),
+            }),
+        );
+        let workload: Rc<dyn Workload> = Rc::new(OpenLoop::new(1, 100.0, Time::ZERO));
+        rt.add_process(
+            Addr::Client(ClientId(0)),
+            Box::new(
+                ClientProcess::new(
+                    ClientId(0),
+                    workload,
+                    vec![NodeId(0)],
+                    64,
+                    1,
+                    false,
+                    Time::from_secs(1),
+                )
+                .with_retransmission(),
+            ),
+        );
+        rt.run_until(Time::from_secs(2));
+        let received = *count.borrow();
+        received
+    }
+
+    #[test]
+    fn unanswered_requests_are_resent_on_bucket_rotation() {
+        // Nodes never answer: the epoch-1 announcement at t = 1 s makes the
+        // client re-send every outstanding request, roughly doubling the
+        // ~100 originals submitted in the first second.
+        let received = retransmission_run(false);
+        assert!((190..=210).contains(&received), "received {received}");
+    }
+
+    #[test]
+    fn answered_requests_are_not_resent() {
+        // Every request is answered immediately (quorum 1), so nothing is
+        // outstanding when the rotation is announced.
+        let received = retransmission_run(true);
+        assert!((90..=105).contains(&received), "received {received}");
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //! [`Report`]. Also home of the legacy flat [`ClusterSpec`], kept as a thin
 //! compatibility veneer that lowers onto the Scenario API.
 
+use crate::adversary::{
+    evaluate_gates, AdversarialProcess, AdversaryPlan, AdversaryReport, NodeAdversary,
+};
 use crate::client_proc::ClientProcess;
 use crate::factories::{make_factory, Protocol};
 use crate::metrics::{metrics_handle, MetricsHandle, MetricsSink, RecoveryEvent};
@@ -126,6 +129,7 @@ impl ClusterSpec {
             workload: Rc::new(OpenLoop::new(self.num_clients, self.total_rate, Time::ZERO)),
             topology: TopologySpec::Wan16,
             faults,
+            adversary: AdversaryPlan::none(),
             window: RunWindow {
                 duration: self.duration,
                 warmup: self.warmup,
@@ -160,7 +164,7 @@ pub struct Deployment {
 }
 
 /// Summary of one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Report {
     /// Average delivered throughput (requests/s) in the measurement window.
     pub throughput: f64,
@@ -186,6 +190,12 @@ pub struct Report {
     /// reconnect fast paths), with time-to-catch-up, WAL entries replayed
     /// and snapshot chunks transferred.
     pub recoveries: Vec<RecoveryEvent>,
+    /// Requests rejected at intake validation, per node (sorted by node id;
+    /// empty in benign runs).
+    pub rejected_requests: Vec<(NodeId, u64)>,
+    /// Liveness-gate verdict of the adversary plan; `None` when the scenario
+    /// schedules no adversarial behavior.
+    pub adversary: Option<AdversaryReport>,
 }
 
 impl Deployment {
@@ -224,7 +234,13 @@ impl Deployment {
                 std::cmp::Ordering::Equal => Vec::new(),
             })
             .collect();
-        let healthy = |n: &NodeId| !crashed.contains(n) && !stragglers.contains(n);
+        // Adversarial replicas are just as unsuitable observers: an
+        // equivocator's or censor's local log is not representative of what
+        // the correct quorum commits.
+        let adversarial = scenario.adversary.adversarial_nodes();
+        let healthy = |n: &NodeId| {
+            !crashed.contains(n) && !stragglers.contains(n) && !adversarial.contains(n)
+        };
         let observer = (0..scenario.num_nodes as u32)
             .rev()
             .map(NodeId)
@@ -237,6 +253,15 @@ impl Deployment {
             })
             .unwrap_or(NodeId(0));
         let metrics = metrics_handle(observer, Some(Rc::clone(&workload)));
+        if !scenario.adversary.is_empty() {
+            // Liveness gates need the observer's per-request delivery times;
+            // the map stays empty (and unallocated) in benign runs.
+            metrics.borrow_mut().track_deliveries = true;
+        }
+        // Censorship recovery relies on clients retransmitting requests that
+        // got no response, so censoring scenarios force responses on.
+        let respond_to_clients =
+            scenario.respond_to_clients || !scenario.adversary.censors().is_empty();
 
         // Simulated testbed on the scenario's topology.
         let mut runtime_config = RuntimeConfig::testbed();
@@ -272,7 +297,7 @@ impl Deployment {
             let node_id = NodeId(n);
             let mut opts = NodeOptions::new(config.clone());
             opts.mode = scenario.stack.mode;
-            opts.respond_to_clients = scenario.respond_to_clients;
+            opts.respond_to_clients = respond_to_clients;
             opts.announce_buckets = true;
             opts.clients = clients.clone();
             if stragglers.contains(&node_id) {
@@ -289,6 +314,12 @@ impl Deployment {
                     (down, down + *down_for)
                 },
             );
+            let behavior = scenario.adversary.node_behavior(
+                node_id,
+                scenario.num_nodes,
+                config.num_buckets(),
+                config.max_batch_size,
+            );
             if scenario.reference_node_state {
                 Self::add_node::<ReferenceNodeState>(
                     &mut runtime,
@@ -299,6 +330,7 @@ impl Deployment {
                     &registry,
                     &metrics,
                     restart_window,
+                    behavior,
                 );
             } else {
                 Self::add_node::<iss_core::EpochState>(
@@ -310,13 +342,15 @@ impl Deployment {
                     &registry,
                     &metrics,
                     restart_window,
+                    behavior,
                 );
             }
         }
 
         let stop_at = Time::ZERO + scenario.window.duration;
+        let retransmit = !scenario.adversary.censors().is_empty();
         for c in &clients {
-            let client = ClientProcess::new(
+            let mut client = ClientProcess::new(
                 *c,
                 Rc::clone(&workload),
                 config.all_nodes(),
@@ -325,7 +359,15 @@ impl Deployment {
                 false,
                 stop_at,
             );
-            runtime.add_process(Addr::Client(*c), Box::new(client));
+            if retransmit {
+                client = client.with_retransmission();
+            }
+            let process: Box<dyn Process<NetMsg>> = Box::new(client);
+            let process = match scenario.adversary.client_behavior(*c, scenario.num_nodes) {
+                Some(behavior) => Box::new(AdversarialProcess::new(process, Box::new(behavior))),
+                None => process,
+            };
+            runtime.add_process(Addr::Client(*c), process);
         }
 
         Deployment {
@@ -339,7 +381,10 @@ impl Deployment {
     /// reboot when the fault plan restarts it (`restart_window` is its
     /// `(down, up)` interval). The rebooted incarnation is built at restart
     /// time from the same shared storage, so it recovers exactly what the
-    /// pre-crash incarnation persisted.
+    /// pre-crash incarnation persisted. An adversarial `behavior` wraps the
+    /// node's I/O (adversarial nodes are not combinable with crash-restarts:
+    /// a restarting Byzantine node is indistinguishable from a fresh one in
+    /// this model, so the plan simply does not schedule both on one node).
     #[allow(clippy::too_many_arguments)]
     fn add_node<S: iss_core::NodeState + Default + 'static>(
         runtime: &mut Runtime<NetMsg>,
@@ -350,14 +395,24 @@ impl Deployment {
         registry: &Arc<SignatureRegistry>,
         metrics: &MetricsHandle,
         restart_window: Option<(Time, Time)>,
+        behavior: Option<NodeAdversary>,
     ) {
         let factory = make_factory(scenario.stack.protocol, config, Arc::clone(registry));
         let sink = Rc::new(RefCell::new(MetricsSink::new(Rc::clone(metrics))));
         let Some((_down_at, up_at)) = restart_window else {
             let node = IssNode::<S>::with_state(node_id, opts, factory, Arc::clone(registry), sink);
-            runtime.add_process(Addr::Node(node_id), Box::new(node));
+            let process: Box<dyn Process<NetMsg>> = Box::new(node);
+            let process = match behavior {
+                Some(b) => Box::new(AdversarialProcess::new(process, Box::new(b))),
+                None => process,
+            };
+            runtime.add_process(Addr::Node(node_id), process);
             return;
         };
+        debug_assert!(
+            behavior.is_none(),
+            "adversarial nodes must not be scheduled for crash-restart"
+        );
         let storage: Rc<MemStorage> = Rc::new(MemStorage::new());
         let node = IssNode::<S>::with_storage(
             node_id,
@@ -408,6 +463,11 @@ impl Deployment {
         let throughput = m.average_throughput(warm, end);
         let mean_latency = m.latency.mean();
         let p95_latency = m.latency.p95();
+        let mut rejected_requests: Vec<(NodeId, u64)> =
+            m.rejected_per_node.iter().map(|(n, c)| (*n, *c)).collect();
+        rejected_requests.sort_unstable_by_key(|(n, _)| *n);
+        let adversary =
+            (!self.scenario.adversary.is_empty()).then(|| evaluate_gates(&self.scenario, &m));
         Report {
             throughput,
             mean_latency,
@@ -420,6 +480,8 @@ impl Deployment {
             bytes_sent: stats.bytes_sent,
             messages_dropped: stats.messages_dropped,
             recoveries: m.recoveries.clone(),
+            rejected_requests,
+            adversary,
         }
     }
 }
@@ -573,6 +635,24 @@ mod tests {
         // Without partitions the highest node is chosen, as before.
         let plain = Deployment::new(Scenario::builder(Protocol::Pbft, 4).build());
         assert_eq!(plain.metrics.borrow().observer, NodeId(3));
+    }
+
+    #[test]
+    fn observer_avoids_adversarial_nodes() {
+        let scenario = Scenario::builder(Protocol::Pbft, 4)
+            .open_loop(4, 400.0)
+            .equivocating_leader(NodeId(3), 1, 2)
+            .build();
+        let deployment = Deployment::new(scenario);
+        assert_eq!(
+            deployment.metrics.borrow().observer,
+            NodeId(2),
+            "an equivocator must not be the observer"
+        );
+        assert!(
+            deployment.metrics.borrow().track_deliveries,
+            "adversarial runs track per-request delivery times for the gates"
+        );
     }
 
     #[test]

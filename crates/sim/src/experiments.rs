@@ -5,11 +5,12 @@
 //! (`Scale::default()`), or at paper scale (`Scale::paper()`, hours of
 //! simulated traffic).
 
+use crate::adversary::MalformedKind;
 use crate::cluster::{run_scenario, Report};
 use crate::factories::Protocol;
 use crate::scenario::{CrashTiming, Scenario, ScenarioBuilder};
 use iss_core::Mode;
-use iss_types::{Duration, LeaderPolicyKind, NodeId, Time};
+use iss_types::{BucketId, ClientId, Duration, LeaderPolicyKind, NodeId, Time};
 
 /// Scaling knobs for the experiments.
 #[derive(Clone, Copy, Debug)]
@@ -402,6 +403,99 @@ pub fn scenario_lossy_window(scale: Scale) -> Report {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Byzantine attack scenarios (the adversary subsystem of [`crate::adversary`];
+// exercised by the `byzantine_smoke` CI binary and its safety/liveness gates).
+// ---------------------------------------------------------------------------
+
+/// The shared shape of the attack scenarios: 4 ISS-PBFT replicas (f = 1)
+/// under the **Simple** rotation policy — every node leads every epoch, so
+/// the bucket-rotation schedule is statically computable and the censorship
+/// liveness gate can find each request's first correct-owner epoch — with an
+/// 8-client open loop. The window spans ≥5 of the 8 s epochs and drains long
+/// enough for the ≈10 s epoch-change timeout to resolve a sabotaged epoch.
+fn attack_scenario(scale: Scale, seed: u64) -> ScenarioBuilder {
+    let duration = scale.duration_secs.max(40);
+    Scenario::builder(Protocol::Pbft, 4)
+        .policy(LeaderPolicyKind::Simple)
+        .open_loop(8, 800.0 * scale.load_factor)
+        .duration(Duration::from_secs(duration))
+        .warmup(Duration::from_secs(5))
+        .drain(Duration::from_secs(12))
+        .seed(seed)
+}
+
+/// Attack (a): node 0 equivocates during epoch 1 — conflicting batches for
+/// the same sequence number to different followers. Quorum intersection
+/// starves both variants of a 2f+1 certificate; the instances resolve to ⊥
+/// and the cluster keeps advancing epochs.
+pub fn scenario_equivocating_leader(scale: Scale) -> Scenario {
+    attack_scenario(scale, 1101)
+        .equivocating_leader(NodeId(0), 1, 2)
+        .build()
+}
+
+/// Attack (b): node 0 silently drops every request of bucket 0 for the whole
+/// run. Bucket rotation (Section 4.3) hands the bucket to a correct leader
+/// one epoch later, and clients re-submit unanswered requests on rotation.
+pub fn scenario_censoring_leader(scale: Scale) -> Scenario {
+    attack_scenario(scale, 1102)
+        .censoring_leader(NodeId(0), BucketId(0))
+        .build()
+}
+
+/// Attacks (c) + (e): client 0 submits a conflicting twin (same id,
+/// different payload) of every request to a second replica; client 1
+/// duplicates every 4th request and replays an old one every 8th. Bucket
+/// partitioning and replay validation keep the log clean.
+pub fn scenario_byzantine_clients(scale: Scale) -> Scenario {
+    attack_scenario(scale, 1103)
+        .byzantine_client(ClientId(0))
+        .duplicating_client(ClientId(1))
+        .build()
+}
+
+/// Attack (d), variant 1: node 0's epoch-1 proposals carry an in-batch
+/// duplicate request; follower-side proposal validation rejects them.
+pub fn scenario_malformed_batches(scale: Scale) -> Scenario {
+    attack_scenario(scale, 1104)
+        .malformed_proposals(NodeId(0), MalformedKind::DuplicateInBatch, 1, 2)
+        .build()
+}
+
+/// Attack (d), variant 2: node 0's epoch-1 proposals exceed
+/// `max_batch_size`; the size cap rejects them before any per-request work.
+pub fn scenario_oversized_batches(scale: Scale) -> Scenario {
+    attack_scenario(scale, 1105)
+        .malformed_proposals(NodeId(0), MalformedKind::Oversized, 1, 2)
+        .build()
+}
+
+/// The combined acceptance attack: the *same* node 0 (keeping the Byzantine
+/// count within f = 1 at n = 4) equivocates during epoch 1 **and** censors
+/// bucket 0 for the whole run. The gates require zero safety violations,
+/// epoch progress, and every censored request delivered within
+/// [`crate::adversary::CENSORSHIP_EPOCH_BOUND`] epochs of its bucket
+/// rotating to a correct leader.
+pub fn scenario_combined_attack(scale: Scale) -> Scenario {
+    attack_scenario(scale, 1106)
+        .equivocating_leader(NodeId(0), 1, 2)
+        .censoring_leader(NodeId(0), BucketId(0))
+        .build()
+}
+
+/// The full attack matrix, in presentation order.
+pub fn attack_matrix(scale: Scale) -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("equivocating-leader", scenario_equivocating_leader(scale)),
+        ("censoring-leader", scenario_censoring_leader(scale)),
+        ("byzantine-clients", scenario_byzantine_clients(scale)),
+        ("malformed-batches", scenario_malformed_batches(scale)),
+        ("oversized-batches", scenario_oversized_batches(scale)),
+        ("combined-attack", scenario_combined_attack(scale)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +570,59 @@ mod tests {
             recovery.time_to_catch_up() < Duration::from_secs(2),
             "caught up in {:?}",
             recovery.time_to_catch_up()
+        );
+    }
+
+    #[test]
+    fn empty_adversary_plan_reports_are_identical() {
+        // A scenario with an explicitly-attached empty plan must produce the
+        // exact same report as the default build: the adversary subsystem
+        // wires up nothing when the plan is empty.
+        let base = || {
+            Scenario::builder(Protocol::Pbft, 4)
+                .open_loop(4, 400.0)
+                .duration(Duration::from_secs(12))
+                .warmup(Duration::from_secs(2))
+        };
+        let plain = run_scenario(base().build());
+        let with_empty_plan = run_scenario(
+            base()
+                .adversary(crate::adversary::AdversaryPlan::none())
+                .build(),
+        );
+        assert_eq!(plain, with_empty_plan);
+        assert!(plain.adversary.is_none());
+        assert!(plain.rejected_requests.is_empty());
+    }
+
+    #[test]
+    fn combined_attack_gates_pass_and_runs_are_deterministic() {
+        // The acceptance scenario: node 0 equivocates in epoch 1 and censors
+        // bucket 0 throughout (f = 1 at n = 4). Safety invariants are
+        // checked inline (a violation panics); the liveness gates come back
+        // in the report. Running the same scenario twice must produce
+        // bit-identical reports.
+        let first = run_scenario(scenario_combined_attack(Scale::quick()));
+        let second = run_scenario(scenario_combined_attack(Scale::quick()));
+        assert_eq!(first, second, "adversarial runs must be deterministic");
+        assert!(first.delivered > 0);
+        let gates = first.adversary.expect("adversarial run carries a verdict");
+        assert!(
+            gates.epoch_advances >= 3,
+            "epochs must keep advancing under the attack (saw {})",
+            gates.epoch_advances
+        );
+        assert!(
+            gates.censored_checked > 0,
+            "the censored bucket must receive requests"
+        );
+        assert_eq!(
+            gates.censored_missed,
+            0,
+            "every censored request must be delivered within {} epochs of \
+             rotating to a correct leader ({} checked)",
+            crate::adversary::CENSORSHIP_EPOCH_BOUND,
+            gates.censored_checked
         );
     }
 }

@@ -12,8 +12,9 @@
 //! ramp, Zipf-skewed — or any [`iss_workload::Workload`] implementation), a
 //! topology (the paper's 16-datacenter WAN, a LAN, a uniform mesh, or a
 //! custom latency matrix), a unified fault plan (crashes, Byzantine
-//! stragglers, healing partitions, lossy-link windows) and a run window,
-//! then build and run:
+//! stragglers, healing partitions, lossy-link windows), an adversary plan
+//! (equivocating/censoring leaders, malformed proposers, Byzantine clients —
+//! see [`adversary`]) and a run window, then build and run:
 //!
 //! ```no_run
 //! use iss_sim::{Protocol, Scenario};
@@ -40,6 +41,7 @@
 //! scenarios (bursty, skewed, partition-heal, lossy-window) exercised by the
 //! `experiments_smoke` CI binary.
 
+pub mod adversary;
 pub mod client_proc;
 pub mod cluster;
 pub mod experiments;
@@ -47,6 +49,10 @@ pub mod factories;
 pub mod metrics;
 pub mod scenario;
 
+pub use adversary::{
+    evaluate_gates, AdversarialProcess, AdversaryEvent, AdversaryPlan, AdversaryReport, Behavior,
+    ClientAdversary, MalformedKind, NodeAdversary, CENSORSHIP_EPOCH_BOUND,
+};
 pub use cluster::{run_cluster, run_scenario, ClusterSpec, CrashTiming, Deployment, Report};
 pub use factories::{make_factory, Protocol};
 pub use metrics::{Metrics, MetricsHandle, MetricsSink};

@@ -11,14 +11,14 @@
 //! checker never prints, so deterministic experiment stdout is unaffected.
 
 use iss_core::DeliverySink;
-use iss_types::{EpochNr, NodeId, Request, SeqNr, Time};
+use iss_types::{EpochNr, Error, NodeId, Request, RequestId, SeqNr, Time};
 use iss_workload::{LatencyStats, ThroughputTimeline, Workload};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// One completed catch-up (crash-restart recovery or reconnect fast path).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecoveryEvent {
     /// The recovering node.
     pub node: NodeId,
@@ -113,6 +113,21 @@ pub struct Metrics {
     pub workload: Option<Rc<dyn Workload>>,
     /// The node whose deliveries feed the timeline and latency statistics.
     pub observer: NodeId,
+    /// Requests rejected at intake validation, per rejecting node (any
+    /// error class). Always counted; empty in benign runs.
+    pub rejected_per_node: HashMap<NodeId, u64>,
+    /// The subset of rejections classified as replays
+    /// ([`iss_types::Error::Replayed`]), per rejecting node.
+    pub replayed_per_node: HashMap<NodeId, u64>,
+    /// Proposals a node's validation refused to vote for (malformed,
+    /// oversized, duplicate-carrying batches), per rejecting node.
+    pub rejected_proposals_per_node: HashMap<NodeId, u64>,
+    /// Whether to record per-request delivery times at the observer (enabled
+    /// only for adversarial runs, where the liveness gates need them).
+    pub track_deliveries: bool,
+    /// First delivery time of each request at the observer node (populated
+    /// only when [`Metrics::track_deliveries`] is set).
+    pub delivered_at: HashMap<RequestId, Time>,
     /// Safety-invariant state (always on; panics on violation).
     invariants: SafetyInvariants,
 }
@@ -179,7 +194,23 @@ impl DeliverySink for MetricsSink {
                 let submitted = workload.submit_time(request.id.client, request.id.timestamp);
                 m.latency.record(now.saturating_since(submitted));
             }
+            if m.track_deliveries {
+                m.delivered_at.entry(request.id).or_insert(now);
+            }
         }
+    }
+
+    fn on_request_rejected(&mut self, node: NodeId, _request: &Request, error: &Error, _now: Time) {
+        let mut m = self.metrics.borrow_mut();
+        *m.rejected_per_node.entry(node).or_insert(0) += 1;
+        if matches!(error, Error::Replayed(_)) {
+            *m.replayed_per_node.entry(node).or_insert(0) += 1;
+        }
+    }
+
+    fn on_proposal_rejected(&mut self, node: NodeId, count: u64, _now: Time) {
+        let mut m = self.metrics.borrow_mut();
+        *m.rejected_proposals_per_node.entry(node).or_insert(0) += count;
     }
 
     fn on_batch_committed(&mut self, node: NodeId, _seq_nr: SeqNr, batch_size: usize, _now: Time) {
@@ -309,6 +340,47 @@ mod tests {
         let req = Request::synthetic(ClientId(0), 4, 16);
         sink.on_request_delivered(NodeId(0), &req, 10, Time::ZERO);
         sink.on_request_delivered(NodeId(0), &req, 11, Time::from_millis(1));
+    }
+
+    #[test]
+    fn rejections_are_counted_per_node_and_split_by_replay() {
+        let handle = metrics_handle(NodeId(0), None);
+        let mut sink = MetricsSink::new(Rc::clone(&handle));
+        let req = Request::synthetic(ClientId(0), 0, 16);
+        sink.on_request_rejected(
+            NodeId(1),
+            &req,
+            &Error::replayed("already delivered"),
+            Time::ZERO,
+        );
+        sink.on_request_rejected(NodeId(1), &req, &Error::invalid("bad"), Time::ZERO);
+        sink.on_request_rejected(NodeId(2), &req, &Error::replayed("old"), Time::ZERO);
+        let m = handle.borrow();
+        assert_eq!(m.rejected_per_node.get(&NodeId(1)), Some(&2));
+        assert_eq!(m.rejected_per_node.get(&NodeId(2)), Some(&1));
+        assert_eq!(m.replayed_per_node.get(&NodeId(1)), Some(&1));
+        assert_eq!(m.replayed_per_node.get(&NodeId(2)), Some(&1));
+    }
+
+    #[test]
+    fn delivery_times_are_tracked_only_when_enabled() {
+        let handle = metrics_handle(NodeId(0), None);
+        let req = Request::synthetic(ClientId(0), 3, 16);
+        {
+            let mut sink = MetricsSink::new(Rc::clone(&handle));
+            sink.on_request_delivered(NodeId(0), &req, 0, Time::from_millis(5));
+        }
+        assert!(handle.borrow().delivered_at.is_empty());
+        let tracked = metrics_handle(NodeId(0), None);
+        tracked.borrow_mut().track_deliveries = true;
+        {
+            let mut sink = MetricsSink::new(Rc::clone(&tracked));
+            sink.on_request_delivered(NodeId(0), &req, 0, Time::from_millis(5));
+        }
+        assert_eq!(
+            tracked.borrow().delivered_at.get(&req.id),
+            Some(&Time::from_millis(5))
+        );
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`FaultPlan`] — one unified schedule of crashes (permanent or with a
 //!   restart from durable storage), Byzantine stragglers, timed partitions
 //!   (with heal) and lossy-link windows.
+//! * [`crate::adversary::AdversaryPlan`] — the actively malicious dimension:
+//!   equivocating and censoring leaders, malformed/oversized proposers, and
+//!   Byzantine clients (conflicting, duplicated and replayed requests), with
+//!   cluster-wide safety/liveness gates evaluated into the run report.
 //! * [`RunWindow`] — how long the run lasts, how much of it is warm-up, and
 //!   how long the post-cutoff drain is.
 //!
@@ -29,6 +33,7 @@
 //! lowering is locked byte-identical to the builder path by
 //! `tests/scenario_lowering.rs`.
 
+use crate::adversary::AdversaryPlan;
 use crate::cluster::{Deployment, Report};
 use crate::factories::Protocol;
 use iss_core::Mode;
@@ -341,6 +346,11 @@ pub struct Scenario {
     pub topology: TopologySpec,
     /// The unified fault schedule.
     pub faults: FaultPlan,
+    /// Actively malicious node/client behaviors (equivocation, censorship,
+    /// malformed proposals, Byzantine clients). Empty by default; an empty
+    /// plan wires up nothing and leaves runs byte-identical to
+    /// adversary-free builds.
+    pub adversary: AdversaryPlan,
     /// Duration / warm-up / drain.
     pub window: RunWindow,
     /// Whether nodes send responses to clients (off by default in large
@@ -406,6 +416,7 @@ impl Scenario {
                 workload: Rc::new(OpenLoop::new(16, 1_000.0, Time::ZERO)),
                 topology: TopologySpec::Wan16,
                 faults: FaultPlan::none(),
+                adversary: AdversaryPlan::none(),
                 window: RunWindow::default(),
                 respond_to_clients: false,
                 seed: 42,
@@ -558,6 +569,62 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Replaces the whole adversary plan.
+    pub fn adversary(mut self, adversary: AdversaryPlan) -> Self {
+        self.scenario.adversary = adversary;
+        self
+    }
+
+    /// Makes `node` an equivocating leader during epochs `[from_epoch,
+    /// until_epoch)`: it proposes conflicting batches to different followers.
+    pub fn equivocating_leader(
+        mut self,
+        node: NodeId,
+        from_epoch: iss_types::EpochNr,
+        until_epoch: iss_types::EpochNr,
+    ) -> Self {
+        self.scenario.adversary =
+            self.scenario
+                .adversary
+                .equivocating_leader(node, from_epoch, until_epoch);
+        self
+    }
+
+    /// Makes `node` censor every client request of `bucket` for the whole
+    /// run (Section 4.3's bucket-rotation defense is what bounds the damage).
+    pub fn censoring_leader(mut self, node: NodeId, bucket: iss_types::BucketId) -> Self {
+        self.scenario.adversary = self.scenario.adversary.censoring_leader(node, bucket);
+        self
+    }
+
+    /// Makes `node` propose malformed batches during epochs `[from_epoch,
+    /// until_epoch)`.
+    pub fn malformed_proposals(
+        mut self,
+        node: NodeId,
+        kind: crate::adversary::MalformedKind,
+        from_epoch: iss_types::EpochNr,
+        until_epoch: iss_types::EpochNr,
+    ) -> Self {
+        self.scenario.adversary =
+            self.scenario
+                .adversary
+                .malformed_proposals(node, kind, from_epoch, until_epoch);
+        self
+    }
+
+    /// Makes `client` submit conflicting same-id requests to two replicas.
+    pub fn byzantine_client(mut self, client: iss_types::ClientId) -> Self {
+        self.scenario.adversary = self.scenario.adversary.byzantine_client(client);
+        self
+    }
+
+    /// Makes `client` duplicate fresh requests and replay delivered ones.
+    pub fn duplicating_client(mut self, client: iss_types::ClientId) -> Self {
+        self.scenario.adversary = self.scenario.adversary.duplicating_client(client);
+        self
+    }
+
     /// Sets the run duration.
     pub fn duration(mut self, duration: Duration) -> Self {
         self.scenario.window.duration = duration;
@@ -621,6 +688,7 @@ mod tests {
         assert_eq!(s.num_clients(), 16);
         assert!(matches!(s.topology, TopologySpec::Wan16));
         assert!(s.faults.is_empty());
+        assert!(s.adversary.is_empty());
         assert_eq!(s.window.duration, Duration::from_secs(30));
         assert_eq!(s.window.warmup, Duration::from_secs(10));
         assert_eq!(s.window.drain, Duration::from_secs(4));

@@ -168,6 +168,39 @@ impl<'a, M> Context<'a, M> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// Marks the current position in the action buffer. Together with
+    /// [`Context::rewrite_sends_since`] this lets a wrapper process intercept
+    /// everything an inner process sent during a callback.
+    pub fn mark(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Rewrites every `Send` buffered since `mark` through `f`.
+    ///
+    /// `f` receives the original destination and message plus an `emit`
+    /// callback; whatever it emits replaces the original send (emit zero
+    /// times to drop it, several times to multiply or equivocate). Non-send
+    /// actions (timers) buffered in the same window are kept untouched, and
+    /// the relative order of actions `f` leaves alone is preserved.
+    pub fn rewrite_sends_since(
+        &mut self,
+        mark: usize,
+        mut f: impl FnMut(Addr, M, &mut dyn FnMut(Addr, M)),
+    ) {
+        debug_assert!(mark <= self.actions.len());
+        let tail: Vec<Action<M>> = self.actions.drain(mark..).collect();
+        for action in tail {
+            match action {
+                Action::Send { to, msg } => {
+                    let actions: &mut Vec<Action<M>> = self.actions;
+                    let mut emit = |to: Addr, msg: M| actions.push(Action::Send { to, msg });
+                    f(to, msg, &mut emit);
+                }
+                other => self.actions.push(other),
+            }
+        }
+    }
 }
 
 /// A deterministic, event-driven participant.
@@ -272,6 +305,81 @@ mod tests {
                 Addr::Node(NodeId(2)),
                 Addr::Node(NodeId(3))
             ]
+        );
+    }
+
+    #[test]
+    fn rewrite_sends_since_drops_multiplies_and_keeps_timers() {
+        let mut timers = TimerSlab::new();
+        let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        {
+            let mut ctx: Context<'_, Msg> = Context::new(
+                Time::ZERO,
+                Addr::Node(NodeId(0)),
+                &mut timers,
+                &mut actions,
+                &mut rng,
+            );
+            // A send buffered before the mark must be untouchable.
+            ctx.send(Addr::Node(NodeId(9)), Msg(99));
+            let mark = ctx.mark();
+            ctx.send(Addr::Node(NodeId(1)), Msg(1));
+            ctx.set_timer(Duration::from_millis(5), 7);
+            ctx.send(Addr::Node(NodeId(2)), Msg(2));
+            ctx.rewrite_sends_since(mark, |to, msg, emit| match msg.0 {
+                1 => {} // drop
+                2 => {
+                    // duplicate to two destinations
+                    emit(to, Msg(20));
+                    emit(Addr::Node(NodeId(3)), Msg(21));
+                }
+                _ => emit(to, msg),
+            });
+        }
+        // Pre-mark send intact, timer preserved in place, send 1 dropped,
+        // send 2 rewritten into two sends.
+        assert_eq!(actions.len(), 4);
+        assert!(
+            matches!(&actions[0], Action::Send { to: Addr::Node(NodeId(9)), msg } if msg.0 == 99)
+        );
+        assert!(matches!(actions[1], Action::SetTimer { kind: 7, .. }));
+        assert!(
+            matches!(&actions[2], Action::Send { to: Addr::Node(NodeId(2)), msg } if msg.0 == 20)
+        );
+        assert!(
+            matches!(&actions[3], Action::Send { to: Addr::Node(NodeId(3)), msg } if msg.0 == 21)
+        );
+    }
+
+    #[test]
+    fn rewrite_sends_since_noop_rewriter_preserves_everything() {
+        let mut timers = TimerSlab::new();
+        let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        {
+            let mut ctx: Context<'_, Msg> = Context::new(
+                Time::ZERO,
+                Addr::Node(NodeId(0)),
+                &mut timers,
+                &mut actions,
+                &mut rng,
+            );
+            let mark = ctx.mark();
+            ctx.send(Addr::Node(NodeId(1)), Msg(1));
+            ctx.send(Addr::Node(NodeId(2)), Msg(2));
+            ctx.rewrite_sends_since(mark, |to, msg, emit| emit(to, msg));
+        }
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg } => Some((*to, msg.0)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            sends,
+            vec![(Addr::Node(NodeId(1)), 1), (Addr::Node(NodeId(2)), 2)]
         );
     }
 

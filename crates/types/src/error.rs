@@ -24,6 +24,12 @@ pub enum Error {
     Config(String),
     /// An I/O operation (durable storage) failed.
     Io(String),
+    /// A client request was replayed: it was already delivered, or its
+    /// timestamp is below the client's watermark window (i.e. it could only
+    /// be a re-submission of an old request). Distinct from
+    /// [`Error::InvalidInput`] so replica-side accounting can tell replay
+    /// attacks apart from merely malformed traffic.
+    Replayed(String),
 }
 
 impl Error {
@@ -41,6 +47,11 @@ impl Error {
     pub fn config(msg: impl Into<String>) -> Self {
         Error::Config(msg.into())
     }
+
+    /// Shorthand constructor for [`Error::Replayed`].
+    pub fn replayed(msg: impl Into<String>) -> Self {
+        Error::Replayed(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -54,6 +65,7 @@ impl fmt::Display for Error {
             Error::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Replayed(m) => write!(f, "replayed request: {m}"),
         }
     }
 }
@@ -82,6 +94,10 @@ mod tests {
         assert_eq!(
             Error::config("n < 3f+1").to_string(),
             "configuration error: n < 3f+1"
+        );
+        assert_eq!(
+            Error::replayed("already delivered").to_string(),
+            "replayed request: already delivered"
         );
     }
 
