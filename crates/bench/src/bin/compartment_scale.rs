@@ -1,0 +1,47 @@
+//! Compartmentalized node pipeline: saturated throughput for 1 → 2 → 3
+//! batcher stages per replica on single-core machines, with per-stage CPU
+//! utilization and backlog columns identifying the bottleneck of each
+//! configuration. The 1-batcher point runs the monolithic wiring and marks
+//! the plateau the compartmentalized pipeline moves past.
+
+use iss_bench::{header, scale_from_env};
+use iss_sim::experiments::compartment_scale;
+
+fn main() {
+    header(
+        "Compartment scale",
+        "saturated throughput vs batcher stages per node (1 core/machine)",
+    );
+    let points = compartment_scale(scale_from_env());
+    println!(
+        "{:<6} {:>9} {:>10} {:>9}   per-stage cpu% (handoffs, peak queue)",
+        "nodes", "batchers", "executors", "kreq/s"
+    );
+    for p in &points {
+        let mut stages: Vec<String> = p
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}{}={:.0}%({},{})",
+                    s.role,
+                    s.index,
+                    s.cpu_utilization * 100.0,
+                    s.handoffs,
+                    s.max_queue_depth
+                )
+            })
+            .collect();
+        if stages.is_empty() {
+            stages.push("monolith".to_string());
+        }
+        println!(
+            "{:<6} {:>9} {:>10} {:>9.1}   {}",
+            p.nodes,
+            p.batchers,
+            p.executors,
+            p.kreq_per_sec,
+            stages.join(" ")
+        );
+    }
+}

@@ -28,7 +28,11 @@
 //!   [`state::ReferenceNodeState`] oracle;
 //! * [`node`] — the Manager: the full ISS replica tying everything together
 //!   as an event-driven process (also usable in single-leader baseline mode
-//!   and in a Mir-BFT-like mode with an epoch primary).
+//!   and in a Mir-BFT-like mode with an epoch primary);
+//! * [`stages`] — the compartmentalized pipeline: batcher stages (request
+//!   intake and batch cutting) in front of the orderer and executor stages
+//!   (delivery fan-out) behind it, each a first-class simulated process with
+//!   its own CPU budget.
 
 pub mod buckets;
 pub mod checkpoint;
@@ -37,6 +41,7 @@ pub mod log;
 pub mod node;
 pub mod orderer;
 pub mod policy;
+pub mod stages;
 pub mod state;
 pub mod validation;
 
@@ -44,8 +49,14 @@ pub use buckets::{BucketAssignment, BucketQueues};
 pub use checkpoint::CheckpointManager;
 pub use epoch::EpochConfig;
 pub use log::IssLog;
-pub use node::{DeliverySink, IssNode, Mode, NodeOptions, NullSink, StragglerBehavior};
+pub use node::{
+    DeliverySink, IssNode, Mode, NodeOptions, NullSink, PipelineOptions, StragglerBehavior,
+};
 pub use orderer::OrdererFactory;
 pub use policy::LeaderPolicy;
+pub use stages::{
+    batcher_for, stage_counters, BatcherProcess, ExecutorProcess, StageCounters,
+    StageCountersHandle,
+};
 pub use state::{EpochState, InstanceSlot, NodeState, ReferenceNodeState};
 pub use validation::{EpochBuckets, RequestValidation};

@@ -46,22 +46,23 @@ use crate::epoch::EpochConfig;
 use crate::log::IssLog;
 use crate::orderer::OrdererFactory;
 use crate::policy::LeaderPolicy;
+use crate::stages::StageCountersHandle;
 use crate::state::{EpochState, InstanceSlot, NodeState};
 use crate::validation::{EpochBuckets, RequestValidation};
 use bytes::{Bytes, BytesMut};
 use iss_crypto::{Digest, KeyPair, SignatureRegistry};
 use iss_messages::codec::{decode_log, encode_log};
-use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg};
+use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg, StageMsg};
 use iss_sb::{SbAction, SbContext, SbInstance};
-use iss_simnet::process::{Addr, Context, Process};
+use iss_simnet::process::{Addr, Context, Process, StageRole};
 use iss_storage::record::{decode_policy, encode_policy, PolicyState, Snapshot, WalRecord};
 use iss_storage::Storage;
 use iss_types::{
-    Batch, ClientId, Duration, EpochNr, Error, InstanceId, IssConfig, NodeId, Request, SeqNr, Time,
-    TimerId,
+    Batch, BucketId, ClientId, Duration, EpochNr, Error, InstanceId, IssConfig, NodeId, Request,
+    RequestId, SeqNr, Time, TimerId,
 };
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -150,6 +151,21 @@ impl DeliverySink for NullSink {
     fn on_epoch_advanced(&mut self, _: NodeId, _: EpochNr, _: Time) {}
 }
 
+/// Wiring of the compartmentalized pipeline around one orderer: how many
+/// batcher/executor stage processes the deployment spawned for this node.
+/// The stage counts must match the processes actually registered at
+/// `Addr::Stage { node, .. }` addresses — the node fans handoffs out by
+/// `bucket mod batchers` and `request_seq_nr mod executors`.
+#[derive(Clone)]
+pub struct PipelineOptions {
+    /// Number of batcher stages in front of this orderer (≥ 1).
+    pub batchers: u32,
+    /// Number of executor stages behind it (≥ 1).
+    pub executors: u32,
+    /// Counter handle for the orderer's ready-batch backlog column.
+    pub counters: Option<StageCountersHandle>,
+}
+
 /// Per-node deployment options.
 #[derive(Clone)]
 pub struct NodeOptions {
@@ -166,11 +182,14 @@ pub struct NodeOptions {
     pub clients: Vec<ClientId>,
     /// If set, this node behaves as a Byzantine straggler when leading.
     pub straggler: Option<StragglerBehavior>,
+    /// Compartmentalized pipeline wiring (`None` = monolithic node).
+    pub pipeline: Option<PipelineOptions>,
 }
 
 impl NodeOptions {
     /// Default options for the given configuration: ISS mode, responses on,
-    /// announcements off (the simulator's clients route by configuration).
+    /// announcements off (the simulator's clients route by configuration),
+    /// monolithic (no pipeline stages).
     pub fn new(config: IssConfig) -> Self {
         NodeOptions {
             config,
@@ -179,6 +198,7 @@ impl NodeOptions {
             announce_buckets: false,
             clients: Vec::new(),
             straggler: None,
+            pipeline: None,
         }
     }
 }
@@ -237,6 +257,20 @@ pub struct IssNode<S: NodeState = EpochState> {
     /// Proposal rejections already forwarded to the sink (the validation
     /// counter is cumulative; this tracks the delta reported so far).
     reported_proposal_rejections: u64,
+
+    /// Compartmentalized pipeline state (`None` = monolithic node).
+    pipeline: Option<PipelineState>,
+}
+
+/// Runtime state of the compartmentalized pipeline at the orderer.
+struct PipelineState {
+    batchers: u32,
+    executors: u32,
+    /// Batches cut by the batcher stages, waiting for a free slot in this
+    /// node's segment.
+    ready: VecDeque<Batch>,
+    /// Peak ready-queue backlog (the orderer's queue-depth column).
+    counters: Option<StageCountersHandle>,
 }
 
 /// Catch-up bookkeeping between recovery start and completion.
@@ -308,6 +342,12 @@ impl<S: NodeState + Default> IssNode<S> {
         let epoch = EpochConfig::build(config, 0, 0, leaders);
         let buckets = BucketQueues::new(config.num_buckets());
         let all_nodes = config.all_nodes();
+        let pipeline = opts.pipeline.clone().map(|p| PipelineState {
+            batchers: p.batchers.max(1),
+            executors: p.executors.max(1),
+            ready: VecDeque::new(),
+            counters: p.counters,
+        });
         IssNode {
             my_id,
             opts,
@@ -333,6 +373,7 @@ impl<S: NodeState + Default> IssNode<S> {
             incoming_snapshot: None,
             suspicions: Vec::new(),
             reported_proposal_rejections: 0,
+            pipeline,
         }
     }
 
@@ -861,6 +902,89 @@ impl<S: NodeState> IssNode<S> {
                 ctx.send(Addr::Client(*client), NetMsg::Client(leaders.clone()));
             }
         }
+
+        // Compartmentalized pipeline: batches still queued for proposal were
+        // cut against the previous epoch's bucket-leader alignment. Hand
+        // their requests back to the owning batchers, then announce the new
+        // epoch's led buckets (empty when this node does not lead) so the
+        // batchers cut only from buckets this orderer may propose.
+        if let Some(p) = self.pipeline.as_mut() {
+            let leftover: Vec<Batch> = p.ready.drain(..).collect();
+            for batch in &leftover {
+                self.resurrect_to_batchers(batch.requests(), ctx);
+            }
+            let led: Vec<BucketId> = self
+                .my_segment_idx
+                .map(|idx| self.epoch.segments[idx].buckets.clone())
+                .unwrap_or_default();
+            let epoch = self.current_epoch;
+            let batchers = self.pipeline.as_ref().map_or(0, |p| p.batchers);
+            for index in 0..batchers {
+                ctx.send(
+                    self.batcher_addr(index as usize),
+                    NetMsg::Stage(StageMsg::EpochLeading {
+                        epoch,
+                        buckets: led.clone(),
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Address of this node's `index`-th batcher stage.
+    fn batcher_addr(&self, index: usize) -> Addr {
+        Addr::Stage {
+            node: self.my_id,
+            role: StageRole::Batcher,
+            index: index as u32,
+        }
+    }
+
+    /// Compartment fan-out on commit: tell the owning batchers these requests
+    /// are ordered, so queued copies are dropped and re-submissions rejected.
+    fn notify_committed(&self, batch: &Batch, ctx: &mut Context<'_, NetMsg>) {
+        let Some(p) = &self.pipeline else { return };
+        let b = p.batchers;
+        let num_buckets = self.opts.config.num_buckets();
+        let num_nodes = self.opts.config.num_nodes;
+        let mut per_batcher: Vec<Vec<RequestId>> = vec![Vec::new(); b as usize];
+        for req in batch.requests() {
+            let owner = crate::stages::batcher_for(req.id.bucket(num_buckets), num_nodes, b);
+            per_batcher[owner as usize].push(req.id);
+        }
+        for (index, requests) in per_batcher.into_iter().enumerate() {
+            if !requests.is_empty() {
+                ctx.send(
+                    self.batcher_addr(index),
+                    NetMsg::Stage(StageMsg::Committed { requests }),
+                );
+            }
+        }
+    }
+
+    /// Compartment fan-out of not-yet-delivered requests back to the owning
+    /// batcher stages (⊥-resolved proposals, stale ready batches at epoch
+    /// transitions).
+    fn resurrect_to_batchers(&self, requests: &[Request], ctx: &mut Context<'_, NetMsg>) {
+        let Some(p) = &self.pipeline else { return };
+        let b = p.batchers;
+        let num_buckets = self.opts.config.num_buckets();
+        let num_nodes = self.opts.config.num_nodes;
+        let mut per_batcher: Vec<Vec<Request>> = vec![Vec::new(); b as usize];
+        for req in requests {
+            if !self.validation.is_delivered(&req.id) {
+                let owner = crate::stages::batcher_for(req.id.bucket(num_buckets), num_nodes, b);
+                per_batcher[owner as usize].push(req.clone());
+            }
+        }
+        for (index, requests) in per_batcher.into_iter().enumerate() {
+            if !requests.is_empty() {
+                ctx.send(
+                    self.batcher_addr(index),
+                    NetMsg::Stage(StageMsg::Resurrect { requests }),
+                );
+            }
+        }
     }
 
     /// Runs a closure against the SB instance at `slot` and applies its
@@ -964,14 +1088,23 @@ impl<S: NodeState> IssNode<S> {
                     self.buckets.remove(&req.id);
                     self.validation.mark_delivered(&req.id);
                 }
+                // Compartmentalized pipeline: the queued copies live at the
+                // batcher stages, not in `self.buckets` — drop them there.
+                if self.pipeline.is_some() {
+                    self.notify_committed(b, ctx);
+                }
             }
             None => {
                 // ⊥ delivered: resurrect our own unsuccessful proposal, if any.
                 self.policy.record_nil_delivery(leader, sn);
                 if let Some(proposed) = self.state.take_proposed(sn) {
-                    for req in proposed.requests() {
-                        if !self.validation.is_delivered(&req.id) {
-                            self.buckets.resurrect(req.clone());
+                    if self.pipeline.is_some() {
+                        self.resurrect_to_batchers(proposed.requests(), ctx);
+                    } else {
+                        for req in proposed.requests() {
+                            if !self.validation.is_delivered(&req.id) {
+                                self.buckets.resurrect(req.clone());
+                            }
                         }
                     }
                 }
@@ -1017,6 +1150,30 @@ impl<S: NodeState> IssNode<S> {
     fn deliver_ready(&mut self, ctx: &mut Context<'_, NetMsg>) {
         let delivered = self.log.deliver_ready();
         if delivered.is_empty() {
+            return;
+        }
+        // Compartmentalized pipeline: delivery (sink notification and client
+        // responses) happens at the executor stages; fan the committed
+        // requests out by the deterministic seq-nr hash and return.
+        if let Some(p) = &self.pipeline {
+            let e = p.executors as usize;
+            let mut per_executor: Vec<Vec<(Request, SeqNr)>> = vec![Vec::new(); e];
+            for d in &delivered {
+                per_executor[(d.request_seq_nr % e as u64) as usize]
+                    .push((d.request.clone(), d.request_seq_nr));
+            }
+            for (index, deliveries) in per_executor.into_iter().enumerate() {
+                if !deliveries.is_empty() {
+                    ctx.send(
+                        Addr::Stage {
+                            node: self.my_id,
+                            role: StageRole::Executor,
+                            index: index as u32,
+                        },
+                        NetMsg::Stage(StageMsg::Execute { deliveries }),
+                    );
+                }
+            }
             return;
         }
         let now = ctx.now();
@@ -1160,6 +1317,36 @@ impl<S: NodeState> IssNode<S> {
                 return;
             }
             Batch::empty()
+        } else if let Some(p) = self.pipeline.as_mut() {
+            // Compartmentalized pipeline: propose what the batcher stages
+            // cut. B batchers each cut ~1/B-sized batches on the same
+            // cadence, so merge queued batches up to the size cap — one
+            // ready batch per tick would divide throughput by B instead of
+            // scaling it. An empty proposal on the max-batch timeout keeps
+            // the segment live when the batchers have nothing.
+            let max_size = self.opts.config.max_batch_size;
+            let max_wait = self.opts.config.max_batch_timeout;
+            match p.ready.pop_front() {
+                Some(first) => {
+                    let mut requests = first.requests().to_vec();
+                    while let Some(next) = p.ready.front() {
+                        if requests.len() + next.len() > max_size {
+                            break;
+                        }
+                        let next = p.ready.pop_front().expect("front checked");
+                        requests.extend_from_slice(next.requests());
+                    }
+                    Batch::new(requests)
+                }
+                None => {
+                    let since_last = now.saturating_since(self.last_proposal_at);
+                    if max_wait > Duration::ZERO && since_last >= max_wait {
+                        Batch::empty()
+                    } else {
+                        return;
+                    }
+                }
+            }
         } else {
             // `segment` borrows `self.epoch`; the queues live in
             // `self.buckets` — disjoint fields, so the bucket list is read in
@@ -1348,6 +1535,19 @@ impl<S: NodeState> IssNode<S> {
                     self.start_next_epoch(ctx);
                 }
             }
+            NetMsg::Stage(StageMsg::BatchReady { batch }) => {
+                // A batcher stage cut a batch; queue it for the next free
+                // proposal slot (the pacing tick enforces the batch rate).
+                if let Some(p) = self.pipeline.as_mut() {
+                    p.ready.push_back(batch);
+                    if let Some(c) = &p.counters {
+                        let mut c = c.borrow_mut();
+                        c.handoffs += 1;
+                        c.max_queue_depth = c.max_queue_depth.max(p.ready.len());
+                    }
+                }
+            }
+            NetMsg::Stage(_) => {}
             NetMsg::Mir(_) | NetMsg::Baseline(_) => {}
         }
     }

@@ -1,0 +1,376 @@
+//! Compartmentalized pipeline stages: the scalable batcher/executor split.
+//!
+//! A monolithic replica pays for request intake (signature verification,
+//! dedup, bucket queueing), ordering, and delivery out of one CPU budget. The
+//! compartmentalized deployment splits the first and last of these into
+//! first-class simnet processes co-located with the orderer:
+//!
+//! * [`BatcherProcess`] — owns the bucket queues for the buckets `b` with
+//!   `b mod B == index` (`B` batchers per node), validates incoming client
+//!   requests, and cuts batches from the currently led buckets on the node's
+//!   proposal cadence, handing them to the orderer as
+//!   [`StageMsg::BatchReady`];
+//! * [`ExecutorProcess`] — receives committed `(request, seq-nr)` pairs
+//!   (fanned out by `request_seq_nr mod E`) and performs delivery: sink
+//!   notification and, when enabled, the client response.
+//!
+//! Work distribution is a deterministic bucket hash on the batcher side and a
+//! deterministic seq-nr hash on the executor side, so a run is
+//! bit-reproducible for a fixed stage count. Each stage is its own simnet
+//! process with its own CPU budget; client requests are delivered *to the
+//! batcher*, so their per-request verification cost lands on the batcher's
+//! CPU rather than the orderer's. That relocation is the lever that moves the
+//! saturation plateau (see `docs/architecture.md` for the measured curve).
+//!
+//! The request-id → bucket → batcher mapping is stable across epochs, so all
+//! state about one request (queued copy, delivered mark) lives at exactly one
+//! batcher and the [`StageMsg::Committed`] / [`StageMsg::Resurrect`] fan-outs
+//! from the orderer always reach the stage that holds it.
+
+use crate::buckets::BucketQueues;
+use crate::node::DeliverySink;
+use crate::validation::{EpochBuckets, RequestValidation};
+use iss_crypto::SignatureRegistry;
+use iss_messages::{ClientMsg, NetMsg, StageMsg};
+use iss_simnet::process::{Addr, Context, Process};
+use iss_types::{BucketId, Duration, IssConfig, NodeId, Time, TimerId};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Timer kind of the batcher's periodic cut tick.
+const KIND_CUT: u64 = 1;
+
+/// The batcher stage owning `bucket` among `num_batchers` stages on an
+/// `num_nodes`-replica deployment.
+///
+/// A plain `bucket % num_batchers` would correlate with the bucket → leader
+/// assignment (a node's led buckets form one residue class mod `n`):
+/// whenever `gcd(B, n) > 1`, every bucket a node leads falls into the same
+/// batcher and a single stage ends up doing all of the node's intake.
+/// Round-robin on the *quotient* `bucket / n` instead walks each residue
+/// class `{c, c+n, c+2n, …}` through the batchers in turn, so every node's
+/// led set splits evenly (±1) across its stages. Clients, the orderer's
+/// commit/resurrect fan-out and the batcher's ownership check all route
+/// through this one function, so the mapping can never drift apart.
+pub fn batcher_for(bucket: BucketId, num_nodes: usize, num_batchers: u32) -> u32 {
+    ((bucket.index() / num_nodes.max(1)) % num_batchers as usize) as u32
+}
+
+/// Live counters of one pipeline stage (or of the orderer's ready-batch
+/// queue), shared with the deployment for the per-stage `Report` columns.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageCounters {
+    /// Handoff messages this stage produced (batcher: batches cut) or
+    /// consumed (executor: `Execute` messages; orderer: ready batches).
+    pub handoffs: u64,
+    /// Peak backlog observed: queued requests at a batcher, queued ready
+    /// batches at the orderer, deliveries per handoff at an executor.
+    pub max_queue_depth: usize,
+}
+
+/// Shared handle to a stage's counters, held by the stage and the deployment.
+pub type StageCountersHandle = Rc<RefCell<StageCounters>>;
+
+/// Creates a fresh counter handle.
+pub fn stage_counters() -> StageCountersHandle {
+    Rc::new(RefCell::new(StageCounters::default()))
+}
+
+/// The intake stage in front of one orderer: request validation, bucket
+/// queueing and bucket-aware batch cutting for its share of the buckets.
+pub struct BatcherProcess {
+    parent: NodeId,
+    index: u32,
+    num_batchers: u32,
+    config: IssConfig,
+    buckets: BucketQueues,
+    validation: RequestValidation,
+    /// Intersection of the parent's currently led buckets with the buckets
+    /// this batcher owns (empty while the parent is not leading).
+    led: Vec<BucketId>,
+    last_cut_at: Time,
+    counters: Option<StageCountersHandle>,
+}
+
+impl BatcherProcess {
+    /// Creates batcher `index` of `num_batchers` for the replica `parent`.
+    pub fn new(
+        parent: NodeId,
+        index: u32,
+        num_batchers: u32,
+        config: IssConfig,
+        registry: Arc<SignatureRegistry>,
+        counters: Option<StageCountersHandle>,
+    ) -> Self {
+        assert!(index < num_batchers, "batcher index out of range");
+        let validation = RequestValidation::new(
+            registry,
+            config.client_signatures,
+            config.num_buckets(),
+            config.client_watermark_window,
+            config.max_batch_size,
+        );
+        let buckets = BucketQueues::new(config.num_buckets());
+        BatcherProcess {
+            parent,
+            index,
+            num_batchers,
+            config,
+            buckets,
+            validation,
+            led: Vec::new(),
+            last_cut_at: Time::ZERO,
+            counters,
+        }
+    }
+
+    /// Whether this batcher owns `bucket` (deterministic bucket hash).
+    fn owns(&self, bucket: BucketId) -> bool {
+        batcher_for(bucket, self.config.num_nodes, self.num_batchers) == self.index
+    }
+
+    /// The cut cadence. The orderer proposes every `leaders / batch_rate`
+    /// seconds; compartment deployments are fault-free, so every node leads
+    /// and the batcher can derive the same interval from the node count
+    /// without tracking the live leaderset.
+    fn cut_interval(&self) -> Duration {
+        match self.config.batch_rate {
+            Some(rate) => Duration::from_secs_f64(self.config.num_nodes as f64 / rate),
+            None => Duration::from_millis(100),
+        }
+    }
+
+    /// Per-cut size cap. The orderer consumes at most `max_batch_size`
+    /// requests per proposal tick and all `B` batchers cut on that same
+    /// cadence, so each cut is capped at a `1/B` share: the merged proposal
+    /// exactly fills and the ready queue never builds a backlog that would be
+    /// flushed (and stranded at a no-longer-leading node) at the next epoch
+    /// transition.
+    fn cut_size(&self) -> usize {
+        (self.config.max_batch_size / self.num_batchers.max(1) as usize).max(1)
+    }
+
+    fn note_depth(&self) {
+        if let Some(c) = &self.counters {
+            let mut c = c.borrow_mut();
+            c.max_queue_depth = c.max_queue_depth.max(self.buckets.len());
+        }
+    }
+}
+
+impl Process<NetMsg> for BatcherProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.last_cut_at = ctx.now();
+        ctx.set_timer(self.cut_interval(), KIND_CUT);
+    }
+
+    fn on_message(&mut self, _from: Addr, msg: NetMsg, _ctx: &mut Context<'_, NetMsg>) {
+        match msg {
+            // Intake: this stage pays the per-request verification cost
+            // (charged by the runtime on delivery); invalid requests fail
+            // the guard and fall through to the drop arm, exactly as the
+            // monolithic node drops them.
+            NetMsg::Client(ClientMsg::Request(req))
+                if self.validation.validate_request(&req).is_ok() =>
+            {
+                self.buckets.add(req);
+                self.note_depth();
+            }
+            NetMsg::Stage(StageMsg::Committed { requests }) => {
+                for id in &requests {
+                    self.buckets.remove(id);
+                    self.validation.mark_delivered(id);
+                }
+            }
+            NetMsg::Stage(StageMsg::Resurrect { requests }) => {
+                for req in requests {
+                    if !self.validation.is_delivered(&req.id) {
+                        self.buckets.resurrect(req);
+                    }
+                }
+                self.note_depth();
+            }
+            NetMsg::Stage(StageMsg::EpochLeading { buckets, .. }) => {
+                self.led = buckets.into_iter().filter(|b| self.owns(*b)).collect();
+                // Advance the client watermark windows at the epoch boundary
+                // the same way the orderer's validation does. The bucket
+                // restriction stays empty: batchers never validate proposals.
+                self.validation.on_epoch_start(EpochBuckets::default());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, kind: u64, ctx: &mut Context<'_, NetMsg>) {
+        if kind != KIND_CUT {
+            return;
+        }
+        // Re-arm first so the tick keeps running across epochs.
+        ctx.set_timer(self.cut_interval(), KIND_CUT);
+        if self.led.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let available = self.buckets.available_in(&self.led);
+        let since_last = now.saturating_since(self.last_cut_at);
+        let full = available >= self.cut_size();
+        let have_some = available > 0 && since_last >= self.config.min_batch_timeout;
+        if !(full || have_some) {
+            // Empty and timed-out proposals stay the orderer's concern: a
+            // batcher never hands over an empty batch.
+            return;
+        }
+        let batch = self.buckets.cut_batch(&self.led, self.cut_size());
+        if batch.is_empty() {
+            return;
+        }
+        self.last_cut_at = now;
+        if let Some(c) = &self.counters {
+            c.borrow_mut().handoffs += 1;
+        }
+        ctx.send(
+            Addr::Node(self.parent),
+            NetMsg::Stage(StageMsg::BatchReady { batch }),
+        );
+    }
+}
+
+/// The delivery stage behind one orderer: applies its share of the committed
+/// requests (sink notification) and answers clients.
+pub struct ExecutorProcess {
+    parent: NodeId,
+    respond_to_clients: bool,
+    sink: Rc<RefCell<dyn DeliverySink>>,
+    counters: Option<StageCountersHandle>,
+}
+
+impl ExecutorProcess {
+    /// Creates an executor for the replica `parent`, reporting deliveries to
+    /// `sink` under the parent's node id.
+    pub fn new(
+        parent: NodeId,
+        respond_to_clients: bool,
+        sink: Rc<RefCell<dyn DeliverySink>>,
+        counters: Option<StageCountersHandle>,
+    ) -> Self {
+        ExecutorProcess {
+            parent,
+            respond_to_clients,
+            sink,
+            counters,
+        }
+    }
+}
+
+impl Process<NetMsg> for ExecutorProcess {
+    fn on_start(&mut self, _ctx: &mut Context<'_, NetMsg>) {}
+
+    fn on_message(&mut self, _from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        let NetMsg::Stage(StageMsg::Execute { deliveries }) = msg else {
+            return;
+        };
+        if let Some(c) = &self.counters {
+            let mut c = c.borrow_mut();
+            c.handoffs += 1;
+            c.max_queue_depth = c.max_queue_depth.max(deliveries.len());
+        }
+        let now = ctx.now();
+        for (request, request_seq_nr) in deliveries {
+            self.sink
+                .borrow_mut()
+                .on_request_delivered(self.parent, &request, request_seq_nr, now);
+            if self.respond_to_clients {
+                ctx.send(
+                    Addr::Client(request.id.client),
+                    NetMsg::Client(ClientMsg::Response {
+                        request: request.id,
+                        seq_nr: request_seq_nr,
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, _kind: u64, _ctx: &mut Context<'_, NetMsg>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::{ClientId, Request};
+
+    fn batcher(index: u32, num_batchers: u32) -> BatcherProcess {
+        let mut config = IssConfig::pbft(4);
+        config.client_signatures = false;
+        BatcherProcess::new(
+            NodeId(0),
+            index,
+            num_batchers,
+            config,
+            Arc::new(SignatureRegistry::with_processes(4, 4)),
+            Some(stage_counters()),
+        )
+    }
+
+    #[test]
+    fn bucket_ownership_partitions_across_batchers() {
+        let b0 = batcher(0, 3);
+        let b1 = batcher(1, 3);
+        let b2 = batcher(2, 3);
+        for i in 0..64u32 {
+            let owners = [&b0, &b1, &b2]
+                .iter()
+                .filter(|b| b.owns(BucketId(i)))
+                .count();
+            assert_eq!(owners, 1, "bucket {i} owned by exactly one batcher");
+        }
+    }
+
+    #[test]
+    fn batcher_hash_balances_every_leader_residue_class() {
+        // The buckets one node of n leads are those ≡ node (mod n). For every
+        // (n, B) with gcd > 1, a plain `bucket % B` would dump all of them on
+        // one batcher; the quotient round-robin must split each node's led
+        // set evenly (±1) instead.
+        for n in [4usize, 8] {
+            for b in [2u32, 3] {
+                for node in 0..n as u32 {
+                    let led: Vec<u32> = (0..64).filter(|i| i % n as u32 == node).collect();
+                    let mut per_batcher = vec![0usize; b as usize];
+                    for i in led {
+                        per_batcher[batcher_for(BucketId(i), n, b) as usize] += 1;
+                    }
+                    let max = per_batcher.iter().max().unwrap();
+                    let min = per_batcher.iter().min().unwrap();
+                    assert!(
+                        max - min <= 1,
+                        "n={n} B={b} node={node}: unbalanced {per_batcher:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_interval_matches_the_orderer_proposal_cadence() {
+        // pbft(4): 32 batches/s system-wide, 4 leaders → 125 ms per leader.
+        let b = batcher(0, 2);
+        assert_eq!(b.cut_interval(), Duration::from_millis(125));
+    }
+
+    #[test]
+    fn committed_and_resurrect_keep_dedup_state_consistent() {
+        let mut b = batcher(0, 1);
+        let req = Request::synthetic(ClientId(1), 1, 100);
+        b.buckets.add(req.clone());
+        // Commit drops the queued copy and blocks resurrection afterwards.
+        b.buckets.remove(&req.id);
+        b.validation.mark_delivered(&req.id);
+        assert!(b.validation.validate_request(&req).is_err());
+        if !b.validation.is_delivered(&req.id) {
+            b.buckets.resurrect(req.clone());
+        }
+        assert!(!b.buckets.contains(&req.id));
+    }
+}

@@ -8,6 +8,7 @@ use crate::mir::MirMsg;
 use crate::pbft::PbftMsg;
 use crate::raft::RaftMsg;
 use crate::refsb::RefSbMsg;
+use crate::stage::StageMsg;
 use iss_types::{InstanceId, Payload};
 
 /// A message of one of the ordering protocols usable as an SB implementation.
@@ -64,6 +65,9 @@ pub enum NetMsg {
     Iss(IssMsg),
     /// Mir-BFT baseline traffic.
     Mir(MirMsg),
+    /// Handoffs between a replica's orderer and its co-located
+    /// batcher/executor pipeline stages.
+    Stage(StageMsg),
 }
 
 impl Payload for NetMsg {
@@ -74,6 +78,7 @@ impl Payload for NetMsg {
             NetMsg::Baseline(m) => m.wire_size(),
             NetMsg::Iss(m) => m.wire_size(),
             NetMsg::Mir(m) => m.wire_size(),
+            NetMsg::Stage(m) => m.wire_size(),
         }
     }
 
@@ -84,6 +89,7 @@ impl Payload for NetMsg {
             NetMsg::Baseline(m) => m.num_requests(),
             NetMsg::Iss(m) => m.num_requests(),
             NetMsg::Mir(m) => m.num_requests(),
+            NetMsg::Stage(m) => m.num_requests(),
         }
     }
 }

@@ -1,0 +1,123 @@
+//! Messages between the compartmentalized pipeline stages of one replica
+//! machine: batcher stages in front of the orderer and executor stages
+//! behind it.
+//!
+//! Stage messages travel over the simulated network like any other traffic,
+//! but always between co-located processes (a stage and its parent orderer),
+//! so the runtime delivers them over the in-memory stage channel. Their
+//! `num_requests()` is 0 by design: the per-request CPU work (signature
+//! verification at intake, proposal verification at PrePrepare receipt) is
+//! charged exactly once, at the stage that performs it — the handoff itself
+//! only costs the per-message and per-byte overhead of moving the data
+//! between worker pools. This is precisely the compartmentalization lever:
+//! adding batchers adds intake CPU without re-charging the orderer.
+
+use crate::HEADER_WIRE;
+use iss_types::{Batch, BucketId, EpochNr, Request, RequestId, SeqNr};
+
+/// Traffic between a replica's orderer and its co-located pipeline stages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StageMsg {
+    /// Batcher → orderer: a cut batch, ready to be proposed in the next
+    /// free slot of the node's segment.
+    BatchReady {
+        /// The batch, cut from the batcher's bucket queues.
+        batch: Batch,
+    },
+    /// Orderer → executor: committed requests to deliver (fan-out by
+    /// `request_seq_nr % num_executors`, so the distribution is
+    /// deterministic).
+    Execute {
+        /// `(request, global request sequence number)` pairs, in delivery
+        /// order.
+        deliveries: Vec<(Request, SeqNr)>,
+    },
+    /// Orderer → batcher: these requests committed (in any node's segment);
+    /// drop queued copies and mark them delivered so re-submissions are
+    /// rejected at intake. Routed to the owning batcher by bucket hash.
+    Committed {
+        /// Identifiers of the committed requests.
+        requests: Vec<RequestId>,
+    },
+    /// Orderer → batcher: a proposed batch resolved to ⊥ (or an epoch ended
+    /// with batches still queued at the orderer); re-queue these requests
+    /// for a future cut. Routed to the owning batcher by bucket hash.
+    Resurrect {
+        /// The requests to put back at the front of their bucket queues.
+        requests: Vec<Request>,
+    },
+    /// Orderer → batcher: a new epoch began and this replica now leads the
+    /// given buckets; the batcher must only cut requests from the
+    /// intersection of these with the buckets it owns.
+    EpochLeading {
+        /// The epoch the assignment applies to.
+        epoch: EpochNr,
+        /// Buckets led by the parent replica in this epoch.
+        buckets: Vec<BucketId>,
+    },
+}
+
+impl StageMsg {
+    /// Approximate size of the handoff on the wire (stage messages never
+    /// leave the machine, but the bytes still flow through memory and are
+    /// charged through the per-byte CPU cost at the receiving stage).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            StageMsg::BatchReady { batch } => HEADER_WIRE + batch.wire_size(),
+            StageMsg::Execute { deliveries } => {
+                HEADER_WIRE
+                    + deliveries
+                        .iter()
+                        .map(|(r, _)| r.wire_size() + 8)
+                        .sum::<usize>()
+            }
+            StageMsg::Committed { requests } => HEADER_WIRE + requests.len() * 12,
+            StageMsg::Resurrect { requests } => {
+                HEADER_WIRE + requests.iter().map(|r| r.wire_size()).sum::<usize>()
+            }
+            StageMsg::EpochLeading { buckets, .. } => HEADER_WIRE + 8 + buckets.len() * 4,
+        }
+    }
+
+    /// Stage handoffs never re-charge per-request CPU work (see the module
+    /// docs); the per-request cost is paid where the work happens.
+    pub fn num_requests(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_types::ClientId;
+
+    #[test]
+    fn handoffs_carry_bytes_but_no_request_cost() {
+        let batch = Batch::new(vec![Request::synthetic(ClientId(0), 0, 500); 8]);
+        let ready = StageMsg::BatchReady {
+            batch: batch.clone(),
+        };
+        assert!(ready.wire_size() > batch.wire_size());
+        assert_eq!(ready.num_requests(), 0, "intake cost was paid upstream");
+
+        let exec = StageMsg::Execute {
+            deliveries: batch.requests().iter().map(|r| (r.clone(), 7)).collect(),
+        };
+        assert!(exec.wire_size() > 8 * 500);
+        assert_eq!(exec.num_requests(), 0);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let committed = StageMsg::Committed {
+            requests: vec![RequestId::new(ClientId(0), 1); 4],
+        };
+        assert!(committed.wire_size() < 200);
+        let leading = StageMsg::EpochLeading {
+            epoch: 3,
+            buckets: vec![BucketId(0), BucketId(2)],
+        };
+        assert!(leading.wire_size() < 100);
+        assert_eq!(leading.num_requests(), 0);
+    }
+}

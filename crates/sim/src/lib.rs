@@ -53,7 +53,9 @@ pub use adversary::{
     evaluate_gates, AdversarialProcess, AdversaryEvent, AdversaryPlan, AdversaryReport, Behavior,
     ClientAdversary, MalformedKind, NodeAdversary, CENSORSHIP_EPOCH_BOUND,
 };
-pub use cluster::{run_cluster, run_scenario, ClusterSpec, CrashTiming, Deployment, Report};
+pub use cluster::{
+    run_cluster, run_scenario, ClusterSpec, CrashTiming, Deployment, Report, StageReport,
+};
 pub use factories::{make_factory, Protocol};
 pub use metrics::{Metrics, MetricsHandle, MetricsSink};
 pub use scenario::{

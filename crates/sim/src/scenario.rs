@@ -65,15 +65,25 @@ pub struct ProtocolStack {
     pub mode: Mode,
     /// Leader-selection policy.
     pub policy: LeaderPolicyKind,
+    /// Batcher stages per node (compartmentalized pipeline). `0` keeps the
+    /// monolithic wiring; so does `1` with zero stage latency, because one
+    /// batcher with a free handoff is the monolith by another name.
+    pub batchers: usize,
+    /// Executor stages per node (compartmentalized pipeline). Same lowering
+    /// rule as [`ProtocolStack::batchers`].
+    pub executors: usize,
 }
 
 impl ProtocolStack {
-    /// ISS over `protocol` with the Blacklist policy (the paper's default).
+    /// ISS over `protocol` with the Blacklist policy (the paper's default)
+    /// and the monolithic (non-compartmentalized) node pipeline.
     pub fn new(protocol: Protocol) -> Self {
         ProtocolStack {
             protocol,
             mode: Mode::Iss,
             policy: LeaderPolicyKind::Blacklist,
+            batchers: 0,
+            executors: 0,
         }
     }
 }
@@ -361,6 +371,15 @@ pub struct Scenario {
     /// Run the nodes on [`iss_core::ReferenceNodeState`] (the `HashMap`
     /// oracle) instead of the dense [`iss_core::EpochState`] arena.
     pub reference_node_state: bool,
+    /// Extra delivery delay of the in-memory handoff between a node and its
+    /// co-located pipeline stages (zero by default: a handoff between worker
+    /// pools of one process costs CPU, not network).
+    pub stage_latency: Duration,
+    /// Overrides the number of CPU cores per machine (`None` keeps the
+    /// testbed's 32). Compartmentalization experiments pin this to a small
+    /// number so the stage split, not raw core count, is what moves the
+    /// saturation plateau.
+    pub cpu_cores: Option<usize>,
 }
 
 /// The ISS configuration for a protocol/size/policy triple (Table 1 preset
@@ -421,6 +440,8 @@ impl Scenario {
                 respond_to_clients: false,
                 seed: 42,
                 reference_node_state: false,
+                stage_latency: Duration::ZERO,
+                cpu_cores: None,
             },
             skewed: None,
         }
@@ -440,6 +461,26 @@ impl Scenario {
     /// epoch-start / epoch-end crash faults).
     pub fn expected_epoch_duration(&self) -> Duration {
         expected_epoch_duration_for(&self.iss_config(), self.stack.mode, self.num_nodes)
+    }
+
+    /// The `(batchers, executors)` stage counts of a compartmentalized
+    /// deployment, or `None` when the scenario lowers to the monolithic
+    /// wiring. One batcher and one executor with zero stage latency *are*
+    /// the monolith (same work on the same machine, handed off for free), so
+    /// that degenerate configuration lowers to the monolithic path and stays
+    /// byte-identical to it; real stage processes spawn as soon as any stage
+    /// is replicated or the handoff costs time.
+    pub fn stage_counts(&self) -> Option<(u32, u32)> {
+        let compartmentalized = self.stack.batchers >= 2
+            || self.stack.executors >= 2
+            || ((self.stack.batchers > 0 || self.stack.executors > 0)
+                && self.stage_latency > Duration::ZERO);
+        compartmentalized.then(|| {
+            (
+                self.stack.batchers.max(1) as u32,
+                self.stack.executors.max(1) as u32,
+            )
+        })
     }
 
     /// The absolute time at which a [`CrashTiming`] fires in this scenario.
@@ -483,6 +524,35 @@ impl ScenarioBuilder {
     /// Sets the leader-selection policy.
     pub fn policy(mut self, policy: LeaderPolicyKind) -> Self {
         self.scenario.stack.policy = policy;
+        self
+    }
+
+    /// Runs `n` batcher stages (request intake, validation, batch cutting)
+    /// in front of each node's orderer. `0` (the default) keeps the
+    /// monolithic node.
+    pub fn batchers(mut self, n: usize) -> Self {
+        self.scenario.stack.batchers = n;
+        self
+    }
+
+    /// Runs `n` executor stages (commit fan-out, delivery, client responses)
+    /// behind each node's orderer. `0` (the default) keeps the monolithic
+    /// node.
+    pub fn executors(mut self, n: usize) -> Self {
+        self.scenario.stack.executors = n;
+        self
+    }
+
+    /// Sets the in-memory handoff delay between a node and its co-located
+    /// pipeline stages.
+    pub fn stage_latency(mut self, latency: Duration) -> Self {
+        self.scenario.stage_latency = latency;
+        self
+    }
+
+    /// Overrides the number of CPU cores per simulated machine.
+    pub fn cpu_cores(mut self, cores: usize) -> Self {
+        self.scenario.cpu_cores = Some(cores);
         self
     }
 
@@ -695,6 +765,42 @@ mod tests {
         assert_eq!(s.seed, 42);
         assert!(!s.respond_to_clients);
         assert!(!s.reference_node_state);
+        assert_eq!(s.stack.batchers, 0);
+        assert_eq!(s.stack.executors, 0);
+        assert_eq!(s.stage_latency, Duration::ZERO);
+        assert_eq!(s.cpu_cores, None);
+        assert_eq!(s.stage_counts(), None);
+    }
+
+    #[test]
+    fn degenerate_stage_configs_lower_to_the_monolith() {
+        // No stages, or one free batcher/executor: monolithic wiring.
+        for (b, e) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+            let s = Scenario::builder(Protocol::Pbft, 4)
+                .batchers(b)
+                .executors(e)
+                .build();
+            assert_eq!(s.stage_counts(), None, "({b},{e}) must stay monolithic");
+        }
+        // Replicating either stage (or pricing the handoff) compartmentalizes,
+        // and the missing count is normalized up to one stage.
+        let s = Scenario::builder(Protocol::Pbft, 4).batchers(3).build();
+        assert_eq!(s.stage_counts(), Some((3, 1)));
+        let s = Scenario::builder(Protocol::Pbft, 4)
+            .batchers(2)
+            .executors(2)
+            .build();
+        assert_eq!(s.stage_counts(), Some((2, 2)));
+        let s = Scenario::builder(Protocol::Pbft, 4)
+            .batchers(1)
+            .executors(1)
+            .stage_latency(Duration::from_micros(50))
+            .build();
+        assert_eq!(s.stage_counts(), Some((1, 1)));
+        let s = Scenario::builder(Protocol::Pbft, 4)
+            .stage_latency(Duration::from_micros(50))
+            .build();
+        assert_eq!(s.stage_counts(), None, "latency alone configures nothing");
     }
 
     #[test]

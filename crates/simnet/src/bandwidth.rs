@@ -89,6 +89,9 @@ impl InterfaceState {
     fn slot(&mut self, addr: Addr, client_if: bool, outbound: bool) -> &mut Time {
         let (table, idx) = match addr {
             Addr::Node(n) => (&mut self.nodes, n.index()),
+            // Stages share the parent replica's NIC (they are co-located
+            // processes, not separate machines).
+            Addr::Stage { node, .. } => (&mut self.nodes, node.index()),
             Addr::Client(c) => (&mut self.clients, c.index()),
         };
         if idx >= table.len() {

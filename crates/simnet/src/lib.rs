@@ -74,7 +74,7 @@ pub use bandwidth::BandwidthConfig;
 pub use cpu::CpuModel;
 pub use event::{EventQueue, ReferenceQueue};
 pub use fault::{CrashSchedule, FaultConfig, LossWindow, Partition};
-pub use process::{Addr, Context, Payload, Process};
-pub use runtime::{Runtime, RuntimeConfig, RuntimeStats};
+pub use process::{Addr, Context, Payload, Process, StageRole};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, MAX_STAGES_PER_ROLE};
 pub use timer::TimerSlab;
 pub use topology::{Datacenter, Topology};

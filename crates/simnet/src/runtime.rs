@@ -35,6 +35,11 @@ pub struct RuntimeConfig {
     pub cpu: CpuModel,
     /// Fault injection.
     pub faults: FaultConfig,
+    /// Delivery delay of a co-located stage handoff (a message between a
+    /// pipeline stage and its parent orderer, or between two stages of one
+    /// machine). Models the in-memory channel between compartmentalized
+    /// stages; zero by default, so stage handoffs are instantaneous.
+    pub stage_latency: Duration,
     /// RNG seed; two runs with identical configuration and seed produce
     /// identical schedules.
     pub seed: u64,
@@ -49,6 +54,7 @@ impl RuntimeConfig {
             bandwidth: BandwidthConfig::gigabit(),
             cpu: CpuModel::testbed(),
             faults: FaultConfig::none(),
+            stage_latency: Duration::ZERO,
             seed: 42,
         }
     }
@@ -61,6 +67,7 @@ impl RuntimeConfig {
             bandwidth: BandwidthConfig::unlimited(),
             cpu: CpuModel::free(),
             faults: FaultConfig::none(),
+            stage_latency: Duration::ZERO,
             seed: 7,
         }
     }
@@ -86,6 +93,9 @@ pub struct RuntimeStats {
 struct ProcEntry<M: Payload> {
     process: Box<dyn Process<M>>,
     cpu: Option<CpuState>,
+    /// Total CPU time charged to this process (message handling costs);
+    /// feeds the per-stage utilization columns of experiment reports.
+    busy: Duration,
     /// Bumped on every crash-restart replacement; timers armed by an older
     /// incarnation fail the stamp comparison and are dropped.
     incarnation: u32,
@@ -93,6 +103,25 @@ struct ProcEntry<M: Payload> {
 
 /// Sentinel in the id → slot tables for "no process registered".
 const NO_SLOT: u32 = u32::MAX;
+
+/// Maximum number of stages per role on one machine; bounds the dense
+/// stage-slot table at 16 entries per node.
+pub const MAX_STAGES_PER_ROLE: u32 = 8;
+
+/// Dense index of a stage address in the stage-slot table.
+#[inline(always)]
+fn stage_table_index(
+    node: iss_types::NodeId,
+    role: crate::process::StageRole,
+    index: u32,
+) -> usize {
+    debug_assert!(index < MAX_STAGES_PER_ROLE, "at most 8 stages per role");
+    let role_off = match role {
+        crate::process::StageRole::Batcher => 0,
+        crate::process::StageRole::Executor => MAX_STAGES_PER_ROLE,
+    };
+    node.index() * (2 * MAX_STAGES_PER_ROLE as usize) + (role_off + index) as usize
+}
 
 /// Deferred constructor for a crash-restart replacement process.
 type ProcessBuilder<M> = Box<dyn FnOnce() -> Box<dyn Process<M>>>;
@@ -121,6 +150,8 @@ pub struct Runtime<M: Payload> {
     node_slots: Vec<u32>,
     /// ClientId index → slot in `procs` (NO_SLOT when unregistered).
     client_slots: Vec<u32>,
+    /// Stage address (dense, [`stage_table_index`]) → slot in `procs`.
+    stage_slots: Vec<u32>,
     queue: EventQueue<M>,
     interfaces: InterfaceState,
     timers: TimerSlab,
@@ -157,6 +188,7 @@ impl<M: Payload> Runtime<M> {
             procs: Vec::new(),
             node_slots: Vec::new(),
             client_slots: Vec::new(),
+            stage_slots: Vec::new(),
             queue: EventQueue::new(),
             interfaces: InterfaceState::new(),
             timers: TimerSlab::new(),
@@ -173,14 +205,20 @@ impl<M: Payload> Runtime<M> {
         }
     }
 
-    /// Registers a process under the given address. Node addresses get a CPU
-    /// governed by the configured cost model; clients are assumed to have
-    /// ample CPU.
+    /// Registers a process under the given address. Node and stage addresses
+    /// get a CPU governed by the configured cost model (a stage models a
+    /// worker pool on the replica machine, with its own CPU budget); clients
+    /// are assumed to have ample CPU.
     pub fn add_process(&mut self, addr: Addr, process: Box<dyn Process<M>>) {
-        let cpu = addr.is_node().then(|| CpuState::new(self.config.cpu.cores));
+        let cpu = addr
+            .machine_node()
+            .map(|_| CpuState::new(self.config.cpu.cores));
         let (table, idx) = match addr {
             Addr::Node(n) => (&mut self.node_slots, n.index()),
             Addr::Client(c) => (&mut self.client_slots, c.index()),
+            Addr::Stage { node, role, index } => {
+                (&mut self.stage_slots, stage_table_index(node, role, index))
+            }
         };
         if idx >= table.len() {
             table.resize(idx + 1, NO_SLOT);
@@ -190,6 +228,7 @@ impl<M: Payload> Runtime<M> {
             self.procs.push(ProcEntry {
                 process,
                 cpu,
+                busy: Duration::ZERO,
                 incarnation: 0,
             });
         } else {
@@ -197,6 +236,7 @@ impl<M: Payload> Runtime<M> {
             let entry = &mut self.procs[table[idx] as usize];
             entry.process = process;
             entry.cpu = cpu;
+            entry.busy = Duration::ZERO;
         }
         self.queue.push(Time::ZERO, EventKind::Start { addr });
     }
@@ -230,6 +270,9 @@ impl<M: Payload> Runtime<M> {
         let (table, idx) = match addr {
             Addr::Node(n) => (&self.node_slots, n.index()),
             Addr::Client(c) => (&self.client_slots, c.index()),
+            Addr::Stage { node, role, index } => {
+                (&self.stage_slots, stage_table_index(node, role, index))
+            }
         };
         match table.get(idx) {
             Some(&slot) if slot != NO_SLOT => Some(slot as usize),
@@ -245,6 +288,15 @@ impl<M: Payload> Runtime<M> {
     /// Runtime statistics so far.
     pub fn stats(&self) -> RuntimeStats {
         self.stats
+    }
+
+    /// Total CPU time charged to the process at `addr` so far (zero for
+    /// unregistered or CPU-less processes). Divided by the run window this
+    /// yields the per-stage utilization columns of experiment reports.
+    pub fn busy_time(&self, addr: Addr) -> Duration {
+        self.slot_of(addr)
+            .map(|slot| self.procs[slot].busy)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Immutable access to the run configuration.
@@ -294,16 +346,20 @@ impl<M: Payload> Runtime<M> {
                 }
                 // Charge the receiver's CPU; if it is busy, defer the invocation.
                 let completion = match self.slot_of(to) {
-                    Some(slot) => match self.procs[slot].cpu.as_mut() {
-                        Some(cpu) => {
-                            let cost = self
-                                .config
-                                .cpu
-                                .message_cost(msg.num_requests(), msg.wire_size());
-                            cpu.schedule(self.now, cost)
+                    Some(slot) => {
+                        let entry = &mut self.procs[slot];
+                        match entry.cpu.as_mut() {
+                            Some(cpu) => {
+                                let cost = self
+                                    .config
+                                    .cpu
+                                    .message_cost(msg.num_requests(), msg.wire_size());
+                                entry.busy += cost;
+                                cpu.schedule(self.now, cost)
+                            }
+                            None => self.now,
                         }
-                        None => self.now,
-                    },
+                    }
                     None => self.now,
                 };
                 if completion > self.now {
@@ -353,7 +409,9 @@ impl<M: Payload> Runtime<M> {
                 let slot = self.slot_of(addr).expect("restart target is registered");
                 let entry = &mut self.procs[slot];
                 entry.process = builder();
-                entry.cpu = addr.is_node().then(|| CpuState::new(self.config.cpu.cores));
+                entry.cpu = addr
+                    .machine_node()
+                    .map(|_| CpuState::new(self.config.cpu.cores));
                 entry.incarnation += 1;
                 self.invoke(addr, |process, ctx| process.on_start(ctx));
             }
@@ -362,9 +420,10 @@ impl<M: Payload> Runtime<M> {
 
     #[inline]
     fn addr_crashed(&self, addr: Addr) -> bool {
+        // Stages share their parent replica's fault domain.
         self.crash_faults
             && addr
-                .as_node()
+                .machine_node()
                 .is_some_and(|n| self.config.faults.crashes.is_crashed(n, self.now))
     }
 
@@ -447,6 +506,22 @@ impl<M: Payload> Runtime<M> {
             self.queue
                 .push(self.now, EventKind::Deliver { from, to, msg });
             return;
+        }
+
+        // A co-located stage handoff (stage ↔ parent orderer, stage ↔ stage
+        // on one machine) is an in-memory channel: it skips the NIC, the
+        // topology latency and the jitter draw entirely, so runs without
+        // stage processes keep a bit-identical RNG stream and schedule.
+        if from.is_stage() || to.is_stage() {
+            if let (Some(a), Some(b)) = (from.machine_node(), to.machine_node()) {
+                if a == b {
+                    self.queue.push(
+                        self.now + self.config.stage_latency,
+                        EventKind::Deliver { from, to, msg },
+                    );
+                    return;
+                }
+            }
         }
 
         let (sent_at, _) =
@@ -833,6 +908,88 @@ mod tests {
         plain.run_until(Time::from_secs(30));
         scheduled.run_until(Time::from_secs(30));
         assert_eq!(*log_plain.borrow(), *log_scheduled.borrow());
+    }
+
+    #[test]
+    fn stage_handoffs_are_local_and_charge_the_stage_cpu() {
+        use crate::process::StageRole;
+
+        /// Forwards everything it receives to its parent node.
+        struct Forwarder {
+            parent: NodeId,
+        }
+        impl Process<Ping> for Forwarder {
+            fn on_start(&mut self, _ctx: &mut Context<'_, Ping>) {}
+            fn on_message(&mut self, _f: Addr, msg: Ping, ctx: &mut Context<'_, Ping>) {
+                ctx.send(Addr::Node(self.parent), msg);
+            }
+            fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<'_, Ping>) {}
+        }
+        struct Recorder {
+            times: Rc<RefCell<Vec<Time>>>,
+        }
+        impl Process<Ping> for Recorder {
+            fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+                // Kick the pipeline through the stage at t=0.
+                ctx.send(
+                    Addr::Stage {
+                        node: NodeId(0),
+                        role: StageRole::Batcher,
+                        index: 0,
+                    },
+                    Ping { hops: 0, size: 64 },
+                );
+            }
+            fn on_message(&mut self, _f: Addr, _m: Ping, ctx: &mut Context<'_, Ping>) {
+                self.times.borrow_mut().push(ctx.now());
+            }
+            fn on_timer(&mut self, _i: TimerId, _k: u64, _c: &mut Context<'_, Ping>) {}
+        }
+
+        let run = |stage_latency: Duration, per_message: Duration| {
+            let mut cfg = RuntimeConfig::testbed(); // WAN latency + jitter
+            cfg.stage_latency = stage_latency;
+            cfg.cpu = CpuModel {
+                cores: 1,
+                per_message,
+                per_request: Duration::ZERO,
+                per_byte_ns: 0.0,
+            };
+            let times = Rc::new(RefCell::new(Vec::new()));
+            let mut rt: Runtime<Ping> = Runtime::new(cfg);
+            let stage = Addr::Stage {
+                node: NodeId(0),
+                role: StageRole::Batcher,
+                index: 0,
+            };
+            rt.add_process(stage, Box::new(Forwarder { parent: NodeId(0) }));
+            rt.add_process(
+                Addr::Node(NodeId(0)),
+                Box::new(Recorder {
+                    times: Rc::clone(&times),
+                }),
+            );
+            rt.run_until(Time::from_secs(1));
+            let recorded = times.borrow().clone();
+            (recorded, rt.busy_time(stage))
+        };
+
+        // Free CPU, zero stage latency: the round trip through the stage is
+        // instantaneous — no WAN latency, no jitter draw.
+        let (times, busy) = run(Duration::ZERO, Duration::ZERO);
+        assert_eq!(times, vec![Time::ZERO]);
+        assert_eq!(busy, Duration::ZERO);
+
+        // A configured stage latency delays each of the two handoffs.
+        let (times, _) = run(Duration::from_micros(30), Duration::ZERO);
+        assert_eq!(times, vec![Time::from_micros(60)]);
+
+        // The stage has its own CPU: processing on the stage is charged to
+        // the stage's budget (visible via busy_time), not the node's.
+        let (times, busy) = run(Duration::ZERO, Duration::from_micros(500));
+        assert_eq!(busy, Duration::from_micros(500));
+        // stage handling at 500µs, node handling adds another 500µs
+        assert_eq!(times, vec![Time::from_micros(1000)]);
     }
 
     #[test]

@@ -24,6 +24,7 @@ fn ident(kind: &EventKind<u64>) -> u64 {
         EventKind::Start { addr } | EventKind::Restart { addr } => match addr {
             Addr::Node(n) => n.0 as u64,
             Addr::Client(c) => c.0 as u64,
+            Addr::Stage { node, index, .. } => (node.0 as u64) << 8 | *index as u64,
         },
     }
 }

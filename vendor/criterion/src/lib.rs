@@ -64,8 +64,10 @@ pub fn dump_baselines() {
     if results.is_empty() {
         return;
     }
-    let mut out =
-        String::from("{\n  \"schema\": 1,\n  \"unit\": \"ns_per_iter\",\n  \"benchmarks\": {\n");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = format!(
+        "{{\n  \"schema\": 1,\n  \"unit\": \"ns_per_iter\",\n  \"recorded_cores\": {cores},\n  \"benchmarks\": {{\n"
+    );
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
         out.push_str(&format!(
