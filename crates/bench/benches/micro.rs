@@ -17,8 +17,7 @@ use iss_messages::{codec, ClientMsg, NetMsg, StageMsg};
 use iss_pbft::{PbftConfig, PbftInstance};
 use iss_sb::testing::LocalNet;
 use iss_sb::{ProposalValidator, SbInstance};
-use iss_sim::cluster::run_cluster;
-use iss_sim::{ClusterSpec, CrashTiming, Protocol};
+use iss_sim::{run_scenario, CrashTiming, Protocol, Scenario};
 use iss_simnet::cpu::{CpuState, ReferenceCpuState};
 use iss_simnet::event::{EventKind, EventQueue, ReferenceQueue};
 use iss_simnet::{Addr, Context as SimContext, Process, Runtime, RuntimeConfig, StageRole};
@@ -562,13 +561,13 @@ fn bench_stages(c: &mut Criterion) {
 /// A scaled-down Figure 8 deployment (crash fault at epoch start, Blacklist
 /// policy): 8 nodes on the WAN testbed, one epoch-start crash, several
 /// seconds of virtual traffic per iteration.
-fn fig8_smoke_spec() -> ClusterSpec {
-    let mut spec = ClusterSpec::new(Protocol::Pbft, 8, 3_000.0);
-    spec.num_clients = 8;
-    spec.duration = iss_types::Duration::from_secs(10);
-    spec.warmup = iss_types::Duration::from_secs(2);
-    spec.crashes = vec![(NodeId(0), CrashTiming::EpochStart)];
-    spec
+fn fig8_smoke_scenario() -> Scenario {
+    Scenario::builder(Protocol::Pbft, 8)
+        .open_loop(8, 3_000.0)
+        .duration(iss_types::Duration::from_secs(10))
+        .warmup(iss_types::Duration::from_secs(2))
+        .crash(NodeId(0), CrashTiming::EpochStart)
+        .build()
 }
 
 /// End-to-end engine wall-clock: how long one fig8-scale `run_until` takes.
@@ -577,9 +576,9 @@ fn bench_fig8_smoke_wallclock(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fig8_smoke_wallclock", |b| {
         b.iter_batched(
-            fig8_smoke_spec,
-            |spec| {
-                let report = run_cluster(spec);
+            fig8_smoke_scenario,
+            |scenario| {
+                let report = run_scenario(scenario);
                 assert!(report.delivered > 0, "smoke run must deliver requests");
                 report.delivered
             },

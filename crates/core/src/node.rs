@@ -1,5 +1,5 @@
 //! The ISS replica (the Manager module of Section 4.1), implemented as an
-//! event-driven process over the [`iss_simnet::process`] interface.
+//! event-driven process over the [`iss_runtime::process`] interface.
 //!
 //! One [`IssNode`] owns the log, the bucket queues, the leader-selection
 //! policy, the checkpointing state and the currently active SB instances
@@ -53,8 +53,8 @@ use bytes::{Bytes, BytesMut};
 use iss_crypto::{Digest, KeyPair, SignatureRegistry};
 use iss_messages::codec::{decode_log, encode_log};
 use iss_messages::{ClientMsg, IssMsg, MirMsg, NetMsg, SbMsg, StageMsg};
+use iss_runtime::process::{Addr, Context, Process, StageRole};
 use iss_sb::{SbAction, SbContext, SbInstance};
-use iss_simnet::process::{Addr, Context, Process, StageRole};
 use iss_storage::record::{decode_policy, encode_policy, PolicyState, Snapshot, WalRecord};
 use iss_storage::Storage;
 use iss_types::{

@@ -32,7 +32,7 @@ use crate::node::DeliverySink;
 use crate::validation::{EpochBuckets, RequestValidation};
 use iss_crypto::SignatureRegistry;
 use iss_messages::{ClientMsg, NetMsg, StageMsg};
-use iss_simnet::process::{Addr, Context, Process};
+use iss_runtime::process::{Addr, Context, Process};
 use iss_types::{BucketId, Duration, IssConfig, NodeId, Time, TimerId};
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -20,7 +20,9 @@
 //! * [`net`] — the top-level [`NetMsg`] / [`SbMsg`] enums and wire-size
 //!   accounting;
 //! * [`codec`] — a small hand-written binary codec used by state transfer
-//!   and by the persistence examples.
+//!   and by the persistence examples;
+//! * [`wire`] — the socket wire format used by the threaded TCP runtime
+//!   (`iss-net`) to ship [`NetMsg`] values between OS processes.
 
 pub mod client;
 pub mod codec;
@@ -32,6 +34,7 @@ pub mod pbft;
 pub mod raft;
 pub mod refsb;
 pub mod stage;
+pub mod wire;
 
 pub use client::ClientMsg;
 pub use hotstuff::HotStuffMsg;

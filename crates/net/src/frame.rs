@@ -1,0 +1,195 @@
+//! Length-prefixed framing over a byte stream, plus the hello frame that
+//! opens every connection.
+//!
+//! A connection carries a sequence of frames, each a `u32` little-endian
+//! length followed by that many payload bytes. The first frame on every
+//! connection is a *hello* identifying the dialing process by its
+//! [`Addr`]; every later frame is one [`NetMsg`] encoded with
+//! [`iss_messages::wire`]. The hello is what lets an accepting node route
+//! responses: a client never listens, so the node writes `Response` frames
+//! back over the client's own inbound connection, keyed by the hello.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use iss_messages::wire::{decode_net_msg, encode_net_msg};
+use iss_messages::NetMsg;
+use iss_runtime::{Addr, StageRole};
+use iss_types::{ClientId, NodeId};
+use std::io::{self, Read, Write};
+
+/// Refuse frames larger than this (a corrupt or hostile length prefix must
+/// not make the reader allocate gigabytes). Generous: the largest legitimate
+/// frame is a snapshot chunk, well under a megabyte.
+pub const MAX_FRAME: usize = 64 << 20;
+
+const ADDR_NODE: u8 = 0;
+const ADDR_CLIENT: u8 = 1;
+const ADDR_STAGE: u8 = 2;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Encodes a message into a frame payload.
+pub fn encode_msg(msg: &NetMsg) -> io::Result<Vec<u8>> {
+    let mut buf = BytesMut::new();
+    encode_net_msg(msg, &mut buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    Ok(buf.to_vec())
+}
+
+/// Decodes a frame payload into a message.
+pub fn decode_msg(payload: Vec<u8>) -> io::Result<NetMsg> {
+    let mut buf = Bytes::from(payload);
+    let msg = decode_net_msg(&mut buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if buf.remaining() != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after message",
+        ));
+    }
+    Ok(msg)
+}
+
+/// Encodes a hello payload announcing `addr`.
+pub fn encode_hello(addr: Addr) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    match addr {
+        Addr::Node(n) => {
+            buf.put_u8(ADDR_NODE);
+            buf.put_u32_le(n.0);
+        }
+        Addr::Client(c) => {
+            buf.put_u8(ADDR_CLIENT);
+            buf.put_u32_le(c.0);
+        }
+        Addr::Stage { node, role, index } => {
+            buf.put_u8(ADDR_STAGE);
+            buf.put_u32_le(node.0);
+            buf.put_u8(match role {
+                StageRole::Batcher => 0,
+                StageRole::Executor => 1,
+            });
+            buf.put_u32_le(index);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes a hello payload.
+pub fn decode_hello(payload: &[u8]) -> io::Result<Addr> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut buf = Bytes::copy_from_slice(payload);
+    if buf.remaining() < 5 {
+        return Err(bad("truncated hello"));
+    }
+    match buf.get_u8() {
+        ADDR_NODE => Ok(Addr::Node(NodeId(buf.get_u32_le()))),
+        ADDR_CLIENT => Ok(Addr::Client(ClientId(buf.get_u32_le()))),
+        ADDR_STAGE => {
+            if buf.remaining() < 9 {
+                return Err(bad("truncated stage hello"));
+            }
+            let node = NodeId(buf.get_u32_le());
+            let role = match buf.get_u8() {
+                0 => StageRole::Batcher,
+                1 => StageRole::Executor,
+                _ => return Err(bad("invalid stage role")),
+            };
+            Ok(Addr::Stage {
+                node,
+                role,
+                index: buf.get_u32_le(),
+            })
+        }
+        _ => Err(bad("invalid hello tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iss_messages::ClientMsg;
+    use iss_types::{Request, RequestId};
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[7u8; 300]).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![7u8; 300]);
+        assert!(read_frame(&mut r).is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrips_for_every_addr_kind() {
+        for addr in [
+            Addr::Node(NodeId(3)),
+            Addr::Client(ClientId(17)),
+            Addr::Stage {
+                node: NodeId(1),
+                role: StageRole::Batcher,
+                index: 2,
+            },
+            Addr::Stage {
+                node: NodeId(0),
+                role: StageRole::Executor,
+                index: 0,
+            },
+        ] {
+            assert_eq!(decode_hello(&encode_hello(addr)).unwrap(), addr);
+        }
+        assert!(decode_hello(&[9, 0, 0, 0, 0]).is_err());
+        assert!(decode_hello(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn messages_roundtrip_through_frame_payloads() {
+        let msg = NetMsg::Client(ClientMsg::Response {
+            request: RequestId::new(ClientId(1), 4),
+            seq_nr: 9,
+        });
+        let payload = encode_msg(&msg).unwrap();
+        assert_eq!(decode_msg(payload).unwrap(), msg);
+        let req = NetMsg::Client(ClientMsg::Request(Request::new(
+            ClientId(1),
+            5,
+            vec![1u8; 32],
+        )));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_msg(&req).unwrap()).unwrap();
+        let decoded = decode_msg(read_frame(&mut &wire[..]).unwrap()).unwrap();
+        assert_eq!(decoded, req);
+    }
+}

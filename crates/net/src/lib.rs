@@ -1,0 +1,31 @@
+//! Threaded TCP runtime: the second engine behind the sans-IO runtime
+//! boundary.
+//!
+//! `iss-runtime` defines the engine-agnostic process model — events in,
+//! [`iss_runtime::Action`]s out. The discrete-event simulator (`iss-simnet`)
+//! drives that model in virtual time; this crate drives the *same unmodified
+//! protocol code* over real `std::net` sockets on the wall clock:
+//!
+//! * [`frame`] — length-prefixed frames and the hello that opens every
+//!   connection, with message bodies encoded by [`iss_messages::wire`];
+//! * [`runtime`] — [`runtime::TcpRuntime`], hosting one process per OS
+//!   runtime: a single protocol thread executes handler callbacks serially
+//!   against a [`iss_runtime::SansIo`] driver (so the process still sees a
+//!   deterministic, single-threaded world), reader threads feed its
+//!   mailbox, writer threads own outbound connections and reconnect with
+//!   backoff;
+//! * [`cluster`] — [`cluster::TcpCluster`], booting an n-node localhost
+//!   ISS deployment with per-node durable [`iss_storage::FileStorage`] and
+//!   a client fleet, mirroring the simulator `Deployment`'s node recipe.
+//!
+//! What the sockets add over the simulator — and what they cost — is
+//! documented in `docs/architecture.md` (runtime boundary section): real
+//! kernel scheduling, real fsync latency and real connection failure, in
+//! exchange for determinism and virtual-time control.
+
+pub mod cluster;
+pub mod frame;
+pub mod runtime;
+
+pub use cluster::{CommitLog, CommitLogHandle, TcpCluster, TcpClusterConfig};
+pub use runtime::{peer_table, PeerTable, ProcessBuilder, TcpConfig, TcpHandle, TcpRuntime};

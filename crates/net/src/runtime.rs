@@ -1,0 +1,500 @@
+//! The threaded TCP runtime: hosts one sans-IO [`Process`] over real
+//! sockets.
+//!
+//! # Thread layout
+//!
+//! One [`TcpRuntime`] runs one process (a replica or a client) and owns:
+//!
+//! * a **protocol thread** — the only thread that touches the process. It
+//!   owns a [`SansIo`] driver and a monotonic-clock timer wheel, drains one
+//!   mailbox, and executes handler callbacks strictly serially, so the
+//!   process sees the same single-threaded world it sees under the
+//!   simulator;
+//! * an **acceptor thread** (replicas only) — accepts inbound connections,
+//!   reads the hello frame identifying the dialer, hands the write half to
+//!   the protocol thread and becomes the connection's reader, decoding
+//!   frames into the mailbox;
+//! * one **writer thread per dialed peer** — owns the outbound connection
+//!   to that peer, dials lazily with exponential backoff, re-dials (and
+//!   re-sends its hello) whenever a write fails, and spawns a reader on
+//!   each fresh connection. The peer's current socket address is re-read
+//!   from the shared [`PeerTable`] on every dial, so a peer that restarts
+//!   on a new port is found without reconfiguration.
+//!
+//! # Connection policy
+//!
+//! Node-to-node traffic always travels over the *sender's* dialed
+//! connection: each replica dials every peer, writes only to sockets it
+//! dialed, and treats inbound node connections as read-only. Clients never
+//! listen; a node answers a client over the client's own inbound
+//! connection, keyed by its hello. This keeps connection ownership
+//! unambiguous (exactly one writer per socket) at the cost of two sockets
+//! per node pair — the simulator models neither, see
+//! `docs/architecture.md`.
+//!
+//! # Time
+//!
+//! `ctx.now()` is the monotonic-clock duration since the runtime started,
+//! in microseconds — the same [`Time`] axis the simulator uses, anchored at
+//! process boot instead of at global virtual zero. Timers are kept in a
+//! `BinaryHeap` and fire when the monotonic clock passes their deadline;
+//! cancellation stays O(1) through the driver's [`TimerSlab`] generation
+//! check, exactly as under the simulator.
+
+use crate::frame;
+use iss_messages::NetMsg;
+use iss_runtime::{Action, Addr, Driver, Event, Process, SansIo};
+use iss_types::{NodeId, Time, TimerId};
+use std::cmp::Reverse;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Shared node-id → socket-address table.
+///
+/// Writer threads re-read it on every dial, so restarting a node on a fresh
+/// port only requires updating the table — every peer's reconnect loop picks
+/// the new address up on its next attempt.
+pub type PeerTable = Arc<RwLock<HashMap<NodeId, SocketAddr>>>;
+
+/// Creates an empty peer table.
+pub fn peer_table() -> PeerTable {
+    Arc::new(RwLock::new(HashMap::new()))
+}
+
+/// Builds the hosted process. Runs *inside* the protocol thread, so the
+/// process is free to hold thread-local handles (`Rc<dyn Storage>`,
+/// `Rc<RefCell<dyn DeliverySink>>`) that could never cross threads
+/// themselves.
+pub type ProcessBuilder = Box<dyn FnOnce() -> Box<dyn Process<NetMsg>> + Send>;
+
+/// Frames queued to one peer's writer thread beyond this bound are dropped:
+/// a crashed or unreachable peer must not grow the sender's memory without
+/// limit, and the protocols tolerate message loss by design (a recovering
+/// replica catches up through the WAL / state-transfer path).
+const WRITER_QUEUE: usize = 4096;
+
+/// How long a dial-retry loop sleeps at most between attempts.
+const MAX_BACKOFF_MS: u64 = 500;
+
+/// Configuration of one [`TcpRuntime`].
+pub struct TcpConfig {
+    /// Address of the hosted process.
+    pub addr: Addr,
+    /// Every replica this runtime dials (usually all nodes except itself
+    /// for a replica, all nodes for a client).
+    pub dial: Vec<NodeId>,
+    /// The shared node address table.
+    pub peers: PeerTable,
+    /// Seed for the driver's deterministic RNG.
+    pub seed: u64,
+}
+
+/// Everything the protocol thread can receive.
+enum Input {
+    /// A decoded message from the network.
+    Message { from: Addr, msg: NetMsg },
+    /// The write half of a fresh inbound connection, keyed by its hello.
+    Inbound { from: Addr, stream: TcpStream },
+    /// Stop the runtime.
+    Shutdown,
+}
+
+/// Handle to a running [`TcpRuntime`]; dropping it without calling
+/// [`TcpHandle::shutdown`] detaches the runtime's threads.
+pub struct TcpHandle {
+    mailbox: Sender<Input>,
+    stop: Arc<AtomicBool>,
+    listen: Option<SocketAddr>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TcpHandle {
+    /// Stops the runtime: the protocol thread drops the hosted process
+    /// (flushing any durable storage it holds), the acceptor is woken and
+    /// exits, and reader/writer threads die as their channels and sockets
+    /// close. Blocks until the protocol thread has terminated, so a caller
+    /// that restarts the process immediately afterwards observes
+    /// fully-persisted state.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.mailbox.send(Input::Shutdown);
+        if let Some(listen) = self.listen {
+            // Wake the acceptor blocked in accept().
+            let _ = TcpStream::connect(listen);
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The threaded TCP runtime (see the module docs for the thread layout).
+pub struct TcpRuntime;
+
+impl TcpRuntime {
+    /// Spawns a runtime hosting the process built by `builder`.
+    ///
+    /// `listener` is the already-bound listening socket for a replica
+    /// (bind first, publish the address in the peer table, then spawn —
+    /// that way no peer can dial an unbound address), or `None` for a
+    /// client, which only dials.
+    pub fn spawn(
+        cfg: TcpConfig,
+        listener: Option<TcpListener>,
+        builder: ProcessBuilder,
+    ) -> io::Result<TcpHandle> {
+        let (mailbox_tx, mailbox_rx) = mpsc::channel::<Input>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let listen = listener.as_ref().map(|l| l.local_addr()).transpose()?;
+
+        if let Some(listener) = listener {
+            let tx = mailbox_tx.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || acceptor_loop(listener, tx, stop));
+        }
+
+        // One writer per dialed peer, created up front; the writer dials on
+        // first use and re-dials on failure.
+        let mut writers: HashMap<NodeId, SyncSender<Vec<u8>>> = HashMap::new();
+        let hello = frame::encode_hello(cfg.addr);
+        for peer in &cfg.dial {
+            let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(WRITER_QUEUE);
+            let peers = Arc::clone(&cfg.peers);
+            let mailbox = mailbox_tx.clone();
+            let stop = Arc::clone(&stop);
+            let hello = hello.clone();
+            let peer = *peer;
+            thread::spawn(move || writer_loop(peer, peers, hello, rx, mailbox, stop));
+            writers.insert(peer, tx);
+        }
+
+        let thread = thread::Builder::new()
+            .name(format!("proto-{:?}", cfg.addr))
+            .spawn(move || protocol_loop(cfg, builder, mailbox_rx, writers))?;
+
+        Ok(TcpHandle {
+            mailbox: mailbox_tx,
+            stop,
+            listen,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// The protocol thread: the single place the hosted process executes.
+fn protocol_loop(
+    cfg: TcpConfig,
+    builder: ProcessBuilder,
+    mailbox: Receiver<Input>,
+    writers: HashMap<NodeId, SyncSender<Vec<u8>>>,
+) {
+    let start = Instant::now();
+    let now = move || Time(start.elapsed().as_micros() as u64);
+
+    let mut driver: SansIo<NetMsg> = SansIo::new(cfg.seed);
+    driver.mount(cfg.addr, builder());
+
+    // Timer wheel: min-heap of (deadline µs, insertion seq, handle, kind).
+    // The insertion sequence keeps equal-deadline timers FIFO, matching the
+    // simulator's same-time submission order.
+    let mut timers: BinaryHeapWheel = BinaryHeapWheel::new();
+    // Write halves of inbound connections (clients, which never listen).
+    let mut inbound: HashMap<Addr, TcpStream> = HashMap::new();
+    // Self-addressed sends loop straight back as the next events, ahead of
+    // anything the network delivers — same as the simulator's zero-latency
+    // local delivery being scheduled before later arrivals.
+    let mut selfq: VecDeque<NetMsg> = VecDeque::new();
+    let mut actions: Vec<Action<NetMsg>> = Vec::new();
+
+    driver.handle_into(now(), Event::Start, &mut actions);
+    apply(
+        cfg.addr,
+        &mut actions,
+        &mut timers,
+        &writers,
+        &mut inbound,
+        &mut selfq,
+        now(),
+    );
+
+    loop {
+        // Self-sends first, then due timers, then the network.
+        while let Some(msg) = selfq.pop_front() {
+            driver.handle_into(
+                now(),
+                Event::Message {
+                    from: cfg.addr,
+                    msg,
+                },
+                &mut actions,
+            );
+            apply(
+                cfg.addr,
+                &mut actions,
+                &mut timers,
+                &writers,
+                &mut inbound,
+                &mut selfq,
+                now(),
+            );
+        }
+        while let Some((id, kind)) = timers.pop_due(now()) {
+            driver.handle_into(now(), Event::Timer { id, kind }, &mut actions);
+            apply(
+                cfg.addr,
+                &mut actions,
+                &mut timers,
+                &writers,
+                &mut inbound,
+                &mut selfq,
+                now(),
+            );
+        }
+        if !selfq.is_empty() {
+            continue;
+        }
+        let wait = timers.until_next(now());
+        let input = match mailbox.recv_timeout(wait) {
+            Ok(input) => input,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        match input {
+            Input::Message { from, msg } => {
+                driver.handle_into(now(), Event::Message { from, msg }, &mut actions);
+                apply(
+                    cfg.addr,
+                    &mut actions,
+                    &mut timers,
+                    &writers,
+                    &mut inbound,
+                    &mut selfq,
+                    now(),
+                );
+            }
+            Input::Inbound { from, stream } => {
+                inbound.insert(from, stream);
+            }
+            Input::Shutdown => return,
+        }
+    }
+    // On return: `driver` (and with it the process and its storage handle)
+    // drops here, on the protocol thread; `writers` senders drop, ending the
+    // writer threads; `inbound` streams close, ending remote readers.
+}
+
+/// Routes one callback's actions: timers onto the wheel, sends onto the
+/// right socket.
+fn apply(
+    self_addr: Addr,
+    actions: &mut Vec<Action<NetMsg>>,
+    timers: &mut BinaryHeapWheel,
+    writers: &HashMap<NodeId, SyncSender<Vec<u8>>>,
+    inbound: &mut HashMap<Addr, TcpStream>,
+    selfq: &mut VecDeque<NetMsg>,
+    now: Time,
+) {
+    for action in actions.drain(..) {
+        match action {
+            Action::SetTimer { id, delay, kind } => {
+                timers.push(now.0 + delay.as_micros(), id, kind);
+            }
+            Action::Send { to, msg } if to == self_addr => selfq.push_back(msg),
+            Action::Send { to, msg } => {
+                let payload = match frame::encode_msg(&msg) {
+                    Ok(p) => p,
+                    // Only simulator-only message kinds fail to encode;
+                    // reaching this is a deployment bug (e.g. booting a
+                    // compartmentalized node over TCP), not a runtime state.
+                    Err(e) => panic!("unencodable message to {to:?}: {e}"),
+                };
+                match to {
+                    Addr::Node(n) => {
+                        if let Some(w) = writers.get(&n) {
+                            match w.try_send(payload) {
+                                Ok(()) | Err(TrySendError::Full(_)) => {}
+                                Err(TrySendError::Disconnected(_)) => {}
+                            }
+                        }
+                    }
+                    // Clients never listen: answer over their inbound
+                    // connection. A vanished client just loses the frame.
+                    Addr::Client(_) => {
+                        if let Some(stream) = inbound.get_mut(&to) {
+                            if frame::write_frame(stream, &payload).is_err() {
+                                inbound.remove(&to);
+                            }
+                        }
+                    }
+                    Addr::Stage { .. } => {
+                        debug_assert!(false, "stage addresses are simulator-only");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Min-heap timer wheel on the monotonic clock.
+struct BinaryHeapWheel {
+    heap: std::collections::BinaryHeap<Reverse<(u64, u64, u64, u64)>>,
+    seq: u64,
+}
+
+impl BinaryHeapWheel {
+    fn new() -> Self {
+        BinaryHeapWheel {
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, deadline_us: u64, id: TimerId, kind: u64) {
+        self.heap.push(Reverse((deadline_us, self.seq, id.0, kind)));
+        self.seq += 1;
+    }
+
+    /// Pops the next timer whose deadline has passed. Stale handles are
+    /// filtered later by the driver's generation check, not here.
+    fn pop_due(&mut self, now: Time) -> Option<(TimerId, u64)> {
+        match self.heap.peek() {
+            Some(&Reverse((deadline, _, id, kind))) if deadline <= now.0 => {
+                self.heap.pop();
+                Some((TimerId(id), kind))
+            }
+            _ => None,
+        }
+    }
+
+    /// How long the protocol thread may sleep before the next deadline.
+    fn until_next(&self, now: Time) -> std::time::Duration {
+        match self.heap.peek() {
+            Some(&Reverse((deadline, ..))) => {
+                std::time::Duration::from_micros(deadline.saturating_sub(now.0))
+            }
+            // No timer armed: wake periodically anyway, purely defensively.
+            None => std::time::Duration::from_millis(100),
+        }
+    }
+}
+
+/// Accepts inbound connections; each gets a thread that reads the hello,
+/// registers the write half with the protocol thread and then reads frames
+/// until the connection dies.
+fn acceptor_loop(listener: TcpListener, mailbox: Sender<Input>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let mailbox = mailbox.clone();
+        thread::spawn(move || {
+            let _ = stream.set_nodelay(true);
+            let mut reader = stream;
+            // Bound the hello wait so a connection that never identifies
+            // itself cannot hold this thread forever.
+            let _ = reader.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+            let Ok(hello) = frame::read_frame(&mut reader) else {
+                return;
+            };
+            let Ok(from) = frame::decode_hello(&hello) else {
+                return;
+            };
+            let _ = reader.set_read_timeout(None);
+            if let Ok(write_half) = reader.try_clone() {
+                if mailbox
+                    .send(Input::Inbound {
+                        from,
+                        stream: write_half,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            reader_loop(reader, from, mailbox);
+        });
+    }
+}
+
+/// Decodes frames from one connection into the mailbox. Exits when the
+/// socket or the mailbox closes, or on the first malformed frame (a peer
+/// speaking garbage gets its connection dropped, not interpreted).
+fn reader_loop(mut stream: TcpStream, from: Addr, mailbox: Sender<Input>) {
+    loop {
+        let Ok(payload) = frame::read_frame(&mut stream) else {
+            return;
+        };
+        let Ok(msg) = frame::decode_msg(payload) else {
+            return;
+        };
+        if mailbox.send(Input::Message { from, msg }).is_err() {
+            return;
+        }
+    }
+}
+
+/// Owns the outbound connection to one peer: dials lazily (re-reading the
+/// peer table each attempt, with exponential backoff), sends the hello on
+/// every fresh connection, spawns a reader for whatever the peer writes
+/// back, and re-dials whenever a write fails — the frame being written when
+/// the connection died is carried over to the new connection, frames queued
+/// behind a full channel are dropped by the sender instead.
+fn writer_loop(
+    peer: NodeId,
+    peers: PeerTable,
+    hello: Vec<u8>,
+    rx: Receiver<Vec<u8>>,
+    mailbox: Sender<Input>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conn: Option<TcpStream> = None;
+    let mut backoff = 10u64;
+    'frames: for payload in rx.iter() {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if conn.is_none() {
+                let target = peers.read().map(|t| t.get(&peer).copied()).unwrap_or(None);
+                let dialed = target.and_then(|addr| TcpStream::connect(addr).ok());
+                match dialed {
+                    Some(mut stream) => {
+                        let _ = stream.set_nodelay(true);
+                        if frame::write_frame(&mut stream, &hello).is_err() {
+                            continue;
+                        }
+                        if let Ok(read_half) = stream.try_clone() {
+                            let mailbox = mailbox.clone();
+                            thread::spawn(move || {
+                                reader_loop(read_half, Addr::Node(peer), mailbox)
+                            });
+                        }
+                        conn = Some(stream);
+                        backoff = 10;
+                    }
+                    None => {
+                        thread::sleep(std::time::Duration::from_millis(backoff));
+                        backoff = (backoff * 2).min(MAX_BACKOFF_MS);
+                        continue;
+                    }
+                }
+            }
+            if let Some(stream) = &mut conn {
+                match frame::write_frame(stream, &payload) {
+                    Ok(()) => continue 'frames,
+                    Err(_) => {
+                        conn = None;
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+}

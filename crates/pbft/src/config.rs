@@ -11,6 +11,12 @@ pub struct PbftConfig {
     /// Whether view-change messages carry (and verify) signatures. Disabled
     /// only in micro-benchmarks that isolate the normal-case path.
     pub signed_view_change: bool,
+    /// Whether votes that arrive before their slot's pre-prepare are
+    /// buffered and replayed instead of dropped (see `EarlyVote` in
+    /// `instance.rs`). On by default — required for transports without
+    /// cross-peer ordering; the simulator presets opt out via
+    /// `IssConfig::buffer_early_votes` to keep recorded baselines stable.
+    pub buffer_early_votes: bool,
 }
 
 impl Default for PbftConfig {
@@ -18,6 +24,7 @@ impl Default for PbftConfig {
         PbftConfig {
             view_change_timeout: Duration::from_secs(10),
             signed_view_change: true,
+            buffer_early_votes: true,
         }
     }
 }
@@ -41,6 +48,7 @@ mod tests {
         let c = PbftConfig::default();
         assert_eq!(c.view_change_timeout, Duration::from_secs(10));
         assert!(c.signed_view_change);
+        assert!(c.buffer_early_votes);
     }
 
     #[test]

@@ -14,6 +14,21 @@ use std::sync::Arc;
 /// generation counter so stale timers are ignored.
 const TIMER_PROGRESS: u64 = 1 << 32;
 
+/// A PREPARE or COMMIT that arrived before this node accepted a pre-prepare
+/// for its slot. The simulator's latency model makes that ordering impossible
+/// (a peer's vote always travels leader→peer→us, strictly longer than
+/// leader→us), but real transports deliver each peer connection
+/// independently: during connection ramp-up a peer's vote routinely overtakes
+/// the leader's pre-prepare. PBFT never retransmits votes, so dropping them
+/// here would wedge the slot short of quorum forever.
+#[derive(Clone, Copy)]
+struct EarlyVote {
+    from: NodeId,
+    view: ViewNr,
+    digest: Digest,
+    commit: bool,
+}
+
 /// PBFT as an SB instance.
 pub struct PbftInstance {
     my_id: NodeId,
@@ -37,6 +52,9 @@ pub struct PbftInstance {
     /// Batches observed for a digest (from pre-prepares or view changes), so
     /// re-proposals can be delivered even after a view change.
     known_batches: HashMap<Digest, Batch>,
+    /// Votes buffered until the pre-prepare for their slot arrives; bounded
+    /// per slot, cleared on view change (see [`EarlyVote`]).
+    early_votes: HashMap<SeqNr, Vec<EarlyVote>>,
 
     current_timeout: Duration,
     timer_generation: u64,
@@ -71,6 +89,7 @@ impl PbftInstance {
             expected_digests: HashMap::new(),
             validated: HashSet::new(),
             known_batches: HashMap::new(),
+            early_votes: HashMap::new(),
             current_timeout,
             timer_generation: 0,
             delivered: 0,
@@ -120,6 +139,36 @@ impl PbftInstance {
         bytes
     }
 
+    /// Buffers a vote whose slot has no accepted pre-prepare yet, bounded so
+    /// a Byzantine peer cannot grow the buffer past its legitimate size (one
+    /// prepare plus one commit per node).
+    fn buffer_early_vote(&mut self, sn: SeqNr, vote: EarlyVote) {
+        if !self.config.buffer_early_votes {
+            return;
+        }
+        let cap = 2 * self.segment.nodes.len();
+        let pending = self.early_votes.entry(sn).or_default();
+        if pending.len() < cap {
+            pending.push(vote);
+        }
+    }
+
+    /// Replays the buffered votes for `sn` now that its pre-prepare fixed a
+    /// digest; `record_prepare`/`record_commit` re-check view and digest, so
+    /// stale or conflicting buffered votes fall out here.
+    fn drain_early_votes(&mut self, sn: SeqNr, ctx: &mut SbContext<'_>) {
+        let Some(pending) = self.early_votes.remove(&sn) else {
+            return;
+        };
+        for v in pending {
+            if v.commit {
+                self.record_commit(sn, v.view, v.digest, v.from, ctx);
+            } else {
+                self.record_prepare(sn, v.view, v.digest, v.from, ctx);
+            }
+        }
+    }
+
     fn record_prepare(
         &mut self,
         sn: SeqNr,
@@ -128,14 +177,29 @@ impl PbftInstance {
         from: NodeId,
         ctx: &mut SbContext<'_>,
     ) {
-        let quorum = self.quorum();
-        let my_id = self.my_id;
-        let Some(slot) = self.slots.get_mut(&sn) else {
-            return;
-        };
-        if view != self.view || slot.digest() != Some(digest) {
+        if view != self.view {
             return;
         }
+        match self.slots.get(&sn).map(Slot::digest) {
+            None => return, // not in this segment
+            Some(None) => {
+                self.buffer_early_vote(
+                    sn,
+                    EarlyVote {
+                        from,
+                        view,
+                        digest,
+                        commit: false,
+                    },
+                );
+                return;
+            }
+            Some(Some(d)) if d != digest => return,
+            Some(Some(_)) => {}
+        }
+        let quorum = self.quorum();
+        let my_id = self.my_id;
+        let slot = self.slots.get_mut(&sn).expect("checked above");
         slot.prepares.insert(from);
         if slot.prepares.len() >= quorum && !slot.commits.contains(&my_id) {
             slot.prepared = true;
@@ -158,12 +222,27 @@ impl PbftInstance {
         from: NodeId,
         ctx: &mut SbContext<'_>,
     ) {
-        let Some(slot) = self.slots.get_mut(&sn) else {
-            return;
-        };
-        if view != self.view || slot.digest() != Some(digest) {
+        if view != self.view {
             return;
         }
+        match self.slots.get(&sn).map(Slot::digest) {
+            None => return, // not in this segment
+            Some(None) => {
+                self.buffer_early_vote(
+                    sn,
+                    EarlyVote {
+                        from,
+                        view,
+                        digest,
+                        commit: true,
+                    },
+                );
+                return;
+            }
+            Some(Some(d)) if d != digest => return,
+            Some(Some(_)) => {}
+        }
+        let slot = self.slots.get_mut(&sn).expect("checked above");
         slot.commits.insert(from);
         self.check_committed(sn, ctx);
     }
@@ -246,6 +325,8 @@ impl PbftInstance {
         }));
         // Our own prepare may complete the quorum (e.g. n = 4 ⇒ 2f+1 = 3).
         self.record_prepare(sn, view, digest, my_id, ctx);
+        // Votes that overtook this pre-prepare on the wire count now.
+        self.drain_early_votes(sn, ctx);
     }
 
     fn start_view_change(&mut self, target: ViewNr, ctx: &mut SbContext<'_>) {
@@ -383,6 +464,7 @@ impl PbftInstance {
                 digest,
             }));
             self.record_prepare(sn, target, digest, my_id, ctx);
+            self.drain_early_votes(sn, ctx);
         }
     }
 
@@ -398,6 +480,9 @@ impl PbftInstance {
         for (_, slot) in self.slots.iter_mut() {
             slot.reset_for_view();
         }
+        // Buffered votes are from older views; they would be filtered on
+        // replay anyway, so free them eagerly.
+        self.early_votes.clear();
         self.arm_progress_timer(ctx);
     }
 }
@@ -765,6 +850,87 @@ mod tests {
         assert_eq!(inst.primary_of(1), NodeId(3));
         assert_eq!(inst.primary_of(2), NodeId(0));
         assert_eq!(inst.primary_of(5), NodeId(3));
+    }
+
+    #[test]
+    fn votes_arriving_before_the_pre_prepare_are_buffered() {
+        let mut net = net(4, 0, vec![0], 10_000);
+        net.init_all();
+        let b = batch(1);
+        let digest = batch_digest(&b);
+        // Real transports deliver each peer connection independently, so the
+        // backups' votes can overtake the leader's pre-prepare. Node 3 first
+        // hears both other backups' prepares and commits ...
+        for from in [1u32, 2] {
+            net.inject_message(
+                NodeId(from),
+                NodeId(3),
+                SbMsg::Pbft(PbftMsg::Prepare {
+                    view: 0,
+                    seq_nr: 0,
+                    digest,
+                }),
+            );
+            net.inject_message(
+                NodeId(from),
+                NodeId(3),
+                SbMsg::Pbft(PbftMsg::Commit {
+                    view: 0,
+                    seq_nr: 0,
+                    digest,
+                }),
+            );
+        }
+        net.run_messages();
+        assert!(net.log_of(3).get(&0).is_none());
+        // ... and only then the pre-prepare. The buffered votes must count,
+        // or the slot is wedged short of quorum forever (the peers never
+        // retransmit).
+        net.inject_message(
+            NodeId(0),
+            NodeId(3),
+            SbMsg::Pbft(PbftMsg::PrePrepare {
+                view: 0,
+                seq_nr: 0,
+                batch: Some(b.clone()),
+                digest,
+            }),
+        );
+        net.run_messages();
+        assert_eq!(net.log_of(3).get(&0).unwrap().as_ref(), Some(&b));
+    }
+
+    #[test]
+    fn conflicting_early_votes_cannot_fake_a_quorum() {
+        let mut net = net(4, 0, vec![0], 10_000);
+        net.init_all();
+        let b = batch(1);
+        let digest = batch_digest(&b);
+        // Byzantine votes for a different digest arrive first; once the real
+        // pre-prepare lands they must be discarded on replay, not counted.
+        for from in [1u32, 2] {
+            net.inject_message(
+                NodeId(from),
+                NodeId(3),
+                SbMsg::Pbft(PbftMsg::Prepare {
+                    view: 0,
+                    seq_nr: 0,
+                    digest: [0xAB; 32],
+                }),
+            );
+        }
+        net.inject_message(
+            NodeId(0),
+            NodeId(3),
+            SbMsg::Pbft(PbftMsg::PrePrepare {
+                view: 0,
+                seq_nr: 0,
+                batch: Some(b),
+                digest,
+            }),
+        );
+        net.run_messages();
+        assert!(net.log_of(3).get(&0).is_none());
     }
 
     #[test]

@@ -39,6 +39,9 @@ impl Protocol {
 pub struct PbftFactory {
     /// View-change timeout.
     pub view_change_timeout: Duration,
+    /// Whether instances buffer votes that overtake their pre-prepare
+    /// (required on transports without cross-peer ordering).
+    pub buffer_early_votes: bool,
     /// Shared key registry.
     pub registry: Arc<SignatureRegistry>,
 }
@@ -48,7 +51,11 @@ impl OrdererFactory for PbftFactory {
         Box::new(PbftInstance::new(
             my_id,
             segment,
-            PbftConfig::with_timeout(self.view_change_timeout),
+            PbftConfig {
+                view_change_timeout: self.view_change_timeout,
+                buffer_early_votes: self.buffer_early_votes,
+                ..PbftConfig::default()
+            },
             KeyPair::for_node(my_id),
             Arc::clone(&self.registry),
         ))
@@ -119,6 +126,7 @@ pub fn make_factory(
     match protocol {
         Protocol::Pbft => Box::new(PbftFactory {
             view_change_timeout: config.view_change_timeout,
+            buffer_early_votes: config.buffer_early_votes,
             registry,
         }),
         Protocol::HotStuff => Box::new(HotStuffFactory {

@@ -6,6 +6,9 @@
 //! same latency statistics down to the f64 bits. The veneer is pure
 //! plumbing; any observable drift between the two surfaces is a bug.
 
+// The deprecated flat spec is this suite's subject, not an oversight.
+#![allow(deprecated)]
+
 use iss_sim::cluster::{run_cluster, run_scenario, ClusterSpec, CrashTiming, Report};
 use iss_sim::{Protocol, Scenario};
 use iss_types::{Duration, NodeId};

@@ -74,6 +74,7 @@ pub use bandwidth::BandwidthConfig;
 pub use cpu::CpuModel;
 pub use event::{EventQueue, ReferenceQueue};
 pub use fault::{CrashSchedule, FaultConfig, LossWindow, Partition};
+pub use iss_runtime::{Driver, Event};
 pub use process::{Addr, Context, Payload, Process, StageRole};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeStats, MAX_STAGES_PER_ROLE};
 pub use timer::TimerSlab;

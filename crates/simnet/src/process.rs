@@ -1,455 +1,10 @@
-//! The process model: every simulated participant (replica or client)
-//! implements [`Process`] and interacts with the world exclusively through a
-//! [`Context`].
+//! The process model, re-exported from [`iss_runtime::process`].
 //!
-//! Keeping the interface this narrow makes protocol state machines
-//! deterministic and lets the same implementation run on the discrete-event
-//! simulator and on a real (threaded) transport.
+//! The `Process`/`Context`/`Action` surface started life in this crate and
+//! was factored out into `iss-runtime` when the threaded TCP backend joined
+//! the simulator as a second engine. The re-export keeps every historical
+//! path (`iss_simnet::process::Process` etc.) pointing at the same items, so
+//! protocol crates and the harness compile unchanged whichever crate they
+//! name.
 
-use crate::timer::TimerSlab;
-use iss_types::{ClientId, Duration, NodeId, Time, TimerId};
-use rand::rngs::StdRng;
-
-/// Role of a compartmentalized pipeline stage co-located with a replica.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub enum StageRole {
-    /// Request intake, signature verification and batch cutting in front of
-    /// the orderer.
-    Batcher,
-    /// Commit fan-out, delivery and metrics emission behind the orderer.
-    Executor,
-}
-
-/// Address of a simulated participant.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub enum Addr {
-    /// A replica.
-    Node(NodeId),
-    /// A client.
-    Client(ClientId),
-    /// A pipeline stage running on the same machine as replica `node`.
-    Stage {
-        /// The replica the stage belongs to.
-        node: NodeId,
-        /// Batcher or executor.
-        role: StageRole,
-        /// Index among the stages of the same role on this replica.
-        index: u32,
-    },
-}
-
-impl Addr {
-    /// Whether the address denotes a replica.
-    pub fn is_node(&self) -> bool {
-        matches!(self, Addr::Node(_))
-    }
-
-    /// Whether the address denotes a pipeline stage.
-    pub fn is_stage(&self) -> bool {
-        matches!(self, Addr::Stage { .. })
-    }
-
-    /// Returns the node identifier if this is a node address.
-    pub fn as_node(&self) -> Option<NodeId> {
-        match self {
-            Addr::Node(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// Returns the client identifier if this is a client address.
-    pub fn as_client(&self) -> Option<ClientId> {
-        match self {
-            Addr::Client(c) => Some(*c),
-            _ => None,
-        }
-    }
-
-    /// The replica machine the address lives on: the node itself for
-    /// [`Addr::Node`], the parent replica for [`Addr::Stage`] (stages are
-    /// co-located processes sharing the replica's placement, NIC and fault
-    /// domain), `None` for clients.
-    pub fn machine_node(&self) -> Option<NodeId> {
-        match self {
-            Addr::Node(n) => Some(*n),
-            Addr::Stage { node, .. } => Some(*node),
-            Addr::Client(_) => None,
-        }
-    }
-}
-
-impl From<NodeId> for Addr {
-    fn from(n: NodeId) -> Self {
-        Addr::Node(n)
-    }
-}
-
-impl From<ClientId> for Addr {
-    fn from(c: ClientId) -> Self {
-        Addr::Client(c)
-    }
-}
-
-/// Anything that can travel over the simulated network.
-///
-/// Re-exported from [`iss_types::payload`] so protocol crates can implement
-/// it without depending on the simulator.
-pub use iss_types::Payload;
-
-/// Actions a process can request from the runtime during a single callback.
-///
-/// Timer cancellation is not an action: [`Context::cancel_timer`] retires the
-/// handle in the runtime's [`TimerSlab`] immediately, which is O(1) and needs
-/// no queue traffic.
-#[derive(Debug)]
-pub enum Action<M> {
-    /// Send `msg` to `to`.
-    Send {
-        /// Destination address.
-        to: Addr,
-        /// The message.
-        msg: M,
-    },
-    /// Arm a timer firing after `delay`, identified by `id` and carrying the
-    /// opaque `kind` tag back to the process.
-    SetTimer {
-        /// Handle assigned by the context.
-        id: TimerId,
-        /// Delay until the timer fires.
-        delay: Duration,
-        /// Opaque tag passed back in `on_timer`.
-        kind: u64,
-    },
-}
-
-/// Execution context handed to a process on every callback.
-///
-/// The context *buffers* actions in a runtime-owned buffer (reused across
-/// invocations, so steady-state callbacks allocate nothing); the runtime
-/// applies them after the callback returns, which keeps the borrow structure
-/// simple and the execution deterministic.
-pub struct Context<'a, M> {
-    now: Time,
-    self_addr: Addr,
-    timers: &'a mut TimerSlab,
-    pub(crate) actions: &'a mut Vec<Action<M>>,
-    rng: &'a mut StdRng,
-}
-
-impl<'a, M> Context<'a, M> {
-    /// Creates a context (used by runtimes; protocol code never constructs
-    /// one). `actions` is the runtime's reusable buffer; it must be empty.
-    pub fn new(
-        now: Time,
-        self_addr: Addr,
-        timers: &'a mut TimerSlab,
-        actions: &'a mut Vec<Action<M>>,
-        rng: &'a mut StdRng,
-    ) -> Self {
-        debug_assert!(actions.is_empty());
-        Context {
-            now,
-            self_addr,
-            timers,
-            actions,
-            rng,
-        }
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> Time {
-        self.now
-    }
-
-    /// The address of the process being invoked.
-    pub fn self_addr(&self) -> Addr {
-        self.self_addr
-    }
-
-    /// Sends a message to another participant.
-    pub fn send(&mut self, to: Addr, msg: M) {
-        self.actions.push(Action::Send { to, msg });
-    }
-
-    /// Sends the same message to every node in `nodes` except the sender
-    /// itself (self-delivery, when needed, is the caller's responsibility —
-    /// protocols in this codebase handle their own state locally).
-    pub fn broadcast(&mut self, nodes: &[NodeId], msg: M)
-    where
-        M: Clone,
-    {
-        for &n in nodes {
-            if Addr::Node(n) != self.self_addr {
-                self.send(Addr::Node(n), msg.clone());
-            }
-        }
-    }
-
-    /// Arms a timer; the returned handle can be used to cancel it.
-    pub fn set_timer(&mut self, delay: Duration, kind: u64) -> TimerId {
-        let id = self.timers.allocate();
-        self.actions.push(Action::SetTimer { id, delay, kind });
-        id
-    }
-
-    /// Cancels a timer; firing of cancelled timers is suppressed.
-    ///
-    /// O(1): the handle's slab slot is retired immediately, so the timer
-    /// event already in the queue fails its generation check when it fires.
-    pub fn cancel_timer(&mut self, id: TimerId) {
-        self.timers.retire(id);
-    }
-
-    /// Deterministic random number generator (seeded per run).
-    pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
-    }
-
-    /// Marks the current position in the action buffer. Together with
-    /// [`Context::rewrite_sends_since`] this lets a wrapper process intercept
-    /// everything an inner process sent during a callback.
-    pub fn mark(&self) -> usize {
-        self.actions.len()
-    }
-
-    /// Rewrites every `Send` buffered since `mark` through `f`.
-    ///
-    /// `f` receives the original destination and message plus an `emit`
-    /// callback; whatever it emits replaces the original send (emit zero
-    /// times to drop it, several times to multiply or equivocate). Non-send
-    /// actions (timers) buffered in the same window are kept untouched, and
-    /// the relative order of actions `f` leaves alone is preserved.
-    pub fn rewrite_sends_since(
-        &mut self,
-        mark: usize,
-        mut f: impl FnMut(Addr, M, &mut dyn FnMut(Addr, M)),
-    ) {
-        debug_assert!(mark <= self.actions.len());
-        let tail: Vec<Action<M>> = self.actions.drain(mark..).collect();
-        for action in tail {
-            match action {
-                Action::Send { to, msg } => {
-                    let actions: &mut Vec<Action<M>> = self.actions;
-                    let mut emit = |to: Addr, msg: M| actions.push(Action::Send { to, msg });
-                    f(to, msg, &mut emit);
-                }
-                other => self.actions.push(other),
-            }
-        }
-    }
-}
-
-/// A deterministic, event-driven participant.
-pub trait Process<M: Payload> {
-    /// Invoked once when the run starts.
-    fn on_start(&mut self, ctx: &mut Context<'_, M>);
-
-    /// Invoked when a message from `from` is delivered to this process.
-    fn on_message(&mut self, from: Addr, msg: M, ctx: &mut Context<'_, M>);
-
-    /// Invoked when a timer armed by this process fires. `kind` is the tag
-    /// passed to [`Context::set_timer`].
-    fn on_timer(&mut self, id: TimerId, kind: u64, ctx: &mut Context<'_, M>);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::SeedableRng;
-
-    #[derive(Clone, Debug)]
-    struct Msg(usize);
-    impl Payload for Msg {
-        fn wire_size(&self) -> usize {
-            self.0
-        }
-    }
-
-    #[test]
-    fn addr_helpers() {
-        let n: Addr = NodeId(1).into();
-        let c: Addr = ClientId(2).into();
-        let s = Addr::Stage {
-            node: NodeId(1),
-            role: StageRole::Batcher,
-            index: 0,
-        };
-        assert!(n.is_node());
-        assert!(!c.is_node());
-        assert!(!s.is_node());
-        assert!(s.is_stage());
-        assert_eq!(n.as_node(), Some(NodeId(1)));
-        assert_eq!(n.as_client(), None);
-        assert_eq!(c.as_client(), Some(ClientId(2)));
-        assert_eq!(c.as_node(), None);
-        assert_eq!(s.as_node(), None, "stages are not replicas");
-        assert_eq!(s.as_client(), None);
-        assert_eq!(n.machine_node(), Some(NodeId(1)));
-        assert_eq!(s.machine_node(), Some(NodeId(1)));
-        assert_eq!(c.machine_node(), None);
-    }
-
-    #[test]
-    fn context_buffers_actions_and_cancels_in_place() {
-        let mut timers = TimerSlab::new();
-        let mut actions = Vec::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        let t = {
-            let mut ctx = Context::new(
-                Time::from_secs(1),
-                Addr::Node(NodeId(0)),
-                &mut timers,
-                &mut actions,
-                &mut rng,
-            );
-            assert_eq!(ctx.now(), Time::from_secs(1));
-            assert_eq!(ctx.self_addr(), Addr::Node(NodeId(0)));
-            ctx.send(Addr::Node(NodeId(1)), Msg(10));
-            let t = ctx.set_timer(Duration::from_millis(5), 7);
-            ctx.cancel_timer(t);
-            t
-        };
-        // Send and SetTimer are buffered; the cancellation retired the slab
-        // slot directly instead of queueing an action.
-        assert_eq!(actions.len(), 2);
-        assert!(matches!(
-            actions[0],
-            Action::Send {
-                to: Addr::Node(NodeId(1)),
-                ..
-            }
-        ));
-        assert!(matches!(actions[1], Action::SetTimer { kind: 7, .. }));
-        assert!(!timers.is_live(t));
-    }
-
-    #[test]
-    fn broadcast_excludes_self() {
-        let mut timers = TimerSlab::new();
-        let mut actions = Vec::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        {
-            let mut ctx = Context::new(
-                Time::ZERO,
-                Addr::Node(NodeId(0)),
-                &mut timers,
-                &mut actions,
-                &mut rng,
-            );
-            let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
-            ctx.broadcast(&nodes, Msg(1));
-        }
-        let sends: Vec<_> = actions
-            .into_iter()
-            .filter_map(|a| match a {
-                Action::Send { to, .. } => Some(to),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(
-            sends,
-            vec![
-                Addr::Node(NodeId(1)),
-                Addr::Node(NodeId(2)),
-                Addr::Node(NodeId(3))
-            ]
-        );
-    }
-
-    #[test]
-    fn rewrite_sends_since_drops_multiplies_and_keeps_timers() {
-        let mut timers = TimerSlab::new();
-        let mut actions = Vec::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        {
-            let mut ctx: Context<'_, Msg> = Context::new(
-                Time::ZERO,
-                Addr::Node(NodeId(0)),
-                &mut timers,
-                &mut actions,
-                &mut rng,
-            );
-            // A send buffered before the mark must be untouchable.
-            ctx.send(Addr::Node(NodeId(9)), Msg(99));
-            let mark = ctx.mark();
-            ctx.send(Addr::Node(NodeId(1)), Msg(1));
-            ctx.set_timer(Duration::from_millis(5), 7);
-            ctx.send(Addr::Node(NodeId(2)), Msg(2));
-            ctx.rewrite_sends_since(mark, |to, msg, emit| match msg.0 {
-                1 => {} // drop
-                2 => {
-                    // duplicate to two destinations
-                    emit(to, Msg(20));
-                    emit(Addr::Node(NodeId(3)), Msg(21));
-                }
-                _ => emit(to, msg),
-            });
-        }
-        // Pre-mark send intact, timer preserved in place, send 1 dropped,
-        // send 2 rewritten into two sends.
-        assert_eq!(actions.len(), 4);
-        assert!(
-            matches!(&actions[0], Action::Send { to: Addr::Node(NodeId(9)), msg } if msg.0 == 99)
-        );
-        assert!(matches!(actions[1], Action::SetTimer { kind: 7, .. }));
-        assert!(
-            matches!(&actions[2], Action::Send { to: Addr::Node(NodeId(2)), msg } if msg.0 == 20)
-        );
-        assert!(
-            matches!(&actions[3], Action::Send { to: Addr::Node(NodeId(3)), msg } if msg.0 == 21)
-        );
-    }
-
-    #[test]
-    fn rewrite_sends_since_noop_rewriter_preserves_everything() {
-        let mut timers = TimerSlab::new();
-        let mut actions = Vec::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        {
-            let mut ctx: Context<'_, Msg> = Context::new(
-                Time::ZERO,
-                Addr::Node(NodeId(0)),
-                &mut timers,
-                &mut actions,
-                &mut rng,
-            );
-            let mark = ctx.mark();
-            ctx.send(Addr::Node(NodeId(1)), Msg(1));
-            ctx.send(Addr::Node(NodeId(2)), Msg(2));
-            ctx.rewrite_sends_since(mark, |to, msg, emit| emit(to, msg));
-        }
-        let sends: Vec<_> = actions
-            .iter()
-            .filter_map(|a| match a {
-                Action::Send { to, msg } => Some((*to, msg.0)),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(
-            sends,
-            vec![(Addr::Node(NodeId(1)), 1), (Addr::Node(NodeId(2)), 2)]
-        );
-    }
-
-    #[test]
-    fn timer_ids_are_unique() {
-        let mut timers = TimerSlab::new();
-        let mut actions = Vec::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx: Context<'_, Msg> = Context::new(
-            Time::ZERO,
-            Addr::Node(NodeId(0)),
-            &mut timers,
-            &mut actions,
-            &mut rng,
-        );
-        let a = ctx.set_timer(Duration::from_millis(1), 0);
-        let b = ctx.set_timer(Duration::from_millis(1), 0);
-        assert_ne!(a, b);
-        // Cancelling and re-arming reuses the slot under a new generation.
-        ctx.cancel_timer(a);
-        let c = ctx.set_timer(Duration::from_millis(1), 0);
-        assert_ne!(c, a);
-        assert_ne!(c, b);
-    }
-}
+pub use iss_runtime::process::{rewrite_sends, Action, Addr, Context, Payload, Process, StageRole};

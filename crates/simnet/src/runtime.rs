@@ -20,6 +20,8 @@ use crate::fault::FaultConfig;
 use crate::process::{Action, Addr, Context, Payload, Process};
 use crate::timer::TimerSlab;
 use crate::topology::Topology;
+use iss_runtime::trace::{EventRef, TraceSink};
+use iss_runtime::Event;
 use iss_types::{Duration, Time};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -165,6 +167,10 @@ pub struct Runtime<M: Payload> {
     rng: StdRng,
     stats: RuntimeStats,
     started: bool,
+    /// Invocation trace hook for one address ([`Runtime::record_trace`]).
+    /// `None` by default: untraced runs pay a single branch per invocation
+    /// and stay byte-identical to builds without the hook.
+    trace: Option<(Addr, Box<dyn TraceSink<M>>)>,
     // Hoisted fault/jitter configuration so the per-event and per-send hot
     // paths skip the config traversals when (as in most runs) there is
     // nothing to sample.
@@ -198,6 +204,7 @@ impl<M: Payload> Runtime<M> {
             rng,
             stats: RuntimeStats::default(),
             started: false,
+            trace: None,
             crash_faults,
             drop_faults,
             lossy_faults,
@@ -304,6 +311,16 @@ impl<M: Payload> Runtime<M> {
         &self.config
     }
 
+    /// Installs an invocation trace for the process at `addr`: every
+    /// callback invoked on it from now on is reported to `sink` (the event
+    /// before the callback, the emitted actions after — see
+    /// [`iss_runtime::trace`]). One address at a time; installing a new sink
+    /// replaces the old one. Used by the trace-equivalence suite to record
+    /// a node's inbound events and outbound decisions for standalone replay.
+    pub fn record_trace(&mut self, addr: Addr, sink: Box<dyn TraceSink<M>>) {
+        self.trace = Some((addr, sink));
+    }
+
     /// Runs the simulation until virtual time `until` (inclusive) or until no
     /// events remain, whichever comes first. Returns the number of events
     /// processed by this call.
@@ -336,7 +353,7 @@ impl<M: Payload> Runtime<M> {
         self.stats.events_processed += 1;
         match kind {
             EventKind::Start { addr } => {
-                self.invoke(addr, |process, ctx| process.on_start(ctx));
+                self.invoke(addr, Event::Start);
             }
             EventKind::Deliver { from, to, msg } => {
                 // Receiver may have crashed while the message was in flight.
@@ -366,7 +383,7 @@ impl<M: Payload> Runtime<M> {
                     self.queue
                         .push(completion, EventKind::Invoke { from, to, msg });
                 } else {
-                    self.invoke(to, |process, ctx| process.on_message(from, msg, ctx));
+                    self.invoke(to, Event::Message { from, msg });
                 }
             }
             EventKind::Invoke { from, to, msg } => {
@@ -374,7 +391,7 @@ impl<M: Payload> Runtime<M> {
                     self.stats.messages_dropped += 1;
                     return;
                 }
-                self.invoke(to, |process, ctx| process.on_message(from, msg, ctx));
+                self.invoke(to, Event::Message { from, msg });
             }
             EventKind::Timer {
                 addr,
@@ -399,7 +416,7 @@ impl<M: Payload> Runtime<M> {
                     return;
                 }
                 self.stats.timers_fired += 1;
-                self.invoke(addr, |process, ctx| process.on_timer(id, kind, ctx));
+                self.invoke(addr, Event::Timer { id, kind });
             }
             EventKind::Restart { addr } => {
                 let Some(pos) = self.pending_restarts.iter().position(|(a, _)| *a == addr) else {
@@ -413,7 +430,7 @@ impl<M: Payload> Runtime<M> {
                     .machine_node()
                     .map(|_| CpuState::new(self.config.cpu.cores));
                 entry.incarnation += 1;
-                self.invoke(addr, |process, ctx| process.on_start(ctx));
+                self.invoke(addr, Event::Start);
             }
         }
     }
@@ -427,16 +444,28 @@ impl<M: Payload> Runtime<M> {
                 .is_some_and(|n| self.config.faults.crashes.is_crashed(n, self.now))
     }
 
-    fn invoke<F>(&mut self, addr: Addr, f: F)
-    where
-        F: FnOnce(&mut dyn Process<M>, &mut Context<'_, M>),
-    {
+    fn invoke(&mut self, addr: Addr, event: Event<M>) {
         if self.addr_crashed(addr) {
             return;
         }
         let Some(slot) = self.slot_of(addr) else {
             return;
         };
+        let traced = matches!(&self.trace, Some((a, _)) if *a == addr);
+        if traced {
+            let sink = &mut self.trace.as_mut().expect("traced").1;
+            sink.begin(
+                self.now,
+                match &event {
+                    Event::Start => EventRef::Start,
+                    Event::Message { from, msg } => EventRef::Message { from: *from, msg },
+                    Event::Timer { id, kind } => EventRef::Timer {
+                        id: *id,
+                        kind: *kind,
+                    },
+                },
+            );
+        }
         // Take the reusable buffer for the duration of the callback; the
         // process stays in place (disjoint field borrows), so there is no
         // per-event remove/insert churn.
@@ -450,7 +479,15 @@ impl<M: Payload> Runtime<M> {
                 &mut actions,
                 &mut self.rng,
             );
-            f(entry.process.as_mut(), &mut ctx);
+            match event {
+                Event::Start => entry.process.on_start(&mut ctx),
+                Event::Message { from, msg } => entry.process.on_message(from, msg, &mut ctx),
+                Event::Timer { id, kind } => entry.process.on_timer(id, kind, &mut ctx),
+            }
+        }
+        if traced {
+            let sink = &mut self.trace.as_mut().expect("traced").1;
+            sink.finish(&actions);
         }
         self.apply_actions(addr, &mut actions);
         debug_assert!(actions.is_empty());
@@ -542,6 +579,14 @@ impl<M: Payload> Runtime<M> {
         );
         self.queue
             .push(arrival, EventKind::Deliver { from, to, msg });
+    }
+}
+
+/// Mounting a process on the simulator is plain registration; the simulated
+/// network, CPU model and virtual clock drive it from there.
+impl<M: Payload> iss_runtime::Driver<M> for Runtime<M> {
+    fn mount(&mut self, addr: Addr, process: Box<dyn Process<M>>) {
+        self.add_process(addr, process);
     }
 }
 

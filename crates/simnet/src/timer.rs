@@ -1,118 +1,7 @@
-//! Generation-stamped timer slots.
+//! Generation-stamped timer slots, re-exported from [`iss_runtime::timer`].
 //!
-//! The runtime used to suppress cancelled timers with a tombstone
-//! `HashSet<TimerId>` that was probed on every timer event and grew with
-//! every cancellation. [`TimerSlab`] replaces it: each armed timer occupies a
-//! slab slot whose current *generation* is packed into the [`TimerId`] handle
-//! (see [`TimerId::from_parts`]). Cancelling or firing a timer bumps the
-//! slot's generation and recycles the slot, so
-//!
-//! * cancellation is O(1) (one array write, one free-list push),
-//! * a stale timer event is rejected in O(1) (generation mismatch), and
-//! * memory is bounded by the maximum number of *concurrently* armed timers
-//!   rather than by the total number of cancellations.
+//! The slab moved to `iss-runtime` together with the process model it
+//! serves; see there for the design notes (O(1) cancellation, stale-handle
+//! rejection, memory bounded by concurrently armed timers).
 
-use iss_types::TimerId;
-
-/// Slab of generation-stamped timer slots.
-#[derive(Debug, Default)]
-pub struct TimerSlab {
-    /// Current generation of every slot. A handle is *live* iff the
-    /// generation it carries matches its slot's entry.
-    generations: Vec<u32>,
-    /// Slots available for reuse.
-    free: Vec<u32>,
-}
-
-impl TimerSlab {
-    /// Creates an empty slab.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Allocates a slot for a newly armed timer and returns its handle.
-    pub fn allocate(&mut self) -> TimerId {
-        match self.free.pop() {
-            Some(slot) => TimerId::from_parts(slot, self.generations[slot as usize]),
-            None => {
-                let slot = self.generations.len() as u32;
-                self.generations.push(0);
-                TimerId::from_parts(slot, 0)
-            }
-        }
-    }
-
-    /// Whether the handle still refers to an armed, uncancelled timer.
-    #[inline]
-    pub fn is_live(&self, id: TimerId) -> bool {
-        self.generations
-            .get(id.slot() as usize)
-            .is_some_and(|gen| *gen == id.generation())
-    }
-
-    /// Retires a live handle: bumps the slot generation (invalidating the
-    /// handle) and recycles the slot. Returns whether the handle was live —
-    /// `false` means it was already cancelled or fired, and nothing changed.
-    ///
-    /// Used both for cancellation and for firing, which are the two ways a
-    /// timer's slot is released.
-    #[inline]
-    pub fn retire(&mut self, id: TimerId) -> bool {
-        let slot = id.slot() as usize;
-        match self.generations.get_mut(slot) {
-            Some(gen) if *gen == id.generation() => {
-                *gen = gen.wrapping_add(1);
-                self.free.push(id.slot());
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Number of slots ever allocated (capacity watermark, for tests).
-    pub fn capacity(&self) -> usize {
-        self.generations.len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn allocate_retire_allocate_reuses_slots_with_fresh_generations() {
-        let mut slab = TimerSlab::new();
-        let a = slab.allocate();
-        let b = slab.allocate();
-        assert_ne!(a, b);
-        assert!(slab.is_live(a) && slab.is_live(b));
-        assert!(slab.retire(a));
-        assert!(!slab.is_live(a));
-        // Double retire is a no-op.
-        assert!(!slab.retire(a));
-        // The slot comes back with a bumped generation: a fresh handle that
-        // never collides with the retired one.
-        let c = slab.allocate();
-        assert_eq!(c.slot(), a.slot());
-        assert_ne!(c, a);
-        assert!(slab.is_live(c));
-        assert!(!slab.is_live(a));
-        assert_eq!(slab.capacity(), 2);
-    }
-
-    #[test]
-    fn memory_is_bounded_by_concurrent_timers() {
-        let mut slab = TimerSlab::new();
-        for _ in 0..10_000 {
-            let id = slab.allocate();
-            assert!(slab.retire(id));
-        }
-        assert_eq!(slab.capacity(), 1, "one slot serves 10k arm/cancel cycles");
-    }
-
-    #[test]
-    fn unknown_slots_are_not_live() {
-        let slab = TimerSlab::new();
-        assert!(!slab.is_live(TimerId::from_parts(3, 0)));
-    }
-}
+pub use iss_runtime::timer::TimerSlab;

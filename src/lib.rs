@@ -20,7 +20,10 @@
 //! | [`core`] | the ISS framework: epochs, segments, buckets, leader policies, checkpointing |
 //! | [`mirbft`] | the Mir-BFT-style baseline |
 //! | [`client`], [`workload`] | client-side logic and load generation / metrics |
+//! | [`runtime`] | the sans-IO process model every engine drives (events in, actions out) |
 //! | [`simnet`], [`sim`] | the discrete-event WAN simulator and the experiment harness |
+//! | [`net`] | the threaded TCP runtime: the same nodes over real sockets |
+//! | [`storage`] | the durable WAL + snapshot store the TCP nodes mount |
 //!
 //! ## Quick start
 //!
@@ -44,6 +47,69 @@
 //! assert!(report.delivered > 0);
 //! ```
 //!
+//! ## The runtime boundary
+//!
+//! A replica is a *pure event handler* behind the sans-IO boundary defined
+//! in [`runtime`]: events go in (`Start`, `Message`, `Timer`), an action
+//! list comes out (`Send`, `SetTimer`), and nothing inside the handler
+//! touches a socket or a clock. Every engine drives the same unmodified
+//! protocol code — [`simnet`] in virtual time, [`net`] over real TCP on the
+//! wall clock — which is what makes simulator results transfer to the
+//! socket deployment (see `docs/architecture.md` and the trace-equivalence
+//! suite):
+//!
+//! ```
+//! use iss::runtime::{Action, Addr, Context, Driver, Event, Payload, Process, SansIo};
+//! use iss::types::{NodeId, Time};
+//!
+//! #[derive(Clone, Debug, PartialEq)]
+//! struct Ping(u32);
+//! impl Payload for Ping {
+//!     fn wire_size(&self) -> usize {
+//!         4
+//!     }
+//! }
+//!
+//! struct Echo;
+//! impl Process<Ping> for Echo {
+//!     fn on_start(&mut self, _ctx: &mut Context<'_, Ping>) {}
+//!     fn on_message(&mut self, from: Addr, msg: Ping, ctx: &mut Context<'_, Ping>) {
+//!         ctx.send(from, Ping(msg.0 + 1));
+//!     }
+//!     fn on_timer(&mut self, _id: iss::types::TimerId, _kind: u64, _ctx: &mut Context<'_, Ping>) {}
+//! }
+//!
+//! // The standalone driver executes one invocation and hands the emitted
+//! // actions back; the simulator and the TCP runtime route them instead.
+//! let mut driver: SansIo<Ping> = SansIo::new(1);
+//! driver.mount(Addr::Node(NodeId(0)), Box::new(Echo));
+//! let actions = driver.handle(
+//!     Time::ZERO,
+//!     Event::Message { from: Addr::Node(NodeId(7)), msg: Ping(41) },
+//! );
+//! assert_eq!(
+//!     actions,
+//!     vec![Action::Send { to: Addr::Node(NodeId(7)), msg: Ping(42) }]
+//! );
+//! ```
+//!
+//! ### Running it over real sockets
+//!
+//! The same node code runs as an actual ordering service:
+//!
+//! ```sh
+//! cargo run --release --example ordering_service -- --tcp
+//! ```
+//!
+//! boots 4 ISS-PBFT replicas on 127.0.0.1 — length-prefixed frames over
+//! `std::net::TcpStream`, one reader thread per peer funneling into a
+//! single protocol thread per node, and a durable fsync'd write-ahead log
+//! each — then loads them with open-loop clients on the wall clock and
+//! verifies pairwise agreement over everything delivered.
+//! [`net::TcpCluster`] is the embeddable form of the same harness; the CI
+//! `tcp_smoke` gate additionally kills a replica under load and requires
+//! WAL-replay recovery and rejoin.
+//!
 //! Beyond the paper's uniform open loop, `iss::workload` provides bursty
 //! on/off traffic, linearly ramping load and Zipf-skewed per-client rates
 //! (plus payload-size distributions), and the scenario's `FaultPlan`
@@ -59,10 +125,13 @@ pub use iss_fd as fd;
 pub use iss_hotstuff as hotstuff;
 pub use iss_messages as messages;
 pub use iss_mirbft as mirbft;
+pub use iss_net as net;
 pub use iss_pbft as pbft;
 pub use iss_raft as raft;
+pub use iss_runtime as runtime;
 pub use iss_sb as sb;
 pub use iss_sim as sim;
 pub use iss_simnet as simnet;
+pub use iss_storage as storage;
 pub use iss_types as types;
 pub use iss_workload as workload;

@@ -6,20 +6,19 @@
 //! `crates/bench`.
 
 use iss::core::Mode;
-use iss::sim::{ClusterSpec, CrashTiming, Deployment, Protocol};
+use iss::sim::{CrashTiming, Deployment, Protocol, Scenario, ScenarioBuilder};
 use iss::types::{Duration, LeaderPolicyKind, NodeId};
 
-fn base_spec(protocol: Protocol, nodes: usize, rate: f64) -> ClusterSpec {
-    let mut spec = ClusterSpec::new(protocol, nodes, rate);
-    spec.duration = Duration::from_secs(12);
-    spec.warmup = Duration::from_secs(4);
-    spec.num_clients = 4;
-    spec
+fn base(protocol: Protocol, nodes: usize, rate: f64) -> ScenarioBuilder {
+    Scenario::builder(protocol, nodes)
+        .open_loop(4, rate)
+        .duration(Duration::from_secs(12))
+        .warmup(Duration::from_secs(4))
 }
 
 #[test]
 fn iss_pbft_smr_delivers_and_all_correct_nodes_agree_on_volume() {
-    let mut deployment = Deployment::build(base_spec(Protocol::Pbft, 4, 400.0));
+    let mut deployment = Deployment::new(base(Protocol::Pbft, 4, 400.0).build());
     let report = deployment.run();
     assert!(
         report.delivered > 500,
@@ -47,13 +46,13 @@ fn iss_pbft_smr_delivers_and_all_correct_nodes_agree_on_volume() {
 
 #[test]
 fn iss_hotstuff_end_to_end() {
-    let report = Deployment::build(base_spec(Protocol::HotStuff, 4, 300.0)).run();
+    let report = base(Protocol::HotStuff, 4, 300.0).build().run();
     assert!(report.delivered > 200, "delivered {}", report.delivered);
 }
 
 #[test]
 fn iss_raft_end_to_end() {
-    let report = Deployment::build(base_spec(Protocol::Raft, 3, 400.0)).run();
+    let report = base(Protocol::Raft, 3, 400.0).build().run();
     assert!(report.delivered > 500, "delivered {}", report.delivered);
 }
 
@@ -65,15 +64,18 @@ fn iss_outperforms_single_leader_at_modest_scale() {
     // At 16 nodes the single leader's 1 Gbps egress caps it around
     // 125 MB/s / (15 × 500 B) ≈ 16.6 kreq/s, while ISS spreads the load over
     // 16 leaders.
-    let mut iss_spec = base_spec(Protocol::Pbft, 16, 24_000.0);
-    iss_spec.duration = Duration::from_secs(10);
-    iss_spec.warmup = Duration::from_secs(5);
-    let iss = Deployment::build(iss_spec).run();
+    let iss = base(Protocol::Pbft, 16, 24_000.0)
+        .duration(Duration::from_secs(10))
+        .warmup(Duration::from_secs(5))
+        .build()
+        .run();
 
-    let mut single_spec = base_spec(Protocol::Pbft, 16, 24_000.0).single_leader();
-    single_spec.duration = Duration::from_secs(10);
-    single_spec.warmup = Duration::from_secs(5);
-    let single = Deployment::build(single_spec).run();
+    let single = base(Protocol::Pbft, 16, 24_000.0)
+        .mode(Mode::SingleLeader)
+        .duration(Duration::from_secs(10))
+        .warmup(Duration::from_secs(5))
+        .build()
+        .run();
 
     assert!(
         iss.throughput > single.throughput,
@@ -85,12 +87,12 @@ fn iss_outperforms_single_leader_at_modest_scale() {
 
 #[test]
 fn epoch_start_crash_preserves_liveness_with_blacklist() {
-    let mut spec = base_spec(Protocol::Pbft, 4, 400.0);
-    spec.duration = Duration::from_secs(30);
-    spec.policy = LeaderPolicyKind::Blacklist;
-    spec.crashes = vec![(NodeId(0), CrashTiming::EpochStart)];
-    let mut deployment = Deployment::build(spec);
-    let report = deployment.run();
+    let report = base(Protocol::Pbft, 4, 400.0)
+        .duration(Duration::from_secs(30))
+        .policy(LeaderPolicyKind::Blacklist)
+        .crash(NodeId(0), CrashTiming::EpochStart)
+        .build()
+        .run();
     // Despite the crashed leader, requests keep being delivered and epochs
     // keep advancing (⊥ fills the crashed leader's slots in epoch 0).
     assert!(report.delivered > 300, "delivered {}", report.delivered);
@@ -103,19 +105,21 @@ fn epoch_start_crash_preserves_liveness_with_blacklist() {
 
 #[test]
 fn byzantine_straggler_degrades_but_does_not_stop_progress() {
-    let mut spec = base_spec(Protocol::Pbft, 4, 400.0);
-    spec.duration = Duration::from_secs(25);
-    spec.stragglers = vec![NodeId(0)];
-    let report = Deployment::build(spec).run();
+    let report = base(Protocol::Pbft, 4, 400.0)
+        .duration(Duration::from_secs(25))
+        .straggler(NodeId(0))
+        .build()
+        .run();
     assert!(report.delivered > 100, "delivered {}", report.delivered);
 }
 
 #[test]
 fn mir_baseline_runs_and_advances_epochs() {
-    let mut spec = base_spec(Protocol::Pbft, 4, 400.0);
-    spec.mode = Mode::Mir;
-    spec.duration = Duration::from_secs(25);
-    let report = Deployment::build(spec).run();
+    let report = base(Protocol::Pbft, 4, 400.0)
+        .mode(Mode::Mir)
+        .duration(Duration::from_secs(25))
+        .build()
+        .run();
     assert!(report.delivered > 300, "delivered {}", report.delivered);
     assert!(!report.epochs.is_empty());
 }
@@ -123,6 +127,6 @@ fn mir_baseline_runs_and_advances_epochs() {
 #[test]
 fn reference_sb_implementation_also_drives_iss() {
     // Algorithm 5 (BRB + consensus) as the ordering protocol.
-    let report = Deployment::build(base_spec(Protocol::Reference, 4, 200.0)).run();
+    let report = base(Protocol::Reference, 4, 200.0).build().run();
     assert!(report.delivered > 100, "delivered {}", report.delivered);
 }
