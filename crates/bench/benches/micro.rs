@@ -515,6 +515,7 @@ fn stage_runtime(requests: u32) -> (Runtime<NetMsg>, Rc<Cell<usize>>) {
             config.clone(),
             Arc::new(SignatureRegistry::with_processes(4, 4)),
             None,
+            iss_telemetry::TelemetryHandle::disabled(),
         )),
     );
     rt.add_process(
@@ -588,6 +589,42 @@ fn bench_fig8_smoke_wallclock(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    use iss_telemetry::{request_key, Recorder, TelemetryHandle};
+    let mut group = c.benchmark_group("telemetry");
+
+    // The guard for the default configuration: with telemetry disabled,
+    // every recording call must compile down to a branch on `None` — the
+    // hot path of an uninstrumented node pays (near) nothing.
+    let disabled = TelemetryHandle::disabled();
+    group.bench_function("disabled_overhead", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            disabled.on_arrival(Time(t), request_key(criterion::black_box(3), t));
+            disabled.gauge_set("orderer.ready_queue", t);
+            disabled.cpu_charge(iss_types::MsgClass::Proposal, t);
+            disabled.on_end_to_end(Time(t + 7), request_key(3, t));
+        })
+    });
+
+    // The enabled path: ring write + histogram record + correlation-map
+    // traffic for one arrival→delivery request round trip. Allocation-free
+    // by design; this bench keeps it honest.
+    let enabled = TelemetryHandle::enabled(0);
+    group.bench_function("record_hot_path", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            enabled.on_arrival(Time(t), request_key(criterion::black_box(3), t));
+            enabled.gauge_set("orderer.ready_queue", t);
+            enabled.cpu_charge(iss_types::MsgClass::Proposal, t);
+            enabled.on_end_to_end(Time(t + 7), request_key(3, t));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_crypto,
@@ -601,6 +638,7 @@ criterion_group!(
     bench_pbft_round,
     bench_simnet_event_throughput,
     bench_stages,
+    bench_telemetry,
     bench_fig8_smoke_wallclock,
 );
 criterion_main!(benches);

@@ -57,6 +57,7 @@ use iss_runtime::process::{Addr, Context, Process, StageRole};
 use iss_sb::{SbAction, SbContext, SbInstance};
 use iss_storage::record::{decode_policy, encode_policy, PolicyState, Snapshot, WalRecord};
 use iss_storage::Storage;
+use iss_telemetry::{Recorder, TelemetryHandle};
 use iss_types::{
     Batch, BucketId, ClientId, Duration, EpochNr, Error, InstanceId, IssConfig, NodeId, Request,
     RequestId, SeqNr, Time, TimerId,
@@ -184,6 +185,10 @@ pub struct NodeOptions {
     pub straggler: Option<StragglerBehavior>,
     /// Compartmentalized pipeline wiring (`None` = monolithic node).
     pub pipeline: Option<PipelineOptions>,
+    /// Commit-path telemetry for this machine, shared with any co-located
+    /// pipeline stages (disabled by default). Recording never touches the
+    /// process RNG or emits actions, so enabling it cannot perturb a run.
+    pub telemetry: TelemetryHandle,
 }
 
 impl NodeOptions {
@@ -199,8 +204,27 @@ impl NodeOptions {
             clients: Vec::new(),
             straggler: None,
             pipeline: None,
+            telemetry: TelemetryHandle::disabled(),
         }
     }
+}
+
+/// Telemetry correlation key of a request (stable across the machines and
+/// stages that see the same request).
+pub fn telemetry_request_key(id: &RequestId) -> u64 {
+    iss_telemetry::request_key(id.client.0 as u64, id.timestamp)
+}
+
+/// Telemetry correlation key of a batch: the order-sensitive fold over its
+/// request keys. The batcher (at cut time) and the orderer (per constituent
+/// batch at proposal time) compute the same key independently.
+pub fn telemetry_batch_key(batch: &Batch) -> u64 {
+    iss_telemetry::batch_key(
+        batch
+            .requests()
+            .iter()
+            .map(|r| telemetry_request_key(&r.id)),
+    )
 }
 
 /// The ISS replica, generic over its epoch-state implementation (see the
@@ -1081,6 +1105,7 @@ impl<S: NodeState> IssNode<S> {
         if !self.log.commit(sn, batch.clone(), leader) {
             return; // already committed (e.g. via state transfer)
         }
+        self.opts.telemetry.on_quorum(ctx.now(), sn);
         self.persist_commit(sn, leader, &batch);
         match &batch {
             Some(b) => {
@@ -1152,6 +1177,21 @@ impl<S: NodeState> IssNode<S> {
         if delivered.is_empty() {
             return;
         }
+        if self.opts.telemetry.is_enabled() {
+            // One deliver span per distinct batch (`deliver_ready` walks the
+            // log in order, so a batch's requests are contiguous). End-to-end
+            // completion is recorded wherever delivery actually happens: here
+            // for the monolithic node, at the executor stages for the
+            // pipeline (through the shared per-machine telemetry).
+            let now = ctx.now();
+            let mut last_sn = None;
+            for d in &delivered {
+                if last_sn != Some(d.batch_seq_nr) {
+                    self.opts.telemetry.on_deliver(now, d.batch_seq_nr);
+                    last_sn = Some(d.batch_seq_nr);
+                }
+            }
+        }
         // Compartmentalized pipeline: delivery (sink notification and client
         // responses) happens at the executor stages; fan the committed
         // requests out by the deterministic seq-nr hash and return.
@@ -1178,6 +1218,9 @@ impl<S: NodeState> IssNode<S> {
         }
         let now = ctx.now();
         for d in &delivered {
+            self.opts
+                .telemetry
+                .on_end_to_end(now, telemetry_request_key(&d.request.id));
             self.sink.borrow_mut().on_request_delivered(
                 self.my_id,
                 &d.request,
@@ -1308,6 +1351,12 @@ impl<S: NodeState> IssNode<S> {
         let instance_id = segment.instance;
         let now = ctx.now();
 
+        // Telemetry: batch keys of the ready batches merged into this
+        // proposal (pipeline mode), pairing the batcher's cut timestamps
+        // with the proposal below. Only collected while telemetry is on.
+        let mut proposal_sources: Vec<u64> = Vec::new();
+        let telemetry_on = self.opts.telemetry.is_enabled();
+
         let batch = if let Some(straggler) = self.opts.straggler {
             // A Byzantine straggler delays as much as possible and proposes
             // only empty batches.
@@ -1328,12 +1377,18 @@ impl<S: NodeState> IssNode<S> {
             let max_wait = self.opts.config.max_batch_timeout;
             match p.ready.pop_front() {
                 Some(first) => {
+                    if telemetry_on {
+                        proposal_sources.push(telemetry_batch_key(&first));
+                    }
                     let mut requests = first.requests().to_vec();
                     while let Some(next) = p.ready.front() {
                         if requests.len() + next.len() > max_size {
                             break;
                         }
                         let next = p.ready.pop_front().expect("front checked");
+                        if telemetry_on {
+                            proposal_sources.push(telemetry_batch_key(&next));
+                        }
                         requests.extend_from_slice(next.requests());
                     }
                     Batch::new(requests)
@@ -1366,6 +1421,30 @@ impl<S: NodeState> IssNode<S> {
             }
         };
 
+        if telemetry_on {
+            if self.pipeline.is_none() && !batch.is_empty() {
+                // Monolithic node: the batch is cut and proposed in the same
+                // tick, so record both edges here (cut→propose ≈ 0; the
+                // pipeline's batcher stages record their cuts themselves).
+                let bkey = telemetry_batch_key(&batch);
+                self.opts.telemetry.on_cut(
+                    now,
+                    bkey,
+                    batch
+                        .requests()
+                        .iter()
+                        .map(|r| telemetry_request_key(&r.id)),
+                );
+                proposal_sources.push(bkey);
+            }
+            self.opts.telemetry.on_propose(
+                now,
+                sn,
+                batch.len() as u64,
+                proposal_sources.into_iter(),
+            );
+        }
+
         self.last_proposal_at = now;
         self.next_proposal += 1;
         self.state.record_proposed(sn, batch.clone());
@@ -1380,6 +1459,9 @@ impl<S: NodeState> IssNode<S> {
             NetMsg::Client(ClientMsg::Request(req)) => match self.validation.validate_request(&req)
             {
                 Ok(()) => {
+                    self.opts
+                        .telemetry
+                        .on_arrival(ctx.now(), telemetry_request_key(&req.id));
                     self.buckets.add(req);
                 }
                 Err(e) => {
@@ -1545,6 +1627,9 @@ impl<S: NodeState> IssNode<S> {
                         c.handoffs += 1;
                         c.max_queue_depth = c.max_queue_depth.max(p.ready.len());
                     }
+                    self.opts
+                        .telemetry
+                        .gauge_set("orderer.ready_queue", p.ready.len() as u64);
                 }
             }
             NetMsg::Stage(_) => {}

@@ -28,11 +28,12 @@
 //! from the orderer always reach the stage that holds it.
 
 use crate::buckets::BucketQueues;
-use crate::node::DeliverySink;
+use crate::node::{telemetry_batch_key, telemetry_request_key, DeliverySink};
 use crate::validation::{EpochBuckets, RequestValidation};
 use iss_crypto::SignatureRegistry;
 use iss_messages::{ClientMsg, NetMsg, StageMsg};
 use iss_runtime::process::{Addr, Context, Process};
+use iss_telemetry::TelemetryHandle;
 use iss_types::{BucketId, Duration, IssConfig, NodeId, Time, TimerId};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -91,6 +92,9 @@ pub struct BatcherProcess {
     led: Vec<BucketId>,
     last_cut_at: Time,
     counters: Option<StageCountersHandle>,
+    /// The parent machine's telemetry (shared with the orderer, so a cut
+    /// recorded here pairs with the orderer's proposal).
+    telemetry: TelemetryHandle,
 }
 
 impl BatcherProcess {
@@ -102,6 +106,7 @@ impl BatcherProcess {
         config: IssConfig,
         registry: Arc<SignatureRegistry>,
         counters: Option<StageCountersHandle>,
+        telemetry: TelemetryHandle,
     ) -> Self {
         assert!(index < num_batchers, "batcher index out of range");
         let validation = RequestValidation::new(
@@ -122,6 +127,7 @@ impl BatcherProcess {
             led: Vec::new(),
             last_cut_at: Time::ZERO,
             counters,
+            telemetry,
         }
     }
 
@@ -165,7 +171,7 @@ impl Process<NetMsg> for BatcherProcess {
         ctx.set_timer(self.cut_interval(), KIND_CUT);
     }
 
-    fn on_message(&mut self, _from: Addr, msg: NetMsg, _ctx: &mut Context<'_, NetMsg>) {
+    fn on_message(&mut self, _from: Addr, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
         match msg {
             // Intake: this stage pays the per-request verification cost
             // (charged by the runtime on delivery); invalid requests fail
@@ -174,6 +180,8 @@ impl Process<NetMsg> for BatcherProcess {
             NetMsg::Client(ClientMsg::Request(req))
                 if self.validation.validate_request(&req).is_ok() =>
             {
+                self.telemetry
+                    .on_arrival(ctx.now(), telemetry_request_key(&req.id));
                 self.buckets.add(req);
                 self.note_depth();
             }
@@ -229,6 +237,14 @@ impl Process<NetMsg> for BatcherProcess {
         if let Some(c) = &self.counters {
             c.borrow_mut().handoffs += 1;
         }
+        self.telemetry.on_cut(
+            now,
+            telemetry_batch_key(&batch),
+            batch
+                .requests()
+                .iter()
+                .map(|r| telemetry_request_key(&r.id)),
+        );
         ctx.send(
             Addr::Node(self.parent),
             NetMsg::Stage(StageMsg::BatchReady { batch }),
@@ -243,6 +259,9 @@ pub struct ExecutorProcess {
     respond_to_clients: bool,
     sink: Rc<RefCell<dyn DeliverySink>>,
     counters: Option<StageCountersHandle>,
+    /// The parent machine's telemetry; delivery here closes the arrival
+    /// recorded at the batcher (end-to-end latency).
+    telemetry: TelemetryHandle,
 }
 
 impl ExecutorProcess {
@@ -253,12 +272,14 @@ impl ExecutorProcess {
         respond_to_clients: bool,
         sink: Rc<RefCell<dyn DeliverySink>>,
         counters: Option<StageCountersHandle>,
+        telemetry: TelemetryHandle,
     ) -> Self {
         ExecutorProcess {
             parent,
             respond_to_clients,
             sink,
             counters,
+            telemetry,
         }
     }
 }
@@ -277,6 +298,8 @@ impl Process<NetMsg> for ExecutorProcess {
         }
         let now = ctx.now();
         for (request, request_seq_nr) in deliveries {
+            self.telemetry
+                .on_end_to_end(now, telemetry_request_key(&request.id));
             self.sink
                 .borrow_mut()
                 .on_request_delivered(self.parent, &request, request_seq_nr, now);
@@ -310,6 +333,7 @@ mod tests {
             config,
             Arc::new(SignatureRegistry::with_processes(4, 4)),
             Some(stage_counters()),
+            TelemetryHandle::disabled(),
         )
     }
 

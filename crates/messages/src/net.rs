@@ -9,7 +9,7 @@ use crate::pbft::PbftMsg;
 use crate::raft::RaftMsg;
 use crate::refsb::RefSbMsg;
 use crate::stage::StageMsg;
-use iss_types::{InstanceId, Payload};
+use iss_types::{InstanceId, MsgClass, Payload};
 
 /// A message of one of the ordering protocols usable as an SB implementation.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,6 +92,34 @@ impl Payload for NetMsg {
             NetMsg::Stage(m) => m.num_requests(),
         }
     }
+
+    fn class(&self) -> MsgClass {
+        match self {
+            NetMsg::Client(ClientMsg::Request(_)) => MsgClass::Request,
+            NetMsg::Client(_) => MsgClass::Response,
+            // Protocol messages carrying a batch are proposal processing
+            // (digesting, validation, logging); the rest is quorum
+            // bookkeeping. This split is what separates the orderer's
+            // per-request work from its per-message work.
+            NetMsg::Sb { msg, .. } | NetMsg::Baseline(msg) => {
+                if msg.num_requests() > 0 {
+                    MsgClass::Proposal
+                } else {
+                    MsgClass::Vote
+                }
+            }
+            NetMsg::Iss(IssMsg::Checkpoint { .. }) => MsgClass::Checkpoint,
+            NetMsg::Iss(_) => MsgClass::StateTransfer,
+            NetMsg::Mir(m) => {
+                if m.num_requests() > 0 {
+                    MsgClass::Proposal
+                } else {
+                    MsgClass::Vote
+                }
+            }
+            NetMsg::Stage(_) => MsgClass::Handoff,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +181,24 @@ mod tests {
         for m in msgs {
             assert!(m.wire_size() > 0);
         }
+    }
+
+    #[test]
+    fn classes_split_proposals_from_votes() {
+        let proposal = NetMsg::Baseline(SbMsg::Pbft(preprepare(3)));
+        assert_eq!(proposal.class(), MsgClass::Proposal);
+        let vote = NetMsg::Sb {
+            instance: InstanceId::new(0, 0),
+            msg: SbMsg::Reference(RefSbMsg::Heartbeat),
+        };
+        assert_eq!(vote.class(), MsgClass::Vote);
+        let req = NetMsg::Client(ClientMsg::Request(Request::synthetic(ClientId(0), 0, 500)));
+        assert_eq!(req.class(), MsgClass::Request);
+        let st = NetMsg::Iss(IssMsg::StateRequest {
+            from_seq_nr: 0,
+            to_seq_nr: 1,
+        });
+        assert_eq!(st.class(), MsgClass::StateTransfer);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use iss_crypto::SignatureRegistry;
 use iss_sim::client_proc::ClientProcess;
 use iss_sim::{make_factory, Protocol, Scenario};
 use iss_storage::{FileStorage, Storage};
+use iss_telemetry::{Recorder, TelemetryHandle, TelemetrySnapshot};
 use iss_types::{ClientId, Duration, EpochNr, IssConfig, NodeId, Request, RequestId, SeqNr, Time};
 use iss_workload::OpenLoop;
 use std::cell::RefCell;
@@ -157,6 +158,11 @@ pub struct TcpClusterConfig {
     /// stall, so the cluster defaults to an aggressive 2 s (commits reset
     /// the progress timer, so a loaded healthy segment never fires it).
     pub protocol_timeout: Duration,
+    /// When `true`, every replica records telemetry (commit-path spans,
+    /// per-phase latency histograms, transport gauges) into a per-node
+    /// [`TelemetryHandle`]; [`TcpCluster::telemetry_snapshot`] merges them.
+    /// Default `false`: disabled telemetry is a no-op on the hot path.
+    pub telemetry: bool,
 }
 
 impl TcpClusterConfig {
@@ -171,6 +177,7 @@ impl TcpClusterConfig {
             seed: 42,
             storage_root: None,
             protocol_timeout: Duration::from_secs(2),
+            telemetry: false,
         }
     }
 }
@@ -183,6 +190,9 @@ pub struct TcpCluster {
     nodes: Vec<Option<TcpHandle>>,
     clients: Vec<TcpHandle>,
     commits: CommitLogHandle,
+    /// One handle per replica, created at launch and reused across
+    /// restarts, so a node's histograms accumulate over its incarnations.
+    telemetry: Vec<TelemetryHandle>,
 }
 
 impl TcpCluster {
@@ -214,6 +224,15 @@ impl TcpCluster {
             listeners.push(listener);
         }
 
+        let telemetry = (0..cfg.num_nodes as u32)
+            .map(|n| {
+                if cfg.telemetry {
+                    TelemetryHandle::enabled(n)
+                } else {
+                    TelemetryHandle::disabled()
+                }
+            })
+            .collect();
         let mut cluster = TcpCluster {
             cfg,
             iss,
@@ -221,6 +240,7 @@ impl TcpCluster {
             nodes: Vec::new(),
             clients: Vec::new(),
             commits,
+            telemetry,
         };
         for (n, listener) in listeners.into_iter().enumerate() {
             let handle = cluster.spawn_node(NodeId(n as u32), listener)?;
@@ -274,6 +294,62 @@ impl TcpCluster {
         Ok(())
     }
 
+    /// Merged telemetry across all replicas, or `None` when the cluster was
+    /// launched with `telemetry: false`.
+    ///
+    /// Before merging, each live node's transport statistics are stamped
+    /// into its telemetry as gauges (`net.mailbox_depth`,
+    /// `net.writer_depth[peer]`, `net.writer_drops[peer]`,
+    /// `net.reconnects[peer]`, `net.frames_sent[peer]`,
+    /// `net.bytes_sent[peer]`), so the snapshot carries the satellite view
+    /// of the wire next to the protocol's latency histograms. Killed nodes
+    /// keep their protocol telemetry (the handle outlives the runtime) but
+    /// their final transport numbers are lost with the sockets.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        if !self.cfg.telemetry {
+            return None;
+        }
+        for (i, handle) in self.nodes.iter().enumerate() {
+            let Some(handle) = handle else { continue };
+            let stats = handle.stats();
+            let tel = &self.telemetry[i];
+            // Stamp the observed maximum first, then the current value:
+            // `GaugeStat` keeps `last` = latest set and `max` = largest set,
+            // so this order leaves (last = current, max = peak).
+            tel.gauge_set(
+                "net.mailbox_depth",
+                stats
+                    .max_mailbox_depth
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
+            tel.gauge_set(
+                "net.mailbox_depth",
+                stats
+                    .mailbox_depth
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
+            let mut peers: Vec<_> = stats.peers.iter().collect();
+            peers.sort_by_key(|(peer, _)| **peer);
+            for (peer, p) in peers {
+                use std::sync::atomic::Ordering::Relaxed;
+                let idx = peer.0;
+                tel.gauge_set_for("net.writer_depth", idx, p.max_queue_depth.load(Relaxed));
+                tel.gauge_set_for("net.writer_depth", idx, p.queue_depth.load(Relaxed));
+                tel.gauge_set_for("net.writer_drops", idx, p.dropped.load(Relaxed));
+                tel.gauge_set_for("net.reconnects", idx, p.connects.load(Relaxed));
+                tel.gauge_set_for("net.frames_sent", idx, p.frames_sent.load(Relaxed));
+                tel.gauge_set_for("net.bytes_sent", idx, p.bytes_sent.load(Relaxed));
+            }
+        }
+        let mut merged = TelemetrySnapshot::empty();
+        for tel in &self.telemetry {
+            if let Some(snap) = tel.snapshot() {
+                merged.merge(&snap);
+            }
+        }
+        Some(merged)
+    }
+
     /// Shuts the whole cluster down (clients first, then replicas).
     pub fn shutdown(mut self) {
         for c in self.clients.drain(..) {
@@ -298,11 +374,13 @@ impl TcpCluster {
             .storage_root
             .as_ref()
             .map(|root| root.join(format!("node-{}", node_id.0)));
+        let telemetry = self.telemetry[node_id.index()].clone();
         let builder = Box::new(move || {
             let registry = Arc::new(SignatureRegistry::with_processes(num_nodes, num_clients));
             let mut opts = NodeOptions::new(iss.clone());
             opts.respond_to_clients = true;
             opts.announce_buckets = true;
+            opts.telemetry = telemetry;
             opts.clients = (0..num_clients as u32).map(ClientId).collect();
             let factory = make_factory(protocol, &iss, Arc::clone(&registry));
             let sink = Rc::new(RefCell::new(SharedSink { log }));

@@ -49,7 +49,7 @@ use std::cmp::Reverse;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
@@ -76,8 +76,84 @@ pub type ProcessBuilder = Box<dyn FnOnce() -> Box<dyn Process<NetMsg>> + Send>;
 /// Frames queued to one peer's writer thread beyond this bound are dropped:
 /// a crashed or unreachable peer must not grow the sender's memory without
 /// limit, and the protocols tolerate message loss by design (a recovering
-/// replica catches up through the WAL / state-transfer path).
+/// replica catches up through the WAL / state-transfer path). Each drop is
+/// counted in the peer's [`PeerStats`] and surfaced by a rate-limited
+/// warning — loss is tolerated, but never silent.
 const WRITER_QUEUE: usize = 4096;
+
+/// Emit a dropped-frame warning on the first drop to a peer and then once
+/// every this many drops (a saturated writer queue drops frames in bursts;
+/// per-frame logging would melt stderr exactly when the node is busiest).
+const DROP_WARN_EVERY: u64 = 1024;
+
+/// Live statistics of one peer's outbound writer, shared between the
+/// protocol thread (which enqueues), the writer thread (which drains and
+/// writes) and any harness sampling them. All plain counters — no ordering
+/// requirements beyond each counter being individually consistent, so
+/// `Relaxed` throughout.
+#[derive(Debug, Default)]
+pub struct PeerStats {
+    /// Frames currently queued to the writer thread.
+    pub queue_depth: AtomicU64,
+    /// Peak queue depth observed.
+    pub max_queue_depth: AtomicU64,
+    /// Frames dropped because the writer queue was full.
+    pub dropped: AtomicU64,
+    /// Successful dials (the first connect plus every reconnect).
+    pub connects: AtomicU64,
+    /// Frames successfully written to the socket.
+    pub frames_sent: AtomicU64,
+    /// Bytes successfully written to the socket.
+    pub bytes_sent: AtomicU64,
+}
+
+impl PeerStats {
+    fn note_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn note_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Live statistics of one [`TcpRuntime`]: mailbox depth plus one
+/// [`PeerStats`] per dialed peer. Obtained from [`TcpHandle::stats`] and
+/// safe to sample from any thread while the runtime runs.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Inputs currently queued to the protocol thread.
+    pub mailbox_depth: AtomicU64,
+    /// Peak mailbox depth observed.
+    pub max_mailbox_depth: AtomicU64,
+    /// Outbound writer statistics per dialed peer.
+    pub peers: HashMap<NodeId, Arc<PeerStats>>,
+}
+
+/// The mailbox sender with depth accounting: every producer (acceptor,
+/// readers, writer error paths) goes through [`MailboxTx::send`], the
+/// protocol thread decrements after each receive, so `NetStats` always shows
+/// how far the protocol thread has fallen behind its inputs.
+#[derive(Clone)]
+struct MailboxTx {
+    tx: Sender<Input>,
+    stats: Arc<NetStats>,
+}
+
+impl MailboxTx {
+    /// Sends with depth accounting; the error (protocol thread gone — only
+    /// during shutdown) carries no payload, every caller just stops.
+    fn send(&self, input: Input) -> Result<(), ()> {
+        let depth = self.stats.mailbox_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats
+            .max_mailbox_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        self.tx.send(input).map_err(|_| {
+            self.stats.mailbox_depth.fetch_sub(1, Ordering::Relaxed);
+        })
+    }
+}
 
 /// How long a dial-retry loop sleeps at most between attempts.
 const MAX_BACKOFF_MS: u64 = 500;
@@ -108,13 +184,20 @@ enum Input {
 /// Handle to a running [`TcpRuntime`]; dropping it without calling
 /// [`TcpHandle::shutdown`] detaches the runtime's threads.
 pub struct TcpHandle {
-    mailbox: Sender<Input>,
+    mailbox: MailboxTx,
     stop: Arc<AtomicBool>,
     listen: Option<SocketAddr>,
     thread: Option<JoinHandle<()>>,
+    stats: Arc<NetStats>,
 }
 
 impl TcpHandle {
+    /// Live transport statistics of this runtime (mailbox depth, per-peer
+    /// writer queues/drops/reconnects). Safe to sample from any thread.
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Stops the runtime: the protocol thread drops the hosted process
     /// (flushing any durable storage it holds), the acceptor is woken and
     /// exits, and reader/writer threads die as their channels and sockets
@@ -153,36 +236,50 @@ impl TcpRuntime {
         let stop = Arc::new(AtomicBool::new(false));
         let listen = listener.as_ref().map(|l| l.local_addr()).transpose()?;
 
+        let mut stats = NetStats::default();
+        for peer in &cfg.dial {
+            stats.peers.insert(*peer, Arc::new(PeerStats::default()));
+        }
+        let stats = Arc::new(stats);
+        let mailbox = MailboxTx {
+            tx: mailbox_tx,
+            stats: Arc::clone(&stats),
+        };
+
         if let Some(listener) = listener {
-            let tx = mailbox_tx.clone();
+            let tx = mailbox.clone();
             let stop = Arc::clone(&stop);
             thread::spawn(move || acceptor_loop(listener, tx, stop));
         }
 
         // One writer per dialed peer, created up front; the writer dials on
         // first use and re-dials on failure.
-        let mut writers: HashMap<NodeId, SyncSender<Vec<u8>>> = HashMap::new();
+        let mut writers: HashMap<NodeId, (SyncSender<Vec<u8>>, Arc<PeerStats>)> = HashMap::new();
         let hello = frame::encode_hello(cfg.addr);
         for peer in &cfg.dial {
             let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(WRITER_QUEUE);
             let peers = Arc::clone(&cfg.peers);
-            let mailbox = mailbox_tx.clone();
+            let mailbox = mailbox.clone();
             let stop = Arc::clone(&stop);
             let hello = hello.clone();
             let peer = *peer;
-            thread::spawn(move || writer_loop(peer, peers, hello, rx, mailbox, stop));
-            writers.insert(peer, tx);
+            let peer_stats = Arc::clone(&stats.peers[&peer]);
+            let writer_stats = Arc::clone(&peer_stats);
+            thread::spawn(move || writer_loop(peer, peers, hello, rx, mailbox, stop, writer_stats));
+            writers.insert(peer, (tx, peer_stats));
         }
 
+        let run_stats = Arc::clone(&stats);
         let thread = thread::Builder::new()
             .name(format!("proto-{:?}", cfg.addr))
-            .spawn(move || protocol_loop(cfg, builder, mailbox_rx, writers))?;
+            .spawn(move || protocol_loop(cfg, builder, mailbox_rx, writers, run_stats))?;
 
         Ok(TcpHandle {
-            mailbox: mailbox_tx,
+            mailbox,
             stop,
             listen,
             thread: Some(thread),
+            stats,
         })
     }
 }
@@ -192,7 +289,8 @@ fn protocol_loop(
     cfg: TcpConfig,
     builder: ProcessBuilder,
     mailbox: Receiver<Input>,
-    writers: HashMap<NodeId, SyncSender<Vec<u8>>>,
+    writers: HashMap<NodeId, (SyncSender<Vec<u8>>, Arc<PeerStats>)>,
+    stats: Arc<NetStats>,
 ) {
     let start = Instant::now();
     let now = move || Time(start.elapsed().as_micros() as u64);
@@ -265,6 +363,7 @@ fn protocol_loop(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
+        stats.mailbox_depth.fetch_sub(1, Ordering::Relaxed);
         match input {
             Input::Message { from, msg } => {
                 driver.handle_into(now(), Event::Message { from, msg }, &mut actions);
@@ -295,7 +394,7 @@ fn apply(
     self_addr: Addr,
     actions: &mut Vec<Action<NetMsg>>,
     timers: &mut BinaryHeapWheel,
-    writers: &HashMap<NodeId, SyncSender<Vec<u8>>>,
+    writers: &HashMap<NodeId, (SyncSender<Vec<u8>>, Arc<PeerStats>)>,
     inbound: &mut HashMap<Addr, TcpStream>,
     selfq: &mut VecDeque<NetMsg>,
     now: Time,
@@ -316,10 +415,28 @@ fn apply(
                 };
                 match to {
                     Addr::Node(n) => {
-                        if let Some(w) = writers.get(&n) {
+                        if let Some((w, stats)) = writers.get(&n) {
+                            // Count the frame in *before* the send: the writer
+                            // thread may drain (and decrement) it the instant
+                            // try_send returns, and the depth counter must
+                            // never dip below zero.
+                            stats.note_enqueued();
                             match w.try_send(payload) {
-                                Ok(()) | Err(TrySendError::Full(_)) => {}
-                                Err(TrySendError::Disconnected(_)) => {}
+                                Ok(()) => {}
+                                Err(TrySendError::Full(_)) => {
+                                    stats.note_dequeued();
+                                    let drops = stats.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+                                    if drops == 1 || drops % DROP_WARN_EVERY == 0 {
+                                        eprintln!(
+                                            "iss-net: writer queue to {n:?} full, \
+                                             {drops} frame(s) dropped so far"
+                                        );
+                                    }
+                                }
+                                // Shutdown path: the writer thread is gone.
+                                Err(TrySendError::Disconnected(_)) => {
+                                    stats.note_dequeued();
+                                }
                             }
                         }
                     }
@@ -387,7 +504,7 @@ impl BinaryHeapWheel {
 /// Accepts inbound connections; each gets a thread that reads the hello,
 /// registers the write half with the protocol thread and then reads frames
 /// until the connection dies.
-fn acceptor_loop(listener: TcpListener, mailbox: Sender<Input>, stop: Arc<AtomicBool>) {
+fn acceptor_loop(listener: TcpListener, mailbox: MailboxTx, stop: Arc<AtomicBool>) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -426,7 +543,7 @@ fn acceptor_loop(listener: TcpListener, mailbox: Sender<Input>, stop: Arc<Atomic
 /// Decodes frames from one connection into the mailbox. Exits when the
 /// socket or the mailbox closes, or on the first malformed frame (a peer
 /// speaking garbage gets its connection dropped, not interpreted).
-fn reader_loop(mut stream: TcpStream, from: Addr, mailbox: Sender<Input>) {
+fn reader_loop(mut stream: TcpStream, from: Addr, mailbox: MailboxTx) {
     loop {
         let Ok(payload) = frame::read_frame(&mut stream) else {
             return;
@@ -451,12 +568,14 @@ fn writer_loop(
     peers: PeerTable,
     hello: Vec<u8>,
     rx: Receiver<Vec<u8>>,
-    mailbox: Sender<Input>,
+    mailbox: MailboxTx,
     stop: Arc<AtomicBool>,
+    stats: Arc<PeerStats>,
 ) {
     let mut conn: Option<TcpStream> = None;
     let mut backoff = 10u64;
     'frames: for payload in rx.iter() {
+        stats.note_dequeued();
         loop {
             if stop.load(Ordering::SeqCst) {
                 return;
@@ -478,6 +597,7 @@ fn writer_loop(
                         }
                         conn = Some(stream);
                         backoff = 10;
+                        stats.connects.fetch_add(1, Ordering::Relaxed);
                     }
                     None => {
                         thread::sleep(std::time::Duration::from_millis(backoff));
@@ -488,7 +608,13 @@ fn writer_loop(
             }
             if let Some(stream) = &mut conn {
                 match frame::write_frame(stream, &payload) {
-                    Ok(()) => continue 'frames,
+                    Ok(()) => {
+                        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .bytes_sent
+                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        continue 'frames;
+                    }
                     Err(_) => {
                         conn = None;
                         continue;

@@ -20,6 +20,7 @@ use iss_simnet::fault::CrashSchedule;
 use iss_simnet::process::{Addr, Process, StageRole};
 use iss_simnet::{CpuModel, Runtime, RuntimeConfig};
 use iss_storage::{MemStorage, Storage};
+use iss_telemetry::{Recorder, TelemetryHandle, TelemetrySnapshot};
 use iss_types::{ClientId, Duration, IssConfig, LeaderPolicyKind, NodeId, Time};
 use iss_workload::OpenLoop;
 use std::cell::RefCell;
@@ -147,6 +148,7 @@ impl ClusterSpec {
             reference_node_state: self.reference_node_state,
             stage_latency: Duration::ZERO,
             cpu_cores: None,
+            telemetry: false,
         }
     }
 
@@ -176,6 +178,9 @@ pub struct Deployment {
     /// CPU cores per simulated machine (after any scenario override), used
     /// to normalize per-stage busy time into a utilization.
     cpu_cores: usize,
+    /// Per-node telemetry handles (empty when the scenario leaves telemetry
+    /// off); their shards merge into `Report::telemetry` after the run.
+    telemetry_handles: Vec<(NodeId, TelemetryHandle)>,
 }
 
 /// One observer-node pipeline probe: where to read a stage's busy time and
@@ -246,6 +251,11 @@ pub struct Report {
     /// Per-stage CPU utilization and backlog at the observer node; empty
     /// unless the scenario compartmentalizes the node pipeline.
     pub stages: Vec<StageReport>,
+    /// Cluster-wide telemetry snapshot (all nodes' shards merged); `None`
+    /// unless the scenario enables telemetry. Virtual time makes the
+    /// snapshot — including its rendered exports — byte-identical across
+    /// same-seed runs.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl Deployment {
@@ -365,10 +375,25 @@ impl Deployment {
         let mut runtime: Runtime<NetMsg> = Runtime::new(runtime_config);
         let clients: Vec<ClientId> = (0..num_clients as u32).map(ClientId).collect();
         let mut stage_probes: Vec<StageProbe> = Vec::new();
+        let mut telemetry_handles: Vec<(NodeId, TelemetryHandle)> = Vec::new();
 
         for n in 0..scenario.num_nodes as u32 {
             let node_id = NodeId(n);
             let mut opts = NodeOptions::new(config.clone());
+            // One telemetry instance per machine, shared by the node and its
+            // co-located stages (cut/propose pairing works through the
+            // shared maps) and attached to every address of the machine for
+            // CPU-by-class attribution.
+            let telemetry = if scenario.telemetry {
+                TelemetryHandle::enabled(n)
+            } else {
+                TelemetryHandle::disabled()
+            };
+            opts.telemetry = telemetry.clone();
+            if telemetry.is_enabled() {
+                telemetry_handles.push((node_id, telemetry.clone()));
+                runtime.attach_telemetry(Addr::Node(node_id), telemetry.clone());
+            }
             opts.mode = scenario.stack.mode;
             opts.respond_to_clients = respond_to_clients;
             opts.announce_buckets = true;
@@ -458,6 +483,9 @@ impl Deployment {
                         counters: Rc::clone(c),
                     });
                 }
+                if telemetry.is_enabled() {
+                    runtime.attach_telemetry(addr, telemetry.clone());
+                }
                 runtime.add_process(
                     addr,
                     Box::new(iss_core::BatcherProcess::new(
@@ -467,6 +495,7 @@ impl Deployment {
                         config.clone(),
                         Arc::clone(&registry),
                         counters,
+                        telemetry.clone(),
                     )),
                 );
             }
@@ -487,6 +516,9 @@ impl Deployment {
                     });
                 }
                 let sink = Rc::new(RefCell::new(MetricsSink::new(Rc::clone(&metrics))));
+                if telemetry.is_enabled() {
+                    runtime.attach_telemetry(addr, telemetry.clone());
+                }
                 runtime.add_process(
                     addr,
                     Box::new(iss_core::ExecutorProcess::new(
@@ -494,6 +526,7 @@ impl Deployment {
                         respond_to_clients,
                         sink,
                         counters,
+                        telemetry.clone(),
                     )),
                 );
             }
@@ -531,6 +564,7 @@ impl Deployment {
             scenario,
             stage_probes,
             cpu_cores,
+            telemetry_handles,
         }
     }
 
@@ -644,6 +678,39 @@ impl Deployment {
                 }
             })
             .collect();
+        // Telemetry: stamp per-machine CPU gauges (node process plus any
+        // observer-stage probes), then merge all shards into one
+        // cluster-wide snapshot. Everything is virtual time, so the snapshot
+        // is byte-identical across same-seed runs.
+        let telemetry = if self.telemetry_handles.is_empty() {
+            None
+        } else {
+            for (node, h) in &self.telemetry_handles {
+                h.gauge_set_for(
+                    "cpu.node_busy_us",
+                    node.0,
+                    self.runtime.busy_time(Addr::Node(*node)).as_micros(),
+                );
+            }
+            for p in &self.stage_probes {
+                let Some((_, h)) = self.telemetry_handles.iter().find(|(n, _)| *n == p.node) else {
+                    continue;
+                };
+                let busy = self.runtime.busy_time(p.addr).as_micros();
+                match p.role {
+                    "batcher" => h.gauge_set_for("cpu.batcher_busy_us", p.index, busy),
+                    "executor" => h.gauge_set_for("cpu.executor_busy_us", p.index, busy),
+                    _ => h.gauge_set("cpu.orderer_busy_us", busy),
+                }
+            }
+            let mut merged = TelemetrySnapshot::empty();
+            for (_, h) in &self.telemetry_handles {
+                if let Some(snap) = h.snapshot() {
+                    merged.merge(&snap);
+                }
+            }
+            Some(merged)
+        };
         Report {
             throughput,
             mean_latency,
@@ -659,6 +726,7 @@ impl Deployment {
             rejected_requests,
             adversary,
             stages,
+            telemetry,
         }
     }
 }

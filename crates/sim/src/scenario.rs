@@ -380,6 +380,12 @@ pub struct Scenario {
     /// number so the stage split, not raw core count, is what moves the
     /// saturation plateau.
     pub cpu_cores: Option<usize>,
+    /// Record commit-path telemetry (spans, phase histograms, CPU-by-class)
+    /// on every node and include the merged snapshot in the report. Off by
+    /// default: recording is observer-only bookkeeping and cannot change a
+    /// run's outcome, but default-off keeps reports byte-identical with
+    /// pre-telemetry baselines.
+    pub telemetry: bool,
 }
 
 /// The ISS configuration for a protocol/size/policy triple (Table 1 preset
@@ -442,6 +448,7 @@ impl Scenario {
                 reference_node_state: false,
                 stage_latency: Duration::ZERO,
                 cpu_cores: None,
+                telemetry: false,
             },
             skewed: None,
         }
@@ -547,6 +554,13 @@ impl ScenarioBuilder {
     /// pipeline stages.
     pub fn stage_latency(mut self, latency: Duration) -> Self {
         self.scenario.stage_latency = latency;
+        self
+    }
+
+    /// Enables commit-path telemetry (spans, phase histograms, CPU-by-class)
+    /// on every node; the merged snapshot lands in `Report::telemetry`.
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.scenario.telemetry = enabled;
         self
     }
 

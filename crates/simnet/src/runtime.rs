@@ -167,6 +167,11 @@ pub struct Runtime<M: Payload> {
     rng: StdRng,
     stats: RuntimeStats,
     started: bool,
+    /// Telemetry handles attached per address ([`Runtime::attach_telemetry`]):
+    /// the CPU cost charged for each delivered message is also attributed to
+    /// the address's handle, split by [`iss_types::MsgClass`]. Empty by
+    /// default — unattached runs pay one `is_empty` branch per delivery.
+    telemetry: Vec<(Addr, iss_telemetry::TelemetryHandle)>,
     /// Invocation trace hook for one address ([`Runtime::record_trace`]).
     /// `None` by default: untraced runs pay a single branch per invocation
     /// and stay byte-identical to builds without the hook.
@@ -204,6 +209,7 @@ impl<M: Payload> Runtime<M> {
             rng,
             stats: RuntimeStats::default(),
             started: false,
+            telemetry: Vec::new(),
             trace: None,
             crash_faults,
             drop_faults,
@@ -321,6 +327,20 @@ impl<M: Payload> Runtime<M> {
         self.trace = Some((addr, sink));
     }
 
+    /// Attaches a telemetry handle to the process at `addr`: the CPU cost
+    /// charged for each message delivered to it is also attributed to the
+    /// handle, split by the message's [`iss_types::MsgClass`]. Attribution
+    /// is pure bookkeeping — it never touches the RNG or the event queue, so
+    /// attaching telemetry cannot perturb a run. Attaching a second handle
+    /// to the same address replaces the first.
+    pub fn attach_telemetry(&mut self, addr: Addr, handle: iss_telemetry::TelemetryHandle) {
+        if let Some(slot) = self.telemetry.iter_mut().find(|(a, _)| *a == addr) {
+            slot.1 = handle;
+        } else {
+            self.telemetry.push((addr, handle));
+        }
+    }
+
     /// Runs the simulation until virtual time `until` (inclusive) or until no
     /// events remain, whichever comes first. Returns the number of events
     /// processed by this call.
@@ -372,6 +392,14 @@ impl<M: Payload> Runtime<M> {
                                     .cpu
                                     .message_cost(msg.num_requests(), msg.wire_size());
                                 entry.busy += cost;
+                                if !self.telemetry.is_empty() {
+                                    if let Some((_, h)) =
+                                        self.telemetry.iter().find(|(a, _)| *a == to)
+                                    {
+                                        use iss_telemetry::Recorder as _;
+                                        h.cpu_charge(msg.class(), cost.as_micros());
+                                    }
+                                }
                                 cpu.schedule(self.now, cost)
                             }
                             None => self.now,

@@ -1,0 +1,184 @@
+//! Deterministic exports: a fixed-format human-readable table and a JSONL
+//! span timeline. All values are integers (microseconds, counts); maps are
+//! ordered; nothing depends on wall-clock formatting — so two identical
+//! snapshots always render byte-identically.
+
+use std::fmt::Write as _;
+
+use iss_types::MsgClass;
+
+use crate::{Phase, SeriesKey, TelemetrySnapshot};
+
+fn series_name(key: &SeriesKey) -> String {
+    match key.1 {
+        None => key.0.to_string(),
+        Some(idx) => format!("{}[{}]", key.0, idx),
+    }
+}
+
+/// Renders the summary table: phase latencies, CPU-by-class shares,
+/// counters and gauges.
+pub fn render_table(s: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let nodes: Vec<String> = s.nodes.iter().map(|n| n.to_string()).collect();
+    let _ = writeln!(out, "telemetry summary (nodes: {})", nodes.join(","));
+
+    let _ = writeln!(
+        out,
+        "  {:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "phase (us)", "count", "p50", "p99", "max", "mean"
+    );
+    for p in Phase::ALL {
+        let h = s.phase(p);
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            p.label(),
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max(),
+            h.mean()
+        );
+    }
+
+    if let Some(total) = std::num::NonZeroU64::new(s.cpu_total_us()) {
+        let _ = writeln!(out, "  {:<16} {:>10} {:>7}", "cpu by class", "us", "share");
+        for c in MsgClass::ALL {
+            let us = s.cpu_us[c as usize];
+            if us == 0 {
+                continue;
+            }
+            // Integer permille, rendered as a percentage with one decimal.
+            let permille = us * 1000 / total;
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>5}.{}%",
+                c.label(),
+                us,
+                permille / 10,
+                permille % 10
+            );
+        }
+    }
+
+    if !s.counters.is_empty() {
+        let _ = writeln!(out, "  counters:");
+        for (k, v) in &s.counters {
+            let _ = writeln!(out, "    {:<28} {}", series_name(k), v);
+        }
+    }
+    if !s.gauges.is_empty() {
+        let _ = writeln!(out, "  gauges (last/max):");
+        for (k, g) in &s.gauges {
+            let _ = writeln!(out, "    {:<28} {}/{}", series_name(k), g.last, g.max);
+        }
+    }
+    if s.spans_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  spans: {} retained, {} overwritten",
+            s.spans.len(),
+            s.spans_dropped
+        );
+    }
+    out
+}
+
+/// Renders the snapshot as JSON lines: one `span` object per retained
+/// record followed by one `summary` object. Hand-rolled serialisation —
+/// every field is an integer or a static label, so no escaping is needed.
+pub fn to_jsonl(s: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for r in &s.spans {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"t_us\":{},\"node\":{},\"kind\":\"{}\",\"key\":{},\"aux\":{}}}",
+            r.t_us,
+            r.node,
+            r.kind.label(),
+            r.key,
+            r.aux
+        );
+    }
+    let mut phases = String::new();
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        let h = s.phase(*p);
+        if i > 0 {
+            phases.push(',');
+        }
+        let _ = write!(
+            phases,
+            "\"{}\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+            p.label(),
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.max(),
+            h.mean()
+        );
+    }
+    let mut cpu = String::new();
+    let mut first = true;
+    for c in MsgClass::ALL {
+        let us = s.cpu_us[c as usize];
+        if us == 0 {
+            continue;
+        }
+        if !first {
+            cpu.push(',');
+        }
+        first = false;
+        let _ = write!(cpu, "\"{}\":{}", c.label(), us);
+    }
+    let mut counters = String::new();
+    for (i, (k, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        let _ = write!(counters, "\"{}\":{}", series_name(k), v);
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"summary\",\"phases\":{{{phases}}},\"cpu_us\":{{{cpu}}},\"counters\":{{{counters}}},\"spans_dropped\":{}}}",
+        s.spans_dropped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Phase, TelemetryHandle};
+    use iss_types::Time;
+
+    fn sample() -> crate::TelemetrySnapshot {
+        let h = TelemetryHandle::enabled(0);
+        h.on_arrival(Time::from_micros(10), 42);
+        h.on_end_to_end(Time::from_micros(110), 42);
+        h.snapshot().unwrap()
+    }
+
+    #[test]
+    fn table_is_deterministic_and_mentions_phases() {
+        let s = sample();
+        let a = s.render_table();
+        let b = s.render_table();
+        assert_eq!(a, b);
+        for p in Phase::ALL {
+            assert!(a.contains(p.label()), "missing {}", p.label());
+        }
+        assert!(a.contains("end-to-end"));
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_span_plus_summary() {
+        let s = sample();
+        let j = s.to_jsonl();
+        let lines: Vec<&str> = j.lines().collect();
+        assert_eq!(lines.len(), s.spans.len() + 1);
+        assert!(lines.last().unwrap().starts_with("{\"type\":\"summary\""));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+}

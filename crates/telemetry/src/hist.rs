@@ -1,0 +1,270 @@
+//! Log-linear (HDR-style) latency histograms with mergeable shards.
+//!
+//! Values are bucketed exactly for `0..LINEAR_MAX` and log-linearly above:
+//! each power-of-two octave is split into `SUB_BUCKETS` equal sub-buckets,
+//! bounding the relative quantile error at `1/SUB_BUCKETS` (≈3.1%). The
+//! bucket table is a fixed-size array, so recording is an index increment —
+//! no allocation, no branching beyond the bucket computation — and two
+//! shards recorded independently merge by element-wise addition, which makes
+//! per-node histograms combinable into a cluster-wide view after a run.
+
+/// Sub-bucket resolution: `2^SUB_BITS` sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+
+/// Number of sub-buckets per octave (and size of the exact linear range).
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Number of buckets needed to cover the full `u64` value range.
+const NUM_BUCKETS: usize = (SUB_BUCKETS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let octave = (msb - SUB_BITS) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) - SUB_BUCKETS) as usize;
+        SUB_BUCKETS as usize + octave * SUB_BUCKETS as usize + sub
+    }
+}
+
+/// Largest value falling into bucket `index` (the histogram's quantile
+/// estimate for ranks landing in that bucket — an upper bound on the true
+/// value, at most `1/SUB_BUCKETS` above it relatively).
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB_BUCKETS {
+        i
+    } else {
+        let octave = (i - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (i - SUB_BUCKETS) % SUB_BUCKETS;
+        let width = 1u64 << octave;
+        // Lower edge of the bucket plus (width - 1).
+        ((SUB_BUCKETS + sub) << octave) + (width - 1)
+    }
+}
+
+/// A log-linear histogram of `u64` samples (latencies in microseconds,
+/// queue depths, …). Recording is allocation-free; shards recorded
+/// independently merge exactly ([`Histogram::merge`] is associative and
+/// commutative).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Box::new([0; NUM_BUCKETS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact smallest recorded sample (`0` when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean, rounded down (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / self.total as u128) as u64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the upper edge of the bucket holding
+    /// the sample of rank `ceil(q * count)`. Guaranteed to be at least the
+    /// true rank value and at most `1/32` above it relatively (exact for
+    /// values < 32). Returns `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report past the recorded extremes (a wide top bucket
+                // would otherwise round the max up by the bucket width).
+                return bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another shard into this one (element-wise; associative and
+    /// commutative, so any merge tree over the same shards yields the same
+    /// histogram).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+            && self.sum == other.sum
+            && self.min == other.min
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.mean(), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_value() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "v={v} upper={upper}");
+            // Relative error bound: upper ≤ v · (1 + 1/32) for log buckets.
+            assert!(
+                upper as u128 <= v as u128 + (v as u128 >> SUB_BITS) + 1,
+                "v={v} upper={upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_across_octave_edges() {
+        let mut last = 0usize;
+        for v in 0..10_000u64 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index must not decrease at v={v}");
+            last = i;
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let values: Vec<u64> = (0..500).map(|i| i * i % 7919 + i).collect();
+        let mut combined = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            combined.record(v);
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn quantiles_bounded_by_extremes() {
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.p50(), 1_000_003);
+        assert_eq!(h.p99(), 1_000_003);
+        h.record(999);
+        assert!(h.p50() >= 999 && h.p50() <= 1_000_003);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the telemetry primitives: the histogram's
+//! quantile error bound against a sorted-vector oracle, exact shard
+//! merging under any merge tree, and the span ring's wraparound behaviour.
+
+use iss_telemetry::{Histogram, SpanKind, SpanRecord, SpanRing};
+use proptest::prelude::*;
+
+/// Shapes raw `(selector, value)` pairs into samples spanning the linear
+/// range, typical latency magnitudes and the full `u64` range, so every
+/// bucketing regime is exercised (the vendored proptest stand-in has no
+/// union strategy, so the mixing happens here).
+fn shape(raw: &[(u8, u64)]) -> Vec<u64> {
+    raw.iter()
+        .map(|(sel, v)| match sel % 3 {
+            0 => v % 64,
+            1 => v % 1_000_000,
+            _ => *v,
+        })
+        .collect()
+}
+
+/// Strategy for the raw pairs [`shape`] consumes.
+fn raw(
+    len: std::ops::Range<usize>,
+) -> proptest::collection::VecStrategy<(std::ops::Range<u8>, proptest::Any<u64>)> {
+    proptest::collection::vec((0u8..3, any::<u64>()), len)
+}
+
+proptest! {
+    /// The `q`-quantile estimate is an upper bound on the true rank value
+    /// and at most one log-linear bucket width (relative `1/32`, plus one
+    /// for integer truncation) above it — the HDR error contract.
+    #[test]
+    fn quantile_matches_sorted_oracle_within_bucket_error(
+        values_raw in raw(1..300),
+        q_permille in 0u64..=1000,
+    ) {
+        let values = shape(&values_raw);
+        let q = q_permille as f64 / 1000.0;
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q);
+        prop_assert!(est >= truth, "estimate {est} below true rank value {truth}");
+        prop_assert!(
+            est as u128 <= truth as u128 + (truth as u128 >> 5) + 1,
+            "estimate {est} beyond the bucket error bound of {truth}"
+        );
+    }
+
+    /// Exact extremes and counts regardless of value distribution.
+    #[test]
+    fn extremes_and_count_are_exact(
+        values_raw in raw(1..300),
+    ) {
+        let values = shape(&values_raw);
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    /// Shard merging is associative and commutative and equals recording
+    /// everything into one histogram — so any per-node → cluster merge tree
+    /// yields the same result.
+    #[test]
+    fn shard_merge_is_associative_commutative_and_exact(
+        a_raw in raw(0..100),
+        b_raw in raw(0..100),
+        c_raw in raw(0..100),
+    ) {
+        let (a, b, c) = (shape(&a_raw), shape(&b_raw), shape(&c_raw));
+        let shard = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (shard(&a), shard(&b), shard(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // One histogram over the concatenation.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &shard(&all));
+    }
+
+    /// Wraparound never tears a record: whatever the capacity and push
+    /// count, the ring holds exactly the most recent `min(pushed, capacity)`
+    /// records, intact and in push order, and accounts for every overwrite.
+    #[test]
+    fn ring_wraparound_keeps_latest_records_untorn(
+        capacity in 1usize..48,
+        pushes in 0u64..400,
+    ) {
+        let mut ring = SpanRing::new(capacity);
+        for i in 0..pushes {
+            ring.push(SpanRecord {
+                t_us: i,
+                node: (i % 7) as u32,
+                kind: SpanKind::Arrival,
+                key: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                aux: !i,
+            });
+        }
+        let retained = (pushes as usize).min(capacity);
+        prop_assert_eq!(ring.len(), retained);
+        prop_assert_eq!(ring.total_pushed(), pushes);
+        prop_assert_eq!(ring.dropped(), pushes - retained as u64);
+        let first = pushes - retained as u64;
+        for (offset, rec) in ring.iter_ordered().enumerate() {
+            let i = first + offset as u64;
+            prop_assert_eq!(rec.t_us, i);
+            prop_assert_eq!(rec.node, (i % 7) as u32);
+            prop_assert_eq!(rec.key, i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            prop_assert_eq!(rec.aux, !i);
+        }
+    }
+}

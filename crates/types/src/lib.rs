@@ -23,7 +23,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{
     BucketId, ClientId, EpochNr, InstanceId, NodeId, ReqTimestamp, SeqNr, TimerId, ViewNr,
 };
-pub use payload::Payload;
+pub use payload::{MsgClass, Payload};
 pub use request::{Batch, BatchDigest, Request, RequestDigest, RequestId};
 pub use segment::Segment;
 pub use time::{Duration, Time};

@@ -4,6 +4,67 @@
 //! and the wire-message definitions (`iss-messages`) can reference it without
 //! depending on each other.
 
+/// Coarse classification of a message for CPU/latency attribution.
+///
+/// The telemetry layer attributes the CPU cost a driver charges for a
+/// message delivery to one of these classes, so a profile can say *which
+/// kind of processing* a node's busy time went into (request intake vs
+/// proposal processing vs protocol votes, …) without the driver knowing
+/// anything about concrete message enums.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum MsgClass {
+    /// A client request entering the system (intake/validation cost).
+    Request = 0,
+    /// An ordering-protocol message carrying a proposed batch
+    /// (proposal processing: validation, digesting, logging).
+    Proposal = 1,
+    /// An ordering-protocol message without a batch (votes, view changes,
+    /// heartbeats — quorum bookkeeping).
+    Vote = 2,
+    /// Checkpointing traffic.
+    Checkpoint = 3,
+    /// State transfer / snapshot / recovery traffic.
+    StateTransfer = 4,
+    /// Pipeline-stage handoffs (batcher → orderer → executor).
+    Handoff = 5,
+    /// Responses back to clients.
+    Response = 6,
+    /// Everything else.
+    Other = 7,
+}
+
+impl MsgClass {
+    /// Number of classes (array-table sizing).
+    pub const COUNT: usize = 8;
+
+    /// All classes, in `repr` order.
+    pub const ALL: [MsgClass; MsgClass::COUNT] = [
+        MsgClass::Request,
+        MsgClass::Proposal,
+        MsgClass::Vote,
+        MsgClass::Checkpoint,
+        MsgClass::StateTransfer,
+        MsgClass::Handoff,
+        MsgClass::Response,
+        MsgClass::Other,
+    ];
+
+    /// Stable lowercase label (export format).
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Request => "request",
+            MsgClass::Proposal => "proposal",
+            MsgClass::Vote => "vote",
+            MsgClass::Checkpoint => "checkpoint",
+            MsgClass::StateTransfer => "state-transfer",
+            MsgClass::Handoff => "handoff",
+            MsgClass::Response => "response",
+            MsgClass::Other => "other",
+        }
+    }
+}
+
 /// Anything that can travel over the (simulated or real) network.
 pub trait Payload: Clone {
     /// Number of bytes the message occupies on the wire (used by the
@@ -15,6 +76,13 @@ pub trait Payload: Clone {
     /// verification). Defaults to zero.
     fn num_requests(&self) -> usize {
         0
+    }
+
+    /// Coarse class of the message for telemetry attribution. Defaults to
+    /// [`MsgClass::Other`]; wire-message enums override this to split a
+    /// node's busy time by the kind of processing it buys.
+    fn class(&self) -> MsgClass {
+        MsgClass::Other
     }
 }
 

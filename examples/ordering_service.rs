@@ -51,6 +51,7 @@ fn run_tcp() {
     cfg.total_rate = 1_000.0;
     cfg.run_for = Duration::from_secs(60);
     cfg.storage_root = Some(storage.clone());
+    cfg.telemetry = true;
     println!("ordering service over TCP: 4 ISS-PBFT replicas on 127.0.0.1, fsync'd WAL per node");
     let cluster = TcpCluster::launch(cfg).expect("cluster boots");
     let commits = cluster.commits();
@@ -71,6 +72,10 @@ fn run_tcp() {
             .expect("agreement across replicas");
     }
     println!("  agreement verified across all replicas");
+    if let Some(snapshot) = cluster.telemetry_snapshot() {
+        println!();
+        print!("{}", snapshot.render_table());
+    }
     cluster.shutdown();
     let _ = std::fs::remove_dir_all(&storage);
 }
